@@ -1,0 +1,70 @@
+// Ablation: approximate-bounding sampling rate p (Theorem 4.6 empirically).
+// The theorem predicts the quality guarantee 1 / (2(1 + γ(1 − p²))) improves
+// monotonically in p, recovering exact bounding at p = 1; lower p trades
+// quality for more aggressive grow/shrink decisions (Table 2's behavior).
+// This bench sweeps p for uniform and weighted sampling on the CIFAR proxy,
+// reporting decisions made, rounds, and the score of bounding + centralized
+// completion relative to plain centralized greedy.
+//
+// Expected shape: decided points fall and score rises toward 100 as p -> 1;
+// small p decides half the ground set at a few-percent score cost.
+#include "bench_util.h"
+
+#include "core/bounding.h"
+#include "core/selection_pipeline.h"
+
+using namespace subsel;
+using namespace subsel::bench;
+
+int main(int argc, char** argv) {
+  Args args(argc, argv);
+  const double scale = args.get_double("scale", 0.2);
+  const auto dataset = data::cifar_proxy(scale);
+  const std::size_t n = dataset.size();
+  const std::size_t k = n / 10;
+  const auto params = core::ObjectiveParams::from_alpha(0.9);
+  const auto ground_set = dataset.ground_set();
+
+  const double centralized =
+      core::centralized_greedy(dataset.graph, dataset.utilities, params, k)
+          .objective;
+
+  std::printf("=== Ablation: bounding sampling rate p (CIFAR proxy, %zu points,"
+              " k=%zu, alpha=0.9) ===\n", n, k);
+  std::printf("%-10s %8s %10s %10s %7s %7s %9s\n", "sampling", "p", "included",
+              "excluded", "grow", "shrink", "score%");
+
+  CsvWriter csv(results_dir() + "/ablation_sampling.csv",
+                {"sampling", "p", "included", "excluded", "grow_rounds",
+                 "shrink_rounds", "objective", "score"});
+
+  for (const auto sampling : {core::BoundingSampling::kUniform,
+                              core::BoundingSampling::kWeighted}) {
+    const char* name =
+        sampling == core::BoundingSampling::kUniform ? "uniform" : "weighted";
+    for (const double p : {0.1, 0.3, 0.5, 0.7, 0.9, 1.0}) {
+      core::SelectionPipelineConfig config;
+      config.objective = params;
+      config.bounding.sampling =
+          p >= 1.0 ? core::BoundingSampling::kNone : sampling;
+      config.bounding.sample_fraction = p;
+      config.greedy.num_machines = 1;  // centralized completion isolates p
+      config.greedy.num_rounds = 1;
+      const auto result = core::select_subset(ground_set, k, config);
+      const auto& bounding = *result.bounding;
+      const double score = 100.0 * result.objective / centralized;
+      std::printf("%-10s %8.1f %10zu %10zu %7zu %7zu %8.2f%%\n",
+                  p >= 1.0 ? "exact" : name, p, bounding.included,
+                  bounding.excluded, bounding.grow_rounds, bounding.shrink_rounds,
+                  score);
+      csv.row(p >= 1.0 ? "exact" : name, p, bounding.included, bounding.excluded,
+              bounding.grow_rounds, bounding.shrink_rounds, result.objective,
+              score);
+    }
+  }
+
+  std::printf("\npaper shape (Theorem 4.6 / Table 2): decisions shrink and the"
+              " score approaches 100%% as p grows; p = 1 recovers exact"
+              " bounding's conservatism.\n");
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Figures 3 and 12: normalized scores of the distributed greedy algorithm on
+// CIFAR-100 WITHOUT adaptive partitioning, for subset sizes {10, 50, 80} %,
+// alpha in {0.9, 0.5, 0.1}, partitions x rounds in {1..32}^2.
+//
+// Expected shape (paper): 100 in the first row (1 partition); scores fall as
+// partitions grow and rise with more rounds; multi-round gains are largest
+// for small subsets.
+//
+// Default --scale=0.2 (10k points) for bench-suite runtime; --scale=1
+// reproduces the paper's 50k cardinality.
+#include "bench_util.h"
+
+using namespace subsel;
+using namespace subsel::bench;
+
+int main(int argc, char** argv) {
+  Args args(argc, argv);
+  const double scale = args.get_double("scale", 0.2);
+  const auto dataset = data::cifar_proxy(scale);
+  std::printf("=== Figures 3/12: CIFAR-100 proxy (%zu points), non-adaptive ===\n",
+              dataset.size());
+
+  CsvWriter csv(results_dir() + "/fig03_12_heatmap_cifar.csv", kHeatmapCsvHeader);
+  Timer timer;
+  for (const double fraction : {0.1, 0.5, 0.8}) {
+    for (const double alpha : {0.9, 0.5, 0.1}) {
+      HeatmapSpec spec;
+      spec.dataset = &dataset;
+      spec.alpha = alpha;
+      spec.subset_fraction = fraction;
+      spec.adaptive = false;
+      const auto result = run_heatmap(spec);
+      char title[128];
+      std::snprintf(title, sizeof(title),
+                    "%.0f%% subset, alpha=%.1f (normalized scores, centralized=100)",
+                    fraction * 100, alpha);
+      print_heatmap(title, spec, result.normalized);
+      heatmap_to_csv(csv, "cifar100_proxy", spec, result);
+    }
+  }
+  std::printf("\ntotal time: %s; csv: %s/fig03_12_heatmap_cifar.csv\n",
+              format_duration(timer.elapsed_seconds()).c_str(), results_dir().c_str());
+  return 0;
+}

@@ -1,0 +1,25 @@
+// Figures 9-11 (Appendix E): Δ-schedule ablation on ImageNet — the ImageNet
+// counterpart of Figures 6-8; see fig06_08_delta_cifar.cpp for the expected
+// shape (the paper finds the same trends on both datasets).
+//
+// Default --scale=0.05 (6k points) to keep the 4-γ grid fast; --scale=10
+// reproduces the paper's 1.2M cardinality.
+#include "bench_util.h"
+
+using namespace subsel;
+using namespace subsel::bench;
+
+int main(int argc, char** argv) {
+  Args args(argc, argv);
+  const double scale = args.get_double("scale", 0.05);
+  const auto dataset = data::imagenet_proxy(scale);
+  std::printf("=== Figures 9-11: delta ablation, ImageNet proxy (%zu points)"
+              " ===\n", dataset.size());
+
+  CsvWriter csv(results_dir() + "/fig09_11_delta_imagenet.csv", kHeatmapCsvHeader);
+  Timer timer;
+  run_delta_ablation(dataset, csv);
+  std::printf("\ntotal time: %s; csv: %s/fig09_11_delta_imagenet.csv\n",
+              format_duration(timer.elapsed_seconds()).c_str(), results_dir().c_str());
+  return 0;
+}

@@ -1,0 +1,207 @@
+// Microbenchmarks (google-benchmark) for the performance-critical building
+// blocks: addressable heap operations, centralized greedy throughput,
+// kNN-graph construction (brute force and IVF), pairwise objective
+// evaluation, utility-bound computation, dataflow shuffle, and virtual
+// Perturbed neighbor generation.
+//
+// These back the complexity claims of Section 4.4:
+//   centralized greedy  O(|V| log |V| + k·kg·log |V|),
+// and quantify the constant factors of the substrate the figure benches run
+// on. Inputs are deliberately small so the whole binary finishes in seconds
+// under `for b in build/bench/*; do $b; done`.
+#include <benchmark/benchmark.h>
+
+#include "core/addressable_heap.h"
+#include "core/bounding.h"
+#include "core/greedy.h"
+#include "core/objective.h"
+#include "data/datasets.h"
+#include "data/perturbed.h"
+#include "dataflow/transforms.h"
+#include "graph/hnsw.h"
+#include "graph/knn.h"
+
+namespace {
+
+using namespace subsel;
+
+const data::Dataset& shared_dataset(std::size_t points) {
+  static data::Dataset small = data::toy_dataset(2000, 20, 5);
+  static data::Dataset medium = data::toy_dataset(10000, 50, 6);
+  return points <= 2000 ? small : medium;
+}
+
+void BM_HeapPushPop(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(17);
+  std::vector<double> priorities(n);
+  for (double& p : priorities) p = rng.uniform();
+  for (auto _ : state) {
+    core::AddressableMaxHeap heap(priorities);
+    double sink = 0.0;
+    while (!heap.empty()) sink += heap.priority(heap.pop_max());
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_HeapPushPop)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_HeapDecreaseWeight(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(18);
+  std::vector<double> priorities(n);
+  for (double& p : priorities) p = 1.0 + rng.uniform();
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::AddressableMaxHeap heap(priorities);
+    state.ResumeTiming();
+    for (std::uint32_t i = 0; i < n; ++i) {
+      heap.decrease_weight_by(i, 0.5 * rng.uniform());
+    }
+    benchmark::DoNotOptimize(heap.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_HeapDecreaseWeight)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_CentralizedGreedy(benchmark::State& state) {
+  const auto& dataset = shared_dataset(static_cast<std::size_t>(state.range(0)));
+  const auto params = core::ObjectiveParams::from_alpha(0.9);
+  const std::size_t k = dataset.size() / 10;
+  for (auto _ : state) {
+    auto result = core::centralized_greedy(dataset.graph, dataset.utilities,
+                                           params, k);
+    benchmark::DoNotOptimize(result.objective);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(k));
+}
+BENCHMARK(BM_CentralizedGreedy)->Arg(2000)->Arg(10000);
+
+void BM_ObjectiveEvaluate(benchmark::State& state) {
+  const auto& dataset = shared_dataset(static_cast<std::size_t>(state.range(0)));
+  const auto ground_set = dataset.ground_set();
+  core::PairwiseObjective objective(ground_set,
+                                    core::ObjectiveParams::from_alpha(0.9));
+  std::vector<core::NodeId> subset;
+  for (std::size_t i = 0; i < dataset.size(); i += 2) {
+    subset.push_back(static_cast<core::NodeId>(i));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(objective.evaluate(subset));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(subset.size()));
+}
+BENCHMARK(BM_ObjectiveEvaluate)->Arg(2000)->Arg(10000);
+
+void BM_UtilityBounds(benchmark::State& state) {
+  const auto& dataset = shared_dataset(static_cast<std::size_t>(state.range(0)));
+  const auto ground_set = dataset.ground_set();
+  core::BoundingConfig config;
+  config.objective = core::ObjectiveParams::from_alpha(0.9);
+  config.sampling = core::BoundingSampling::kUniform;
+  config.sample_fraction = 0.3;
+  core::SelectionState selection(dataset.size());
+  std::vector<double> u_min, u_max;
+  for (auto _ : state) {
+    core::detail::compute_utility_bounds(ground_set, selection, config, 3, u_min,
+                                         u_max);
+    benchmark::DoNotOptimize(u_min.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(dataset.size()));
+}
+BENCHMARK(BM_UtilityBounds)->Arg(2000)->Arg(10000);
+
+void BM_BruteForceKnn(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  data::ClusteredEmbeddingConfig config;
+  config.num_points = n;
+  config.num_classes = 16;
+  config.dim = 32;
+  const auto embeddings = data::generate_clustered_embeddings(config);
+  graph::KnnConfig knn;
+  for (auto _ : state) {
+    auto lists = graph::brute_force_knn(embeddings.points, knn);
+    benchmark::DoNotOptimize(lists.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_BruteForceKnn)->Arg(1000)->Arg(2000);
+
+void BM_IvfKnn(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  data::ClusteredEmbeddingConfig config;
+  config.num_points = n;
+  config.num_classes = 32;
+  config.dim = 32;
+  const auto embeddings = data::generate_clustered_embeddings(config);
+  graph::KnnConfig knn;
+  for (auto _ : state) {
+    graph::IvfIndex index(embeddings.points, knn);
+    auto lists = index.knn_graph();
+    benchmark::DoNotOptimize(lists.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_IvfKnn)->Arg(4000)->Arg(16000);
+
+void BM_HnswKnn(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  data::ClusteredEmbeddingConfig config;
+  config.num_points = n;
+  config.num_classes = 32;
+  config.dim = 32;
+  const auto embeddings = data::generate_clustered_embeddings(config);
+  for (auto _ : state) {
+    graph::HnswIndex index(embeddings.points, graph::HnswConfig{});
+    auto lists = index.knn_graph(10);
+    benchmark::DoNotOptimize(lists.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_HnswKnn)->Arg(4000)->Arg(16000);
+
+void BM_DataflowShuffle(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  dataflow::Pipeline pipeline;
+  for (auto _ : state) {
+    auto records = dataflow::from_generator<std::pair<std::uint64_t, std::uint64_t>>(
+        pipeline, n, [](std::size_t i) {
+          return std::pair<std::uint64_t, std::uint64_t>{i % 977, i};
+        });
+    auto grouped = dataflow::group_by_key(records);
+    auto counts = dataflow::map<std::size_t>(
+        grouped, [](const auto& row) { return row.second.size(); });
+    benchmark::DoNotOptimize(dataflow::to_vector(counts).size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_DataflowShuffle)->Arg(1 << 14)->Arg(1 << 17);
+
+void BM_PerturbedNeighbors(benchmark::State& state) {
+  static data::Dataset base = data::toy_dataset(500, 10, 9);
+  data::PerturbedConfig config;
+  config.perturbations_per_point = 1000;
+  const data::PerturbedGroundSet ground_set(base, config);
+  std::vector<graph::Edge> edges;
+  std::uint64_t cursor = 0;
+  for (auto _ : state) {
+    ground_set.neighbors(
+        static_cast<graph::NodeId>(cursor++ % ground_set.num_points()), edges);
+    benchmark::DoNotOptimize(edges.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PerturbedNeighbors);
+
+}  // namespace
+
+BENCHMARK_MAIN();

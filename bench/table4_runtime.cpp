@@ -1,0 +1,115 @@
+// Table 4 (Appendix D): runtimes of the algorithm combinations on the large
+// virtual dataset. The paper reports hours on an internal heterogeneous
+// cluster; absolute numbers are not comparable, but the *ordering* is:
+//   1 round < 2 rounds < 8 rounds of plain distributed greedy, and
+//   bounding + 8 rounds < 8 rounds without bounding (bounding shrinks the
+//   ground set the greedy has to chew through).
+//
+// Default: 1 M virtual points (2k base x 500 perturbations), 10 % subset.
+#include "bench_util.h"
+
+#include "core/bounding.h"
+#include "data/perturbed.h"
+
+using namespace subsel;
+using namespace subsel::bench;
+
+namespace {
+
+double greedy_seconds(const data::PerturbedGroundSet& ground_set, std::size_t k,
+                      std::size_t rounds, const core::SelectionState* initial,
+                      double* objective_out) {
+  Timer timer;
+  core::DistributedGreedyConfig config;
+  config.objective = core::ObjectiveParams::from_alpha(0.9);
+  config.num_machines = 16;
+  config.num_rounds = rounds;
+  config.adaptive_partitioning = false;
+  const auto result = core::distributed_greedy(ground_set, k, config, initial);
+  if (objective_out != nullptr) *objective_out = result.objective;
+  return timer.elapsed_seconds();
+}
+
+core::BoundingResult run_bounding(const data::PerturbedGroundSet& ground_set,
+                                  std::size_t k, core::BoundingSampling sampling,
+                                  double* seconds_out) {
+  Timer timer;
+  core::BoundingConfig config;
+  config.objective = core::ObjectiveParams::from_alpha(0.9);
+  config.sampling = sampling;
+  config.sample_fraction = 0.3;
+  auto result = core::bound(ground_set, k, config);
+  *seconds_out = timer.elapsed_seconds();
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args(argc, argv);
+  const std::size_t base_points = args.get_size("base", 2000);
+  const std::size_t perturbations = args.get_size("perturb", 500);
+
+  const auto base = data::toy_dataset(base_points, 100, 13);
+  data::PerturbedConfig perturbed_config;
+  perturbed_config.perturbations_per_point = perturbations;
+  const data::PerturbedGroundSet ground_set(base, perturbed_config);
+  const std::size_t n = ground_set.num_points();
+  const std::size_t k10 = n / 10;
+  const std::size_t k50 = n / 2;
+
+  std::printf("=== Table 4: runtimes on the large virtual dataset (%zu points)"
+              " ===\n", n);
+  std::printf("%-58s %12s %12s\n", "algorithm", "10% subset", "50% subset");
+
+  CsvWriter csv(results_dir() + "/table4_runtime.csv",
+                {"algorithm", "subset_fraction", "seconds", "objective"});
+
+  double seconds = 0.0;
+  double objective = 0.0;
+
+  // Approximate bounding alone (10 % subset, as in the paper's table).
+  auto uniform = run_bounding(ground_set, k10, core::BoundingSampling::kUniform,
+                              &seconds);
+  std::printf("%-58s %12s %12s\n", "approximate bounding, uniform sampling",
+              format_duration(seconds).c_str(), "-");
+  csv.row("bounding_uniform", 0.1, seconds, 0.0);
+  const double uniform_bound_seconds = seconds;
+
+  auto weighted = run_bounding(ground_set, k10, core::BoundingSampling::kWeighted,
+                               &seconds);
+  std::printf("%-58s %12s %12s\n", "approximate bounding, weighted sampling",
+              format_duration(seconds).c_str(), "-");
+  csv.row("bounding_weighted", 0.1, seconds, 0.0);
+  const double weighted_bound_seconds = seconds;
+
+  seconds = greedy_seconds(ground_set, k10, 8, &uniform.state, &objective);
+  std::printf("%-58s %12s %12s\n", "8 rounds distributed greedy after uniform bounding",
+              format_duration(uniform_bound_seconds + seconds).c_str(), "-");
+  csv.row("greedy8_after_uniform", 0.1, uniform_bound_seconds + seconds, objective);
+
+  seconds = greedy_seconds(ground_set, k10, 8, &weighted.state, &objective);
+  std::printf("%-58s %12s %12s\n",
+              "8 rounds distributed greedy after weighted bounding",
+              format_duration(weighted_bound_seconds + seconds).c_str(), "-");
+  csv.row("greedy8_after_weighted", 0.1, weighted_bound_seconds + seconds, objective);
+
+  for (const std::size_t rounds : {8, 2, 1}) {
+    char label[64];
+    std::snprintf(label, sizeof(label), "%zu round(s) distributed greedy, no bounding",
+                  rounds);
+    const double s10 = greedy_seconds(ground_set, k10, rounds, nullptr, &objective);
+    csv.row(label, 0.1, s10, objective);
+    const double s50 = greedy_seconds(ground_set, k50, rounds, nullptr, &objective);
+    csv.row(label, 0.5, s50, objective);
+    std::printf("%-58s %12s %12s\n", label, format_duration(s10).c_str(),
+                format_duration(s50).c_str());
+  }
+
+  std::printf("\npaper shape: runtime grows with rounds. In the paper's regime"
+              " (cluster rounds cost hours) bounding first also makes the"
+              " 8-round run cheaper; on this single-server simulator the"
+              " greedy is so fast that bounding's passes dominate instead —"
+              " see EXPERIMENTS.md, Table 4.\n");
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Larger-than-memory selection — the paper's headline capability: select a
+// subset that does NOT fit in any single machine's memory, from a ground set
+// that does not either.
+//
+// The ground set here is virtual (data::PerturbedGroundSet): utilities and
+// neighborhoods are generated on demand from seeded hashes, so the resident
+// footprint is O(base dataset), not O(points). The example
+//   1. quantifies the DRAM a materialized run would need,
+//   2. runs approximate bounding, which decides most points without any
+//      machine holding the subset,
+//   3. finishes the remaining budget with the multi-round distributed
+//      greedy and reports the peak per-partition working set — the largest
+//      amount of memory any "machine" actually used,
+//   4. re-scores the selection through the dataflow (Apache-Beam-style)
+//      engine under an explicit per-worker memory budget, proving the
+//      Section-5 claim that scoring needs no resident subset either.
+//
+// Run:  ./build/examples/larger_than_memory [--base=2000] [--perturb=500]
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "beam/beam_scoring.h"
+#include "core/bounding.h"
+#include "core/distributed_greedy.h"
+#include "data/perturbed.h"
+
+int main(int argc, char** argv) {
+  using namespace subsel;
+
+  std::size_t base_points = 2000;
+  std::size_t perturbations = 500;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--base=", 7) == 0) {
+      base_points = static_cast<std::size_t>(std::atoll(argv[i] + 7));
+    } else if (std::strncmp(argv[i], "--perturb=", 10) == 0) {
+      perturbations = static_cast<std::size_t>(std::atoll(argv[i] + 10));
+    }
+  }
+
+  // 1. The virtual ground set: every base point expands into `perturbations`
+  //    on-the-fly variants (paper: 1.3M base x 10k = 13B points).
+  const data::Dataset base = data::toy_dataset(base_points, 100, 21);
+  data::PerturbedConfig config;
+  config.perturbations_per_point = perturbations;
+  const data::PerturbedGroundSet ground_set(base, config);
+
+  const std::size_t n = ground_set.num_points();
+  const std::size_t k = n / 2;  // a 50 % subset cannot fit "one machine" either
+  std::printf("virtual ground set: %zu points (base %zu x %zu perturbations)\n",
+              n, base_points, perturbations);
+  std::printf("materialized, this would need %.2f GB of DRAM; resident base"
+              " data is %.1f MB\n",
+              static_cast<double>(ground_set.bytes_if_materialized()) / 1e9,
+              static_cast<double>(base.embeddings.rows() * base.embeddings.dim() *
+                                  sizeof(float)) /
+                  1e6);
+
+  // 2. Approximate bounding (30 % uniform sampling): most of the ground set
+  //    is decided here, in embarrassingly parallel passes.
+  core::BoundingConfig bounding_config;
+  bounding_config.objective = core::ObjectiveParams::from_alpha(0.9);
+  bounding_config.sampling = core::BoundingSampling::kUniform;
+  bounding_config.sample_fraction = 0.3;
+  auto bounding = core::bound(ground_set, k, bounding_config);
+  std::printf("\nbounding: included %zu (%.1f%%), excluded %zu (%.1f%%),"
+              " %zu points still open\n",
+              bounding.included, 100.0 * bounding.included / n, bounding.excluded,
+              100.0 * bounding.excluded / n, bounding.k_remaining);
+
+  // 3. Distributed greedy on whatever bounding left open.
+  std::vector<core::NodeId> selected;
+  if (bounding.complete()) {
+    selected = bounding.state.selected_ids();
+    std::printf("bounding completed the subset on its own — no greedy needed\n");
+  } else {
+    core::DistributedGreedyConfig greedy_config;
+    greedy_config.objective = bounding_config.objective;
+    greedy_config.num_machines = 16;
+    greedy_config.num_rounds = 4;
+    const auto result =
+        core::distributed_greedy(ground_set, k, greedy_config, &bounding.state);
+    selected = result.selected;
+    std::size_t peak = 0;
+    for (const auto& round : result.rounds) {
+      peak = std::max(peak, round.peak_partition_bytes);
+    }
+    std::printf("distributed greedy: f(S) = %.1f over %zu rounds; peak"
+                " per-partition working set %.2f MB (vs %.2f GB materialized)\n",
+                result.objective, result.rounds.size(),
+                static_cast<double>(peak) / 1e6,
+                static_cast<double>(ground_set.bytes_if_materialized()) / 1e9);
+  }
+  std::printf("selected %zu of %zu points\n", selected.size(), n);
+
+  // 4. Score the subset through the dataflow engine with a hard per-worker
+  //    memory budget — no worker ever holds the subset (Section 5).
+  dataflow::PipelineOptions options;
+  options.num_shards = 256;
+  options.worker_memory_bytes = 8ull * 1024 * 1024;
+  dataflow::Pipeline pipeline(options);
+  const double score = beam::beam_score(pipeline, ground_set, selected,
+                                        bounding_config.objective);
+  std::printf("\ndistributed scoring under an 8 MB/worker budget: f(S) = %.1f,"
+              " peak shard working set %.2f MB\n",
+              score, static_cast<double>(pipeline.peak_shard_bytes()) / 1e6);
+  return 0;
+}

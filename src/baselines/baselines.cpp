@@ -1,0 +1,224 @@
+#include "baselines/baselines.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "common/rng.h"
+
+namespace subsel::baselines {
+namespace {
+
+ThreadPool& pool_or_global(ThreadPool* pool) {
+  return pool != nullptr ? *pool : global_thread_pool();
+}
+
+}  // namespace
+
+GreedyResult random_selection(const GroundSet& ground_set, ObjectiveParams params,
+                              std::size_t k, std::uint64_t seed) {
+  const std::size_t n = ground_set.num_points();
+  k = std::min(k, n);
+  Rng rng(seed);
+  const auto picks = rng.sample_without_replacement(n, k);
+  GreedyResult result;
+  result.selected.reserve(k);
+  for (std::uint64_t index : picks) {
+    result.selected.push_back(static_cast<NodeId>(index));
+  }
+  std::sort(result.selected.begin(), result.selected.end());
+  core::PairwiseObjective objective(ground_set, params);
+  result.objective = objective.evaluate(result.selected);
+  return result;
+}
+
+GreeDiResult greedi(const GroundSet& ground_set, std::size_t k,
+                    const GreeDiConfig& config) {
+  const std::size_t n = ground_set.num_points();
+  k = std::min(k, n);
+  const std::size_t m = std::max<std::size_t>(1, config.num_machines);
+
+  // Partition the ground set.
+  std::vector<NodeId> ids(n);
+  for (std::size_t i = 0; i < n; ++i) ids[i] = static_cast<NodeId>(i);
+  if (config.scheme == PartitionScheme::kRandom) {
+    Rng rng(config.seed);
+    rng.shuffle(std::span<NodeId>(ids));
+  }
+  std::vector<std::vector<NodeId>> partitions(m);
+  const std::size_t base = n / m;
+  const std::size_t extra = n % m;
+  std::size_t cursor = 0;
+  for (std::size_t p = 0; p < m; ++p) {
+    const std::size_t size = base + (p < extra ? 1 : 0);
+    partitions[p].assign(ids.begin() + static_cast<std::ptrdiff_t>(cursor),
+                         ids.begin() + static_cast<std::ptrdiff_t>(cursor + size));
+    cursor += size;
+  }
+
+  // Per-partition greedy, selecting k each (capped by partition size).
+  std::vector<std::vector<NodeId>> partials(m);
+  pool_or_global(config.pool).parallel_for(m, [&](std::size_t p) {
+    core::Subproblem sub = core::materialize_subproblem(
+        ground_set, std::move(partitions[p]), config.objective);
+    partials[p] = core::greedy_on_subproblem(sub, k, config.objective).selected;
+  });
+
+  // The centralized merge: greedy over the union — the step that needs one
+  // machine with Θ(m·k) candidates resident.
+  std::vector<NodeId> merge_input;
+  for (const auto& partial : partials) {
+    merge_input.insert(merge_input.end(), partial.begin(), partial.end());
+  }
+  GreeDiResult result;
+  result.merge_candidates = merge_input.size();
+  core::Subproblem merge = core::materialize_subproblem(ground_set,
+                                                        std::move(merge_input),
+                                                        config.objective);
+  result.merge_bytes = merge.byte_size();
+  GreedyResult merged = core::greedy_on_subproblem(merge, k, config.objective);
+
+  result.selected = std::move(merged.selected);
+  std::sort(result.selected.begin(), result.selected.end());
+  core::PairwiseObjective objective(ground_set, config.objective);
+  result.objective = objective.evaluate(result.selected, config.pool);
+  return result;
+}
+
+KCenterResult greedy_k_center(const graph::EmbeddingMatrix& embeddings,
+                              const GroundSet& ground_set, ObjectiveParams params,
+                              std::size_t k, NodeId first_center) {
+  const std::size_t n = embeddings.rows();
+  k = std::min(k, n);
+  KCenterResult result;
+  if (k == 0 || n == 0) return result;
+
+  // Cosine distance 1 - <a,b> on normalized rows; track, per point, the
+  // distance to its nearest chosen center.
+  const auto distance = [&embeddings](std::size_t a, std::size_t b) {
+    const auto ra = embeddings.row(a);
+    const auto rb = embeddings.row(b);
+    double dot = 0.0;
+    for (std::size_t d = 0; d < ra.size(); ++d) {
+      dot += static_cast<double>(ra[d]) * static_cast<double>(rb[d]);
+    }
+    return 1.0 - dot;
+  };
+
+  std::vector<double> nearest(n, std::numeric_limits<double>::infinity());
+  auto center = static_cast<std::size_t>(first_center);
+  result.selected.reserve(k);
+  for (std::size_t step = 0; step < k; ++step) {
+    result.selected.push_back(static_cast<NodeId>(center));
+    std::size_t farthest = center;
+    double farthest_distance = -1.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      nearest[i] = std::min(nearest[i], distance(i, center));
+      if (nearest[i] > farthest_distance) {
+        farthest_distance = nearest[i];
+        farthest = i;
+      }
+    }
+    result.radius = farthest_distance;
+    center = farthest;
+  }
+
+  std::sort(result.selected.begin(), result.selected.end());
+  core::PairwiseObjective objective(ground_set, params);
+  result.objective = objective.evaluate(result.selected);
+  return result;
+}
+
+GreedyResult lazy_greedy(const GroundSet& ground_set, ObjectiveParams params,
+                         std::size_t k) {
+  const std::size_t n = ground_set.num_points();
+  k = std::min(k, n);
+  GreedyResult result;
+  result.selected.reserve(k);
+
+  // (stale gain, id, |S| when the gain was computed); outranking = higher
+  // gain, smaller id on ties — consistent with the other implementations.
+  struct Entry {
+    double gain;
+    NodeId id;
+    std::size_t version;
+  };
+  auto worse = [](const Entry& a, const Entry& b) {
+    if (a.gain != b.gain) return a.gain < b.gain;
+    return a.id > b.id;
+  };
+  std::priority_queue<Entry, std::vector<Entry>, decltype(worse)> queue(worse);
+  core::PairwiseObjective objective(ground_set, params);
+  std::vector<std::uint8_t> in_subset(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    queue.push(Entry{params.alpha * ground_set.utility(static_cast<NodeId>(i)),
+                     static_cast<NodeId>(i), 0});
+  }
+  double total = 0.0;
+  while (result.selected.size() < k && !queue.empty()) {
+    Entry top = queue.top();
+    queue.pop();
+    if (top.version == result.selected.size()) {  // gain is fresh: take it
+      in_subset[static_cast<std::size_t>(top.id)] = 1;
+      result.selected.push_back(top.id);
+      total += top.gain;
+      continue;
+    }
+    top.gain = objective.marginal_gain(in_subset, top.id);
+    top.version = result.selected.size();
+    queue.push(top);
+  }
+  result.objective = total;
+  return result;
+}
+
+GreedyResult stochastic_greedy(const GroundSet& ground_set, ObjectiveParams params,
+                               std::size_t k, double epsilon, std::uint64_t seed) {
+  const std::size_t n = ground_set.num_points();
+  k = std::min(k, n);
+  GreedyResult result;
+  result.selected.reserve(k);
+  if (k == 0) return result;
+
+  const std::size_t sample_size = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::ceil(static_cast<double>(n) /
+                                            static_cast<double>(k) *
+                                            std::log(1.0 / epsilon))));
+  Rng rng(seed);
+  core::PairwiseObjective objective(ground_set, params);
+  std::vector<std::uint8_t> in_subset(n, 0);
+  std::vector<NodeId> remaining(n);
+  for (std::size_t i = 0; i < n; ++i) remaining[i] = static_cast<NodeId>(i);
+
+  double total = 0.0;
+  for (std::size_t step = 0; step < k; ++step) {
+    const std::size_t draw = std::min(sample_size, remaining.size());
+    // Partial Fisher-Yates: the first `draw` slots become the random sample.
+    for (std::size_t i = 0; i < draw; ++i) {
+      const std::size_t j = i + static_cast<std::size_t>(
+                                    rng.uniform_index(remaining.size() - i));
+      std::swap(remaining[i], remaining[j]);
+    }
+    double best_gain = -std::numeric_limits<double>::infinity();
+    std::size_t best_slot = 0;
+    for (std::size_t i = 0; i < draw; ++i) {
+      const double gain = objective.marginal_gain(in_subset, remaining[i]);
+      if (gain > best_gain ||
+          (gain == best_gain && remaining[i] < remaining[best_slot])) {
+        best_gain = gain;
+        best_slot = i;
+      }
+    }
+    const NodeId chosen = remaining[best_slot];
+    in_subset[static_cast<std::size_t>(chosen)] = 1;
+    result.selected.push_back(chosen);
+    total += best_gain;
+    std::swap(remaining[best_slot], remaining.back());
+    remaining.pop_back();
+  }
+  result.objective = total;
+  return result;
+}
+
+}  // namespace subsel::baselines

@@ -1,0 +1,298 @@
+#include "baselines/streaming.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "common/rng.h"
+
+namespace subsel::baselines {
+namespace {
+
+using core::PairwiseObjective;
+
+/// Utilities shifted by the Appendix-A δ when requested; empty otherwise.
+std::vector<double> shifted_utilities(const GroundSet& ground_set,
+                                      const PairwiseObjective& objective,
+                                      bool apply_offset) {
+  std::vector<double> shifted;
+  if (!apply_offset) return shifted;
+  const double delta = objective.monotonicity_offset();
+  shifted.resize(ground_set.num_points());
+  for (std::size_t i = 0; i < shifted.size(); ++i) {
+    shifted[i] = ground_set.utility(static_cast<core::NodeId>(i)) + delta;
+  }
+  return shifted;
+}
+
+/// Marginal gain of v given the membership bitmap, with the optional utility
+/// shift folded in (gain_shifted = gain + α·δ).
+double gain(const PairwiseObjective& objective,
+            const std::vector<std::uint8_t>& membership, core::NodeId v,
+            const GroundSet& ground_set, const std::vector<double>& shifted) {
+  double value = objective.marginal_gain(membership, v);
+  if (!shifted.empty()) {
+    value += objective.params().alpha *
+             (shifted[static_cast<std::size_t>(v)] - ground_set.utility(v));
+  }
+  return value;
+}
+
+}  // namespace
+
+GreedyResult threshold_greedy(const GroundSet& ground_set, ObjectiveParams params,
+                              std::size_t k, double epsilon) {
+  const std::size_t n = ground_set.num_points();
+  k = std::min(k, n);
+  GreedyResult result;
+  result.selected.reserve(k);
+  if (k == 0 || n == 0) return result;
+
+  PairwiseObjective objective(ground_set, params);
+  std::vector<std::uint8_t> membership(n, 0);
+
+  // d = max singleton value = α · max utility (no pairwise term for a
+  // singleton).
+  double d = -std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < n; ++i) {
+    d = std::max(d, params.alpha * ground_set.utility(static_cast<NodeId>(i)));
+  }
+  if (d <= 0.0) {
+    // Degenerate: no positive singleton; fall back to smallest ids.
+    for (std::size_t i = 0; i < k; ++i) {
+      result.selected.push_back(static_cast<NodeId>(i));
+    }
+    result.objective = objective.evaluate(result.selected);
+    return result;
+  }
+
+  double total = 0.0;
+  const double floor_threshold = epsilon * d / static_cast<double>(n);
+  for (double w = d; w >= floor_threshold && result.selected.size() < k;
+       w *= (1.0 - epsilon)) {
+    for (std::size_t i = 0; i < n && result.selected.size() < k; ++i) {
+      const auto v = static_cast<NodeId>(i);
+      if (membership[i] != 0) continue;
+      const double g = objective.marginal_gain(membership, v);
+      if (g >= w) {
+        membership[i] = 1;
+        result.selected.push_back(v);
+        total += g;
+      }
+    }
+  }
+
+  // Elements whose residual gain sits below εd/n never pass the sweep; fill
+  // the budget with the best of them (greedy tail) so the result has exactly
+  // k elements like every other selector in this repo.
+  while (result.selected.size() < k) {
+    double best_gain = -std::numeric_limits<double>::infinity();
+    std::size_t best = n;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (membership[i] != 0) continue;
+      const double g = objective.marginal_gain(membership, static_cast<NodeId>(i));
+      if (best == n || g > best_gain) {
+        best_gain = g;
+        best = i;
+      }
+    }
+    if (best == n) break;
+    membership[best] = 1;
+    result.selected.push_back(static_cast<NodeId>(best));
+    total += best_gain;
+  }
+  result.objective = total;
+  return result;
+}
+
+SieveStreamingResult sieve_streaming(const GroundSet& ground_set, std::size_t k,
+                                     const SieveStreamingConfig& config) {
+  const std::size_t n = ground_set.num_points();
+  k = std::min(k, n);
+  SieveStreamingResult result;
+  if (k == 0 || n == 0) return result;
+
+  PairwiseObjective objective(ground_set, config.objective);
+  const std::vector<double> shifted = shifted_utilities(
+      ground_set, objective, config.apply_monotonicity_offset);
+
+  // One sieve per threshold (1+ε)^i in [m, 2km], instantiated lazily as the
+  // running singleton maximum m grows.
+  struct Sieve {
+    std::vector<std::uint8_t> membership;
+    std::vector<core::NodeId> selected;
+    double value = 0.0;  // (shifted) objective of `selected`
+  };
+  std::map<long, Sieve> sieves;  // key i <-> threshold (1+ε)^i
+  const double log_base = std::log1p(config.epsilon);
+  auto threshold_of = [&](long i) { return std::exp(static_cast<double>(i) * log_base); };
+
+  // Stream in a random permutation.
+  std::vector<core::NodeId> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = static_cast<core::NodeId>(i);
+  Rng rng(config.seed);
+  rng.shuffle(std::span<core::NodeId>(order));
+
+  double m = 0.0;  // max singleton value seen so far
+  std::size_t resident = 0;
+  for (core::NodeId v : order) {
+    const double singleton =
+        config.objective.alpha *
+        (shifted.empty() ? ground_set.utility(v)
+                         : shifted[static_cast<std::size_t>(v)]);
+    if (singleton > m) {
+      m = singleton;
+      // Maintain the active threshold window [m, 2km].
+      const long lo = static_cast<long>(std::ceil(std::log(std::max(m, 1e-300)) /
+                                                  log_base));
+      const long hi = static_cast<long>(std::floor(
+          std::log(std::max(2.0 * static_cast<double>(k) * m, 1e-300)) / log_base));
+      for (auto it = sieves.begin(); it != sieves.end();) {
+        if (it->first < lo) {
+          resident -= it->second.selected.size();
+          it = sieves.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      for (long i = lo; i <= hi; ++i) {
+        if (sieves.find(i) == sieves.end()) {
+          sieves.emplace(i, Sieve{std::vector<std::uint8_t>(n, 0), {}, 0.0});
+        }
+      }
+    }
+
+    for (auto& [i, sieve] : sieves) {
+      if (sieve.selected.size() >= k) continue;
+      const double target = threshold_of(i);
+      const double g = gain(objective, sieve.membership, v, ground_set, shifted);
+      const double bar = (target / 2.0 - sieve.value) /
+                         static_cast<double>(k - sieve.selected.size());
+      if (g >= bar) {
+        sieve.membership[static_cast<std::size_t>(v)] = 1;
+        sieve.selected.push_back(v);
+        sieve.value += g;
+        ++resident;
+      }
+    }
+    result.peak_resident_elements = std::max(result.peak_resident_elements, resident);
+  }
+
+  result.num_sieves = sieves.size();
+  const Sieve* best = nullptr;
+  for (const auto& [i, sieve] : sieves) {
+    if (best == nullptr || sieve.value > best->value) best = &sieve;
+  }
+  if (best != nullptr) {
+    result.selected = best->selected;
+    std::sort(result.selected.begin(), result.selected.end());
+    result.objective = objective.evaluate(result.selected);
+  }
+  return result;
+}
+
+SamplePruneResult sample_and_prune(const GroundSet& ground_set, std::size_t k,
+                                   const SamplePruneConfig& config) {
+  const std::size_t n = ground_set.num_points();
+  k = std::min(k, n);
+  SamplePruneResult result;
+  if (k == 0 || n == 0) return result;
+
+  const std::size_t capacity =
+      config.machine_capacity > 0 ? config.machine_capacity : 4 * k;
+  PairwiseObjective objective(ground_set, config.objective);
+  Rng rng(config.seed);
+
+  std::vector<core::NodeId> survivors(n);
+  for (std::size_t i = 0; i < n; ++i) survivors[i] = static_cast<core::NodeId>(i);
+  std::vector<std::uint8_t> membership(n, 0);
+  std::vector<core::NodeId> solution;
+  solution.reserve(k);
+
+  while (solution.size() < k && !survivors.empty() &&
+         result.rounds < config.max_rounds) {
+    ++result.rounds;
+
+    // Sample a machine-sized set onto the coordinator (partial Fisher-Yates).
+    const std::size_t draw = std::min(capacity, survivors.size());
+    for (std::size_t i = 0; i < draw; ++i) {
+      const std::size_t j =
+          i + static_cast<std::size_t>(rng.uniform_index(survivors.size() - i));
+      std::swap(survivors[i], survivors[j]);
+    }
+    result.peak_resident_elements =
+        std::max(result.peak_resident_elements, draw + solution.size());
+
+    // Extend the solution by greedy over the sample (gains conditioned on
+    // the current solution). Track the smallest accepted gain.
+    double smallest_gain = std::numeric_limits<double>::infinity();
+    std::vector<std::uint8_t> sampled(n, 0);
+    for (std::size_t i = 0; i < draw; ++i) {
+      sampled[static_cast<std::size_t>(survivors[i])] = 1;
+    }
+    while (solution.size() < k) {
+      double best_gain = -std::numeric_limits<double>::infinity();
+      core::NodeId best = 0;
+      bool found = false;
+      for (std::size_t i = 0; i < draw; ++i) {
+        const core::NodeId v = survivors[i];
+        if (membership[static_cast<std::size_t>(v)] != 0) continue;
+        const double g = objective.marginal_gain(membership, v);
+        if (!found || g > best_gain || (g == best_gain && v < best)) {
+          best_gain = g;
+          best = v;
+          found = true;
+        }
+      }
+      if (!found) break;
+      membership[static_cast<std::size_t>(best)] = 1;
+      solution.push_back(best);
+      smallest_gain = std::min(smallest_gain, best_gain);
+    }
+
+    // Prune: by submodularity, a survivor whose gain w.r.t. the extended
+    // solution is already below the smallest accepted gain can never exceed
+    // it later. Keep everything when no element was accepted this round.
+    std::vector<core::NodeId> next;
+    next.reserve(survivors.size());
+    for (core::NodeId v : survivors) {
+      if (membership[static_cast<std::size_t>(v)] != 0) continue;  // taken
+      if (solution.size() < k &&
+          smallest_gain != std::numeric_limits<double>::infinity() &&
+          objective.marginal_gain(membership, v) < smallest_gain) {
+        continue;
+      }
+      next.push_back(v);
+    }
+    survivors = std::move(next);
+    result.survivors_per_round.push_back(survivors.size());
+    if (solution.size() == k) break;
+  }
+
+  // Budget not filled from pruned ground set (rare: tiny capacity and
+  // aggressive pruning) — top up with the best remaining survivors.
+  while (solution.size() < k && !survivors.empty()) {
+    double best_gain = -std::numeric_limits<double>::infinity();
+    std::size_t best_slot = 0;
+    for (std::size_t i = 0; i < survivors.size(); ++i) {
+      const double g = objective.marginal_gain(membership, survivors[i]);
+      if (g > best_gain) {
+        best_gain = g;
+        best_slot = i;
+      }
+    }
+    const core::NodeId v = survivors[best_slot];
+    membership[static_cast<std::size_t>(v)] = 1;
+    solution.push_back(v);
+    std::swap(survivors[best_slot], survivors.back());
+    survivors.pop_back();
+  }
+
+  std::sort(solution.begin(), solution.end());
+  result.selected = std::move(solution);
+  result.objective = objective.evaluate(result.selected);
+  return result;
+}
+
+}  // namespace subsel::baselines

@@ -1,0 +1,97 @@
+// Streaming and MapReduce-era baselines the paper positions against
+// (Section 2, "Distributed algorithms" / Section 3, "Related optimizations"):
+//
+//  - threshold_greedy (Badanidiyuru & Vondrák 2014): descending geometric
+//    threshold sweep; (1 − 1/e − ε) approximation with O(n/ε · log(n/ε))
+//    gain evaluations, still centralized.
+//  - sieve_streaming (Badanidiyuru et al. 2014): one pass over the stream,
+//    O(k log(k)/ε) elements of memory, (1/2 − ε) guarantee. The classic
+//    answer to "the data does not fit" — but the *subset* still must fit on
+//    the machine running the sieve, which is the assumption this paper
+//    drops.
+//  - sample_and_prune (Kumar et al. 2015): MapReduce rounds of {sample a
+//    machine-sized set, extend the solution by greedy, prune elements whose
+//    marginal gain can no longer qualify}. Assumes O(k · n^δ) memory on the
+//    coordinating machine.
+//
+// All three maximize the same pairwise submodular objective as core::. Their
+// theory assumes monotone f; for α well below 1 the pairwise objective can
+// be non-monotone, in which case callers should enable the Appendix-A
+// monotonicity offset (threshold/sieve acceptance tests do).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/greedy.h"
+#include "core/objective.h"
+#include "graph/ground_set.h"
+
+namespace subsel::baselines {
+
+using core::GreedyResult;
+using core::NodeId;
+using core::ObjectiveParams;
+using graph::GroundSet;
+
+/// Threshold greedy: for w = d, d(1−ε), d(1−ε)², …, εd/n (d = the maximum
+/// singleton value), add every element whose marginal gain is ≥ w until k
+/// elements are chosen.
+GreedyResult threshold_greedy(const GroundSet& ground_set, ObjectiveParams params,
+                              std::size_t k, double epsilon = 0.1);
+
+struct SieveStreamingConfig {
+  ObjectiveParams objective;
+  double epsilon = 0.1;
+  /// Add the Appendix-A δ offset to every utility so the monotone analysis
+  /// applies. The reported objective is still the *unshifted* f(S).
+  bool apply_monotonicity_offset = false;
+  /// Stream order seed (the ground set is streamed in a random permutation;
+  /// sieve quality is order-dependent).
+  std::uint64_t seed = 41;
+};
+
+struct SieveStreamingResult {
+  std::vector<core::NodeId> selected;  // ascending, ≤ k ids
+  double objective = 0.0;              // unshifted f(selected)
+  /// Number of parallel sieves instantiated over the run.
+  std::size_t num_sieves = 0;
+  /// Peak elements resident across all sieves — the O(k log(k)/ε) memory
+  /// footprint of the algorithm (the quantity that still scales with k).
+  std::size_t peak_resident_elements = 0;
+};
+
+/// One pass of SieveStreaming over a random permutation of the ground set.
+SieveStreamingResult sieve_streaming(const GroundSet& ground_set, std::size_t k,
+                                     const SieveStreamingConfig& config);
+
+struct SamplePruneConfig {
+  ObjectiveParams objective;
+  /// Elements the coordinating machine can hold per round — the paper's
+  /// O(k·n^δ) memory assumption, surfaced as an explicit cap.
+  std::size_t machine_capacity = 0;  // 0 -> 4·k
+  std::size_t max_rounds = 64;
+  std::uint64_t seed = 43;
+};
+
+struct SamplePruneResult {
+  std::vector<core::NodeId> selected;  // ascending, min(k, n) ids in practice
+                                       // (fewer only if pruning emptied V)
+  double objective = 0.0;
+  std::size_t rounds = 0;
+  /// Elements surviving after each round's prune (monitors convergence).
+  std::vector<std::size_t> survivors_per_round;
+  /// Peak elements materialized on the coordinating machine.
+  std::size_t peak_resident_elements = 0;
+};
+
+/// SAMPLE&PRUNE: per round, draw a uniform sample of the surviving elements
+/// onto the coordinating machine, extend the running solution with the
+/// centralized greedy, then prune every surviving element whose marginal
+/// gain w.r.t. the extended solution falls below the smallest gain the
+/// greedy accepted this round (by submodularity such elements can never
+/// outrank the accepted ones later).
+SamplePruneResult sample_and_prune(const GroundSet& ground_set, std::size_t k,
+                                   const SamplePruneConfig& config);
+
+}  // namespace subsel::baselines

@@ -1,0 +1,44 @@
+#include "beam/beam_pipeline.h"
+
+#include <algorithm>
+
+#include "beam/beam_scoring.h"
+#include "common/timer.h"
+
+namespace subsel::beam {
+
+SelectionPipelineResult beam_select_subset(dataflow::Pipeline& pipeline,
+                                           const graph::GroundSet& ground_set,
+                                           std::size_t k,
+                                           SelectionPipelineConfig config) {
+  config.bounding.objective = config.objective;
+  config.greedy.objective = config.objective;
+
+  SelectionPipelineResult result;
+  const core::SelectionState* initial = nullptr;
+  if (config.use_bounding) {
+    Timer timer;
+    result.bounding = beam_bound(pipeline, ground_set, k, config.bounding);
+    result.bounding_seconds = timer.elapsed_seconds();
+    initial = &result.bounding->state;
+  }
+
+  if (initial != nullptr && result.bounding->complete()) {
+    result.selected = initial->selected_ids();
+    result.objective = beam_score(pipeline, ground_set, result.selected,
+                                  config.objective);
+    return result;
+  }
+
+  Timer timer;
+  core::DistributedGreedyResult greedy =
+      beam_distributed_greedy(pipeline, ground_set, k, config.greedy, initial);
+  result.greedy_seconds = timer.elapsed_seconds();
+  result.selected = std::move(greedy.selected);
+  result.greedy_rounds = std::move(greedy.rounds);
+  result.objective = beam_score(pipeline, ground_set, result.selected,
+                                config.objective);
+  return result;
+}
+
+}  // namespace subsel::beam

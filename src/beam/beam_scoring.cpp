@@ -1,0 +1,79 @@
+#include "beam/beam_scoring.h"
+
+#include "dataflow/transforms.h"
+
+namespace subsel::beam {
+namespace {
+
+using core::SelectionState;
+using dataflow::PCollection;
+using dataflow::Pipeline;
+using graph::GroundSet;
+using graph::NodeId;
+
+struct ScoredEdge {
+  NodeId source;
+  float weight;
+};
+
+}  // namespace
+
+double beam_score(Pipeline& pipeline, const GroundSet& ground_set,
+                  const SelectionState& state, core::ObjectiveParams params) {
+  auto ids = dataflow::from_generator<NodeId>(
+      pipeline, ground_set.num_points(),
+      [](std::size_t i) { return static_cast<NodeId>(i); });
+
+  // Solution keyed by id, carrying the utility.
+  auto solution = dataflow::flat_map<std::pair<NodeId, double>>(
+      ids, [&state, &ground_set](NodeId v, auto emit) {
+        if (state.is_selected(v)) emit({v, ground_set.utility(v)});
+      });
+
+  // Fanned neighbor graph keyed by the neighbor endpoint.
+  auto fanned = dataflow::flat_map<std::pair<NodeId, ScoredEdge>>(
+      ids, [&ground_set](NodeId v, auto emit) {
+        thread_local std::vector<graph::Edge> scratch;
+        ground_set.neighbors(v, scratch);
+        for (const graph::Edge& e : scratch) {
+          emit({e.neighbor, ScoredEdge{v, e.weight}});
+        }
+      });
+
+  // Keep edges whose neighbor endpoint is selected; re-invert to key by the
+  // source endpoint.
+  auto filtered = dataflow::co_group_by_key(fanned, solution);
+  auto inverted = dataflow::flat_map<std::pair<NodeId, ScoredEdge>>(
+      filtered, [](const auto& row, auto emit) {
+        if (row.right.empty()) return;
+        for (const ScoredEdge& e : row.left) {
+          emit({e.source, ScoredEdge{row.key, e.weight}});
+        }
+      });
+
+  // Join with the solution again: per selected point v, the per-datapoint
+  // score is α·u(v) − (β/2)·Σ_{selected neighbors} s — halving because each
+  // undirected edge inside S survives in both directions.
+  auto per_point = dataflow::co_group_by_key(inverted, solution);
+  auto scores = dataflow::flat_map<double>(
+      per_point, [params](const auto& row, auto emit) {
+        if (row.right.empty()) return;  // edges of a non-selected point
+        double pair_sum = 0.0;
+        for (const ScoredEdge& e : row.left) pair_sum += e.weight;
+        emit(params.alpha * row.right.front() - 0.5 * params.beta * pair_sum);
+      });
+
+  // Selected points with no selected neighbor never enter `inverted`; their
+  // unary terms are still part of `per_point` rows (right side non-empty,
+  // left side empty), so the sum above covers them.
+  return dataflow::sum(scores);
+}
+
+double beam_score(Pipeline& pipeline, const GroundSet& ground_set,
+                  const std::vector<NodeId>& subset, core::ObjectiveParams params) {
+  SelectionState state(ground_set.num_points());
+  for (NodeId v : subset) state.select(v);
+  return beam_score(pipeline, ground_set, state, params);
+}
+
+}  // namespace subsel::beam

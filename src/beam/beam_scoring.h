@@ -1,0 +1,29 @@
+// Section 5: distributed subset scoring.
+//
+// Computing f(S) without holding S in one worker's memory: fan out the
+// neighbor graph keyed by the neighbor, join with the solution to keep only
+// edges whose neighbor endpoint is selected, re-invert, join with the
+// solution again to keep only edges fully inside S, reduce to a per-point
+// score αu(v) − (β/2)Σ s (each undirected edge shows up twice in the fanned
+// representation), and sum — the objective is decomposable.
+#pragma once
+
+#include "core/objective.h"
+#include "core/selection_state.h"
+#include "dataflow/pipeline.h"
+#include "graph/ground_set.h"
+
+namespace subsel::beam {
+
+/// f(S) for the selected points of `state`, computed via distributed joins.
+/// Matches core::PairwiseObjective::evaluate up to floating-point summation
+/// order.
+double beam_score(dataflow::Pipeline& pipeline, const graph::GroundSet& ground_set,
+                  const core::SelectionState& state, core::ObjectiveParams params);
+
+/// Convenience overload for a plain id list.
+double beam_score(dataflow::Pipeline& pipeline, const graph::GroundSet& ground_set,
+                  const std::vector<graph::NodeId>& subset,
+                  core::ObjectiveParams params);
+
+}  // namespace subsel::beam

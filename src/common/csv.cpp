@@ -1,0 +1,40 @@
+#include "common/csv.h"
+
+#include <filesystem>
+
+namespace subsel {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     std::initializer_list<std::string_view> header)
+    : out_(path) {
+  std::size_t index = 0;
+  for (std::string_view column : header) {
+    write_field(std::string(column), index++);
+  }
+  out_ << '\n';
+}
+
+CsvWriter::~CsvWriter() { out_.flush(); }
+
+void CsvWriter::write_field(const std::string& field, std::size_t index) {
+  if (index > 0) out_ << ',';
+  const bool needs_quotes = field.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quotes) {
+    out_ << field;
+    return;
+  }
+  out_ << '"';
+  for (char c : field) {
+    if (c == '"') out_ << '"';
+    out_ << c;
+  }
+  out_ << '"';
+}
+
+bool ensure_directory(const std::string& path) {
+  std::error_code error;
+  std::filesystem::create_directories(path, error);
+  return !error;
+}
+
+}  // namespace subsel

@@ -1,0 +1,55 @@
+// Minimal CSV writer for benchmark outputs.
+//
+// Every figure/table bench writes its raw series to bench_results/<name>.csv
+// in addition to printing the paper-style rows, so plots can be regenerated
+// offline.
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace subsel {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing (parent directory must exist; see
+  /// ensure_directory below) and writes the header row.
+  CsvWriter(const std::string& path, std::initializer_list<std::string_view> header);
+
+  ~CsvWriter();
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  bool ok() const { return out_.good(); }
+
+  /// Appends one row; fields are rendered with operator<< and quoted when they
+  /// contain separators.
+  template <typename... Fields>
+  void row(const Fields&... fields) {
+    std::size_t index = 0;
+    ((write_field(render(fields), index++)), ...);
+    out_ << '\n';
+  }
+
+ private:
+  template <typename T>
+  static std::string render(const T& value) {
+    std::ostringstream stream;
+    stream << value;
+    return stream.str();
+  }
+
+  void write_field(const std::string& field, std::size_t index);
+
+  std::ofstream out_;
+};
+
+/// Creates `path` (and parents) if missing; returns false on failure.
+bool ensure_directory(const std::string& path);
+
+}  // namespace subsel

@@ -1,0 +1,54 @@
+#include "common/log.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace subsel {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+std::once_flag g_init_once;
+
+LogLevel parse_level(const char* text) {
+  if (text == nullptr) return LogLevel::kInfo;
+  if (std::strcmp(text, "debug") == 0) return LogLevel::kDebug;
+  if (std::strcmp(text, "info") == 0) return LogLevel::kInfo;
+  if (std::strcmp(text, "warn") == 0) return LogLevel::kWarn;
+  if (std::strcmp(text, "error") == 0) return LogLevel::kError;
+  if (std::strcmp(text, "off") == 0) return LogLevel::kOff;
+  return LogLevel::kInfo;
+}
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel log_level() {
+  std::call_once(g_init_once,
+                 [] { g_level.store(parse_level(std::getenv("SUBSEL_LOG"))); });
+  return g_level.load();
+}
+
+void set_log_level(LogLevel level) {
+  log_level();  // ensure env initialization does not later override
+  g_level.store(level);
+}
+
+void log_message(LogLevel level, const std::string& message) {
+  static std::mutex io_mutex;
+  std::lock_guard lock(io_mutex);
+  std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
+}
+
+}  // namespace subsel

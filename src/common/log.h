@@ -1,0 +1,41 @@
+// Leveled stderr logging. Benches log progress at info level; set
+// SUBSEL_LOG=debug|info|warn|error|off to adjust (default: info).
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace subsel {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Current level, initialized once from the SUBSEL_LOG environment variable.
+LogLevel log_level();
+
+void set_log_level(LogLevel level);
+
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+template <typename... Args>
+std::string format(const char* fmt, Args... args) {
+  const int size = std::snprintf(nullptr, 0, fmt, args...);
+  std::string buffer(size > 0 ? static_cast<std::size_t>(size) : 0, '\0');
+  if (size > 0) std::snprintf(buffer.data(), buffer.size() + 1, fmt, args...);
+  return buffer;
+}
+inline std::string format(const char* fmt) { return fmt; }
+}  // namespace detail
+
+#define SUBSEL_LOG(level, ...)                                       \
+  do {                                                               \
+    if (static_cast<int>(level) >= static_cast<int>(::subsel::log_level())) \
+      ::subsel::log_message(level, ::subsel::detail::format(__VA_ARGS__));  \
+  } while (0)
+
+#define LOG_DEBUG(...) SUBSEL_LOG(::subsel::LogLevel::kDebug, __VA_ARGS__)
+#define LOG_INFO(...) SUBSEL_LOG(::subsel::LogLevel::kInfo, __VA_ARGS__)
+#define LOG_WARN(...) SUBSEL_LOG(::subsel::LogLevel::kWarn, __VA_ARGS__)
+#define LOG_ERROR(...) SUBSEL_LOG(::subsel::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace subsel

@@ -1,0 +1,143 @@
+// Deterministic, seedable random number generation used across the library.
+//
+// All stochastic components of the reproduction (dataset synthesis, random
+// partitioning, neighborhood sampling in approximate bounding, subsampling)
+// draw from these generators so that every experiment is reproducible from a
+// single 64-bit seed.
+#pragma once
+
+#include <cstdint>
+#include <cmath>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace subsel {
+
+/// SplitMix64: used for seeding and for cheap stateless hashing of ids.
+/// Reference: Steele, Lea, Flood. "Fast splittable pseudorandom number
+/// generators", OOPSLA 2014.
+constexpr std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Stateless hash of multiple 64-bit words into one; used by the virtual
+/// PerturbedDataset to derive per-point attributes without storing them.
+constexpr std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) noexcept {
+  return splitmix64(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
+}
+
+/// Maps a 64-bit hash to a double in [0, 1).
+constexpr double hash_to_unit(std::uint64_t h) noexcept {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+/// Xoshiro256++ PRNG. Small, fast, and good statistical quality; satisfies
+/// UniformRandomBitGenerator so it can drive <random> distributions.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    for (auto& word : state_) {
+      seed = splitmix64(seed);
+      word = seed;
+    }
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept { return hash_to_unit((*this)()); }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n). Uses Lemire's multiply-shift rejection-free
+  /// mapping (bias is negligible for n far below 2^64, which always holds here).
+  std::uint64_t uniform_index(std::uint64_t n) noexcept {
+    const unsigned __int128 product =
+        static_cast<unsigned __int128>((*this)()) * static_cast<unsigned __int128>(n);
+    return static_cast<std::uint64_t>(product >> 64);
+  }
+
+  /// Standard normal via Box-Muller (cached second value).
+  double normal() noexcept {
+    if (has_cached_) {
+      has_cached_ = false;
+      return cached_;
+    }
+    double u1 = uniform();
+    while (u1 <= 1e-300) u1 = uniform();
+    const double u2 = uniform();
+    const double radius = std::sqrt(-2.0 * std::log(u1));
+    const double angle = 2.0 * M_PI * u2;
+    cached_ = radius * std::sin(angle);
+    has_cached_ = true;
+    return radius * std::cos(angle);
+  }
+
+  double normal(double mean, double stddev) noexcept { return mean + stddev * normal(); }
+
+  bool bernoulli(double p) noexcept { return uniform() < p; }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::span<T> values) noexcept {
+    for (std::size_t i = values.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(uniform_index(i));
+      std::swap(values[i - 1], values[j]);
+    }
+  }
+
+  /// Samples `count` distinct indices from [0, n) (reservoir sampling);
+  /// output order is unspecified.
+  std::vector<std::uint64_t> sample_without_replacement(std::uint64_t n,
+                                                        std::uint64_t count) {
+    if (count > n) count = n;
+    std::vector<std::uint64_t> reservoir(count);
+    for (std::uint64_t i = 0; i < count; ++i) reservoir[i] = i;
+    for (std::uint64_t i = count; i < n; ++i) {
+      const std::uint64_t j = uniform_index(i + 1);
+      if (j < count) reservoir[j] = i;
+    }
+    return reservoir;
+  }
+
+  /// Derives an independent child generator; used to give each thread /
+  /// partition / round its own stream.
+  Rng fork(std::uint64_t stream_id) noexcept {
+    return Rng(splitmix64(state_[0] ^ splitmix64(stream_id ^ 0xa02bdbf7bb3c0a7ULL)));
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+  double cached_ = 0.0;
+  bool has_cached_ = false;
+};
+
+}  // namespace subsel

@@ -1,0 +1,84 @@
+// Tiny binary (de)serialization for on-disk caching of expensive artifacts
+// (embeddings, kNN graphs). Format: little-endian PODs, length-prefixed
+// vectors, a magic + version header per file. Not portable across
+// architectures; caches are machine-local by design.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace subsel {
+
+class BinaryWriter {
+ public:
+  explicit BinaryWriter(const std::string& path)
+      : out_(path, std::ios::binary | std::ios::trunc) {
+    if (!out_) throw std::runtime_error("BinaryWriter: cannot open " + path);
+  }
+
+  template <typename T>
+  void write_pod(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    out_.write(reinterpret_cast<const char*>(&value), sizeof(T));
+  }
+
+  template <typename T>
+  void write_vector(const std::vector<T>& values) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    write_pod<std::uint64_t>(values.size());
+    out_.write(reinterpret_cast<const char*>(values.data()),
+               static_cast<std::streamsize>(values.size() * sizeof(T)));
+  }
+
+  bool ok() const { return out_.good(); }
+
+ private:
+  std::ofstream out_;
+};
+
+class BinaryReader {
+ public:
+  explicit BinaryReader(const std::string& path) : in_(path, std::ios::binary) {
+    if (!in_) throw std::runtime_error("BinaryReader: cannot open " + path);
+  }
+
+  template <typename T>
+  T read_pod() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T value{};
+    in_.read(reinterpret_cast<char*>(&value), sizeof(T));
+    if (!in_) throw std::runtime_error("BinaryReader: truncated read");
+    return value;
+  }
+
+  template <typename T>
+  std::vector<T> read_vector() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto size = read_pod<std::uint64_t>();
+    std::vector<T> values(size);
+    in_.read(reinterpret_cast<char*>(values.data()),
+             static_cast<std::streamsize>(size * sizeof(T)));
+    if (!in_) throw std::runtime_error("BinaryReader: truncated vector");
+    return values;
+  }
+
+  /// Skips a length-prefixed vector of T without materializing it (e.g. the
+  /// embedding payload when only scalars are needed).
+  template <typename T>
+  void skip_vector() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto size = read_pod<std::uint64_t>();
+    in_.seekg(static_cast<std::streamoff>(size * sizeof(T)), std::ios::cur);
+    if (!in_) throw std::runtime_error("BinaryReader: truncated skip");
+  }
+
+ private:
+  std::ifstream in_;
+};
+
+}  // namespace subsel

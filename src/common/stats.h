@@ -1,0 +1,40 @@
+// Streaming summary statistics (Welford) used by tests and benches.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace subsel {
+
+class RunningStats {
+ public:
+  void add(double value) noexcept {
+    ++count_;
+    const double delta = value - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (value - mean_);
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+
+  std::uint64_t count() const noexcept { return count_; }
+  double mean() const noexcept { return mean_; }
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+
+  double variance() const noexcept {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+  double stddev() const noexcept { return std::sqrt(variance()); }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace subsel

@@ -1,0 +1,72 @@
+// A small work-stealing-free thread pool with a blocking parallel_for.
+//
+// The distributed algorithms in this repository simulate a cluster on a single
+// server: each "machine"/"worker" is a pool thread, and per-worker memory is
+// accounted separately (see dataflow/memory_tracker.h). The pool is
+// deliberately simple — tasks are coarse (one partition / one shard), so a
+// single mutex-protected queue is not a bottleneck.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace subsel {
+
+class ThreadPool {
+ public:
+  /// Creates a pool with `num_threads` workers (defaults to hardware
+  /// concurrency, at least 1).
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueues a task and returns a future for its completion.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using Result = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<Result()>>(std::forward<F>(fn));
+    std::future<Result> future = task->get_future();
+    {
+      std::lock_guard lock(mutex_);
+      if (stopping_) throw std::runtime_error("ThreadPool: submit after shutdown");
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return future;
+  }
+
+  /// Runs fn(i) for i in [0, count) across the pool and blocks until all
+  /// iterations finish. Iterations are chunked to reduce dispatch overhead.
+  /// Exceptions from iterations are rethrown (first one wins).
+  void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+  /// Runs fn(worker_index) once per pool thread and blocks; used when a task
+  /// needs a stable per-worker identity (e.g. per-machine memory budgets).
+  void run_per_worker(const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// Shared process-wide pool sized to hardware concurrency. Most library entry
+/// points take an optional ThreadPool*; passing nullptr uses this pool.
+ThreadPool& global_thread_pool();
+
+}  // namespace subsel

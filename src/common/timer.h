@@ -1,0 +1,47 @@
+// Wall-clock timing helpers used by the benchmark harnesses (Table 4,
+// scalability experiments) and by progress logging.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace subsel {
+
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  double elapsed_seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  std::int64_t elapsed_ms() const {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() - start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Formats seconds as "1.23 s" / "45.6 ms" / "2.1 h" for human-readable bench
+/// output.
+inline std::string format_duration(double seconds) {
+  char buffer[64];
+  if (seconds >= 3600.0) {
+    std::snprintf(buffer, sizeof(buffer), "%.2f h", seconds / 3600.0);
+  } else if (seconds >= 60.0) {
+    std::snprintf(buffer, sizeof(buffer), "%.1f min", seconds / 60.0);
+  } else if (seconds >= 1.0) {
+    std::snprintf(buffer, sizeof(buffer), "%.2f s", seconds);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.2f ms", seconds * 1e3);
+  }
+  return buffer;
+}
+
+}  // namespace subsel

@@ -1,0 +1,250 @@
+#include "core/bounding.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "common/rng.h"
+#include "common/topk.h"
+
+namespace subsel::core {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+ThreadPool& pool_or_global(ThreadPool* pool) {
+  return pool != nullptr ? *pool : global_thread_pool();
+}
+
+/// Collects the values of unassigned points from a bounds array.
+std::vector<double> unassigned_values(const SelectionState& state,
+                                      const std::vector<double>& bounds) {
+  std::vector<double> values;
+  values.reserve(state.num_unassigned());
+  for (std::size_t i = 0; i < bounds.size(); ++i) {
+    if (state.is_unassigned(static_cast<NodeId>(i))) values.push_back(bounds[i]);
+  }
+  return values;
+}
+
+}  // namespace
+
+namespace detail {
+
+bool sample_neighbor(const BoundingConfig& config, std::uint64_t round_salt, NodeId v,
+                     NodeId neighbor, float weight, double mean_weight) {
+  double probability;
+  switch (config.sampling) {
+    case BoundingSampling::kNone:
+      return true;
+    case BoundingSampling::kUniform:
+      probability = config.sample_fraction;
+      break;
+    case BoundingSampling::kWeighted:
+      // Inclusion probability proportional to the edge similarity, normalized
+      // by the neighborhood mean so the expected sampled count stays p·deg.
+      probability = mean_weight > 0.0
+                        ? config.sample_fraction * static_cast<double>(weight) /
+                              mean_weight
+                        : config.sample_fraction;
+      probability = std::min(probability, 1.0);
+      break;
+    default:
+      return true;
+  }
+  const std::uint64_t h = hash_combine(
+      hash_combine(hash_combine(config.seed, round_salt),
+                   static_cast<std::uint64_t>(v)),
+      static_cast<std::uint64_t>(neighbor));
+  return hash_to_unit(h) < probability;
+}
+
+void compute_utility_bounds(const GroundSet& ground_set, const SelectionState& state,
+                            const BoundingConfig& config, std::uint64_t round_salt,
+                            std::vector<double>& u_min, std::vector<double>& u_max) {
+  const std::size_t n = ground_set.num_points();
+  u_min.assign(n, kNaN);
+  u_max.assign(n, kNaN);
+  const double pair_scale = config.objective.pair_scale();
+  const bool sampling = config.sampling != BoundingSampling::kNone;
+
+  ThreadPool& workers = pool_or_global(config.pool);
+  const std::size_t num_chunks = std::max<std::size_t>(1, workers.size() * 4);
+  const std::size_t chunk = (n + num_chunks - 1) / num_chunks;
+  workers.parallel_for(num_chunks, [&](std::size_t c) {
+    const std::size_t begin = c * chunk;
+    const std::size_t end = std::min(n, begin + chunk);
+    std::vector<graph::Edge> scratch;
+    for (std::size_t i = begin; i < end; ++i) {
+      const auto v = static_cast<NodeId>(i);
+      if (!state.is_unassigned(v)) continue;
+      ground_set.neighbors(v, scratch);
+
+      // Weighted sampling normalizes by the mean similarity over the *live*
+      // (non-discarded) neighborhood, which is what the distributed joins in
+      // beam/ can observe — keeping both implementations bit-identical.
+      double mean_weight = 0.0;
+      if (config.sampling == BoundingSampling::kWeighted) {
+        std::size_t live = 0;
+        for (const graph::Edge& e : scratch) {
+          if (state.state(e.neighbor) != PointState::kDiscarded) {
+            mean_weight += e.weight;
+            ++live;
+          }
+        }
+        if (live > 0) mean_weight /= static_cast<double>(live);
+      }
+
+      const double u = ground_set.utility(v);
+      double min_bound = u;
+      double max_bound = u;
+      for (const graph::Edge& e : scratch) {
+        switch (state.state(e.neighbor)) {
+          case PointState::kSelected:
+            // Neighbors in S′ are always counted, in both bounds.
+            min_bound -= pair_scale * e.weight;
+            max_bound -= pair_scale * e.weight;
+            break;
+          case PointState::kUnassigned:
+            if (!sampling || sample_neighbor(config, round_salt, v, e.neighbor,
+                                             e.weight, mean_weight)) {
+              min_bound -= pair_scale * e.weight;
+            }
+            break;
+          case PointState::kDiscarded:
+            break;  // removed from the ground set; affects neither bound
+        }
+      }
+      u_min[i] = min_bound;
+      u_max[i] = max_bound;
+    }
+  });
+}
+
+}  // namespace detail
+
+std::size_t grow_step(const GroundSet& ground_set, SelectionState& state,
+                      std::size_t& k_remaining, const BoundingConfig& config,
+                      std::uint64_t round_salt) {
+  if (k_remaining == 0) return 0;
+  std::vector<double> u_min, u_max;
+  detail::compute_utility_bounds(ground_set, state, config, round_salt, u_min, u_max);
+
+  // Threshold = U^k_max, the k-th largest maximum utility (Alg. 3).
+  const std::vector<double> max_values = unassigned_values(state, u_max);
+  const double threshold = kth_largest(max_values, k_remaining);
+
+  std::vector<NodeId> candidates;
+  for (std::size_t i = 0; i < u_min.size(); ++i) {
+    const auto v = static_cast<NodeId>(i);
+    if (state.is_unassigned(v) && u_min[i] > threshold) candidates.push_back(v);
+  }
+  // Approximate bounding can over-grow; keep a uniform subsample of the right
+  // size (Sec. 4.2). Exact bounding never exceeds k (Lemma 4.3).
+  if (candidates.size() > k_remaining) {
+    Rng rng(hash_combine(config.seed, round_salt ^ 0x6772ULL));
+    rng.shuffle(std::span<NodeId>(candidates));
+    candidates.resize(k_remaining);
+  }
+  for (NodeId v : candidates) state.select(v);
+  k_remaining -= candidates.size();
+  return candidates.size();
+}
+
+std::size_t shrink_step(const GroundSet& ground_set, SelectionState& state,
+                        std::size_t k_remaining, const BoundingConfig& config,
+                        std::uint64_t round_salt) {
+  std::vector<double> u_min, u_max;
+  detail::compute_utility_bounds(ground_set, state, config, round_salt, u_min, u_max);
+
+  // Threshold = U^k_min, the k-th largest minimum utility (Alg. 4). With
+  // k_remaining == 0 the threshold is +inf and every unassigned point is
+  // discarded — the subset is already complete.
+  const std::vector<double> min_values = unassigned_values(state, u_min);
+  const double threshold = kth_largest(min_values, k_remaining);
+
+  std::size_t discarded = 0;
+  for (std::size_t i = 0; i < u_max.size(); ++i) {
+    const auto v = static_cast<NodeId>(i);
+    if (state.is_unassigned(v) && u_max[i] < threshold) {
+      state.discard(v);
+      ++discarded;
+    }
+  }
+  assert(state.num_unassigned() >= k_remaining);
+  return discarded;
+}
+
+BoundingResult bound(const GroundSet& ground_set, std::size_t k,
+                     const BoundingConfig& config) {
+  const std::size_t n = ground_set.num_points();
+  BoundingResult result;
+  result.state = SelectionState(n);
+  result.k_remaining = std::min(k, n);
+  if (result.k_remaining == 0) return result;
+
+  std::uint64_t salt = 0;
+  std::size_t total_rounds = 0;
+  bool first_pass = true;
+
+  // When the surviving ground set is exactly as large as the open budget,
+  // every remaining point must be selected (shrink only removes points that
+  // are provably outside S*, so the survivors are the subset). The strict
+  // inequality in Lemma 4.3 alone can never certify the k-th point (ties with
+  // its own threshold), so without this rule bounding stalls one point short
+  // on instances it has in fact solved, e.g. k == |V| or edge-free graphs.
+  auto complete_if_tight = [&result]() {
+    if (result.k_remaining == 0 ||
+        result.state.num_unassigned() != result.k_remaining) {
+      return false;
+    }
+    for (NodeId v : result.state.unassigned_ids()) result.state.select(v);
+    result.k_remaining = 0;
+    return true;
+  };
+
+  // Alternate shrink-to-convergence and grow-to-convergence (Alg. 5). The
+  // fixed point is detected without redundant passes: when a whole grow loop
+  // changes nothing, the state is identical to the one the preceding shrink
+  // loop already certified; and when a later shrink loop changes nothing, the
+  // preceding grow loop's final no-change pass still holds. This matches the
+  // round counts reported in Table 2.
+  for (;;) {
+    std::size_t shrink_changes = 0;
+    for (;;) {
+      ++result.shrink_rounds;
+      const std::size_t changed =
+          shrink_step(ground_set, result.state, result.k_remaining, config, ++salt);
+      shrink_changes += changed;
+      if (changed == 0 || ++total_rounds >= config.max_rounds) break;
+    }
+    if (complete_if_tight()) break;
+    if (!first_pass && shrink_changes == 0) break;
+    if (result.k_remaining == 0 || total_rounds >= config.max_rounds) break;
+
+    std::size_t grow_changes = 0;
+    for (;;) {
+      ++result.grow_rounds;
+      const std::size_t changed =
+          grow_step(ground_set, result.state, result.k_remaining, config, ++salt);
+      grow_changes += changed;
+      if (changed == 0 || result.k_remaining == 0 ||
+          ++total_rounds >= config.max_rounds) {
+        break;
+      }
+    }
+    if (complete_if_tight()) break;
+    if (grow_changes == 0 || result.k_remaining == 0 ||
+        total_rounds >= config.max_rounds) {
+      break;
+    }
+    first_pass = false;
+  }
+
+  result.included = result.state.num_selected();
+  result.excluded = result.state.num_discarded();
+  return result;
+}
+
+}  // namespace subsel::core

@@ -1,0 +1,280 @@
+#include "core/distributed_greedy.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <filesystem>
+#include <stdexcept>
+
+#include "common/log.h"
+#include "common/rng.h"
+#include "common/serialize.h"
+
+namespace subsel::core {
+namespace {
+
+constexpr std::uint64_t kCheckpointMagic = 0x53554253454C4350ULL;  // "SUBSELCP"
+
+ThreadPool& pool_or_global(ThreadPool* pool) {
+  return pool != nullptr ? *pool : global_thread_pool();
+}
+
+/// Splits `ids` (already shuffled) into `parts` nearly-equal contiguous
+/// slices — a balanced uniform random partition.
+std::vector<std::vector<NodeId>> split_balanced(const std::vector<NodeId>& ids,
+                                                std::size_t parts) {
+  std::vector<std::vector<NodeId>> partitions(parts);
+  const std::size_t base = ids.size() / parts;
+  const std::size_t extra = ids.size() % parts;
+  std::size_t cursor = 0;
+  for (std::size_t p = 0; p < parts; ++p) {
+    const std::size_t count = base + (p < extra ? 1 : 0);
+    partitions[p].assign(ids.begin() + static_cast<std::ptrdiff_t>(cursor),
+                         ids.begin() + static_cast<std::ptrdiff_t>(cursor + count));
+    cursor += count;
+  }
+  return partitions;
+}
+
+/// Run-identity key a checkpoint must match to be resumable: everything
+/// that shapes the round trajectory except the Δ schedule (std::function is
+/// not hashable; keeping it consistent is the caller's contract, as with
+/// the ground set itself).
+std::uint64_t run_fingerprint(std::size_t n, std::size_t v0, std::size_t k_open,
+                              const DistributedGreedyConfig& config) {
+  std::uint64_t h = 0x5ca1ab1e;
+  auto mix = [&h](std::uint64_t value) { h = hash_combine(h, value); };
+  mix(n);
+  mix(v0);
+  mix(k_open);
+  mix(config.num_machines);
+  mix(config.num_rounds);
+  mix(config.adaptive_partitioning ? 1 : 0);
+  mix(config.seed);
+  mix(static_cast<std::uint64_t>(config.partition_solver));
+  mix(static_cast<std::uint64_t>(config.stochastic_epsilon * 1e9));
+  return h;
+}
+
+void save_checkpoint(const std::string& path, std::uint64_t fingerprint,
+                     std::size_t completed_round,
+                     const std::vector<NodeId>& survivors) {
+  try {
+    const std::string tmp = path + ".tmp";
+    {
+      BinaryWriter writer(tmp);
+      writer.write_pod(kCheckpointMagic);
+      writer.write_pod(fingerprint);
+      writer.write_pod<std::uint64_t>(completed_round);
+      writer.write_vector(survivors);
+      if (!writer.ok()) {
+        LOG_WARN("checkpoint write failed (%s); continuing without", tmp.c_str());
+        return;
+      }
+    }
+    // Atomic publish so a crash mid-write never leaves a torn checkpoint.
+    std::filesystem::rename(tmp, path);
+  } catch (const std::exception& e) {
+    LOG_WARN("checkpoint write failed (%s); continuing without", e.what());
+  }
+}
+
+/// Returns the completed-round count and restores `survivors`, or 0 when no
+/// usable checkpoint exists.
+std::size_t load_checkpoint(const std::string& path, std::uint64_t fingerprint,
+                            std::vector<NodeId>& survivors) {
+  if (!std::filesystem::exists(path)) return 0;
+  try {
+    BinaryReader reader(path);
+    if (reader.read_pod<std::uint64_t>() != kCheckpointMagic) return 0;
+    if (reader.read_pod<std::uint64_t>() != fingerprint) {
+      LOG_WARN("checkpoint %s belongs to a different run configuration; ignoring",
+               path.c_str());
+      return 0;
+    }
+    const auto completed = reader.read_pod<std::uint64_t>();
+    std::vector<NodeId> restored = reader.read_vector<NodeId>();
+    survivors = std::move(restored);
+    return static_cast<std::size_t>(completed);
+  } catch (const std::exception& e) {
+    LOG_WARN("checkpoint read failed (%s); restarting from round 1", e.what());
+    return 0;
+  }
+}
+
+}  // namespace
+
+DeltaSchedule linear_delta(double gamma) {
+  if (gamma <= 0.0) throw std::invalid_argument("linear_delta: gamma must be > 0");
+  return [gamma](std::size_t v0, std::size_t rounds, std::size_t round,
+                 std::size_t k) -> std::size_t {
+    if (v0 <= k) return k;
+    const double remaining = static_cast<double>(rounds - round);
+    const double span = static_cast<double>(v0 - k) / static_cast<double>(rounds);
+    return static_cast<std::size_t>(std::ceil(gamma * remaining * span)) + k;
+  };
+}
+
+DistributedGreedyResult distributed_greedy(const GroundSet& ground_set, std::size_t k,
+                                           const DistributedGreedyConfig& config,
+                                           const SelectionState* initial) {
+  if (config.num_machines == 0 || config.num_rounds == 0) {
+    throw std::invalid_argument("distributed_greedy: machines and rounds must be >= 1");
+  }
+  const std::size_t n = ground_set.num_points();
+  k = std::min(k, n);
+
+  // Open budget and surviving ground set, after any bounding pre-pass.
+  std::vector<NodeId> pre_selected;
+  std::vector<NodeId> survivors;
+  if (initial != nullptr) {
+    if (initial->size() != n) {
+      throw std::invalid_argument("distributed_greedy: state size mismatch");
+    }
+    pre_selected = initial->selected_ids();
+    if (pre_selected.size() > k) {
+      throw std::invalid_argument("distributed_greedy: bounding selected more than k");
+    }
+    survivors = initial->unassigned_ids();
+  } else {
+    survivors.resize(n);
+    for (std::size_t i = 0; i < n; ++i) survivors[i] = static_cast<NodeId>(i);
+  }
+  const std::size_t k_open = k - pre_selected.size();
+
+  DistributedGreedyResult result;
+  const std::size_t v0 = survivors.size();
+  const std::size_t partition_cap =
+      (v0 + config.num_machines - 1) / std::max<std::size_t>(1, config.num_machines);
+
+  const std::uint64_t fingerprint = run_fingerprint(n, v0, k_open, config);
+  std::size_t first_round = 1;
+  if (!config.checkpoint_file.empty()) {
+    const std::size_t completed =
+        load_checkpoint(config.checkpoint_file, fingerprint, survivors);
+    if (completed > 0) {
+      first_round = completed + 1;
+      result.resumed_rounds = completed;
+      LOG_INFO("distributed_greedy: resumed after round %zu (%zu survivors)",
+               completed, survivors.size());
+    }
+  }
+
+  ThreadPool& workers = pool_or_global(config.pool);
+
+  if (k_open > 0 && v0 > 0) {
+    std::size_t executed = 0;
+    for (std::size_t round = first_round; round <= config.num_rounds; ++round) {
+      RoundStats stats;
+      stats.round = round;
+      stats.input_size = survivors.size();
+
+      std::size_t n_round = config.delta(v0, config.num_rounds, round, k_open);
+      n_round = std::clamp<std::size_t>(n_round, k_open, survivors.size());
+      stats.target_size = n_round;
+
+      std::size_t m_round = config.num_machines;
+      if (config.adaptive_partitioning) {
+        m_round = (n_round + partition_cap - 1) / std::max<std::size_t>(1, partition_cap);
+        m_round = std::clamp<std::size_t>(m_round, 1, config.num_machines);
+      }
+      m_round = std::min(m_round, survivors.size());
+      stats.num_partitions = m_round;
+
+      // Per-round RNG stream: a resumed run reproduces the exact shuffles an
+      // uninterrupted run would have drawn from this round on.
+      Rng rng(hash_combine(config.seed, round));
+
+      // Random balanced partition, with the optional worst-case override in
+      // round 1 (Section 6.4): one partition is exactly the forced set.
+      std::vector<std::vector<NodeId>> partitions;
+      if (round == 1 && config.forced_first_partition.has_value() &&
+          m_round >= 2) {
+        const auto& forced = *config.forced_first_partition;
+        std::vector<std::uint8_t> is_forced(n, 0);
+        for (NodeId v : forced) is_forced[static_cast<std::size_t>(v)] = 1;
+        std::vector<NodeId> rest;
+        rest.reserve(survivors.size());
+        for (NodeId v : survivors) {
+          if (is_forced[static_cast<std::size_t>(v)] == 0) rest.push_back(v);
+        }
+        rng.shuffle(std::span<NodeId>(rest));
+        partitions = split_balanced(rest, m_round - 1);
+        partitions.insert(partitions.begin(), forced);
+      } else {
+        rng.shuffle(std::span<NodeId>(survivors));
+        partitions = split_balanced(survivors, m_round);
+      }
+
+      const std::size_t per_partition_target =
+          (n_round + partitions.size() - 1) / partitions.size();
+
+      std::vector<std::vector<NodeId>> partition_results(partitions.size());
+      std::atomic<std::size_t> peak_bytes{0};
+      workers.parallel_for(partitions.size(), [&](std::size_t p) {
+        Subproblem sub = materialize_subproblem(ground_set, std::move(partitions[p]),
+                                                config.objective, initial);
+        std::size_t expected = peak_bytes.load();
+        while (sub.byte_size() > expected &&
+               !peak_bytes.compare_exchange_weak(expected, sub.byte_size())) {
+        }
+        GreedyResult local =
+            config.partition_solver == PartitionSolver::kStochastic
+                ? stochastic_greedy_on_subproblem(
+                      sub, per_partition_target, config.objective,
+                      config.stochastic_epsilon,
+                      hash_combine(config.seed, 0x9e37ULL * round + p))
+                : greedy_on_subproblem(sub, per_partition_target,
+                                       config.objective);
+        partition_results[p] = std::move(local.selected);
+      });
+      stats.peak_partition_bytes = peak_bytes.load();
+
+      survivors.clear();
+      for (auto& part : partition_results) {
+        survivors.insert(survivors.end(), part.begin(), part.end());
+      }
+      stats.output_size = survivors.size();
+      result.rounds.push_back(stats);
+      LOG_DEBUG("distributed_greedy round %zu: %zu -> %zu (m=%zu, target %zu)", round,
+                stats.input_size, stats.output_size, m_round, n_round);
+
+      if (!config.checkpoint_file.empty() && round < config.num_rounds) {
+        save_checkpoint(config.checkpoint_file, fingerprint, round, survivors);
+      }
+      ++executed;
+      if (config.stop_after_round != 0 && executed >= config.stop_after_round &&
+          round < config.num_rounds) {
+        result.preempted = true;
+        LOG_INFO("distributed_greedy: preempted after round %zu", round);
+        return result;
+      }
+    }
+
+    // Rounding can leave up to m_r extra points; subsample uniformly
+    // (Alg. 6). Seeded independently of the per-round streams.
+    if (survivors.size() > k_open) {
+      Rng rng(hash_combine(config.seed, config.num_rounds + 1));
+      rng.shuffle(std::span<NodeId>(survivors));
+      survivors.resize(k_open);
+    }
+  } else {
+    survivors.clear();
+  }
+
+  if (!config.checkpoint_file.empty()) {
+    std::error_code error;
+    std::filesystem::remove(config.checkpoint_file, error);
+  }
+
+  result.selected = std::move(survivors);
+  result.selected.insert(result.selected.end(), pre_selected.begin(),
+                         pre_selected.end());
+  std::sort(result.selected.begin(), result.selected.end());
+
+  PairwiseObjective objective(ground_set, config.objective);
+  result.objective = objective.evaluate(result.selected, config.pool);
+  return result;
+}
+
+}  // namespace subsel::core

@@ -1,0 +1,216 @@
+#include "core/greedy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "common/rng.h"
+
+#include "core/addressable_heap.h"
+
+namespace subsel::core {
+
+Subproblem materialize_subproblem(const GroundSet& ground_set,
+                                  std::vector<NodeId> members,
+                                  ObjectiveParams params,
+                                  const SelectionState* state) {
+  std::sort(members.begin(), members.end());
+  if (std::adjacent_find(members.begin(), members.end()) != members.end()) {
+    throw std::invalid_argument("materialize_subproblem: duplicate member");
+  }
+
+  Subproblem sub;
+  sub.global_ids = std::move(members);
+  const std::size_t n = sub.global_ids.size();
+  sub.priorities.resize(n);
+  sub.offsets.assign(n + 1, 0);
+
+  const double pair_scale = params.pair_scale();
+  std::vector<graph::Edge> scratch;
+  // First pass: adjusted utilities + intra-subset edge counts.
+  std::vector<Subproblem::LocalEdge> local_edges;
+  for (std::size_t i = 0; i < n; ++i) {
+    const NodeId v = sub.global_ids[i];
+    double priority = ground_set.utility(v);
+    ground_set.neighbors(v, scratch);
+    for (const graph::Edge& e : scratch) {
+      if (state != nullptr && state->is_selected(e.neighbor)) {
+        priority -= pair_scale * e.weight;
+        continue;
+      }
+      const auto it = std::lower_bound(sub.global_ids.begin(), sub.global_ids.end(),
+                                       e.neighbor);
+      if (it != sub.global_ids.end() && *it == e.neighbor) {
+        local_edges.push_back(Subproblem::LocalEdge{
+            static_cast<std::uint32_t>(it - sub.global_ids.begin()), e.weight});
+      }
+    }
+    sub.priorities[i] = priority;
+    sub.offsets[i + 1] = static_cast<std::int64_t>(local_edges.size());
+  }
+  sub.edges = std::move(local_edges);
+  return sub;
+}
+
+GreedyResult greedy_on_subproblem(const Subproblem& subproblem, std::size_t k,
+                                  ObjectiveParams params) {
+  const std::size_t n = subproblem.size();
+  k = std::min(k, n);
+  GreedyResult result;
+  result.selected.reserve(k);
+
+  AddressableMaxHeap heap(subproblem.priorities);
+  const double pair_scale = params.pair_scale();
+  double priority_sum = 0.0;
+  while (result.selected.size() < k) {
+    const auto v1 = heap.pop_max();
+    priority_sum += heap.priority(v1);
+    result.selected.push_back(subproblem.global_ids[v1]);
+    const auto begin = static_cast<std::size_t>(subproblem.offsets[v1]);
+    const auto end = static_cast<std::size_t>(subproblem.offsets[v1 + 1]);
+    for (std::size_t e = begin; e < end; ++e) {
+      const auto& edge = subproblem.edges[e];
+      if (heap.contains(edge.neighbor)) {
+        heap.decrease_weight_by(edge.neighbor, pair_scale * edge.weight);
+      }
+    }
+  }
+  result.objective = params.alpha * priority_sum;
+  return result;
+}
+
+GreedyResult stochastic_greedy_on_subproblem(const Subproblem& subproblem,
+                                             std::size_t k, ObjectiveParams params,
+                                             double epsilon, std::uint64_t seed) {
+  const std::size_t n = subproblem.size();
+  k = std::min(k, n);
+  GreedyResult result;
+  result.selected.reserve(k);
+  if (k == 0) return result;
+  if (epsilon <= 0.0 || epsilon >= 1.0) {
+    throw std::invalid_argument("stochastic_greedy_on_subproblem: epsilon in (0,1)");
+  }
+
+  // Priorities double as marginal gains (pairwise structure); no heap — each
+  // step scans only the sampled candidates.
+  std::vector<double> priorities = subproblem.priorities;
+  std::vector<std::uint32_t> live(n);
+  std::vector<std::uint32_t> slot_of(n);  // live-array position per local id
+  for (std::uint32_t i = 0; i < n; ++i) {
+    live[i] = i;
+    slot_of[i] = i;
+  }
+
+  const std::size_t sample_size = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::ceil(static_cast<double>(n) /
+                                            static_cast<double>(k) *
+                                            std::log(1.0 / epsilon))));
+  Rng rng(seed);
+  const double pair_scale = params.pair_scale();
+  double priority_sum = 0.0;
+
+  while (result.selected.size() < k) {
+    const std::size_t live_count = live.size();
+    const std::size_t draw = std::min(sample_size, live_count);
+    // Partial Fisher-Yates over the live array; slots [0, draw) become the
+    // sample.
+    for (std::size_t i = 0; i < draw; ++i) {
+      const std::size_t j =
+          i + static_cast<std::size_t>(rng.uniform_index(live_count - i));
+      std::swap(live[i], live[j]);
+      slot_of[live[i]] = static_cast<std::uint32_t>(i);
+      slot_of[live[j]] = static_cast<std::uint32_t>(j);
+    }
+    std::size_t best_slot = 0;
+    for (std::size_t i = 1; i < draw; ++i) {
+      const std::uint32_t candidate = live[i];
+      const std::uint32_t incumbent = live[best_slot];
+      if (priorities[candidate] > priorities[incumbent] ||
+          (priorities[candidate] == priorities[incumbent] &&
+           candidate < incumbent)) {
+        best_slot = i;
+      }
+    }
+    const std::uint32_t v1 = live[best_slot];
+    priority_sum += priorities[v1];
+    result.selected.push_back(subproblem.global_ids[v1]);
+
+    // Remove v1 from the live set (swap-pop, positions maintained).
+    live[best_slot] = live.back();
+    slot_of[live[best_slot]] = static_cast<std::uint32_t>(best_slot);
+    live.pop_back();
+    slot_of[v1] = static_cast<std::uint32_t>(-1);
+
+    const auto begin = static_cast<std::size_t>(subproblem.offsets[v1]);
+    const auto end = static_cast<std::size_t>(subproblem.offsets[v1 + 1]);
+    for (std::size_t e = begin; e < end; ++e) {
+      const auto& edge = subproblem.edges[e];
+      if (slot_of[edge.neighbor] != static_cast<std::uint32_t>(-1)) {
+        priorities[edge.neighbor] -= pair_scale * edge.weight;
+      }
+    }
+  }
+  result.objective = params.alpha * priority_sum;
+  return result;
+}
+
+GreedyResult centralized_greedy(const graph::SimilarityGraph& graph,
+                                const std::vector<double>& utilities,
+                                ObjectiveParams params, std::size_t k) {
+  if (graph.num_nodes() != utilities.size()) {
+    throw std::invalid_argument("centralized_greedy: size mismatch");
+  }
+  const std::size_t n = graph.num_nodes();
+  k = std::min(k, n);
+  GreedyResult result;
+  result.selected.reserve(k);
+
+  AddressableMaxHeap heap(utilities);
+  const double pair_scale = params.pair_scale();
+  double priority_sum = 0.0;
+  while (result.selected.size() < k) {
+    const auto v1 = heap.pop_max();
+    priority_sum += heap.priority(v1);
+    result.selected.push_back(static_cast<NodeId>(v1));
+    for (const graph::Edge& edge : graph.neighbors(static_cast<NodeId>(v1))) {
+      const auto local = static_cast<AddressableMaxHeap::LocalId>(edge.neighbor);
+      if (heap.contains(local)) {
+        heap.decrease_weight_by(local, pair_scale * edge.weight);
+      }
+    }
+  }
+  result.objective = params.alpha * priority_sum;
+  return result;
+}
+
+GreedyResult naive_greedy(const GroundSet& ground_set, ObjectiveParams params,
+                          std::size_t k) {
+  const std::size_t n = ground_set.num_points();
+  k = std::min(k, n);
+  GreedyResult result;
+  result.selected.reserve(k);
+
+  std::vector<std::uint8_t> in_subset(n, 0);
+  PairwiseObjective objective(ground_set, params);
+  double total = 0.0;
+  for (std::size_t step = 0; step < k; ++step) {
+    double best_gain = -std::numeric_limits<double>::infinity();
+    NodeId best = -1;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (in_subset[i] != 0) continue;
+      const double gain = objective.marginal_gain(in_subset, static_cast<NodeId>(i));
+      if (gain > best_gain) {  // strict: first maximizer wins = smallest id
+        best_gain = gain;
+        best = static_cast<NodeId>(i);
+      }
+    }
+    in_subset[static_cast<std::size_t>(best)] = 1;
+    result.selected.push_back(best);
+    total += best_gain;
+  }
+  result.objective = total;
+  return result;
+}
+
+}  // namespace subsel::core

@@ -1,0 +1,96 @@
+// Centralized greedy maximization of pairwise submodular functions
+// (Algorithms 1 and 2 of the paper).
+//
+// For f(S) = α Σ u(v) − β Σ s(v1,v2), the marginal gain of v given S is
+// α·(u(v) − (β/α) Σ_{j∈S, (v,j)∈E} s(v,j)), so the greedy can keep a priority
+// queue initialized with the utilities and, on every pop, lower the priority
+// of the popped point's still-queued neighbors by (β/α)·s — no full gain
+// recomputation (Algorithm 2). This is the (1−1/e) gold standard the paper
+// normalizes every distributed result against.
+//
+// The same routine runs inside each partition of the distributed algorithm;
+// `Subproblem` materializes a partition (or any id subset) with
+// cross-partition edges dropped and utilities optionally conditioned on an
+// already-selected partial solution.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/objective.h"
+#include "core/selection_state.h"
+#include "graph/ground_set.h"
+#include "graph/similarity_graph.h"
+
+namespace subsel::core {
+
+struct GreedyResult {
+  /// Selected ids in pick order (global ids).
+  std::vector<NodeId> selected;
+  /// α · Σ (priority at pop time) = f(selected) *within the subproblem*,
+  /// i.e. ignoring edges that the subproblem dropped. When utilities were
+  /// conditioned on a partial solution S′, this additionally accounts for
+  /// edges into S′. For the exact global objective re-evaluate with
+  /// PairwiseObjective.
+  double objective = 0.0;
+};
+
+/// A self-contained greedy instance over a subset of the ground set.
+struct Subproblem {
+  /// Ascending global ids; local id = index into this vector.
+  std::vector<NodeId> global_ids;
+  /// Initial priorities: u(v), minus (β/α)·Σ s(v,j) over already-selected
+  /// neighbors j when conditioned on a partial solution.
+  std::vector<double> priorities;
+  /// CSR adjacency restricted to members (local ids).
+  std::vector<std::int64_t> offsets;
+  struct LocalEdge {
+    std::uint32_t neighbor;
+    float weight;
+  };
+  std::vector<LocalEdge> edges;
+
+  std::size_t size() const noexcept { return global_ids.size(); }
+  std::size_t byte_size() const noexcept {
+    return global_ids.size() * (sizeof(NodeId) + sizeof(double)) +
+           offsets.size() * sizeof(std::int64_t) + edges.size() * sizeof(LocalEdge);
+  }
+};
+
+/// Materializes the subproblem induced by `members` (any order; sorted
+/// internally). Edges to non-members are dropped — exactly the "discard any
+/// neighborhood relation across partitions" rule of Section 4.4. If `state`
+/// is given, member utilities are conditioned on its selected points (edges
+/// into S′ keep influencing marginal gains, Definition 4.2-style).
+Subproblem materialize_subproblem(const GroundSet& ground_set,
+                                  std::vector<NodeId> members,
+                                  ObjectiveParams params,
+                                  const SelectionState* state = nullptr);
+
+/// Algorithm 2 on a subproblem; selects min(k, size) points.
+GreedyResult greedy_on_subproblem(const Subproblem& subproblem, std::size_t k,
+                                  ObjectiveParams params);
+
+/// Stochastic greedy (Mirzasoleiman et al. 2015) on a subproblem: each step
+/// examines a uniform sample of ceil(n/k * ln(1/eps)) live candidates
+/// instead of all of them, exploiting the same pairwise priority structure
+/// as Algorithm 2 (priorities == marginal gains, updated on neighbor pops).
+/// (1 - 1/e - eps) in expectation; the paper notes any centralized variant
+/// can run inside a partition (Section 3, "Related optimizations").
+GreedyResult stochastic_greedy_on_subproblem(const Subproblem& subproblem,
+                                             std::size_t k, ObjectiveParams params,
+                                             double epsilon, std::uint64_t seed);
+
+/// Algorithm 2 on a full materialized dataset (fast path, no id translation).
+GreedyResult centralized_greedy(const graph::SimilarityGraph& graph,
+                                const std::vector<double>& utilities,
+                                ObjectiveParams params, std::size_t k);
+
+/// Reference implementation of Algorithm 1: recomputes every marginal gain
+/// each step (O(n·k) gain evaluations). Used by tests to validate the
+/// priority-queue implementation; ties break toward smaller ids, matching
+/// AddressableMaxHeap.
+GreedyResult naive_greedy(const GroundSet& ground_set, ObjectiveParams params,
+                          std::size_t k);
+
+}  // namespace subsel::core

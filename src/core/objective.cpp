@@ -1,0 +1,117 @@
+#include "core/objective.h"
+
+#include <atomic>
+#include <stdexcept>
+
+namespace subsel::core {
+namespace {
+ThreadPool& pool_or_global(ThreadPool* pool) {
+  return pool != nullptr ? *pool : global_thread_pool();
+}
+}  // namespace
+
+std::vector<std::uint8_t> membership_bitmap(std::size_t num_points,
+                                            std::span<const NodeId> subset) {
+  std::vector<std::uint8_t> membership(num_points, 0);
+  for (NodeId v : subset) {
+    if (v < 0 || static_cast<std::size_t>(v) >= num_points) {
+      throw std::out_of_range("membership_bitmap: id out of range");
+    }
+    if (membership[static_cast<std::size_t>(v)] != 0) {
+      throw std::invalid_argument("membership_bitmap: duplicate id");
+    }
+    membership[static_cast<std::size_t>(v)] = 1;
+  }
+  return membership;
+}
+
+double PairwiseObjective::evaluate(std::span<const NodeId> subset,
+                                   ThreadPool* pool) const {
+  return evaluate(membership_bitmap(ground_set_->num_points(), subset), pool);
+}
+
+double PairwiseObjective::evaluate(const std::vector<std::uint8_t>& membership,
+                                   ThreadPool* pool) const {
+  if (membership.size() != ground_set_->num_points()) {
+    throw std::invalid_argument("PairwiseObjective::evaluate: bitmap size mismatch");
+  }
+  const std::size_t n = membership.size();
+  ThreadPool& workers = pool_or_global(pool);
+
+  // Chunked parallel reduction; each unordered pair is counted once by
+  // charging it to the smaller endpoint.
+  const std::size_t num_chunks = std::max<std::size_t>(1, workers.size() * 4);
+  const std::size_t chunk = (n + num_chunks - 1) / num_chunks;
+  std::vector<double> partial_unary(num_chunks, 0.0);
+  std::vector<double> partial_pairs(num_chunks, 0.0);
+
+  workers.parallel_for(num_chunks, [&](std::size_t c) {
+    const std::size_t begin = c * chunk;
+    const std::size_t end = std::min(n, begin + chunk);
+    double unary = 0.0;
+    double pairs = 0.0;
+    std::vector<graph::Edge> scratch;
+    for (std::size_t i = begin; i < end; ++i) {
+      if (membership[i] == 0) continue;
+      const auto v = static_cast<NodeId>(i);
+      unary += ground_set_->utility(v);
+      ground_set_->neighbors(v, scratch);
+      for (const graph::Edge& e : scratch) {
+        if (e.neighbor > v && membership[static_cast<std::size_t>(e.neighbor)] != 0) {
+          pairs += e.weight;
+        }
+      }
+    }
+    partial_unary[c] = unary;
+    partial_pairs[c] = pairs;
+  });
+
+  double unary = 0.0, pairs = 0.0;
+  for (std::size_t c = 0; c < num_chunks; ++c) {
+    unary += partial_unary[c];
+    pairs += partial_pairs[c];
+  }
+  return params_.alpha * unary - params_.beta * pairs;
+}
+
+double PairwiseObjective::marginal_gain(const std::vector<std::uint8_t>& membership,
+                                        NodeId v) const {
+  if (membership[static_cast<std::size_t>(v)] != 0) {
+    throw std::invalid_argument("marginal_gain: v already in S");
+  }
+  double gain = params_.alpha * ground_set_->utility(v);
+  std::vector<graph::Edge> scratch;
+  ground_set_->neighbors(v, scratch);
+  for (const graph::Edge& e : scratch) {
+    if (membership[static_cast<std::size_t>(e.neighbor)] != 0) {
+      gain -= params_.beta * e.weight;
+    }
+  }
+  return gain;
+}
+
+double PairwiseObjective::monotonicity_offset(ThreadPool* pool) const {
+  const std::size_t n = ground_set_->num_points();
+  ThreadPool& workers = pool_or_global(pool);
+  const std::size_t num_chunks = std::max<std::size_t>(1, workers.size() * 4);
+  const std::size_t chunk = (n + num_chunks - 1) / num_chunks;
+  std::vector<double> partial_max(num_chunks, 0.0);
+  workers.parallel_for(num_chunks, [&](std::size_t c) {
+    const std::size_t begin = c * chunk;
+    const std::size_t end = std::min(n, begin + chunk);
+    double best = 0.0;
+    std::vector<graph::Edge> scratch;
+    for (std::size_t i = begin; i < end; ++i) {
+      ground_set_->neighbors(static_cast<NodeId>(i), scratch);
+      double sum = 0.0;
+      for (const graph::Edge& e : scratch) sum += e.weight;
+      best = std::max(best, sum);
+    }
+    partial_max[c] = best;
+  });
+  double best = 0.0;
+  for (double value : partial_max) best = std::max(best, value);
+  return params_.pair_scale() * best;
+}
+
+}  // namespace subsel::core

@@ -1,0 +1,42 @@
+#include "core/selection_pipeline.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "common/timer.h"
+
+namespace subsel::core {
+
+SelectionPipelineResult select_subset(const GroundSet& ground_set, std::size_t k,
+                                      SelectionPipelineConfig config) {
+  config.bounding.objective = config.objective;
+  config.greedy.objective = config.objective;
+
+  SelectionPipelineResult result;
+  const SelectionState* initial = nullptr;
+  if (config.use_bounding) {
+    Timer timer;
+    result.bounding = bound(ground_set, k, config.bounding);
+    result.bounding_seconds = timer.elapsed_seconds();
+    initial = &result.bounding->state;
+  }
+
+  if (initial != nullptr && result.bounding->complete()) {
+    // Bounding found the entire subset; no greedy needed.
+    result.selected = initial->selected_ids();
+    PairwiseObjective objective(ground_set, config.objective);
+    result.objective = objective.evaluate(result.selected, config.greedy.pool);
+    return result;
+  }
+
+  Timer timer;
+  DistributedGreedyResult greedy = distributed_greedy(ground_set, k, config.greedy,
+                                                      initial);
+  result.greedy_seconds = timer.elapsed_seconds();
+  result.selected = std::move(greedy.selected);
+  result.objective = greedy.objective;
+  result.greedy_rounds = std::move(greedy.rounds);
+  return result;
+}
+
+}  // namespace subsel::core

@@ -1,0 +1,38 @@
+// End-to-end subset selection as deployed in the paper (Section 4 intro):
+// run (approximate) bounding first; if it does not complete the subset,
+// finish with the multi-round distributed greedy over the surviving points.
+#pragma once
+
+#include <optional>
+
+#include "core/bounding.h"
+#include "core/distributed_greedy.h"
+
+namespace subsel::core {
+
+struct SelectionPipelineConfig {
+  ObjectiveParams objective;
+  /// Bounding pre-pass; disable to run pure distributed greedy.
+  bool use_bounding = true;
+  BoundingConfig bounding;
+  DistributedGreedyConfig greedy;
+};
+
+struct SelectionPipelineResult {
+  std::vector<NodeId> selected;  // exactly k ids, ascending
+  double objective = 0.0;
+  /// Bounding statistics (empty optional when bounding was disabled).
+  std::optional<BoundingResult> bounding;
+  /// Greedy round statistics (empty when bounding completed the subset).
+  std::vector<RoundStats> greedy_rounds;
+  double bounding_seconds = 0.0;
+  double greedy_seconds = 0.0;
+};
+
+/// Selects k points from the ground set. The objective params in
+/// `config.objective` override the ones embedded in the stage configs so the
+/// stages can never disagree.
+SelectionPipelineResult select_subset(const GroundSet& ground_set, std::size_t k,
+                                      SelectionPipelineConfig config);
+
+}  // namespace subsel::core

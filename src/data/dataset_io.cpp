@@ -1,0 +1,104 @@
+#include "data/dataset_io.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+#include "common/serialize.h"
+
+namespace subsel::data {
+namespace {
+
+/// Shared with the dataset cache: bump when the layout changes.
+constexpr std::uint64_t kDatasetIoMagic = 0x53554253454C3144ULL;  // "SUBSEL1D"
+
+}  // namespace
+
+void save_dataset(const Dataset& dataset, const std::string& path) {
+  std::error_code error;
+  const auto parent = std::filesystem::path(path).parent_path();
+  if (!parent.empty()) std::filesystem::create_directories(parent, error);
+
+  BinaryWriter writer(path);
+  writer.write_pod(kDatasetIoMagic);
+  writer.write_pod<std::uint64_t>(dataset.embeddings.rows());
+  writer.write_pod<std::uint64_t>(dataset.embeddings.dim());
+  std::vector<float> flat(dataset.embeddings.flat().begin(),
+                          dataset.embeddings.flat().end());
+  writer.write_vector(flat);
+  writer.write_vector(dataset.labels);
+  writer.write_vector(dataset.utilities);
+  if (!writer.ok()) throw std::runtime_error("save_dataset: write failed: " + path);
+  dataset.graph.save(path + ".graph");
+}
+
+bool try_load_dataset(const std::string& path, Dataset& dataset) {
+  if (path.empty() || !std::filesystem::exists(path)) return false;
+  try {
+    BinaryReader reader(path);
+    if (reader.read_pod<std::uint64_t>() != kDatasetIoMagic) return false;
+    const auto rows = reader.read_pod<std::uint64_t>();
+    const auto dim = reader.read_pod<std::uint64_t>();
+    dataset.embeddings = graph::EmbeddingMatrix(rows, dim);
+    const auto flat = reader.read_vector<float>();
+    if (flat.size() != rows * dim) return false;
+    std::copy(flat.begin(), flat.end(), dataset.embeddings.flat().begin());
+    dataset.labels = reader.read_vector<std::uint32_t>();
+    dataset.utilities = reader.read_vector<double>();
+    dataset.graph = graph::SimilarityGraph::load(path + ".graph");
+  } catch (const std::exception&) {
+    return false;
+  }
+  return dataset.graph.num_nodes() == dataset.labels.size() &&
+         dataset.utilities.size() == dataset.labels.size();
+}
+
+Dataset load_dataset(const std::string& path) {
+  Dataset dataset;
+  if (!try_load_dataset(path, dataset)) {
+    throw std::runtime_error("load_dataset: cannot load " + path +
+                             " (missing, corrupt, or wrong version)");
+  }
+  if (dataset.name.empty()) {
+    dataset.name = std::filesystem::path(path).stem().string();
+  }
+  return dataset;
+}
+
+DatasetScalars load_dataset_scalars(const std::string& path) {
+  BinaryReader reader(path);
+  if (reader.read_pod<std::uint64_t>() != kDatasetIoMagic) {
+    throw std::runtime_error("load_dataset_scalars: bad magic in " + path);
+  }
+  (void)reader.read_pod<std::uint64_t>();  // rows
+  (void)reader.read_pod<std::uint64_t>();  // dim
+  reader.skip_vector<float>();             // embeddings stay on disk
+  DatasetScalars scalars;
+  scalars.name = std::filesystem::path(path).stem().string();
+  scalars.labels = reader.read_vector<std::uint32_t>();
+  scalars.utilities = reader.read_vector<double>();
+  if (scalars.labels.size() != scalars.utilities.size()) {
+    throw std::runtime_error("load_dataset_scalars: corrupt scalars in " + path);
+  }
+  return scalars;
+}
+
+void save_subset(const std::vector<graph::NodeId>& ids, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("save_subset: cannot open " + path);
+  for (graph::NodeId v : ids) out << v << '\n';
+  if (!out.good()) throw std::runtime_error("save_subset: write failed: " + path);
+}
+
+std::vector<graph::NodeId> load_subset(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_subset: cannot open " + path);
+  std::vector<graph::NodeId> ids;
+  long long value = 0;
+  while (in >> value) ids.push_back(static_cast<graph::NodeId>(value));
+  if (in.bad()) throw std::runtime_error("load_subset: read failed: " + path);
+  return ids;
+}
+
+}  // namespace subsel::data

@@ -1,0 +1,111 @@
+#include "data/perturbed.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/rng.h"
+
+namespace subsel::data {
+
+using graph::Edge;
+using graph::NodeId;
+
+PerturbedGroundSet::PerturbedGroundSet(const Dataset& base,
+                                       const PerturbedConfig& config)
+    : base_(&base), config_(config),
+      num_points_(base.size() * config.perturbations_per_point) {
+  if (config.perturbations_per_point == 0) {
+    throw std::invalid_argument("PerturbedGroundSet: perturbations_per_point == 0");
+  }
+  if (config.ring_radius * 2 >= config.perturbations_per_point &&
+      config.perturbations_per_point > 1) {
+    // A ring that wraps onto itself would create duplicate edges; callers
+    // should size P > 2*radius. P == 1 degenerates to leaders only.
+    if (config.perturbations_per_point <= 2 * config.ring_radius) {
+      throw std::invalid_argument(
+          "PerturbedGroundSet: perturbations_per_point must exceed 2*ring_radius");
+    }
+  }
+}
+
+double PerturbedGroundSet::utility(NodeId v) const {
+  const std::size_t group = static_cast<std::size_t>(v) / config_.perturbations_per_point;
+  const double noise =
+      (hash_to_unit(hash_combine(config_.seed ^ 0x75ULL, static_cast<std::uint64_t>(v))) *
+           2.0 -
+       1.0) *
+      config_.utility_noise;
+  return std::max(0.0, base_->utilities[group] + noise);
+}
+
+double PerturbedGroundSet::edge_similarity(NodeId a, NodeId b) const {
+  // Symmetric in (a, b): hash the ordered pair.
+  const NodeId lo = std::min(a, b);
+  const NodeId hi = std::max(a, b);
+  const double noise =
+      (hash_to_unit(hash_combine(hash_combine(config_.seed ^ 0x51ULL,
+                                              static_cast<std::uint64_t>(lo)),
+                                 static_cast<std::uint64_t>(hi))) *
+           2.0 -
+       1.0) *
+      config_.similarity_noise;
+  return std::clamp(config_.in_group_similarity + noise, 0.0, 1.0);
+}
+
+void PerturbedGroundSet::neighbors(NodeId v, std::vector<Edge>& out) const {
+  out.clear();
+  const std::size_t p = config_.perturbations_per_point;
+  const auto group = static_cast<std::size_t>(v) / p;
+  const auto offset = static_cast<std::size_t>(v) % p;
+  const NodeId group_base = static_cast<NodeId>(group * p);
+
+  if (p > 1) {
+    for (std::size_t d = 1; d <= config_.ring_radius; ++d) {
+      const auto fwd = static_cast<NodeId>(group_base +
+                                           static_cast<NodeId>((offset + d) % p));
+      const auto bwd = static_cast<NodeId>(group_base +
+                                           static_cast<NodeId>((offset + p - d) % p));
+      out.push_back(Edge{fwd, static_cast<float>(edge_similarity(v, fwd))});
+      if (bwd != fwd) {
+        out.push_back(Edge{bwd, static_cast<float>(edge_similarity(v, bwd))});
+      }
+    }
+  }
+
+  if (config_.connect_group_leaders && offset == 0) {
+    for (const Edge& base_edge : base_->graph.neighbors(static_cast<NodeId>(group))) {
+      const auto leader = static_cast<NodeId>(
+          static_cast<std::size_t>(base_edge.neighbor) * p);
+      out.push_back(Edge{leader, base_edge.weight});
+    }
+  }
+}
+
+std::size_t PerturbedGroundSet::degree(NodeId v) const {
+  const std::size_t p = config_.perturbations_per_point;
+  std::size_t ring = p > 1 ? std::min(2 * config_.ring_radius, p - 1) : 0;
+  std::size_t leader_edges = 0;
+  if (config_.connect_group_leaders &&
+      static_cast<std::size_t>(v) % p == 0) {
+    leader_edges =
+        base_->graph.degree(static_cast<NodeId>(static_cast<std::size_t>(v) / p));
+  }
+  return ring + leader_edges;
+}
+
+std::uint64_t PerturbedGroundSet::bytes_if_materialized() const {
+  // 64-bit key + 64-bit utility per point; 64-bit id + 32-bit similarity per
+  // directed edge (the paper's §3 sizing uses the same shape).
+  const std::uint64_t per_point = 16;
+  const std::uint64_t per_edge = 12;
+  std::uint64_t edges = 0;
+  const std::size_t p = config_.perturbations_per_point;
+  edges += static_cast<std::uint64_t>(num_points_) *
+           (p > 1 ? std::min(2 * config_.ring_radius, p - 1) : 0);
+  if (config_.connect_group_leaders) {
+    edges += static_cast<std::uint64_t>(base_->graph.num_edges());
+  }
+  return static_cast<std::uint64_t>(num_points_) * per_point + edges * per_edge;
+}
+
+}  // namespace subsel::data

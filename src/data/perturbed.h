@@ -1,0 +1,70 @@
+// Virtual "Perturbed" dataset — the 13-billion-point stress test of §6.3.
+//
+// The paper builds Perturbed-ImageNet by perturbing each base embedding into
+// 10k vectors (1.3M × 10k ≈ 13B points). Materializing per-point state at
+// that scale is exactly what the paper's algorithms avoid, so this class
+// never materializes the expansion: point (g, j) = base point g, perturbation
+// j, with
+//   - utility  u(g,j) = max(0, u_base(g) + noise(seed, id)),
+//   - neighbors: a ring over the perturbation group — j ± 1..radius (mod P),
+//     10 neighbors for the default radius 5, mirroring the paper's 10-NN —
+//     with hash-derived similarities symmetric in the edge's endpoints, and
+//   - for j = 0 ("group leader"): additionally the base graph's edges mapped
+//     onto the leaders of the neighboring groups, so the base dataset's
+//     global cluster structure survives the expansion.
+//
+// Everything is a pure function of (seed, id), so bounding and the
+// distributed greedy can stream the ground set shard by shard; resident cost
+// is O(1) per query plus the base dataset.
+#pragma once
+
+#include <cstdint>
+
+#include "data/datasets.h"
+#include "graph/ground_set.h"
+
+namespace subsel::data {
+
+struct PerturbedConfig {
+  /// P — perturbations per base point (the paper uses 10'000).
+  std::size_t perturbations_per_point = 400;
+  /// Ring radius: each point gets 2*radius in-group neighbors.
+  std::size_t ring_radius = 5;
+  /// Base similarity of in-group edges before hash noise.
+  double in_group_similarity = 0.75;
+  /// Uniform noise half-width applied to in-group similarities.
+  double similarity_noise = 0.15;
+  /// Uniform noise half-width applied to utilities.
+  double utility_noise = 0.05;
+  /// Map the base graph onto group leaders (j = 0).
+  bool connect_group_leaders = true;
+  std::uint64_t seed = 99;
+};
+
+class PerturbedGroundSet final : public graph::GroundSet {
+ public:
+  /// `base` must outlive this object.
+  PerturbedGroundSet(const Dataset& base, const PerturbedConfig& config);
+
+  std::size_t num_points() const override { return num_points_; }
+  double utility(graph::NodeId v) const override;
+  void neighbors(graph::NodeId v, std::vector<graph::Edge>& out) const override;
+  std::size_t degree(graph::NodeId v) const override;
+
+  const PerturbedConfig& config() const noexcept { return config_; }
+  std::size_t base_size() const noexcept { return base_->size(); }
+
+  /// DRAM a materialized representation would need (64-bit key + utility per
+  /// point, plus id+similarity per directed edge) — the quantity behind the
+  /// paper's "880 GB for 5 B points" feasibility argument.
+  std::uint64_t bytes_if_materialized() const;
+
+ private:
+  double edge_similarity(graph::NodeId a, graph::NodeId b) const;
+
+  const Dataset* base_;
+  PerturbedConfig config_;
+  std::size_t num_points_;
+};
+
+}  // namespace subsel::data

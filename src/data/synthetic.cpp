@@ -1,0 +1,43 @@
+#include "data/synthetic.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/rng.h"
+
+namespace subsel::data {
+
+ClusteredEmbeddings generate_clustered_embeddings(
+    const ClusteredEmbeddingConfig& config) {
+  if (config.num_classes == 0 || config.dim == 0) {
+    throw std::invalid_argument("generate_clustered_embeddings: empty config");
+  }
+  ClusteredEmbeddings result;
+  result.centers = graph::EmbeddingMatrix(config.num_classes, config.dim);
+  Rng center_rng = Rng(config.seed).fork(0xC3);
+  for (std::size_t c = 0; c < config.num_classes; ++c) {
+    auto row = result.centers.row(c);
+    for (float& v : row) v = static_cast<float>(center_rng.normal());
+  }
+  result.centers.normalize_rows();
+
+  result.points = graph::EmbeddingMatrix(config.num_points, config.dim);
+  result.labels.resize(config.num_points);
+  // Per-point RNG streams keyed by index: points are identical regardless of
+  // how generation is parallelized or chunked.
+  for (std::size_t i = 0; i < config.num_points; ++i) {
+    Rng point_rng = Rng(config.seed).fork(0xB0 + i);
+    const auto label = static_cast<std::uint32_t>(point_rng.uniform_index(config.num_classes));
+    result.labels[i] = label;
+    const auto center = result.centers.row(label);
+    auto row = result.points.row(i);
+    for (std::size_t d = 0; d < config.dim; ++d) {
+      row[d] = center[d] +
+               static_cast<float>(config.cluster_stddev * point_rng.normal());
+    }
+  }
+  result.points.normalize_rows();
+  return result;
+}
+
+}  // namespace subsel::data

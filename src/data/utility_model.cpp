@@ -1,0 +1,72 @@
+#include "data/utility_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+
+namespace subsel::data {
+
+CoarseClassifier::CoarseClassifier(const graph::EmbeddingMatrix& true_centers,
+                                   const CoarseClassifierConfig& config)
+    : centers_(true_centers.rows(), true_centers.dim()),
+      temperature_(config.temperature) {
+  Rng rng(config.seed);
+  for (std::size_t c = 0; c < true_centers.rows(); ++c) {
+    const auto src = true_centers.row(c);
+    auto dst = centers_.row(c);
+    for (std::size_t d = 0; d < src.size(); ++d) {
+      dst[d] = src[d] + static_cast<float>(config.center_noise * rng.normal());
+    }
+  }
+  centers_.normalize_rows();
+}
+
+std::vector<double> CoarseClassifier::predict(std::span<const float> embedding) const {
+  std::vector<double> logits(centers_.rows());
+  double max_logit = -std::numeric_limits<double>::infinity();
+  for (std::size_t c = 0; c < centers_.rows(); ++c) {
+    logits[c] = temperature_ * static_cast<double>(graph::dot(embedding, centers_.row(c)));
+    max_logit = std::max(max_logit, logits[c]);
+  }
+  double total = 0.0;
+  for (double& logit : logits) {
+    logit = std::exp(logit - max_logit);
+    total += logit;
+  }
+  for (double& p : logits) p /= total;
+  return logits;
+}
+
+double CoarseClassifier::margin_utility(std::span<const float> embedding) const {
+  const std::vector<double> probs = predict(embedding);
+  double top = 0.0, second = 0.0;
+  for (double p : probs) {
+    if (p > top) {
+      second = top;
+      top = p;
+    } else if (p > second) {
+      second = p;
+    }
+  }
+  return 1.0 - (top - second);
+}
+
+std::vector<double> compute_margin_utilities(const graph::EmbeddingMatrix& embeddings,
+                                             const CoarseClassifier& classifier) {
+  std::vector<double> utilities(embeddings.rows());
+  global_thread_pool().parallel_for(embeddings.rows(), [&](std::size_t i) {
+    utilities[i] = classifier.margin_utility(embeddings.row(i));
+  });
+  center_utilities(utilities);
+  return utilities;
+}
+
+void center_utilities(std::vector<double>& utilities) {
+  if (utilities.empty()) return;
+  const double minimum = *std::min_element(utilities.begin(), utilities.end());
+  for (double& u : utilities) u -= minimum;
+}
+
+}  // namespace subsel::data

@@ -1,0 +1,58 @@
+// Margin-based uncertainty utilities (Scheffer et al. 2001), Section 6.
+//
+// The paper scores each point with u(x) = 1 - (P(top|x) - P(sec|x)) from a
+// coarsely trained classifier: easy points (deep inside their class cluster)
+// get low utility, points near decision boundaries get high utility. We
+// simulate the coarse classifier with a softmax over (noisy) cosine
+// similarities to the class centers — "coarse" is modeled by perturbing the
+// centers the classifier believes in, so its boundaries disagree mildly with
+// the generator's.
+//
+// Utilities are centered by subtracting the dataset minimum (paper, Sec. 6),
+// which makes them non-negative.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/embedding_matrix.h"
+
+namespace subsel::data {
+
+struct CoarseClassifierConfig {
+  /// Softmax temperature over cosine similarities; larger = more confident.
+  double temperature = 8.0;
+  /// Std-dev of the perturbation applied to the true centers to simulate a
+  /// coarsely (10 %-subset) trained model.
+  double center_noise = 0.15;
+  std::uint64_t seed = 7;
+};
+
+class CoarseClassifier {
+ public:
+  /// `true_centers` are the generator's class centers (row-normalized).
+  CoarseClassifier(const graph::EmbeddingMatrix& true_centers,
+                   const CoarseClassifierConfig& config);
+
+  std::size_t num_classes() const noexcept { return centers_.rows(); }
+
+  /// Class-probability vector for one embedding.
+  std::vector<double> predict(std::span<const float> embedding) const;
+
+  /// Margin utility u(x) = 1 - (P(top|x) - P(sec|x)). In [0, 1].
+  double margin_utility(std::span<const float> embedding) const;
+
+ private:
+  graph::EmbeddingMatrix centers_;
+  double temperature_;
+};
+
+/// Margin utilities for every row, centered by subtracting the minimum.
+std::vector<double> compute_margin_utilities(const graph::EmbeddingMatrix& embeddings,
+                                             const CoarseClassifier& classifier);
+
+/// In-place centering: subtracts the minimum value (no-op on empty input).
+void center_utilities(std::vector<double>& utilities);
+
+}  // namespace subsel::data

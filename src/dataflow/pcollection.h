@@ -1,0 +1,83 @@
+// PCollection<T>: an immutable, sharded dataset handle (Beam §5).
+//
+// A PCollection never exposes a flat view — elements live in shards and are
+// only touched by transforms (see transforms.h), which process shards
+// independently under the pipeline's per-worker memory budget. Driver-side
+// materialization (to_vector) is deliberately explicit and should only be
+// used for small results and tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dataflow/pipeline.h"
+
+namespace subsel::dataflow {
+
+/// Approximate in-memory size of an element, used for worker memory
+/// accounting. Extend by overloading for element types with indirect storage.
+template <typename T>
+std::size_t approx_bytes(const T&) {
+  return sizeof(T);
+}
+
+inline std::size_t approx_bytes(const std::string& s) {
+  return sizeof(std::string) + s.capacity();
+}
+
+template <typename T>
+std::size_t approx_bytes(const std::vector<T>& values) {
+  std::size_t total = sizeof(std::vector<T>);
+  for (const T& value : values) total += approx_bytes(value);
+  return total;
+}
+
+template <typename A, typename B>
+std::size_t approx_bytes(const std::pair<A, B>& p) {
+  return approx_bytes(p.first) + approx_bytes(p.second);
+}
+
+template <typename... Ts>
+std::size_t approx_bytes(const std::tuple<Ts...>& t) {
+  return std::apply([](const Ts&... parts) { return (approx_bytes(parts) + ... + 0); },
+                    t);
+}
+
+template <typename T>
+std::size_t shard_bytes(const std::vector<T>& shard) {
+  std::size_t total = 0;
+  for (const T& value : shard) total += approx_bytes(value);
+  return total;
+}
+
+template <typename T>
+class PCollection {
+ public:
+  using value_type = T;
+
+  PCollection() = default;
+
+  /// Internal: constructed by transforms with pre-built shards.
+  PCollection(Pipeline* pipeline, std::vector<std::vector<T>> shards)
+      : pipeline_(pipeline), shards_(std::move(shards)) {}
+
+  Pipeline* pipeline() const noexcept { return pipeline_; }
+  std::size_t num_shards() const noexcept { return shards_.size(); }
+
+  const std::vector<T>& shard(std::size_t s) const { return shards_[s]; }
+  std::vector<T>& mutable_shard(std::size_t s) { return shards_[s]; }
+
+  std::size_t size() const noexcept {
+    std::size_t total = 0;
+    for (const auto& shard : shards_) total += shard.size();
+    return total;
+  }
+
+ private:
+  Pipeline* pipeline_ = nullptr;
+  std::vector<std::vector<T>> shards_;
+};
+
+}  // namespace subsel::dataflow

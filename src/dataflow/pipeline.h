@@ -1,0 +1,159 @@
+// Execution context for the mini-Beam dataflow substrate.
+//
+// The paper implements bounding and scoring on Apache Beam: immutable,
+// conceptually unbounded PCollections manipulated with ParDo / GroupByKey /
+// joins, where no worker ever needs the whole dataset (or the selected
+// subset) in memory. This substrate simulates that execution model on one
+// server, faithfully in the dimension the paper cares about:
+//
+//  - collections are split into `num_shards` shards;
+//  - transforms process shards in parallel on a thread pool, one shard per
+//    worker at a time;
+//  - every shard task reports its working-set bytes; a configurable
+//    per-worker budget turns "no machine holds the data" from an assumption
+//    into an enforced invariant (exceeding it throws PipelineMemoryError);
+//  - shuffles (GroupByKey, joins) hash-partition records across shards, like
+//    a real distributed shuffle.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+
+namespace subsel::dataflow {
+
+class PipelineMemoryError : public std::runtime_error {
+ public:
+  PipelineMemoryError(std::size_t needed, std::size_t budget)
+      : std::runtime_error("dataflow worker memory budget exceeded: shard needs " +
+                           std::to_string(needed) + " bytes, budget is " +
+                           std::to_string(budget)),
+        needed_bytes(needed),
+        budget_bytes(budget) {}
+
+  std::size_t needed_bytes;
+  std::size_t budget_bytes;
+};
+
+/// A shard task failed more often than the retry budget allows.
+class PipelineFaultError : public std::runtime_error {
+ public:
+  PipelineFaultError(std::size_t shard, std::size_t attempts)
+      : std::runtime_error("dataflow shard " + std::to_string(shard) +
+                           " failed " + std::to_string(attempts) +
+                           " attempts (retry budget exhausted)"),
+        shard_index(shard) {}
+
+  std::size_t shard_index;
+};
+
+struct PipelineOptions {
+  /// Number of shards each PCollection is split into (the "machine" count).
+  std::size_t num_shards = 32;
+  /// Per-worker memory budget in bytes; 0 disables enforcement.
+  std::size_t worker_memory_bytes = 0;
+  /// Thread pool running shard tasks; nullptr uses the global pool.
+  ThreadPool* pool = nullptr;
+  /// Fault injection (testing hook simulating worker preemption): each shard
+  /// attempt is declared lost with this probability *after* its side effects
+  /// ran, forcing an idempotent re-execution — the property real dataflow
+  /// runners demand of ParDo workers. 0 disables injection.
+  double shard_failure_probability = 0.0;
+  /// Attempts per shard task before PipelineFaultError (counting the first).
+  std::size_t max_shard_attempts = 4;
+  /// Seed for the (deterministic) fault pattern.
+  std::uint64_t fault_seed = 5;
+};
+
+class Pipeline {
+ public:
+  explicit Pipeline(PipelineOptions options = {}) : options_(options) {
+    if (options_.num_shards == 0) {
+      throw std::invalid_argument("Pipeline: num_shards must be >= 1");
+    }
+  }
+
+  const PipelineOptions& options() const noexcept { return options_; }
+  std::size_t num_shards() const noexcept { return options_.num_shards; }
+
+  ThreadPool& pool() const {
+    return options_.pool != nullptr ? *options_.pool : global_thread_pool();
+  }
+
+  /// Called by every shard task with its working-set size. Tracks the peak
+  /// and enforces the per-worker budget.
+  void charge_shard_bytes(std::size_t bytes) {
+    std::size_t expected = peak_shard_bytes_.load(std::memory_order_relaxed);
+    while (bytes > expected && !peak_shard_bytes_.compare_exchange_weak(
+                                   expected, bytes, std::memory_order_relaxed)) {
+    }
+    if (options_.worker_memory_bytes != 0 && bytes > options_.worker_memory_bytes) {
+      throw PipelineMemoryError(bytes, options_.worker_memory_bytes);
+    }
+  }
+
+  /// Largest single-shard working set observed so far — the amount of DRAM a
+  /// real worker would have needed.
+  std::size_t peak_shard_bytes() const noexcept {
+    return peak_shard_bytes_.load(std::memory_order_relaxed);
+  }
+
+  /// Named monotonically-increasing counters (Beam-style metrics).
+  void increment_counter(const std::string& name, std::uint64_t delta = 1) {
+    std::lock_guard lock(counter_mutex_);
+    counters_[name] += delta;
+  }
+
+  std::uint64_t counter(const std::string& name) const {
+    std::lock_guard lock(counter_mutex_);
+    const auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+  }
+
+  /// Runs `fn(shard)` for every shard in parallel, with fault injection and
+  /// retry. All transforms dispatch through this; `fn` MUST be idempotent
+  /// (reset its output slot before writing — every transform in
+  /// transforms.h does). Deterministic errors (e.g. PipelineMemoryError)
+  /// propagate immediately; injected transient losses retry up to
+  /// max_shard_attempts, then throw PipelineFaultError.
+  template <typename Fn>
+  void for_each_shard(std::size_t count, Fn&& fn) {
+    const std::uint64_t stage = stage_counter_.fetch_add(1, std::memory_order_relaxed);
+    pool().parallel_for(count, [&](std::size_t s) {
+      for (std::size_t attempt = 1;; ++attempt) {
+        fn(s);
+        if (!inject_fault(stage, s, attempt)) return;
+        increment_counter("shard_retries");
+        if (attempt >= options_.max_shard_attempts) {
+          throw PipelineFaultError(s, attempt);
+        }
+      }
+    });
+  }
+
+ private:
+  /// Deterministic per-(stage, shard, attempt) coin flip.
+  bool inject_fault(std::uint64_t stage, std::size_t shard,
+                    std::size_t attempt) const {
+    if (options_.shard_failure_probability <= 0.0) return false;
+    const std::uint64_t h = subsel::hash_combine(
+        subsel::hash_combine(subsel::hash_combine(options_.fault_seed, stage),
+                             static_cast<std::uint64_t>(shard)),
+        static_cast<std::uint64_t>(attempt));
+    return subsel::hash_to_unit(h) < options_.shard_failure_probability;
+  }
+
+  PipelineOptions options_;
+  std::atomic<std::size_t> peak_shard_bytes_{0};
+  std::atomic<std::uint64_t> stage_counter_{0};
+  mutable std::mutex counter_mutex_;
+  std::map<std::string, std::uint64_t> counters_;
+};
+
+}  // namespace subsel::dataflow

@@ -1,0 +1,47 @@
+#include "dataflow/transforms.h"
+
+#include <limits>
+
+namespace subsel::dataflow {
+
+double kth_largest_distributed(const PCollection<double>& values, std::size_t k) {
+  if (k == 0) return std::numeric_limits<double>::infinity();
+  if (values.size() < k) return -std::numeric_limits<double>::infinity();
+
+  // Distributed count of elements whose ordered-bits representation is >= t.
+  auto count_at_least = [&values](std::uint64_t t) -> std::size_t {
+    std::vector<std::size_t> partials(values.num_shards(), 0);
+    values.pipeline()->for_each_shard(values.num_shards(), [&](std::size_t s) {
+      std::size_t c = 0;
+      for (double v : values.shard(s)) {
+        if (detail::ordered_bits(v) >= t) ++c;
+      }
+      partials[s] = c;
+    });
+    std::size_t total = 0;
+    for (std::size_t p : partials) total += p;
+    return total;
+  };
+
+  // Invariant: count_at_least(lo) >= k and count_at_least(hi + 1) < k.
+  // Binary search for the largest t with count_at_least(t) >= k; that t is
+  // the ordered-bits image of the k-th largest value.
+  std::uint64_t lo = 0;
+  std::uint64_t hi = std::numeric_limits<std::uint64_t>::max();
+  while (lo < hi) {
+    // Upper midpoint without overflow (hi - lo can be the full 64-bit range).
+    const std::uint64_t mid = hi - (hi - lo) / 2;
+    if (count_at_least(mid) >= k) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+
+  // Convert back: lo is ordered_bits(answer).
+  const std::uint64_t bits =
+      (lo & 0x8000000000000000ULL) != 0 ? lo & 0x7fffffffffffffffULL : ~lo;
+  return std::bit_cast<double>(bits);
+}
+
+}  // namespace subsel::dataflow

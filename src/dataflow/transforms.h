@@ -1,0 +1,341 @@
+// Beam-style transforms over PCollections.
+//
+// ParDo-family (map / flat_map / filter) processes shards independently;
+// GroupByKey and CoGroupByKey hash-shuffle records across shards exactly like
+// a distributed runner would; sum/count/to_vector are the driver-side sinks.
+// Every shard task charges its working set against the pipeline's per-worker
+// memory budget.
+//
+// Determinism: sharding is by contiguous ranges (sources) or key hash
+// (shuffles), and grouped output is sorted by key within each shard, so every
+// pipeline run is bit-reproducible — a property the bounding-equivalence
+// tests rely on.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <stdexcept>
+#include <tuple>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "dataflow/pcollection.h"
+
+namespace subsel::dataflow {
+
+namespace detail {
+
+/// Stable shard assignment for a key.
+template <typename K>
+std::size_t shard_for_key(const K& key, std::size_t num_shards) {
+  return static_cast<std::size_t>(
+      subsel::splitmix64(static_cast<std::uint64_t>(key)) % num_shards);
+}
+
+/// Monotone mapping from double to uint64 (IEEE-754 total order trick), used
+/// by the exact distributed selection.
+inline std::uint64_t ordered_bits(double value) {
+  auto bits = std::bit_cast<std::uint64_t>(value);
+  return (bits & 0x8000000000000000ULL) != 0 ? ~bits : bits | 0x8000000000000000ULL;
+}
+
+}  // namespace detail
+
+/// Materializes a driver-side vector into a sharded collection (contiguous
+/// ranges). Use from_generator for sources that must never be materialized.
+template <typename T>
+PCollection<T> from_vector(Pipeline& pipeline, const std::vector<T>& values) {
+  const std::size_t shards = pipeline.num_shards();
+  std::vector<std::vector<T>> out(shards);
+  const std::size_t base = values.size() / shards;
+  const std::size_t extra = values.size() % shards;
+  std::size_t cursor = 0;
+  for (std::size_t s = 0; s < shards; ++s) {
+    const std::size_t count = base + (s < extra ? 1 : 0);
+    out[s].assign(values.begin() + static_cast<std::ptrdiff_t>(cursor),
+                  values.begin() + static_cast<std::ptrdiff_t>(cursor + count));
+    cursor += count;
+  }
+  return PCollection<T>(&pipeline, std::move(out));
+}
+
+/// Lazily generates element i = fn(i) for i in [0, count), shard by shard —
+/// the whole collection is never resident on the driver.
+template <typename T, typename Fn>
+PCollection<T> from_generator(Pipeline& pipeline, std::size_t count, Fn fn) {
+  const std::size_t shards = pipeline.num_shards();
+  std::vector<std::vector<T>> out(shards);
+  const std::size_t base = count / shards;
+  const std::size_t extra = count % shards;
+  std::vector<std::size_t> begins(shards + 1, 0);
+  for (std::size_t s = 0; s < shards; ++s) {
+    begins[s + 1] = begins[s] + base + (s < extra ? 1 : 0);
+  }
+  pipeline.for_each_shard(shards, [&](std::size_t s) {
+    out[s].clear();  // idempotent under for_each_shard retry
+    out[s].reserve(begins[s + 1] - begins[s]);
+    for (std::size_t i = begins[s]; i < begins[s + 1]; ++i) {
+      out[s].push_back(fn(i));
+    }
+    pipeline.charge_shard_bytes(shard_bytes(out[s]));
+  });
+  return PCollection<T>(&pipeline, std::move(out));
+}
+
+/// Element-wise ParDo: out = fn(in).
+template <typename U, typename T, typename Fn>
+PCollection<U> map(const PCollection<T>& in, Fn fn) {
+  Pipeline& pipeline = *in.pipeline();
+  std::vector<std::vector<U>> out(in.num_shards());
+  pipeline.for_each_shard(in.num_shards(), [&](std::size_t s) {
+    const auto& shard = in.shard(s);
+    out[s].clear();  // idempotent under for_each_shard retry
+    out[s].reserve(shard.size());
+    for (const T& value : shard) out[s].push_back(fn(value));
+    pipeline.charge_shard_bytes(shard_bytes(shard) + shard_bytes(out[s]));
+  });
+  return PCollection<U>(&pipeline, std::move(out));
+}
+
+/// ParDo with 0..n outputs per element: fn(value, emit) where emit(U).
+template <typename U, typename T, typename Fn>
+PCollection<U> flat_map(const PCollection<T>& in, Fn fn) {
+  Pipeline& pipeline = *in.pipeline();
+  std::vector<std::vector<U>> out(in.num_shards());
+  pipeline.for_each_shard(in.num_shards(), [&](std::size_t s) {
+    const auto& shard = in.shard(s);
+    out[s].clear();  // idempotent under for_each_shard retry
+    auto emit = [&out, s](U value) { out[s].push_back(std::move(value)); };
+    for (const T& value : shard) fn(value, emit);
+    pipeline.charge_shard_bytes(shard_bytes(shard) + shard_bytes(out[s]));
+  });
+  return PCollection<U>(&pipeline, std::move(out));
+}
+
+template <typename T, typename Pred>
+PCollection<T> filter(const PCollection<T>& in, Pred pred) {
+  return flat_map<T>(in, [pred](const T& value, auto emit) {
+    if (pred(value)) emit(value);
+  });
+}
+
+/// Concatenates two collections (Beam Flatten); both must share a pipeline.
+template <typename T>
+PCollection<T> flatten(const PCollection<T>& a, const PCollection<T>& b) {
+  if (a.pipeline() != b.pipeline()) {
+    throw std::invalid_argument("flatten: collections from different pipelines");
+  }
+  Pipeline& pipeline = *a.pipeline();
+  std::vector<std::vector<T>> out(pipeline.num_shards());
+  for (std::size_t s = 0; s < pipeline.num_shards(); ++s) {
+    if (s < a.num_shards()) {
+      out[s].insert(out[s].end(), a.shard(s).begin(), a.shard(s).end());
+    }
+    if (s < b.num_shards()) {
+      out[s].insert(out[s].end(), b.shard(s).begin(), b.shard(s).end());
+    }
+  }
+  return PCollection<T>(&pipeline, std::move(out));
+}
+
+namespace detail {
+
+/// Hash shuffle: redistributes key-value records so all records of one key
+/// land in the same output shard. Phase 1 buckets per input shard in
+/// parallel; phase 2 concatenates bucket columns.
+template <typename K, typename V>
+std::vector<std::vector<std::pair<K, V>>> shuffle_by_key(
+    const PCollection<std::pair<K, V>>& in) {
+  Pipeline& pipeline = *in.pipeline();
+  const std::size_t shards = pipeline.num_shards();
+  std::vector<std::vector<std::vector<std::pair<K, V>>>> buckets(in.num_shards());
+  pipeline.for_each_shard(in.num_shards(), [&](std::size_t s) {
+    buckets[s].assign(shards, {});  // idempotent under for_each_shard retry
+    for (const auto& record : in.shard(s)) {
+      buckets[s][shard_for_key(record.first, shards)].push_back(record);
+    }
+    pipeline.charge_shard_bytes(2 * shard_bytes(in.shard(s)));
+  });
+  std::vector<std::vector<std::pair<K, V>>> out(shards);
+  pipeline.for_each_shard(shards, [&](std::size_t s) {
+    std::size_t total = 0;
+    for (const auto& input_buckets : buckets) total += input_buckets[s].size();
+    out[s].clear();  // idempotent under for_each_shard retry
+    out[s].reserve(total);
+    for (auto& input_buckets : buckets) {
+      out[s].insert(out[s].end(), input_buckets[s].begin(), input_buckets[s].end());
+    }
+    pipeline.charge_shard_bytes(shard_bytes(out[s]));
+  });
+  return out;
+}
+
+}  // namespace detail
+
+/// GroupByKey: (K,V) records -> (K, [V...]) with one output record per key,
+/// keys sorted within each shard, value order = shuffle arrival order
+/// (deterministic; see header comment).
+template <typename K, typename V>
+PCollection<std::pair<K, std::vector<V>>> group_by_key(
+    const PCollection<std::pair<K, V>>& in) {
+  Pipeline& pipeline = *in.pipeline();
+  auto shuffled = detail::shuffle_by_key(in);
+  std::vector<std::vector<std::pair<K, std::vector<V>>>> out(shuffled.size());
+  pipeline.for_each_shard(shuffled.size(), [&](std::size_t s) {
+    std::unordered_map<K, std::vector<V>> groups;
+    // Copy (not move) the shuffled records: the task may be re-executed
+    // after an injected fault, and its input must stay intact.
+    for (const auto& record : shuffled[s]) {
+      groups[record.first].push_back(record.second);
+    }
+    out[s].clear();  // idempotent under for_each_shard retry
+    out[s].reserve(groups.size());
+    for (auto& [key, values] : groups) {
+      out[s].emplace_back(key, std::move(values));
+    }
+    std::sort(out[s].begin(), out[s].end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    pipeline.charge_shard_bytes(shard_bytes(out[s]));
+  });
+  return PCollection<std::pair<K, std::vector<V>>>(&pipeline, std::move(out));
+}
+
+template <typename K, typename A, typename B>
+struct JoinRow2 {
+  K key{};
+  std::vector<A> left;
+  std::vector<B> right;
+};
+
+template <typename K, typename A, typename B>
+std::size_t approx_bytes(const JoinRow2<K, A, B>& row) {
+  return sizeof(K) + approx_bytes(row.left) + approx_bytes(row.right);
+}
+
+/// CoGroupByKey over two collections: one output row per key present in
+/// either input, carrying all values from both sides.
+template <typename K, typename A, typename B>
+PCollection<JoinRow2<K, A, B>> co_group_by_key(
+    const PCollection<std::pair<K, A>>& left,
+    const PCollection<std::pair<K, B>>& right) {
+  if (left.pipeline() != right.pipeline()) {
+    throw std::invalid_argument("co_group_by_key: different pipelines");
+  }
+  Pipeline& pipeline = *left.pipeline();
+  auto left_shuffled = detail::shuffle_by_key(left);
+  auto right_shuffled = detail::shuffle_by_key(right);
+  std::vector<std::vector<JoinRow2<K, A, B>>> out(pipeline.num_shards());
+  pipeline.for_each_shard(pipeline.num_shards(), [&](std::size_t s) {
+    std::unordered_map<K, std::size_t> index;
+    std::vector<JoinRow2<K, A, B>> rows;
+    auto row_for = [&](const K& key) -> JoinRow2<K, A, B>& {
+      auto [it, inserted] = index.emplace(key, rows.size());
+      if (inserted) {
+        rows.push_back(JoinRow2<K, A, B>{key, {}, {}});
+      }
+      return rows[it->second];
+    };
+    // Copy (not move): the task may re-execute after an injected fault.
+    for (const auto& record : left_shuffled[s]) {
+      row_for(record.first).left.push_back(record.second);
+    }
+    for (const auto& record : right_shuffled[s]) {
+      row_for(record.first).right.push_back(record.second);
+    }
+    std::sort(rows.begin(), rows.end(),
+              [](const auto& a, const auto& b) { return a.key < b.key; });
+    pipeline.charge_shard_bytes(shard_bytes(rows));
+    out[s] = std::move(rows);
+  });
+  return PCollection<JoinRow2<K, A, B>>(&pipeline, std::move(out));
+}
+
+template <typename K, typename A, typename B, typename C>
+struct JoinRow3 {
+  K key{};
+  std::vector<A> first;
+  std::vector<B> second;
+  std::vector<C> third;
+};
+
+template <typename K, typename A, typename B, typename C>
+std::size_t approx_bytes(const JoinRow3<K, A, B, C>& row) {
+  return sizeof(K) + approx_bytes(row.first) + approx_bytes(row.second) +
+         approx_bytes(row.third);
+}
+
+/// CoGroupByKey over three collections — the shape of the Section-5
+/// three-way join (fanned neighbor graph ⋈ partial solution ⋈ unassigned).
+template <typename K, typename A, typename B, typename C>
+PCollection<JoinRow3<K, A, B, C>> co_group_by_key(
+    const PCollection<std::pair<K, A>>& first,
+    const PCollection<std::pair<K, B>>& second,
+    const PCollection<std::pair<K, C>>& third) {
+  if (first.pipeline() != second.pipeline() || first.pipeline() != third.pipeline()) {
+    throw std::invalid_argument("co_group_by_key: different pipelines");
+  }
+  Pipeline& pipeline = *first.pipeline();
+  auto s1 = detail::shuffle_by_key(first);
+  auto s2 = detail::shuffle_by_key(second);
+  auto s3 = detail::shuffle_by_key(third);
+  std::vector<std::vector<JoinRow3<K, A, B, C>>> out(pipeline.num_shards());
+  pipeline.for_each_shard(pipeline.num_shards(), [&](std::size_t s) {
+    std::unordered_map<K, std::size_t> index;
+    std::vector<JoinRow3<K, A, B, C>> rows;
+    auto row_for = [&](const K& key) -> JoinRow3<K, A, B, C>& {
+      auto [it, inserted] = index.emplace(key, rows.size());
+      if (inserted) rows.push_back(JoinRow3<K, A, B, C>{key, {}, {}, {}});
+      return rows[it->second];
+    };
+    // Copy (not move): the task may re-execute after an injected fault.
+    for (const auto& record : s1[s]) row_for(record.first).first.push_back(record.second);
+    for (const auto& record : s2[s]) row_for(record.first).second.push_back(record.second);
+    for (const auto& record : s3[s]) row_for(record.first).third.push_back(record.second);
+    std::sort(rows.begin(), rows.end(),
+              [](const auto& a, const auto& b) { return a.key < b.key; });
+    pipeline.charge_shard_bytes(shard_bytes(rows));
+    out[s] = std::move(rows);
+  });
+  return PCollection<JoinRow3<K, A, B, C>>(&pipeline, std::move(out));
+}
+
+/// Driver-side global sum (values must support +).
+template <typename T>
+T sum(const PCollection<T>& in) {
+  std::vector<T> partials(in.num_shards(), T{});
+  in.pipeline()->for_each_shard(in.num_shards(), [&](std::size_t s) {
+    T acc{};
+    for (const T& value : in.shard(s)) acc = acc + value;
+    partials[s] = acc;
+  });
+  T total{};
+  for (const T& partial : partials) total = total + partial;
+  return total;
+}
+
+template <typename T>
+std::size_t count(const PCollection<T>& in) {
+  return in.size();
+}
+
+/// Driver-side materialization in shard order. Only for small results/tests.
+template <typename T>
+std::vector<T> to_vector(const PCollection<T>& in) {
+  std::vector<T> out;
+  out.reserve(in.size());
+  for (std::size_t s = 0; s < in.num_shards(); ++s) {
+    out.insert(out.end(), in.shard(s).begin(), in.shard(s).end());
+  }
+  return out;
+}
+
+/// Exact k-th largest (1-based) of a distributed double collection, without
+/// gathering it: binary search over the IEEE-754 total order with one
+/// distributed count per step (<= 64 passes). Returns -inf if k exceeds the
+/// collection size and +inf if k == 0, mirroring subsel::kth_largest.
+double kth_largest_distributed(const PCollection<double>& values, std::size_t k);
+
+}  // namespace subsel::dataflow

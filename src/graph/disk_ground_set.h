@@ -1,0 +1,94 @@
+// Disk-backed ground set: the adjacency (the dominant memory term) stays in
+// the on-disk CSR file and is served through a bounded LRU block cache.
+//
+// The paper's feasibility math (Section 3): per point, the 10-NN adjacency
+// costs ~16 B/edge — 880 GB for 5 B points — while per-point scalars (id,
+// utility, tri-state) cost a few bytes. This class keeps exactly the cheap
+// scalars resident (offsets + utilities, ~16 B/point) and pages edge blocks
+// in on demand, so a materialized dataset far larger than DRAM can still be
+// processed by bounding and the distributed greedy: their access pattern is
+// streaming (bounding) or partition-local (greedy), both cache-friendly.
+//
+// Thread safe: neighbor reads may come from any worker thread (bounding's
+// parallel passes do); the cache is mutex-protected and the file is read
+// with pread.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/ground_set.h"
+
+namespace subsel::graph {
+
+struct DiskGroundSetConfig {
+  /// Edges per cache block. Blocks are the paging unit; a block spans
+  /// contiguous edge indices, so one block typically covers many nodes.
+  std::size_t block_edges = 4096;
+  /// Maximum cached blocks (the resident-edge budget is
+  /// max_cached_blocks * block_edges * sizeof(Edge)).
+  std::size_t max_cached_blocks = 64;
+};
+
+/// GroundSet over a SimilarityGraph::save file + in-memory utilities.
+class DiskGroundSet final : public GroundSet {
+ public:
+  /// Opens `graph_path` (a file written by SimilarityGraph::save) and
+  /// validates its header. `utilities` must have one entry per node.
+  DiskGroundSet(const std::string& graph_path, std::vector<double> utilities,
+                const DiskGroundSetConfig& config = {});
+  ~DiskGroundSet() override;
+
+  DiskGroundSet(const DiskGroundSet&) = delete;
+  DiskGroundSet& operator=(const DiskGroundSet&) = delete;
+
+  std::size_t num_points() const override { return utilities_.size(); }
+  double utility(NodeId v) const override {
+    return utilities_[static_cast<std::size_t>(v)];
+  }
+  void neighbors(NodeId v, std::vector<Edge>& out) const override;
+  std::size_t degree(NodeId v) const override {
+    const auto i = static_cast<std::size_t>(v);
+    return static_cast<std::size_t>(offsets_[i + 1] - offsets_[i]);
+  }
+
+  std::size_t num_edges() const noexcept {
+    return offsets_.empty() ? 0 : static_cast<std::size_t>(offsets_.back());
+  }
+
+  /// Resident bytes of the cache at capacity plus the per-point scalars —
+  /// what this class actually keeps in DRAM.
+  std::size_t resident_bytes() const noexcept;
+
+  /// Cache statistics (monotonic).
+  std::uint64_t cache_hits() const noexcept { return hits_; }
+  std::uint64_t cache_misses() const noexcept { return misses_; }
+
+ private:
+  /// Returns a reference-stable copy of block `index` (cached or loaded).
+  void read_edges(std::size_t first_edge, std::size_t count,
+                  std::vector<Edge>& out) const;
+  const std::vector<Edge>& block(std::size_t index) const;
+
+  DiskGroundSetConfig config_;
+  int fd_ = -1;
+  std::uint64_t edge_base_offset_ = 0;  // file offset of edges_[0]
+  std::vector<std::int64_t> offsets_;   // resident: 8 B/point
+  std::vector<double> utilities_;       // resident: 8 B/point
+
+  mutable std::mutex mutex_;
+  mutable std::list<std::size_t> lru_;  // most recent first
+  struct CacheEntry {
+    std::vector<Edge> edges;
+    std::list<std::size_t>::iterator lru_position;
+  };
+  mutable std::unordered_map<std::size_t, CacheEntry> cache_;
+  mutable std::uint64_t hits_ = 0;
+  mutable std::uint64_t misses_ = 0;
+};
+
+}  // namespace subsel::graph

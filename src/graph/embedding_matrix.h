@@ -1,0 +1,87 @@
+// Dense row-major float embedding storage.
+//
+// The paper consumes 64-d (CIFAR) and 2048-d (ImageNet) penultimate-layer
+// embeddings; similarities are cosine. We store L2-normalizable float rows so
+// cosine similarity reduces to a dot product after normalize_rows().
+#pragma once
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace subsel::graph {
+
+class EmbeddingMatrix {
+ public:
+  EmbeddingMatrix() = default;
+  EmbeddingMatrix(std::size_t rows, std::size_t dim)
+      : rows_(rows), dim_(dim), data_(rows * dim, 0.0f) {}
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t dim() const noexcept { return dim_; }
+  bool empty() const noexcept { return rows_ == 0; }
+
+  std::span<float> row(std::size_t i) noexcept {
+    assert(i < rows_);
+    return {data_.data() + i * dim_, dim_};
+  }
+  std::span<const float> row(std::size_t i) const noexcept {
+    assert(i < rows_);
+    return {data_.data() + i * dim_, dim_};
+  }
+
+  std::span<const float> flat() const noexcept { return data_; }
+  std::span<float> flat() noexcept { return data_; }
+
+  /// L2-normalizes every row in place (rows with near-zero norm are left
+  /// untouched). After this, dot(row_i, row_j) is the cosine similarity.
+  void normalize_rows() noexcept {
+    for (std::size_t i = 0; i < rows_; ++i) {
+      auto r = row(i);
+      double sum_sq = 0.0;
+      for (float v : r) sum_sq += static_cast<double>(v) * v;
+      if (sum_sq < 1e-20) continue;
+      const float inv = static_cast<float>(1.0 / std::sqrt(sum_sq));
+      for (float& v : r) v *= inv;
+    }
+  }
+
+  std::size_t byte_size() const noexcept { return data_.size() * sizeof(float); }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t dim_ = 0;
+  std::vector<float> data_;
+};
+
+/// Dot product of two equal-length float spans (cosine similarity for
+/// normalized rows). Written as a plain loop; GCC auto-vectorizes it.
+inline float dot(std::span<const float> a, std::span<const float> b) noexcept {
+  assert(a.size() == b.size());
+  float acc0 = 0.0f, acc1 = 0.0f, acc2 = 0.0f, acc3 = 0.0f;
+  std::size_t i = 0;
+  const std::size_t n4 = a.size() / 4 * 4;
+  for (; i < n4; i += 4) {
+    acc0 += a[i] * b[i];
+    acc1 += a[i + 1] * b[i + 1];
+    acc2 += a[i + 2] * b[i + 2];
+    acc3 += a[i + 3] * b[i + 3];
+  }
+  for (; i < a.size(); ++i) acc0 += a[i] * b[i];
+  return acc0 + acc1 + acc2 + acc3;
+}
+
+/// Squared L2 distance.
+inline float squared_l2(std::span<const float> a, std::span<const float> b) noexcept {
+  assert(a.size() == b.size());
+  float acc = 0.0f;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const float d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+}  // namespace subsel::graph

@@ -1,0 +1,73 @@
+// Abstraction over a (possibly larger-than-memory) ground set.
+//
+// The selection algorithms need exactly three things about the data: its
+// cardinality, per-point utilities u(v), and per-point similarity
+// neighborhoods {(v2, s(v,v2))}. Materialized datasets implement this with a
+// CSR graph + utility vector (InMemoryGroundSet); the 13-billion-point
+// Perturbed dataset implements it by *computing* utilities and neighborhoods
+// on the fly from seeded hashes (data/perturbed.h), so the full ground set is
+// never resident.
+//
+// Contract: the neighborhood relation must be symmetric with equal weights in
+// both directions and contain no self loops, and all weights must be
+// non-negative — these are the Section 3/5 preconditions for submodularity
+// and for the distributed joins.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/similarity_graph.h"
+
+namespace subsel::graph {
+
+class GroundSet {
+ public:
+  virtual ~GroundSet() = default;
+
+  virtual std::size_t num_points() const = 0;
+
+  virtual double utility(NodeId v) const = 0;
+
+  /// Replaces `out` with the neighbors of v. Implementations should reuse
+  /// `out`'s capacity; callers reuse one buffer across calls.
+  virtual void neighbors(NodeId v, std::vector<Edge>& out) const = 0;
+
+  /// Degree of v; default derives it via neighbors() — override when cheaper.
+  virtual std::size_t degree(NodeId v) const {
+    std::vector<Edge> scratch;
+    neighbors(v, scratch);
+    return scratch.size();
+  }
+};
+
+/// Ground set backed by a materialized symmetric similarity graph and a
+/// utility vector (the CIFAR/ImageNet-proxy path).
+class InMemoryGroundSet final : public GroundSet {
+ public:
+  /// Both references must outlive the ground set.
+  InMemoryGroundSet(const SimilarityGraph& graph, const std::vector<double>& utilities)
+      : graph_(graph), utilities_(utilities) {}
+
+  std::size_t num_points() const override { return graph_.num_nodes(); }
+
+  double utility(NodeId v) const override {
+    return utilities_[static_cast<std::size_t>(v)];
+  }
+
+  void neighbors(NodeId v, std::vector<Edge>& out) const override {
+    const auto span = graph_.neighbors(v);
+    out.assign(span.begin(), span.end());
+  }
+
+  std::size_t degree(NodeId v) const override { return graph_.degree(v); }
+
+  const SimilarityGraph& similarity_graph() const noexcept { return graph_; }
+  const std::vector<double>& utilities() const noexcept { return utilities_; }
+
+ private:
+  const SimilarityGraph& graph_;
+  const std::vector<double>& utilities_;
+};
+
+}  // namespace subsel::graph

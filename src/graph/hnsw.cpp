@@ -1,0 +1,208 @@
+#include "graph/hnsw.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "common/rng.h"
+
+namespace subsel::graph {
+namespace {
+
+/// Min-heap entry ordered by similarity (worst candidate on top).
+struct Candidate {
+  float similarity;
+  std::uint32_t node;
+};
+
+struct WorseFirst {
+  bool operator()(const Candidate& a, const Candidate& b) const {
+    if (a.similarity != b.similarity) return a.similarity > b.similarity;
+    return a.node < b.node;
+  }
+};
+
+struct BetterFirst {
+  bool operator()(const Candidate& a, const Candidate& b) const {
+    if (a.similarity != b.similarity) return a.similarity < b.similarity;
+    return a.node > b.node;
+  }
+};
+
+}  // namespace
+
+HnswIndex::HnswIndex(const EmbeddingMatrix& embeddings, const HnswConfig& config)
+    : embeddings_(&embeddings), config_(config) {
+  const std::size_t n = embeddings.rows();
+  levels_.resize(n);
+  links_.resize(n);
+  if (n == 0) return;
+
+  // Geometric level distribution with expected height 1/ln(m).
+  Rng rng(config_.seed);
+  const double inv_log_m =
+      1.0 / std::log(static_cast<double>(std::max<std::size_t>(2, config_.m)));
+  for (std::size_t i = 0; i < n; ++i) {
+    const double u = std::max(rng.uniform(), 1e-12);
+    levels_[i] = static_cast<std::size_t>(-std::log(u) * inv_log_m);
+    links_[i].resize(levels_[i] + 1);
+  }
+
+  entry_point_ = 0;
+  max_level_ = levels_[0];
+
+  for (std::uint32_t node = 1; node < n; ++node) {
+    const std::span<const float> query = embeddings_->row(node);
+    const std::size_t node_level = levels_[node];
+
+    // Phase 1: greedy descent through the levels above the node's level.
+    std::uint32_t entry = entry_point_;
+    for (std::size_t level = max_level_; level > node_level; --level) {
+      entry = greedy_descend(query, entry, level);
+    }
+
+    // Phase 2: beam search and connect on every level the node occupies.
+    for (std::size_t level = std::min(node_level, max_level_);; --level) {
+      auto candidates = beam_search(query, entry, level, config_.ef_construction);
+      std::sort(candidates.begin(), candidates.end(),
+                [](const auto& a, const auto& b) {
+                  if (a.second != b.second) return a.second > b.second;
+                  return a.first < b.first;
+                });
+      const std::size_t cap = level == 0 ? 2 * config_.m : config_.m;
+      const std::size_t take = std::min(cap, candidates.size());
+
+      auto& own = links(node, level);
+      own.reserve(take);
+      for (std::size_t i = 0; i < take; ++i) {
+        const std::uint32_t neighbor = candidates[i].first;
+        own.push_back(neighbor);
+        // Bidirectional link; prune the neighbor back to its cap by keeping
+        // its most-similar links.
+        auto& back = links(neighbor, level);
+        back.push_back(node);
+        if (back.size() > cap) {
+          const std::span<const float> anchor = embeddings_->row(neighbor);
+          const std::size_t worst =
+              std::min_element(back.begin(), back.end(),
+                               [&](std::uint32_t a, std::uint32_t b) {
+                                 return similarity(anchor, a) < similarity(anchor, b);
+                               }) -
+              back.begin();
+          back[worst] = back.back();
+          back.pop_back();
+        }
+      }
+      if (!candidates.empty()) entry = candidates.front().first;
+      if (level == 0) break;
+    }
+
+    if (node_level > max_level_) {
+      max_level_ = node_level;
+      entry_point_ = node;
+    }
+  }
+}
+
+float HnswIndex::similarity(std::span<const float> query, std::uint32_t node) const {
+  const std::span<const float> row = embeddings_->row(node);
+  float dot = 0.0f;
+  for (std::size_t d = 0; d < row.size(); ++d) dot += query[d] * row[d];
+  return dot;
+}
+
+std::uint32_t HnswIndex::greedy_descend(std::span<const float> query,
+                                        std::uint32_t entry,
+                                        std::size_t level) const {
+  float best = similarity(query, entry);
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    for (std::uint32_t neighbor : links(entry, level)) {
+      const float s = similarity(query, neighbor);
+      if (s > best) {
+        best = s;
+        entry = neighbor;
+        improved = true;
+      }
+    }
+  }
+  return entry;
+}
+
+std::vector<std::pair<std::uint32_t, float>> HnswIndex::beam_search(
+    std::span<const float> query, std::uint32_t entry, std::size_t level,
+    std::size_t ef) const {
+  std::vector<std::uint8_t> visited(size(), 0);
+  visited[entry] = 1;
+  const float entry_similarity = similarity(query, entry);
+
+  // `frontier`: best-first expansion queue; `result`: worst-first heap of
+  // the ef best seen so far.
+  std::priority_queue<Candidate, std::vector<Candidate>, BetterFirst> frontier;
+  std::priority_queue<Candidate, std::vector<Candidate>, WorseFirst> result;
+  frontier.push({entry_similarity, entry});
+  result.push({entry_similarity, entry});
+
+  while (!frontier.empty()) {
+    const Candidate current = frontier.top();
+    frontier.pop();
+    if (result.size() >= ef && current.similarity < result.top().similarity) break;
+    for (std::uint32_t neighbor : links(current.node, level)) {
+      if (visited[neighbor] != 0) continue;
+      visited[neighbor] = 1;
+      const float s = similarity(query, neighbor);
+      if (result.size() < ef || s > result.top().similarity) {
+        frontier.push({s, neighbor});
+        result.push({s, neighbor});
+        if (result.size() > ef) result.pop();
+      }
+    }
+  }
+
+  std::vector<std::pair<std::uint32_t, float>> out;
+  out.reserve(result.size());
+  while (!result.empty()) {
+    out.emplace_back(result.top().node, result.top().similarity);
+    result.pop();
+  }
+  return out;
+}
+
+std::vector<Edge> HnswIndex::search(std::span<const float> query, std::size_t k,
+                                    NodeId exclude) const {
+  if (size() == 0 || k == 0) return {};
+  std::uint32_t entry = entry_point_;
+  for (std::size_t level = max_level_; level > 0; --level) {
+    entry = greedy_descend(query, entry, level);
+  }
+  auto candidates =
+      beam_search(query, entry, 0, std::max(config_.ef_search, k + 1));
+  std::sort(candidates.begin(), candidates.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first < b.first;
+            });
+  std::vector<Edge> out;
+  out.reserve(k);
+  for (const auto& [node, sim] : candidates) {
+    if (exclude >= 0 && node == static_cast<std::uint32_t>(exclude)) continue;
+    out.push_back(Edge{static_cast<NodeId>(node), sim});
+    if (out.size() == k) break;
+  }
+  return out;
+}
+
+std::vector<NeighborList> HnswIndex::knn_graph(std::size_t k,
+                                               ThreadPool* pool) const {
+  const std::size_t n = size();
+  std::vector<NeighborList> lists(n);
+  ThreadPool& workers = pool != nullptr ? *pool : global_thread_pool();
+  workers.parallel_for(n, [&](std::size_t i) {
+    lists[i].edges =
+        search(embeddings_->row(i), k, static_cast<NodeId>(i));
+  });
+  return lists;
+}
+
+}  // namespace subsel::graph

@@ -1,0 +1,84 @@
+// HNSW (Hierarchical Navigable Small World) approximate nearest-neighbor
+// index — a second backend for the 10-NN graph construction, alongside the
+// IVF index (both stand in for the ScaNN search the paper uses; having two
+// backends lets the benches show that the selection results do not depend
+// on the ANN implementation, only on the resulting graph).
+//
+// Standard construction (Malkov & Yashunin 2018): each node draws a level
+// from a geometric distribution; inserts greedily descend from the top
+// entry point, then connect to the closest `M` candidates found by a
+// beam search of width `ef_construction` on every level it occupies, with
+// bidirectional links pruned back to the degree cap. Queries descend the
+// hierarchy and run one `ef_search` beam on level 0.
+//
+// Similarities are cosine (dot products on row-normalized embeddings),
+// consistent with the rest of graph/.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "graph/embedding_matrix.h"
+#include "graph/similarity_graph.h"
+
+namespace subsel::graph {
+
+struct HnswConfig {
+  /// Degree target per node and level (level 0 allows 2M links).
+  std::size_t m = 12;
+  /// Beam width during construction.
+  std::size_t ef_construction = 100;
+  /// Beam width during queries; raise for higher recall.
+  std::size_t ef_search = 64;
+  std::uint64_t seed = 2;
+};
+
+class HnswIndex {
+ public:
+  /// Builds the index over `embeddings` (must be row-normalized; must
+  /// outlive the index). Construction is sequential-insert (deterministic
+  /// given the seed).
+  HnswIndex(const EmbeddingMatrix& embeddings, const HnswConfig& config);
+
+  std::size_t size() const noexcept { return levels_.size(); }
+  std::size_t max_level() const noexcept { return max_level_; }
+
+  /// Top-k most-similar indexed points for `query`, excluding `exclude`
+  /// (pass -1 to keep everything). Results sorted by descending similarity.
+  std::vector<Edge> search(std::span<const float> query, std::size_t k,
+                           NodeId exclude) const;
+
+  /// Directed kNN lists for all indexed points (self excluded); the input
+  /// to SimilarityGraph::from_lists(...).symmetrized().
+  std::vector<NeighborList> knn_graph(std::size_t k,
+                                      ThreadPool* pool = nullptr) const;
+
+ private:
+  /// Greedy 1-best descent on `level` starting from `entry`.
+  std::uint32_t greedy_descend(std::span<const float> query, std::uint32_t entry,
+                               std::size_t level) const;
+  /// Beam search on `level`; returns up to `ef` (id, similarity) pairs,
+  /// unsorted.
+  std::vector<std::pair<std::uint32_t, float>> beam_search(
+      std::span<const float> query, std::uint32_t entry, std::size_t level,
+      std::size_t ef) const;
+
+  float similarity(std::span<const float> query, std::uint32_t node) const;
+  std::vector<std::uint32_t>& links(std::uint32_t node, std::size_t level) {
+    return links_[node][level];
+  }
+  const std::vector<std::uint32_t>& links(std::uint32_t node,
+                                          std::size_t level) const {
+    return links_[node][level];
+  }
+
+  const EmbeddingMatrix* embeddings_;
+  HnswConfig config_;
+  std::vector<std::size_t> levels_;                      // level per node
+  std::vector<std::vector<std::vector<std::uint32_t>>> links_;  // [node][level]
+  std::uint32_t entry_point_ = 0;
+  std::size_t max_level_ = 0;
+};
+
+}  // namespace subsel::graph

@@ -1,0 +1,188 @@
+#include "graph/knn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <stdexcept>
+
+#include "common/rng.h"
+
+namespace subsel::graph {
+namespace {
+
+/// Bounded max-similarity collector: keeps the k most similar candidates seen
+/// so far, with deterministic tie-breaking on lower id.
+class TopKCollector {
+ public:
+  explicit TopKCollector(std::size_t k) : k_(k) { heap_.reserve(k + 1); }
+
+  void offer(NodeId id, float similarity) {
+    if (heap_.size() < k_) {
+      heap_.push_back(Edge{id, similarity});
+      std::push_heap(heap_.begin(), heap_.end(), worse_first_);
+      return;
+    }
+    if (k_ == 0 || !better(Edge{id, similarity}, heap_.front())) return;
+    std::pop_heap(heap_.begin(), heap_.end(), worse_first_);
+    heap_.back() = Edge{id, similarity};
+    std::push_heap(heap_.begin(), heap_.end(), worse_first_);
+  }
+
+  /// Extracts results sorted by descending similarity (ascending id on ties).
+  std::vector<Edge> take_sorted() {
+    std::sort(heap_.begin(), heap_.end(),
+              [](const Edge& a, const Edge& b) { return better(a, b); });
+    return std::move(heap_);
+  }
+
+ private:
+  static bool better(const Edge& a, const Edge& b) {
+    if (a.weight != b.weight) return a.weight > b.weight;
+    return a.neighbor < b.neighbor;
+  }
+  static constexpr auto worse_first_ = [](const Edge& a, const Edge& b) {
+    return better(a, b);  // min-heap on "better": root is the worst kept edge
+  };
+
+  std::size_t k_;
+  std::vector<Edge> heap_;
+};
+
+ThreadPool& pool_or_global(ThreadPool* pool) {
+  return pool != nullptr ? *pool : global_thread_pool();
+}
+
+/// Cosine similarities can be slightly negative for far-apart points; the
+/// objective requires s >= 0 (Section 3), so clamp — the paper's similarity
+/// graphs only keep nearest neighbors, whose cosine is positive in practice.
+float clamp_similarity(float s) { return s > 0.0f ? s : 0.0f; }
+
+}  // namespace
+
+std::vector<NeighborList> brute_force_knn(const EmbeddingMatrix& embeddings,
+                                          const KnnConfig& config, ThreadPool* pool) {
+  const std::size_t n = embeddings.rows();
+  std::vector<NeighborList> lists(n);
+  pool_or_global(pool).parallel_for(n, [&](std::size_t i) {
+    TopKCollector collector(config.num_neighbors);
+    const auto query = embeddings.row(i);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      collector.offer(static_cast<NodeId>(j), dot(query, embeddings.row(j)));
+    }
+    auto edges = collector.take_sorted();
+    for (Edge& e : edges) e.weight = clamp_similarity(e.weight);
+    lists[i].edges = std::move(edges);
+  });
+  return lists;
+}
+
+IvfIndex::IvfIndex(const EmbeddingMatrix& embeddings, const KnnConfig& config,
+                   ThreadPool* pool)
+    : embeddings_(embeddings), config_(config) {
+  const std::size_t n = embeddings.rows();
+  if (n == 0) throw std::invalid_argument("IvfIndex: empty embeddings");
+  std::size_t num_clusters = config.num_clusters;
+  if (num_clusters == 0) {
+    num_clusters = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::sqrt(static_cast<double>(n))));
+  }
+  num_clusters = std::min(num_clusters, n);
+  config_.num_clusters = num_clusters;
+  config_.num_probes = std::min(std::max<std::size_t>(1, config_.num_probes),
+                                num_clusters);
+
+  // k-means++-lite seeding: random distinct points.
+  Rng rng(config.seed);
+  auto seeds = rng.sample_without_replacement(n, num_clusters);
+  centroids_ = EmbeddingMatrix(num_clusters, embeddings.dim());
+  for (std::size_t c = 0; c < num_clusters; ++c) {
+    auto src = embeddings.row(static_cast<std::size_t>(seeds[c]));
+    std::copy(src.begin(), src.end(), centroids_.row(c).begin());
+  }
+
+  std::vector<std::uint32_t> assignment(n, 0);
+  ThreadPool& workers = pool_or_global(pool);
+  for (std::size_t iter = 0; iter < config_.kmeans_iterations; ++iter) {
+    // Assign step (maximize cosine similarity to centroid).
+    workers.parallel_for(n, [&](std::size_t i) {
+      const auto point = embeddings.row(i);
+      float best_sim = -2.0f;
+      std::uint32_t best_cluster = 0;
+      for (std::size_t c = 0; c < num_clusters; ++c) {
+        const float sim = dot(point, centroids_.row(c));
+        if (sim > best_sim) {
+          best_sim = sim;
+          best_cluster = static_cast<std::uint32_t>(c);
+        }
+      }
+      assignment[i] = best_cluster;
+    });
+    // Update step.
+    EmbeddingMatrix sums(num_clusters, embeddings.dim());
+    std::vector<std::size_t> counts(num_clusters, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      auto acc = sums.row(assignment[i]);
+      const auto point = embeddings.row(i);
+      for (std::size_t d = 0; d < point.size(); ++d) acc[d] += point[d];
+      ++counts[assignment[i]];
+    }
+    for (std::size_t c = 0; c < num_clusters; ++c) {
+      if (counts[c] == 0) continue;  // empty cluster keeps its old centroid
+      auto dst = centroids_.row(c);
+      auto src = sums.row(c);
+      std::copy(src.begin(), src.end(), dst.begin());
+    }
+    centroids_.normalize_rows();
+  }
+
+  cluster_members_.assign(num_clusters, {});
+  for (std::size_t i = 0; i < n; ++i) {
+    cluster_members_[assignment[i]].push_back(static_cast<NodeId>(i));
+  }
+}
+
+std::vector<Edge> IvfIndex::search(std::span<const float> query, std::size_t k,
+                                   NodeId exclude) const {
+  // Rank clusters by centroid similarity, scan the best `num_probes`.
+  TopKCollector cluster_rank(config_.num_probes);
+  for (std::size_t c = 0; c < centroids_.rows(); ++c) {
+    cluster_rank.offer(static_cast<NodeId>(c), dot(query, centroids_.row(c)));
+  }
+  TopKCollector collector(k);
+  for (const Edge& cluster : cluster_rank.take_sorted()) {
+    for (NodeId member : cluster_members_[static_cast<std::size_t>(cluster.neighbor)]) {
+      if (member == exclude) continue;
+      collector.offer(member,
+                      dot(query, embeddings_.row(static_cast<std::size_t>(member))));
+    }
+  }
+  auto edges = collector.take_sorted();
+  for (Edge& e : edges) e.weight = clamp_similarity(e.weight);
+  return edges;
+}
+
+std::vector<NeighborList> IvfIndex::knn_graph(ThreadPool* pool) const {
+  const std::size_t n = embeddings_.rows();
+  std::vector<NeighborList> lists(n);
+  pool_or_global(pool).parallel_for(n, [&](std::size_t i) {
+    lists[i].edges = search(embeddings_.row(i), config_.num_neighbors,
+                            static_cast<NodeId>(i));
+  });
+  return lists;
+}
+
+SimilarityGraph build_similarity_graph(const EmbeddingMatrix& embeddings,
+                                       const KnnConfig& config,
+                                       std::size_t exact_threshold, ThreadPool* pool) {
+  std::vector<NeighborList> lists;
+  if (embeddings.rows() <= exact_threshold) {
+    lists = brute_force_knn(embeddings, config, pool);
+  } else {
+    IvfIndex index(embeddings, config, pool);
+    lists = index.knn_graph(pool);
+  }
+  return SimilarityGraph::from_lists(lists).symmetrized();
+}
+
+}  // namespace subsel::graph

@@ -1,0 +1,139 @@
+#include "graph/similarity_graph.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/serialize.h"
+
+namespace subsel::graph {
+namespace {
+constexpr std::uint64_t kGraphMagic = 0x5355424752415048ULL;  // "SUBGRAPH"
+constexpr std::uint32_t kGraphVersion = 1;
+}  // namespace
+
+SimilarityGraph SimilarityGraph::from_lists(const std::vector<NeighborList>& lists) {
+  SimilarityGraph graph;
+  graph.offsets_.resize(lists.size() + 1, 0);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < lists.size(); ++i) {
+    total += lists[i].edges.size();
+    graph.offsets_[i + 1] = static_cast<std::int64_t>(total);
+  }
+  graph.edges_.reserve(total);
+  const auto n = static_cast<NodeId>(lists.size());
+  for (std::size_t i = 0; i < lists.size(); ++i) {
+    std::vector<Edge> sorted = lists[i].edges;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const Edge& a, const Edge& b) { return a.neighbor < b.neighbor; });
+    for (std::size_t e = 0; e < sorted.size(); ++e) {
+      const Edge& edge = sorted[e];
+      if (edge.neighbor < 0 || edge.neighbor >= n) {
+        throw std::invalid_argument("SimilarityGraph: neighbor id out of range");
+      }
+      if (edge.neighbor == static_cast<NodeId>(i)) {
+        throw std::invalid_argument("SimilarityGraph: self loop");
+      }
+      if (e > 0 && sorted[e - 1].neighbor == edge.neighbor) {
+        throw std::invalid_argument("SimilarityGraph: duplicate neighbor");
+      }
+      if (edge.weight < 0.0f) {
+        throw std::invalid_argument("SimilarityGraph: negative weight");
+      }
+      graph.edges_.push_back(edge);
+    }
+  }
+  return graph;
+}
+
+SimilarityGraph SimilarityGraph::symmetrized() const {
+  const std::size_t n = num_nodes();
+  // Count the union of forward and reverse edges per node.
+  std::vector<NeighborList> lists(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    lists[v].edges.assign(neighbors(static_cast<NodeId>(v)).begin(),
+                          neighbors(static_cast<NodeId>(v)).end());
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    for (const Edge& edge : neighbors(static_cast<NodeId>(v))) {
+      lists[static_cast<std::size_t>(edge.neighbor)].edges.push_back(
+          Edge{static_cast<NodeId>(v), edge.weight});
+    }
+  }
+  // Deduplicate, keeping the max weight among directions.
+  for (auto& list : lists) {
+    std::sort(list.edges.begin(), list.edges.end(),
+              [](const Edge& a, const Edge& b) {
+                if (a.neighbor != b.neighbor) return a.neighbor < b.neighbor;
+                return a.weight > b.weight;
+              });
+    list.edges.erase(std::unique(list.edges.begin(), list.edges.end(),
+                                 [](const Edge& a, const Edge& b) {
+                                   return a.neighbor == b.neighbor;
+                                 }),
+                     list.edges.end());
+  }
+  return from_lists(lists);
+}
+
+std::size_t SimilarityGraph::min_degree() const {
+  std::size_t best = num_edges();
+  for (std::size_t v = 0; v < num_nodes(); ++v) {
+    best = std::min(best, degree(static_cast<NodeId>(v)));
+  }
+  return num_nodes() == 0 ? 0 : best;
+}
+
+std::size_t SimilarityGraph::max_degree() const {
+  std::size_t best = 0;
+  for (std::size_t v = 0; v < num_nodes(); ++v) {
+    best = std::max(best, degree(static_cast<NodeId>(v)));
+  }
+  return best;
+}
+
+bool SimilarityGraph::is_symmetric() const {
+  for (std::size_t v = 0; v < num_nodes(); ++v) {
+    for (const Edge& edge : neighbors(static_cast<NodeId>(v))) {
+      const auto reverse = neighbors(edge.neighbor);
+      const auto it = std::lower_bound(
+          reverse.begin(), reverse.end(), static_cast<NodeId>(v),
+          [](const Edge& e, NodeId id) { return e.neighbor < id; });
+      if (it == reverse.end() || it->neighbor != static_cast<NodeId>(v) ||
+          it->weight != edge.weight) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+double SimilarityGraph::total_edge_weight() const {
+  double sum = 0.0;
+  for (const Edge& edge : edges_) sum += edge.weight;
+  return sum / 2.0;  // every undirected edge is stored in both directions
+}
+
+void SimilarityGraph::save(const std::string& path) const {
+  BinaryWriter writer(path);
+  writer.write_pod(kGraphMagic);
+  writer.write_pod(kGraphVersion);
+  writer.write_vector(offsets_);
+  writer.write_vector(edges_);
+  if (!writer.ok()) throw std::runtime_error("SimilarityGraph::save failed: " + path);
+}
+
+SimilarityGraph SimilarityGraph::load(const std::string& path) {
+  BinaryReader reader(path);
+  if (reader.read_pod<std::uint64_t>() != kGraphMagic) {
+    throw std::runtime_error("SimilarityGraph::load: bad magic in " + path);
+  }
+  if (reader.read_pod<std::uint32_t>() != kGraphVersion) {
+    throw std::runtime_error("SimilarityGraph::load: bad version in " + path);
+  }
+  SimilarityGraph graph;
+  graph.offsets_ = reader.read_vector<std::int64_t>();
+  graph.edges_ = reader.read_vector<Edge>();
+  return graph;
+}
+
+}  // namespace subsel::graph

@@ -1,0 +1,190 @@
+// The dataflow implementation of the multi-round distributed greedy
+// (Section 4.4): validity, determinism, quality parity with the in-memory
+// implementation, bounding-state handoff, and the per-worker memory budget.
+#include "beam/beam_greedy.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "../testing/test_instances.h"
+#include "core/bounding.h"
+#include "dataflow/transforms.h"
+
+namespace subsel::beam {
+namespace {
+
+using core::NodeId;
+using subsel::testing::Instance;
+using subsel::testing::random_instance;
+
+dataflow::Pipeline make_pipeline(std::size_t shards = 16) {
+  dataflow::PipelineOptions options;
+  options.num_shards = shards;
+  return dataflow::Pipeline(options);
+}
+
+BeamGreedyConfig make_config(std::size_t machines, std::size_t rounds,
+                             bool adaptive = false, double alpha = 0.9,
+                             std::uint64_t seed = 61) {
+  BeamGreedyConfig config;
+  config.objective = core::ObjectiveParams::from_alpha(alpha);
+  config.num_machines = machines;
+  config.num_rounds = rounds;
+  config.adaptive_partitioning = adaptive;
+  config.seed = seed;
+  return config;
+}
+
+TEST(BeamGreedy, SelectsExactlyKUniqueIds) {
+  const Instance instance = random_instance(400, 5, 901);
+  const auto ground_set = instance.ground_set();
+  auto pipeline = make_pipeline();
+  const auto result =
+      beam_distributed_greedy(pipeline, ground_set, 40, make_config(8, 4));
+  EXPECT_EQ(result.selected.size(), 40u);
+  std::set<NodeId> unique(result.selected.begin(), result.selected.end());
+  EXPECT_EQ(unique.size(), 40u);
+  EXPECT_TRUE(std::is_sorted(result.selected.begin(), result.selected.end()));
+}
+
+TEST(BeamGreedy, DeterministicGivenSeed) {
+  const Instance instance = random_instance(300, 4, 902);
+  const auto ground_set = instance.ground_set();
+  auto p1 = make_pipeline();
+  auto p2 = make_pipeline(64);  // shard count must not affect the result
+  const auto a = beam_distributed_greedy(p1, ground_set, 30, make_config(8, 3));
+  const auto b = beam_distributed_greedy(p2, ground_set, 30, make_config(8, 3));
+  EXPECT_EQ(a.selected, b.selected);
+  EXPECT_EQ(a.objective, b.objective);
+}
+
+TEST(BeamGreedy, QualityMatchesInMemoryImplementation) {
+  // Same algorithm, different partition randomness: expect parity within a
+  // few percent, averaged over seeds.
+  const Instance instance = random_instance(600, 6, 903);
+  const auto ground_set = instance.ground_set();
+  double beam_total = 0.0, core_total = 0.0;
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    auto pipeline = make_pipeline();
+    beam_total += beam_distributed_greedy(pipeline, ground_set, 60,
+                                          make_config(8, 4, false, 0.9, seed))
+                      .objective;
+    core::DistributedGreedyConfig config = make_config(8, 4, false, 0.9, seed);
+    core_total += core::distributed_greedy(ground_set, 60, config).objective;
+  }
+  EXPECT_NEAR(beam_total / core_total, 1.0, 0.05);
+}
+
+TEST(BeamGreedy, SingleMachineSingleRoundMatchesCentralizedQuality) {
+  const Instance instance = random_instance(200, 4, 904);
+  const auto ground_set = instance.ground_set();
+  auto pipeline = make_pipeline();
+  const auto result =
+      beam_distributed_greedy(pipeline, ground_set, 20, make_config(1, 1));
+  const auto centralized =
+      core::naive_greedy(ground_set, core::ObjectiveParams::from_alpha(0.9), 20);
+  EXPECT_NEAR(result.objective, centralized.objective, 1e-9);
+}
+
+TEST(BeamGreedy, MoreRoundsDoNotHurtOnAverage) {
+  const Instance instance = random_instance(500, 6, 905);
+  const auto ground_set = instance.ground_set();
+  double single = 0.0, multi = 0.0;
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    auto p1 = make_pipeline();
+    auto p2 = make_pipeline();
+    single += beam_distributed_greedy(p1, ground_set, 50,
+                                      make_config(16, 1, false, 0.9, seed))
+                  .objective;
+    multi += beam_distributed_greedy(p2, ground_set, 50,
+                                     make_config(16, 8, false, 0.9, seed))
+                 .objective;
+  }
+  EXPECT_GE(multi, single);
+}
+
+TEST(BeamGreedy, HonorsBoundingState) {
+  const Instance instance = random_instance(150, 4, 906);
+  const auto ground_set = instance.ground_set();
+  core::BoundingConfig bounding_config;
+  bounding_config.objective = core::ObjectiveParams::from_alpha(0.9);
+  bounding_config.sampling = core::BoundingSampling::kUniform;
+  bounding_config.sample_fraction = 0.3;
+  auto bounding = core::bound(ground_set, 30, bounding_config);
+
+  auto pipeline = make_pipeline();
+  const auto result = beam_distributed_greedy(pipeline, ground_set, 30,
+                                              make_config(4, 2), &bounding.state);
+  EXPECT_EQ(result.selected.size(), 30u);
+  for (NodeId v : bounding.state.selected_ids()) {
+    EXPECT_TRUE(std::binary_search(result.selected.begin(), result.selected.end(), v))
+        << "bounding-selected point " << v << " missing";
+  }
+  for (NodeId v : result.selected) {
+    EXPECT_FALSE(bounding.state.is_discarded(v))
+        << "discarded point " << v << " re-selected";
+  }
+}
+
+TEST(BeamGreedy, RoundStatsAreConsistent) {
+  const Instance instance = random_instance(300, 4, 907);
+  const auto ground_set = instance.ground_set();
+  auto pipeline = make_pipeline();
+  const auto result =
+      beam_distributed_greedy(pipeline, ground_set, 30, make_config(8, 4));
+  ASSERT_EQ(result.rounds.size(), 4u);
+  EXPECT_EQ(result.rounds.front().input_size, 300u);
+  for (std::size_t i = 0; i < result.rounds.size(); ++i) {
+    EXPECT_EQ(result.rounds[i].round, i + 1);
+    EXPECT_LE(result.rounds[i].output_size, result.rounds[i].input_size);
+    EXPECT_GT(result.rounds[i].peak_partition_bytes, 0u);
+    if (i > 0) {
+      EXPECT_EQ(result.rounds[i].input_size, result.rounds[i - 1].output_size);
+    }
+  }
+}
+
+TEST(BeamGreedy, StaysWithinWorkerMemoryBudget) {
+  // Budget sized for a partition, far below the whole instance: the run
+  // must succeed and never exceed it.
+  const Instance instance = random_instance(2000, 6, 908);
+  const auto ground_set = instance.ground_set();
+
+  dataflow::PipelineOptions options;
+  options.num_shards = 32;
+  options.worker_memory_bytes = 64 * 1024;
+  dataflow::Pipeline pipeline(options);
+
+  const auto result =
+      beam_distributed_greedy(pipeline, ground_set, 200, make_config(16, 2));
+  EXPECT_EQ(result.selected.size(), 200u);
+  EXPECT_LE(pipeline.peak_shard_bytes(), 64u * 1024u);
+}
+
+TEST(BeamGreedy, AdaptivePartitioningReducesPartitions) {
+  const Instance instance = random_instance(400, 5, 909);
+  const auto ground_set = instance.ground_set();
+  auto pipeline = make_pipeline();
+  const auto result =
+      beam_distributed_greedy(pipeline, ground_set, 20, make_config(16, 6, true));
+  ASSERT_EQ(result.rounds.size(), 6u);
+  EXPECT_GT(result.rounds.front().num_partitions, result.rounds.back().num_partitions);
+  EXPECT_EQ(result.rounds.back().num_partitions, 1u);
+}
+
+TEST(BeamGreedy, ZeroOpenBudgetReturnsBoundingSelection) {
+  const Instance instance = random_instance(50, 3, 910);
+  const auto ground_set = instance.ground_set();
+  core::SelectionState state(50);
+  for (NodeId v = 0; v < 10; ++v) state.select(v);
+  auto pipeline = make_pipeline();
+  const auto result =
+      beam_distributed_greedy(pipeline, ground_set, 10, make_config(4, 2), &state);
+  std::vector<NodeId> expected(10);
+  for (NodeId v = 0; v < 10; ++v) expected[static_cast<std::size_t>(v)] = v;
+  EXPECT_EQ(result.selected, expected);
+}
+
+}  // namespace
+}  // namespace subsel::beam

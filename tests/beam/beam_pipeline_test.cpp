@@ -1,0 +1,117 @@
+// End-to-end dataflow selection (beam_select_subset): bounding decisions
+// identical to the in-memory pipeline, quality parity, stage accounting, and
+// the memory budget across all stages.
+#include "beam/beam_pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "../testing/test_instances.h"
+#include "core/selection_pipeline.h"
+
+namespace subsel::beam {
+namespace {
+
+using core::NodeId;
+using subsel::testing::Instance;
+using subsel::testing::random_instance;
+
+core::SelectionPipelineConfig make_config(double alpha = 0.9) {
+  core::SelectionPipelineConfig config;
+  config.objective = core::ObjectiveParams::from_alpha(alpha);
+  config.bounding.sampling = core::BoundingSampling::kUniform;
+  config.bounding.sample_fraction = 0.3;
+  config.greedy.num_machines = 8;
+  config.greedy.num_rounds = 4;
+  return config;
+}
+
+TEST(BeamPipeline, SelectsKUniquePointsAndScoresThem) {
+  const Instance instance = random_instance(300, 5, 940);
+  const auto ground_set = instance.ground_set();
+  dataflow::Pipeline pipeline;
+  const auto result = beam_select_subset(pipeline, ground_set, 30, make_config());
+  EXPECT_EQ(result.selected.size(), 30u);
+  std::set<NodeId> unique(result.selected.begin(), result.selected.end());
+  EXPECT_EQ(unique.size(), 30u);
+
+  core::PairwiseObjective objective(ground_set, core::ObjectiveParams::from_alpha(0.9));
+  EXPECT_NEAR(result.objective, objective.evaluate(result.selected), 1e-9);
+}
+
+TEST(BeamPipeline, BoundingDecisionsMatchInMemoryPipeline) {
+  const Instance instance = random_instance(200, 5, 941);
+  const auto ground_set = instance.ground_set();
+  dataflow::Pipeline pipeline;
+  const auto config = make_config();
+
+  const auto beam_result = beam_select_subset(pipeline, ground_set, 20, config);
+  const auto core_result = core::select_subset(ground_set, 20, config);
+  ASSERT_TRUE(beam_result.bounding.has_value());
+  ASSERT_TRUE(core_result.bounding.has_value());
+  EXPECT_EQ(beam_result.bounding->state.selected_ids(),
+            core_result.bounding->state.selected_ids());
+  EXPECT_EQ(beam_result.bounding->included, core_result.bounding->included);
+  EXPECT_EQ(beam_result.bounding->excluded, core_result.bounding->excluded);
+}
+
+TEST(BeamPipeline, QualityParityWithInMemoryPipeline) {
+  const Instance instance = random_instance(400, 6, 942);
+  const auto ground_set = instance.ground_set();
+  double beam_total = 0.0, core_total = 0.0;
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    auto config = make_config();
+    config.greedy.seed = seed;
+    dataflow::Pipeline pipeline;
+    beam_total += beam_select_subset(pipeline, ground_set, 40, config).objective;
+    core_total += core::select_subset(ground_set, 40, config).objective;
+  }
+  EXPECT_NEAR(beam_total / core_total, 1.0, 0.05);
+}
+
+TEST(BeamPipeline, CompleteBoundingSkipsGreedy) {
+  // Isolated points: bounding solves the instance, greedy must not run.
+  Instance instance;
+  instance.graph =
+      graph::SimilarityGraph::from_lists(std::vector<graph::NeighborList>(30));
+  instance.utilities.resize(30);
+  for (std::size_t i = 0; i < 30; ++i) instance.utilities[i] = static_cast<double>(i);
+  const auto ground_set = instance.ground_set();
+
+  dataflow::Pipeline pipeline;
+  auto config = make_config();
+  config.bounding.sampling = core::BoundingSampling::kNone;
+  const auto result = beam_select_subset(pipeline, ground_set, 5, config);
+  ASSERT_TRUE(result.bounding.has_value());
+  EXPECT_TRUE(result.bounding->complete());
+  EXPECT_TRUE(result.greedy_rounds.empty());
+  EXPECT_EQ(result.selected, (std::vector<NodeId>{25, 26, 27, 28, 29}));
+}
+
+TEST(BeamPipeline, DisabledBoundingRunsGreedyOnly) {
+  const Instance instance = random_instance(150, 4, 943);
+  const auto ground_set = instance.ground_set();
+  dataflow::Pipeline pipeline;
+  auto config = make_config();
+  config.use_bounding = false;
+  const auto result = beam_select_subset(pipeline, ground_set, 15, config);
+  EXPECT_FALSE(result.bounding.has_value());
+  EXPECT_FALSE(result.greedy_rounds.empty());
+  EXPECT_EQ(result.selected.size(), 15u);
+}
+
+TEST(BeamPipeline, RunsUnderWorkerMemoryBudget) {
+  const Instance instance = random_instance(1500, 6, 944);
+  const auto ground_set = instance.ground_set();
+  dataflow::PipelineOptions options;
+  options.num_shards = 64;
+  options.worker_memory_bytes = 96 * 1024;
+  dataflow::Pipeline pipeline(options);
+  const auto result = beam_select_subset(pipeline, ground_set, 150, make_config());
+  EXPECT_EQ(result.selected.size(), 150u);
+  EXPECT_LE(pipeline.peak_shard_bytes(), 96u * 1024u);
+}
+
+}  // namespace
+}  // namespace subsel::beam

@@ -1,0 +1,92 @@
+#include "beam/beam_scoring.h"
+
+#include <gtest/gtest.h>
+
+#include "../testing/test_instances.h"
+#include "dataflow/transforms.h"
+
+namespace subsel::beam {
+namespace {
+
+using subsel::testing::Instance;
+using subsel::testing::random_instance;
+
+dataflow::Pipeline make_pipeline(std::size_t shards = 8) {
+  dataflow::PipelineOptions options;
+  options.num_shards = shards;
+  return dataflow::Pipeline(options);
+}
+
+TEST(BeamScore, MatchesDirectEvaluationOnHandInstance) {
+  std::vector<graph::NeighborList> lists(3);
+  lists[0].edges = {{1, 0.5f}};
+  lists[1].edges = {{2, 0.25f}};
+  Instance instance;
+  instance.graph = graph::SimilarityGraph::from_lists(lists).symmetrized();
+  instance.utilities = {1.0, 2.0, 3.0};
+  const auto ground_set = instance.ground_set();
+  auto pipeline = make_pipeline(4);
+  const core::ObjectiveParams params{0.9, 0.1};
+
+  EXPECT_NEAR(beam_score(pipeline, ground_set, std::vector<graph::NodeId>{0, 1}, params),
+              0.9 * 3.0 - 0.1 * 0.5, 1e-9);
+  EXPECT_NEAR(
+      beam_score(pipeline, ground_set, std::vector<graph::NodeId>{0, 1, 2}, params),
+      0.9 * 6.0 - 0.1 * 0.75, 1e-9);
+  EXPECT_NEAR(beam_score(pipeline, ground_set, std::vector<graph::NodeId>{}, params),
+              0.0, 1e-12);
+}
+
+class BeamScoreEquivalenceTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BeamScoreEquivalenceTest, MatchesPairwiseObjective) {
+  const Instance instance = random_instance(120, 6, GetParam());
+  const auto ground_set = instance.ground_set();
+  auto pipeline = make_pipeline();
+
+  Rng rng(GetParam() + 1);
+  std::vector<graph::NodeId> subset;
+  for (graph::NodeId v = 0; v < 120; ++v) {
+    if (rng.bernoulli(0.4)) subset.push_back(v);
+  }
+  for (double alpha : {0.9, 0.5, 0.1}) {
+    const auto params = core::ObjectiveParams::from_alpha(alpha);
+    core::PairwiseObjective objective(ground_set, params);
+    const double expected = objective.evaluate(subset);
+    const double actual = beam_score(pipeline, ground_set, subset, params);
+    EXPECT_NEAR(actual, expected, 1e-8 * (1.0 + std::abs(expected)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, BeamScoreEquivalenceTest,
+                         ::testing::Values(601, 602, 603, 604));
+
+TEST(BeamScore, IsolatedSelectedPointsKeepUnaryTerms) {
+  // Selected points with no selected neighbors must contribute their unary
+  // term (regression guard for the join shape).
+  Instance instance;
+  instance.graph =
+      graph::SimilarityGraph::from_lists(std::vector<graph::NeighborList>(5));
+  instance.utilities = {1.0, 2.0, 3.0, 4.0, 5.0};
+  const auto ground_set = instance.ground_set();
+  auto pipeline = make_pipeline(4);
+  const core::ObjectiveParams params{0.9, 0.1};
+  EXPECT_NEAR(
+      beam_score(pipeline, ground_set, std::vector<graph::NodeId>{1, 3}, params),
+      0.9 * 6.0, 1e-9);
+}
+
+TEST(BeamScore, StateOverloadMatchesIdListOverload) {
+  const Instance instance = random_instance(50, 4, 611);
+  const auto ground_set = instance.ground_set();
+  auto pipeline = make_pipeline();
+  const core::ObjectiveParams params{0.9, 0.1};
+  const std::vector<graph::NodeId> subset{1, 4, 9, 16, 25, 36, 49};
+  core::SelectionState state(50);
+  for (auto v : subset) state.select(v);
+  EXPECT_DOUBLE_EQ(beam_score(pipeline, ground_set, state, params),
+                   beam_score(pipeline, ground_set, subset, params));
+}
+
+}  // namespace
+}  // namespace subsel::beam

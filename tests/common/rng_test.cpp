@@ -1,0 +1,149 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <set>
+#include <vector>
+
+namespace subsel {
+namespace {
+
+TEST(SplitMix64, IsDeterministic) {
+  EXPECT_EQ(splitmix64(0), splitmix64(0));
+  EXPECT_EQ(splitmix64(12345), splitmix64(12345));
+  EXPECT_NE(splitmix64(1), splitmix64(2));
+}
+
+TEST(SplitMix64, ConsecutiveInputsDecorrelate) {
+  // Hamming distance between hashes of consecutive inputs should be near 32.
+  int total_bits = 0;
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    total_bits += std::popcount(splitmix64(i) ^ splitmix64(i + 1));
+  }
+  EXPECT_GT(total_bits / 100.0, 20.0);
+  EXPECT_LT(total_bits / 100.0, 44.0);
+}
+
+TEST(HashToUnit, RangeIsHalfOpen) {
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    const double u = hash_to_unit(splitmix64(i));
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDifferentStreams) {
+  Rng a(7), b(8);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a() == b());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(3);
+  double sum = 0.0;
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10'000, 0.5, 0.02);
+}
+
+TEST(Rng, UniformIndexCoversRangeUniformly) {
+  Rng rng(11);
+  std::array<int, 10> counts{};
+  for (int i = 0; i < 100'000; ++i) {
+    const auto index = rng.uniform_index(10);
+    ASSERT_LT(index, 10u);
+    ++counts[index];
+  }
+  for (int count : counts) {
+    EXPECT_NEAR(count, 10'000, 500);
+  }
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(5);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(9);
+  std::vector<int> values(100);
+  for (int i = 0; i < 100; ++i) values[i] = i;
+  rng.shuffle(std::span<int>(values));
+  std::vector<int> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sorted[i], i);
+  // Overwhelmingly unlikely to be the identity.
+  bool identity = true;
+  for (int i = 0; i < 100; ++i) identity &= (values[i] == i);
+  EXPECT_FALSE(identity);
+}
+
+TEST(Rng, SampleWithoutReplacementIsDistinct) {
+  Rng rng(13);
+  const auto sample = rng.sample_without_replacement(1000, 100);
+  EXPECT_EQ(sample.size(), 100u);
+  std::set<std::uint64_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 100u);
+  for (std::uint64_t v : sample) EXPECT_LT(v, 1000u);
+}
+
+TEST(Rng, SampleWithoutReplacementCapsAtPopulation) {
+  Rng rng(13);
+  const auto sample = rng.sample_without_replacement(5, 100);
+  EXPECT_EQ(sample.size(), 5u);
+}
+
+TEST(Rng, SampleWithoutReplacementIsUnbiased) {
+  // Every element of [0, 20) should appear in a 10-element sample about half
+  // the time.
+  std::array<int, 20> counts{};
+  for (std::uint64_t trial = 0; trial < 4000; ++trial) {
+    Rng rng(trial);
+    for (std::uint64_t v : rng.sample_without_replacement(20, 10)) ++counts[v];
+  }
+  for (int count : counts) EXPECT_NEAR(count, 2000, 200);
+}
+
+TEST(Rng, ForkProducesIndependentStreams) {
+  Rng parent(21);
+  Rng child_a = parent.fork(1);
+  Rng child_b = parent.fork(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (child_a() == child_b());
+  EXPECT_LT(equal, 3);
+  // Forking is deterministic.
+  Rng parent2(21);
+  Rng child_a2 = parent2.fork(1);
+  Rng child_a3 = Rng(21).fork(1);
+  EXPECT_EQ(child_a2(), child_a3());
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng rng(17);
+  int hits = 0;
+  for (int i = 0; i < 10'000; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(hits, 3000, 200);
+}
+
+}  // namespace
+}  // namespace subsel

@@ -1,0 +1,82 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace subsel {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  auto future = pool.submit([] { return 41 + 1; });
+  EXPECT_EQ(future.get(), 42);
+}
+
+TEST(ThreadPool, SizeMatchesRequest) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(ThreadPool, ParallelForVisitsEveryIndexOnce) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> visits(10'000);
+  pool.parallel_for(10'000, [&](std::size_t i) { visits[i].fetch_add(1); });
+  for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForZeroCountIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, ParallelForPropagatesExceptions) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(100,
+                        [](std::size_t i) {
+                          if (i == 57) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForComputesCorrectSum) {
+  ThreadPool pool(6);
+  std::vector<long> values(100'000);
+  pool.parallel_for(values.size(),
+                    [&](std::size_t i) { values[i] = static_cast<long>(i); });
+  const long sum = std::accumulate(values.begin(), values.end(), 0L);
+  EXPECT_EQ(sum, 100'000L * 99'999L / 2);
+}
+
+TEST(ThreadPool, RunPerWorkerTouchesEachWorkerSlot) {
+  ThreadPool pool(5);
+  std::vector<std::atomic<int>> visits(5);
+  pool.run_per_worker([&](std::size_t w) { visits[w].fetch_add(1); });
+  for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ThreadPool, GlobalPoolIsUsable) {
+  std::atomic<int> counter{0};
+  global_thread_pool().parallel_for(100, [&](std::size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, NestedSubmissionDoesNotDeadlock) {
+  ThreadPool pool(2);
+  auto outer = pool.submit([&pool] {
+    // Inner work is executed by parallel_for's caller participation even if
+    // all workers are busy.
+    std::atomic<int> c{0};
+    return c.load();
+  });
+  EXPECT_EQ(outer.get(), 0);
+}
+
+}  // namespace
+}  // namespace subsel

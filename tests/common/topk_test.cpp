@@ -1,0 +1,80 @@
+#include "common/topk.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace subsel {
+namespace {
+
+TEST(KthLargest, SimpleCases) {
+  const std::vector<double> values{5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_EQ(kth_largest(values, 1), 5.0);
+  EXPECT_EQ(kth_largest(values, 2), 4.0);
+  EXPECT_EQ(kth_largest(values, 5), 1.0);
+}
+
+TEST(KthLargest, KZeroIsPlusInfinity) {
+  const std::vector<double> values{1.0, 2.0};
+  EXPECT_EQ(kth_largest(values, 0), std::numeric_limits<double>::infinity());
+}
+
+TEST(KthLargest, KBeyondSizeIsMinusInfinity) {
+  const std::vector<double> values{1.0, 2.0};
+  EXPECT_EQ(kth_largest(values, 3), -std::numeric_limits<double>::infinity());
+  EXPECT_EQ(kth_largest({}, 1), -std::numeric_limits<double>::infinity());
+}
+
+TEST(KthLargest, HandlesDuplicates) {
+  const std::vector<double> values{2.0, 2.0, 2.0, 1.0};
+  EXPECT_EQ(kth_largest(values, 1), 2.0);
+  EXPECT_EQ(kth_largest(values, 3), 2.0);
+  EXPECT_EQ(kth_largest(values, 4), 1.0);
+}
+
+TEST(KthLargest, DoesNotMutateInput) {
+  const std::vector<double> values{3.0, 1.0, 2.0};
+  const std::vector<double> copy = values;
+  (void)kth_largest(values, 2);
+  EXPECT_EQ(values, copy);
+}
+
+TEST(KthLargest, MatchesSortOnRandomInput) {
+  Rng rng(77);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> values(200);
+    for (double& v : values) v = rng.uniform(-10, 10);
+    std::vector<double> sorted = values;
+    std::sort(sorted.begin(), sorted.end(), std::greater<>());
+    for (std::size_t k = 1; k <= values.size(); k += 17) {
+      EXPECT_EQ(kth_largest(values, k), sorted[k - 1]);
+    }
+  }
+}
+
+TEST(TopKIndices, ReturnsDescendingValues) {
+  const std::vector<double> values{1.0, 9.0, 3.0, 7.0};
+  const auto top = top_k_indices(values, 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0], 1u);
+  EXPECT_EQ(top[1], 3u);
+}
+
+TEST(TopKIndices, TieBreaksOnLowerIndex) {
+  const std::vector<double> values{5.0, 5.0, 5.0};
+  const auto top = top_k_indices(values, 2);
+  EXPECT_EQ(top[0], 0u);
+  EXPECT_EQ(top[1], 1u);
+}
+
+TEST(TopKIndices, CapsAtSize) {
+  const std::vector<double> values{1.0, 2.0};
+  EXPECT_EQ(top_k_indices(values, 10).size(), 2u);
+}
+
+}  // namespace
+}  // namespace subsel

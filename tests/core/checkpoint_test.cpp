@@ -1,0 +1,152 @@
+// Checkpoint/resume of the multi-round distributed greedy: a preempted run
+// plus a resumed run must be indistinguishable from an uninterrupted one,
+// mismatched configurations must not resume, and corrupt checkpoints must
+// fall back to a clean restart.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "../testing/test_instances.h"
+#include "core/distributed_greedy.h"
+
+namespace subsel::core {
+namespace {
+
+using subsel::testing::Instance;
+using subsel::testing::random_instance;
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "subsel_ckpt_test";
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string path(const std::string& name) const { return (dir_ / name).string(); }
+
+  DistributedGreedyConfig make_config(std::uint64_t seed = 71) const {
+    DistributedGreedyConfig config;
+    config.objective = ObjectiveParams::from_alpha(0.9);
+    config.num_machines = 8;
+    config.num_rounds = 6;
+    config.adaptive_partitioning = false;
+    config.seed = seed;
+    return config;
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(CheckpointTest, PreemptThenResumeMatchesUninterruptedRun) {
+  const Instance instance = random_instance(400, 5, 960);
+  const auto ground_set = instance.ground_set();
+
+  const auto uninterrupted = distributed_greedy(ground_set, 40, make_config());
+
+  auto config = make_config();
+  config.checkpoint_file = path("run.ckpt");
+  config.stop_after_round = 3;
+  const auto partial = distributed_greedy(ground_set, 40, config);
+  EXPECT_TRUE(partial.preempted);
+  EXPECT_TRUE(partial.selected.empty());
+  EXPECT_EQ(partial.rounds.size(), 3u);
+  EXPECT_TRUE(std::filesystem::exists(config.checkpoint_file));
+
+  config.stop_after_round = 0;
+  const auto resumed = distributed_greedy(ground_set, 40, config);
+  EXPECT_EQ(resumed.resumed_rounds, 3u);
+  EXPECT_EQ(resumed.rounds.size(), 3u);  // only the rounds it executed
+  EXPECT_FALSE(resumed.preempted);
+  EXPECT_EQ(resumed.selected, uninterrupted.selected);
+  EXPECT_EQ(resumed.objective, uninterrupted.objective);
+  // Completion removes the checkpoint.
+  EXPECT_FALSE(std::filesystem::exists(config.checkpoint_file));
+}
+
+TEST_F(CheckpointTest, RepeatedPreemptionsStillConverge) {
+  const Instance instance = random_instance(300, 4, 961);
+  const auto ground_set = instance.ground_set();
+  const auto uninterrupted = distributed_greedy(ground_set, 30, make_config(72));
+
+  auto config = make_config(72);
+  config.checkpoint_file = path("steps.ckpt");
+  config.stop_after_round = 1;  // one round per invocation
+  std::size_t invocations = 0;
+  DistributedGreedyResult result;
+  do {
+    result = distributed_greedy(ground_set, 30, config);
+    ++invocations;
+    ASSERT_LE(invocations, 10u) << "did not converge";
+  } while (result.preempted);
+  EXPECT_EQ(invocations, 6u);  // one per round
+  EXPECT_EQ(result.selected, uninterrupted.selected);
+}
+
+TEST_F(CheckpointTest, MismatchedSeedIgnoresCheckpoint) {
+  const Instance instance = random_instance(200, 4, 962);
+  const auto ground_set = instance.ground_set();
+
+  auto config = make_config(73);
+  config.checkpoint_file = path("mismatch.ckpt");
+  config.stop_after_round = 2;
+  (void)distributed_greedy(ground_set, 20, config);
+  ASSERT_TRUE(std::filesystem::exists(config.checkpoint_file));
+
+  // Different seed -> different run; the stale checkpoint must be ignored
+  // and the run must restart from round 1 (6 executed rounds, 0 resumed).
+  auto other = make_config(74);
+  other.checkpoint_file = path("mismatch.ckpt");
+  const auto result = distributed_greedy(ground_set, 20, other);
+  EXPECT_EQ(result.resumed_rounds, 0u);
+  EXPECT_EQ(result.rounds.size(), 6u);
+  const auto reference = distributed_greedy(ground_set, 20, make_config(74));
+  EXPECT_EQ(result.selected, reference.selected);
+}
+
+TEST_F(CheckpointTest, CorruptCheckpointFallsBackToRestart) {
+  const Instance instance = random_instance(200, 4, 963);
+  const auto ground_set = instance.ground_set();
+
+  auto config = make_config(75);
+  config.checkpoint_file = path("corrupt.ckpt");
+  {
+    std::ofstream out(config.checkpoint_file, std::ios::binary);
+    out << "not a checkpoint";
+  }
+  const auto result = distributed_greedy(ground_set, 20, config);
+  EXPECT_EQ(result.resumed_rounds, 0u);
+  EXPECT_EQ(result.selected.size(), 20u);
+  const auto reference = distributed_greedy(ground_set, 20, make_config(75));
+  EXPECT_EQ(result.selected, reference.selected);
+}
+
+TEST_F(CheckpointTest, CheckpointingDoesNotChangeTheResult) {
+  const Instance instance = random_instance(250, 5, 964);
+  const auto ground_set = instance.ground_set();
+  const auto plain = distributed_greedy(ground_set, 25, make_config(76));
+  auto config = make_config(76);
+  config.checkpoint_file = path("noop.ckpt");
+  const auto checkpointed = distributed_greedy(ground_set, 25, config);
+  EXPECT_EQ(checkpointed.selected, plain.selected);
+  EXPECT_EQ(checkpointed.objective, plain.objective);
+}
+
+TEST_F(CheckpointTest, WorksTogetherWithStochasticSolver) {
+  const Instance instance = random_instance(300, 4, 965);
+  const auto ground_set = instance.ground_set();
+  auto config = make_config(77);
+  config.partition_solver = PartitionSolver::kStochastic;
+  const auto uninterrupted = distributed_greedy(ground_set, 30, config);
+
+  config.checkpoint_file = path("stochastic.ckpt");
+  config.stop_after_round = 2;
+  (void)distributed_greedy(ground_set, 30, config);
+  config.stop_after_round = 0;
+  const auto resumed = distributed_greedy(ground_set, 30, config);
+  EXPECT_EQ(resumed.selected, uninterrupted.selected);
+}
+
+}  // namespace
+}  // namespace subsel::core

@@ -1,0 +1,236 @@
+#include "core/distributed_greedy.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "../testing/test_instances.h"
+#include "core/bounding.h"
+
+namespace subsel::core {
+namespace {
+
+using testing::Instance;
+using testing::random_instance;
+
+DistributedGreedyConfig make_config(std::size_t machines, std::size_t rounds,
+                                    bool adaptive, double alpha = 0.9,
+                                    std::uint64_t seed = 23) {
+  DistributedGreedyConfig config;
+  config.objective = ObjectiveParams::from_alpha(alpha);
+  config.num_machines = machines;
+  config.num_rounds = rounds;
+  config.adaptive_partitioning = adaptive;
+  config.seed = seed;
+  return config;
+}
+
+TEST(LinearDelta, SatisfiesBoundaryConstraint) {
+  for (double gamma : {0.25, 0.5, 0.75, 1.0}) {
+    const auto delta = linear_delta(gamma);
+    // Last round must target exactly k (the Algorithm 6 constraint).
+    EXPECT_EQ(delta(1000, 8, 8, 100), 100u);
+    EXPECT_EQ(delta(1000, 1, 1, 5), 5u);
+  }
+}
+
+TEST(LinearDelta, MonotonicallyDecreasesAcrossRounds) {
+  const auto delta = linear_delta(0.75);
+  std::size_t previous = 1000;
+  for (std::size_t round = 1; round <= 8; ++round) {
+    const std::size_t target = delta(1000, 8, round, 100);
+    EXPECT_LE(target, previous);
+    EXPECT_GE(target, 100u);
+    previous = target;
+  }
+}
+
+TEST(LinearDelta, GammaScalesIntermediateTargets) {
+  const auto small = linear_delta(0.25);
+  const auto large = linear_delta(1.0);
+  EXPECT_LT(small(1000, 8, 1, 100), large(1000, 8, 1, 100));
+}
+
+TEST(LinearDelta, RejectsNonPositiveGamma) {
+  EXPECT_THROW(linear_delta(0.0), std::invalid_argument);
+  EXPECT_THROW(linear_delta(-1.0), std::invalid_argument);
+}
+
+TEST(DistributedGreedy, ReturnsExactlyKDistinctPoints) {
+  const Instance instance = random_instance(200, 5, 201);
+  const auto ground_set = instance.ground_set();
+  for (std::size_t machines : {1u, 4u, 16u}) {
+    for (std::size_t rounds : {1u, 4u}) {
+      const auto result = distributed_greedy(ground_set, 20,
+                                             make_config(machines, rounds, false));
+      EXPECT_EQ(result.selected.size(), 20u);
+      std::set<NodeId> unique(result.selected.begin(), result.selected.end());
+      EXPECT_EQ(unique.size(), 20u);
+      EXPECT_TRUE(std::is_sorted(result.selected.begin(), result.selected.end()));
+    }
+  }
+}
+
+TEST(DistributedGreedy, SingleMachineSingleRoundEqualsCentralized) {
+  const Instance instance = random_instance(100, 5, 202);
+  const auto ground_set = instance.ground_set();
+  const auto params = ObjectiveParams::from_alpha(0.9);
+  const auto distributed = distributed_greedy(ground_set, 15, make_config(1, 1, false));
+  const auto centralized =
+      centralized_greedy(instance.graph, instance.utilities, params, 15);
+  std::vector<NodeId> sorted = centralized.selected;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(distributed.selected, sorted);
+  EXPECT_NEAR(distributed.objective, centralized.objective, 1e-9);
+}
+
+TEST(DistributedGreedy, ObjectiveMatchesEvaluation) {
+  const Instance instance = random_instance(150, 4, 203);
+  const auto ground_set = instance.ground_set();
+  const auto config = make_config(8, 3, true);
+  const auto result = distributed_greedy(ground_set, 30, config);
+  PairwiseObjective objective(ground_set, config.objective);
+  EXPECT_NEAR(result.objective, objective.evaluate(result.selected), 1e-9);
+}
+
+TEST(DistributedGreedy, MoreRoundsDoNotHurtOnAverage) {
+  // Figure 3's trend: averaged over seeds, 8 rounds beat 1 round for a small
+  // subset with many partitions.
+  const Instance instance = random_instance(600, 8, 204);
+  const auto ground_set = instance.ground_set();
+  double single = 0.0, multi = 0.0;
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    single += distributed_greedy(ground_set, 60,
+                                 make_config(16, 1, false, 0.9, 300 + seed))
+                  .objective;
+    multi += distributed_greedy(ground_set, 60,
+                                make_config(16, 8, false, 0.9, 300 + seed))
+                 .objective;
+  }
+  EXPECT_GE(multi, single);
+}
+
+TEST(DistributedGreedy, AdaptivePartitioningUsesFewerPartitionsOverTime) {
+  // k (20) fits within one partition cap (ceil(400/16) = 25), so Alg. 6's
+  // m_round = ceil(n_round / cap) reaches exactly 1 in the final round.
+  const Instance instance = random_instance(400, 5, 205);
+  const auto ground_set = instance.ground_set();
+  const auto result = distributed_greedy(ground_set, 20, make_config(16, 6, true));
+  ASSERT_EQ(result.rounds.size(), 6u);
+  EXPECT_GT(result.rounds.front().num_partitions, result.rounds.back().num_partitions);
+  EXPECT_EQ(result.rounds.back().num_partitions, 1u);  // final rounds fit one machine
+  for (std::size_t i = 1; i < result.rounds.size(); ++i) {
+    EXPECT_LE(result.rounds[i].num_partitions, result.rounds[i - 1].num_partitions);
+  }
+}
+
+TEST(DistributedGreedy, NonAdaptiveAlwaysUsesAllMachines) {
+  const Instance instance = random_instance(400, 5, 206);
+  const auto ground_set = instance.ground_set();
+  const auto result = distributed_greedy(ground_set, 40, make_config(8, 4, false));
+  for (const auto& round : result.rounds) {
+    EXPECT_EQ(round.num_partitions, 8u);
+  }
+}
+
+TEST(DistributedGreedy, AdaptiveBeatsNonAdaptiveOnAverage) {
+  // Figure 4 vs Figure 3: adaptivity recovers neighborhood edges and should
+  // not be worse when partitions are plentiful.
+  const Instance instance = random_instance(600, 8, 207);
+  const auto ground_set = instance.ground_set();
+  double adaptive = 0.0, fixed = 0.0;
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    adaptive += distributed_greedy(ground_set, 60,
+                                   make_config(16, 4, true, 0.9, 400 + seed))
+                    .objective;
+    fixed += distributed_greedy(ground_set, 60,
+                                make_config(16, 4, false, 0.9, 400 + seed))
+                 .objective;
+  }
+  EXPECT_GE(adaptive, fixed);
+}
+
+TEST(DistributedGreedy, RoundStatsAreConsistent) {
+  const Instance instance = random_instance(300, 4, 208);
+  const auto ground_set = instance.ground_set();
+  const auto result = distributed_greedy(ground_set, 30, make_config(8, 4, false));
+  ASSERT_EQ(result.rounds.size(), 4u);
+  EXPECT_EQ(result.rounds[0].input_size, 300u);
+  for (std::size_t i = 0; i < result.rounds.size(); ++i) {
+    const auto& round = result.rounds[i];
+    EXPECT_EQ(round.round, i + 1);
+    EXPECT_LE(round.output_size, round.input_size);
+    EXPECT_GE(round.output_size, 30u);
+    EXPECT_GT(round.peak_partition_bytes, 0u);
+    if (i > 0) {
+      EXPECT_EQ(round.input_size, result.rounds[i - 1].output_size);
+    }
+  }
+}
+
+TEST(DistributedGreedy, HonorsBoundingState) {
+  const Instance instance = random_instance(120, 4, 209);
+  const auto ground_set = instance.ground_set();
+  BoundingConfig bounding_config;
+  bounding_config.objective = ObjectiveParams::from_alpha(0.9);
+  bounding_config.sampling = BoundingSampling::kUniform;
+  bounding_config.sample_fraction = 0.3;
+  const auto bounding = bound(ground_set, 40, bounding_config);
+
+  const auto result =
+      distributed_greedy(ground_set, 40, make_config(4, 2, true), &bounding.state);
+  EXPECT_EQ(result.selected.size(), 40u);
+  // Every bounding-selected point must be in the answer; discarded must not.
+  for (NodeId v : bounding.state.selected_ids()) {
+    EXPECT_TRUE(std::binary_search(result.selected.begin(), result.selected.end(), v));
+  }
+  for (NodeId v = 0; v < 120; ++v) {
+    if (bounding.state.is_discarded(v)) {
+      EXPECT_FALSE(
+          std::binary_search(result.selected.begin(), result.selected.end(), v));
+    }
+  }
+}
+
+TEST(DistributedGreedy, WorstCasePartitioningStillReturnsValidSubset) {
+  const Instance instance = random_instance(200, 5, 210);
+  const auto ground_set = instance.ground_set();
+  const auto params = ObjectiveParams::from_alpha(0.9);
+  auto centralized = centralized_greedy(instance.graph, instance.utilities, params, 20);
+  std::sort(centralized.selected.begin(), centralized.selected.end());
+
+  auto config = make_config(10, 4, false);
+  config.forced_first_partition = centralized.selected;
+  const auto result = distributed_greedy(ground_set, 20, config);
+  EXPECT_EQ(result.selected.size(), 20u);
+  std::set<NodeId> unique(result.selected.begin(), result.selected.end());
+  EXPECT_EQ(unique.size(), 20u);
+}
+
+TEST(DistributedGreedy, KLargerThanGroundSetSelectsEverything) {
+  const Instance instance = random_instance(25, 3, 211);
+  const auto ground_set = instance.ground_set();
+  const auto result = distributed_greedy(ground_set, 100, make_config(4, 2, true));
+  EXPECT_EQ(result.selected.size(), 25u);
+}
+
+TEST(DistributedGreedy, RejectsZeroMachinesOrRounds) {
+  const Instance instance = random_instance(10, 2, 212);
+  const auto ground_set = instance.ground_set();
+  EXPECT_THROW(distributed_greedy(ground_set, 5, make_config(0, 1, false)),
+               std::invalid_argument);
+  EXPECT_THROW(distributed_greedy(ground_set, 5, make_config(1, 0, false)),
+               std::invalid_argument);
+}
+
+TEST(DistributedGreedy, DeterministicForFixedSeed) {
+  const Instance instance = random_instance(150, 4, 213);
+  const auto ground_set = instance.ground_set();
+  const auto a = distributed_greedy(ground_set, 15, make_config(8, 3, true, 0.9, 99));
+  const auto b = distributed_greedy(ground_set, 15, make_config(8, 3, true, 0.9, 99));
+  EXPECT_EQ(a.selected, b.selected);
+  EXPECT_EQ(a.objective, b.objective);
+}
+
+}  // namespace
+}  // namespace subsel::core

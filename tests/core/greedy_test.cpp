@@ -1,0 +1,183 @@
+#include "core/greedy.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "../testing/test_instances.h"
+
+namespace subsel::core {
+namespace {
+
+using testing::Instance;
+using testing::brute_force_optimum;
+using testing::random_instance;
+
+TEST(CentralizedGreedy, PicksHighestUtilityWithoutEdges) {
+  // No edges: greedy = top-k utilities.
+  Instance instance;
+  instance.graph = graph::SimilarityGraph::from_lists(
+      std::vector<graph::NeighborList>(5));
+  instance.utilities = {0.1, 0.9, 0.5, 0.7, 0.3};
+  const auto result = centralized_greedy(instance.graph, instance.utilities,
+                                         ObjectiveParams{0.9, 0.1}, 3);
+  EXPECT_EQ(result.selected, (std::vector<NodeId>{1, 3, 2}));
+  EXPECT_NEAR(result.objective, 0.9 * (0.9 + 0.7 + 0.5), 1e-12);
+}
+
+TEST(CentralizedGreedy, PenalizesNeighborsOfSelectedPoints) {
+  // Two clumps: {0,1} highly similar with high utility, {2} slightly lower
+  // utility but independent. With a strong pairwise term, greedy takes 0 then
+  // prefers 2 over 1.
+  std::vector<graph::NeighborList> lists(3);
+  lists[0].edges = {{1, 1.0f}};
+  Instance instance;
+  instance.graph = graph::SimilarityGraph::from_lists(lists).symmetrized();
+  instance.utilities = {1.0, 0.95, 0.6};
+  const auto result = centralized_greedy(instance.graph, instance.utilities,
+                                         ObjectiveParams{0.5, 0.5}, 2);
+  EXPECT_EQ(result.selected, (std::vector<NodeId>{0, 2}));
+}
+
+TEST(CentralizedGreedy, SelectsEverythingWhenKIsN) {
+  const Instance instance = random_instance(12, 3, 41);
+  const auto result = centralized_greedy(instance.graph, instance.utilities,
+                                         ObjectiveParams{0.9, 0.1}, 100);
+  EXPECT_EQ(result.selected.size(), 12u);
+  std::set<NodeId> unique(result.selected.begin(), result.selected.end());
+  EXPECT_EQ(unique.size(), 12u);
+}
+
+TEST(CentralizedGreedy, ObjectiveSumMatchesEvaluation) {
+  const Instance instance = random_instance(60, 5, 42);
+  const auto ground_set = instance.ground_set();
+  const ObjectiveParams params{0.9, 0.1};
+  const auto result = centralized_greedy(instance.graph, instance.utilities, params, 20);
+  PairwiseObjective objective(ground_set, params);
+  EXPECT_NEAR(result.objective, objective.evaluate(result.selected), 1e-9);
+}
+
+/// The heap implementation (Alg. 2) must match the gain-recomputing reference
+/// (Alg. 1) exactly — same subsets, same order.
+class GreedyEquivalenceTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GreedyEquivalenceTest, HeapMatchesNaiveReference) {
+  const Instance instance = random_instance(40, 4, GetParam());
+  const auto ground_set = instance.ground_set();
+  for (const double alpha : {0.9, 0.5, 0.1}) {
+    const auto params = ObjectiveParams::from_alpha(alpha);
+    const auto fast = centralized_greedy(instance.graph, instance.utilities, params, 15);
+    const auto reference = naive_greedy(ground_set, params, 15);
+    EXPECT_EQ(fast.selected, reference.selected) << "alpha=" << alpha;
+    EXPECT_NEAR(fast.objective, reference.objective, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, GreedyEquivalenceTest,
+                         ::testing::Values(51, 52, 53, 54, 55, 56));
+
+/// Nemhauser et al.: greedy achieves at least (1 - 1/e) of the optimum for
+/// monotone instances. Utilities are boosted so the objective is monotone.
+class ApproximationTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ApproximationTest, GreedyWithinOneMinusOneOverEOfOptimum) {
+  Instance instance = random_instance(14, 3, GetParam(), /*max_weight=*/0.5,
+                                      /*max_utility=*/2.0);
+  // Ensure monotonicity: lift utilities by the Appendix-A offset.
+  const auto params = ObjectiveParams{0.7, 0.3};
+  {
+    const auto ground_set = instance.ground_set();
+    const double delta = PairwiseObjective(ground_set, params).monotonicity_offset();
+    for (double& u : instance.utilities) u += delta;
+  }
+  const auto ground_set = instance.ground_set();
+  const std::size_t k = 5;
+  const double optimum = brute_force_optimum(ground_set, params, k);
+  const auto greedy = centralized_greedy(instance.graph, instance.utilities, params, k);
+  EXPECT_GE(greedy.objective + 1e-9, (1.0 - 1.0 / std::exp(1.0)) * optimum);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, ApproximationTest,
+                         ::testing::Values(61, 62, 63, 64, 65));
+
+TEST(Subproblem, MaterializationKeepsOnlyIntraSubsetEdges) {
+  // Path 0-1-2-3; members {0, 2, 3}: only edge 2-3 survives.
+  std::vector<graph::NeighborList> lists(4);
+  lists[0].edges = {{1, 0.5f}};
+  lists[1].edges = {{2, 0.5f}};
+  lists[2].edges = {{3, 0.5f}};
+  Instance instance;
+  instance.graph = graph::SimilarityGraph::from_lists(lists).symmetrized();
+  instance.utilities = {1.0, 1.0, 1.0, 1.0};
+  const auto ground_set = instance.ground_set();
+
+  const auto sub = materialize_subproblem(ground_set, {3, 0, 2},
+                                          ObjectiveParams{0.9, 0.1});
+  EXPECT_EQ(sub.global_ids, (std::vector<NodeId>{0, 2, 3}));
+  EXPECT_EQ(sub.edges.size(), 2u);  // 2->3 and 3->2 in local ids
+  const auto neighbors_of_local_1 =
+      std::make_pair(sub.offsets[1], sub.offsets[2]);  // local 1 = global 2
+  EXPECT_EQ(neighbors_of_local_1.second - neighbors_of_local_1.first, 1);
+  EXPECT_EQ(sub.edges[static_cast<std::size_t>(neighbors_of_local_1.first)].neighbor,
+            2u);  // local id of global 3
+}
+
+TEST(Subproblem, ConditioningSubtractsSelectedNeighborEdges) {
+  std::vector<graph::NeighborList> lists(3);
+  lists[0].edges = {{1, 0.8f}};
+  Instance instance;
+  instance.graph = graph::SimilarityGraph::from_lists(lists).symmetrized();
+  instance.utilities = {1.0, 1.0, 1.0};
+  const auto ground_set = instance.ground_set();
+
+  SelectionState state(3);
+  state.select(1);
+  const ObjectiveParams params{0.5, 0.5};
+  const auto sub = materialize_subproblem(ground_set, {0, 2}, params, &state);
+  // Global 0 has selected neighbor 1: priority = 1.0 - 1.0*0.8.
+  EXPECT_NEAR(sub.priorities[0], 1.0 - 0.8, 1e-6);
+  EXPECT_NEAR(sub.priorities[1], 1.0, 1e-12);
+  EXPECT_TRUE(sub.edges.empty());
+}
+
+TEST(Subproblem, RejectsDuplicates) {
+  const Instance instance = random_instance(5, 2, 71);
+  const auto ground_set = instance.ground_set();
+  EXPECT_THROW(
+      materialize_subproblem(ground_set, {1, 1}, ObjectiveParams{0.9, 0.1}),
+      std::invalid_argument);
+}
+
+TEST(Subproblem, GreedyOnFullSubproblemMatchesCentralized) {
+  const Instance instance = random_instance(50, 5, 72);
+  const auto ground_set = instance.ground_set();
+  const ObjectiveParams params{0.9, 0.1};
+  std::vector<NodeId> all(50);
+  for (std::size_t i = 0; i < 50; ++i) all[i] = static_cast<NodeId>(i);
+  const auto sub = materialize_subproblem(ground_set, all, params);
+  const auto via_subproblem = greedy_on_subproblem(sub, 20, params);
+  const auto direct = centralized_greedy(instance.graph, instance.utilities, params, 20);
+  EXPECT_EQ(via_subproblem.selected, direct.selected);
+  EXPECT_NEAR(via_subproblem.objective, direct.objective, 1e-9);
+}
+
+TEST(Subproblem, GreedyCapsAtSubproblemSize) {
+  const Instance instance = random_instance(10, 2, 73);
+  const auto ground_set = instance.ground_set();
+  const ObjectiveParams params{0.9, 0.1};
+  const auto sub = materialize_subproblem(ground_set, {1, 4, 7}, params);
+  const auto result = greedy_on_subproblem(sub, 10, params);
+  EXPECT_EQ(result.selected.size(), 3u);
+}
+
+TEST(NaiveGreedy, EmptyBudget) {
+  const Instance instance = random_instance(10, 2, 74);
+  const auto ground_set = instance.ground_set();
+  const auto result = naive_greedy(ground_set, ObjectiveParams{0.9, 0.1}, 0);
+  EXPECT_TRUE(result.selected.empty());
+  EXPECT_EQ(result.objective, 0.0);
+}
+
+}  // namespace
+}  // namespace subsel::core

@@ -1,0 +1,92 @@
+#include "core/selection_pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "../testing/test_instances.h"
+
+namespace subsel::core {
+namespace {
+
+using testing::Instance;
+using testing::random_instance;
+
+SelectionPipelineConfig make_config(double alpha, bool use_bounding) {
+  SelectionPipelineConfig config;
+  config.objective = ObjectiveParams::from_alpha(alpha);
+  config.use_bounding = use_bounding;
+  config.bounding.sampling = BoundingSampling::kUniform;
+  config.bounding.sample_fraction = 0.3;
+  config.greedy.num_machines = 4;
+  config.greedy.num_rounds = 2;
+  return config;
+}
+
+TEST(SelectionPipeline, ReturnsExactlyK) {
+  const Instance instance = random_instance(200, 5, 301);
+  const auto ground_set = instance.ground_set();
+  for (bool use_bounding : {false, true}) {
+    const auto result = select_subset(ground_set, 30, make_config(0.9, use_bounding));
+    EXPECT_EQ(result.selected.size(), 30u);
+    std::set<NodeId> unique(result.selected.begin(), result.selected.end());
+    EXPECT_EQ(unique.size(), 30u);
+    EXPECT_EQ(result.bounding.has_value(), use_bounding);
+  }
+}
+
+TEST(SelectionPipeline, BoundingStatsAreReported) {
+  const Instance instance = random_instance(300, 6, 302);
+  const auto ground_set = instance.ground_set();
+  const auto result = select_subset(ground_set, 30, make_config(0.9, true));
+  ASSERT_TRUE(result.bounding.has_value());
+  EXPECT_GE(result.bounding->shrink_rounds, 1u);
+  EXPECT_EQ(result.bounding->included + result.bounding->k_remaining, 30u);
+  EXPECT_GE(result.bounding_seconds, 0.0);
+}
+
+TEST(SelectionPipeline, CompleteBoundingSkipsGreedy) {
+  // Isolated points: exact bounding solves the whole instance.
+  Instance instance;
+  instance.graph =
+      graph::SimilarityGraph::from_lists(std::vector<graph::NeighborList>(20));
+  instance.utilities.resize(20);
+  for (std::size_t i = 0; i < 20; ++i) instance.utilities[i] = static_cast<double>(i);
+  const auto ground_set = instance.ground_set();
+
+  auto config = make_config(0.9, true);
+  config.bounding.sampling = BoundingSampling::kNone;
+  const auto result = select_subset(ground_set, 5, config);
+  ASSERT_TRUE(result.bounding.has_value());
+  EXPECT_TRUE(result.bounding->complete());
+  EXPECT_TRUE(result.greedy_rounds.empty());
+  EXPECT_EQ(result.selected, (std::vector<NodeId>{15, 16, 17, 18, 19}));
+}
+
+TEST(SelectionPipeline, ObjectiveParamsPropagateToStages) {
+  // A config whose stage params disagree with the top-level objective: the
+  // top-level must win (documented behavior).
+  const Instance instance = random_instance(100, 4, 303);
+  const auto ground_set = instance.ground_set();
+  auto config = make_config(0.5, true);
+  config.bounding.objective = ObjectiveParams::from_alpha(0.1);  // overridden
+  config.greedy.objective = ObjectiveParams::from_alpha(0.9);    // overridden
+  const auto result = select_subset(ground_set, 10, config);
+  PairwiseObjective objective(ground_set, ObjectiveParams::from_alpha(0.5));
+  EXPECT_NEAR(result.objective, objective.evaluate(result.selected), 1e-9);
+}
+
+TEST(SelectionPipeline, BoundingImprovesOrMatchesPureGreedyQuality) {
+  // Statistical check over seeds; bounding should not systematically hurt.
+  double with_bounding = 0.0, without = 0.0;
+  for (std::uint64_t seed : {311, 312, 313, 314}) {
+    const Instance instance = random_instance(250, 6, seed);
+    const auto ground_set = instance.ground_set();
+    with_bounding += select_subset(ground_set, 25, make_config(0.9, true)).objective;
+    without += select_subset(ground_set, 25, make_config(0.9, false)).objective;
+  }
+  EXPECT_GE(with_bounding, 0.95 * without);
+}
+
+}  // namespace
+}  // namespace subsel::core

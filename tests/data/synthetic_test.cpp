@@ -1,0 +1,149 @@
+#include "data/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include "data/utility_model.h"
+#include "graph/embedding_matrix.h"
+
+namespace subsel::data {
+namespace {
+
+ClusteredEmbeddingConfig small_config() {
+  ClusteredEmbeddingConfig config;
+  config.num_points = 500;
+  config.dim = 16;
+  config.num_classes = 10;
+  config.seed = 5;
+  return config;
+}
+
+TEST(ClusteredEmbeddings, ShapesMatchConfig) {
+  const auto data = generate_clustered_embeddings(small_config());
+  EXPECT_EQ(data.points.rows(), 500u);
+  EXPECT_EQ(data.points.dim(), 16u);
+  EXPECT_EQ(data.centers.rows(), 10u);
+  EXPECT_EQ(data.labels.size(), 500u);
+  for (auto label : data.labels) EXPECT_LT(label, 10u);
+}
+
+TEST(ClusteredEmbeddings, RowsAreNormalized) {
+  const auto data = generate_clustered_embeddings(small_config());
+  for (std::size_t i = 0; i < data.points.rows(); ++i) {
+    EXPECT_NEAR(graph::dot(data.points.row(i), data.points.row(i)), 1.0f, 1e-4f);
+  }
+}
+
+TEST(ClusteredEmbeddings, DeterministicForFixedSeed) {
+  const auto a = generate_clustered_embeddings(small_config());
+  const auto b = generate_clustered_embeddings(small_config());
+  EXPECT_EQ(a.labels, b.labels);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(a.points.row(i)[0], b.points.row(i)[0]);
+  }
+}
+
+TEST(ClusteredEmbeddings, SeedChangesData) {
+  auto config = small_config();
+  const auto a = generate_clustered_embeddings(config);
+  config.seed = 6;
+  const auto b = generate_clustered_embeddings(config);
+  EXPECT_NE(a.points.row(0)[0], b.points.row(0)[0]);
+}
+
+TEST(ClusteredEmbeddings, SameClassPointsAreMoreSimilar) {
+  const auto data = generate_clustered_embeddings(small_config());
+  double intra = 0.0, inter = 0.0;
+  int intra_count = 0, inter_count = 0;
+  for (std::size_t i = 0; i < 100; ++i) {
+    for (std::size_t j = i + 1; j < 100; ++j) {
+      const float sim = graph::dot(data.points.row(i), data.points.row(j));
+      if (data.labels[i] == data.labels[j]) {
+        intra += sim;
+        ++intra_count;
+      } else {
+        inter += sim;
+        ++inter_count;
+      }
+    }
+  }
+  ASSERT_GT(intra_count, 0);
+  ASSERT_GT(inter_count, 0);
+  EXPECT_GT(intra / intra_count, inter / inter_count + 0.2);
+}
+
+TEST(ClusteredEmbeddings, RejectsEmptyConfig) {
+  ClusteredEmbeddingConfig config;
+  config.num_classes = 0;
+  EXPECT_THROW(generate_clustered_embeddings(config), std::invalid_argument);
+}
+
+TEST(CoarseClassifier, ProbabilitiesFormDistribution) {
+  const auto data = generate_clustered_embeddings(small_config());
+  CoarseClassifier classifier(data.centers, CoarseClassifierConfig{});
+  const auto probs = classifier.predict(data.points.row(0));
+  ASSERT_EQ(probs.size(), 10u);
+  double total = 0.0;
+  for (double p : probs) {
+    EXPECT_GE(p, 0.0);
+    total += p;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(CoarseClassifier, MostlyPredictsTrueClass) {
+  const auto data = generate_clustered_embeddings(small_config());
+  CoarseClassifierConfig config;
+  config.center_noise = 0.05;  // mild coarseness
+  CoarseClassifier classifier(data.centers, config);
+  int correct = 0;
+  for (std::size_t i = 0; i < 200; ++i) {
+    const auto probs = classifier.predict(data.points.row(i));
+    const auto argmax = static_cast<std::uint32_t>(
+        std::max_element(probs.begin(), probs.end()) - probs.begin());
+    correct += (argmax == data.labels[i]);
+  }
+  EXPECT_GT(correct, 150);
+}
+
+TEST(MarginUtilities, InZeroOneBeforeCenteringAndNonNegativeAfter) {
+  const auto data = generate_clustered_embeddings(small_config());
+  CoarseClassifier classifier(data.centers, CoarseClassifierConfig{});
+  for (std::size_t i = 0; i < 50; ++i) {
+    const double u = classifier.margin_utility(data.points.row(i));
+    EXPECT_GE(u, 0.0);
+    EXPECT_LE(u, 1.0);
+  }
+  const auto utilities = compute_margin_utilities(data.points, classifier);
+  ASSERT_EQ(utilities.size(), 500u);
+  const double minimum = *std::min_element(utilities.begin(), utilities.end());
+  EXPECT_DOUBLE_EQ(minimum, 0.0);  // centered
+}
+
+TEST(CenterUtilities, SubtractsMinimum) {
+  std::vector<double> utilities{3.0, 1.0, 2.0};
+  center_utilities(utilities);
+  EXPECT_EQ(utilities, (std::vector<double>{2.0, 0.0, 1.0}));
+  std::vector<double> empty;
+  center_utilities(empty);  // no-op, must not crash
+}
+
+TEST(MarginUtilities, BoundaryPointsScoreHigherThanCores) {
+  // A point exactly at a class center has near-zero margin utility; a point
+  // between two centers has high utility.
+  const auto data = generate_clustered_embeddings(small_config());
+  CoarseClassifierConfig config;
+  config.center_noise = 0.0;
+  CoarseClassifier classifier(data.centers, config);
+
+  const double core = classifier.margin_utility(data.centers.row(0));
+  graph::EmbeddingMatrix between(1, 16);
+  for (std::size_t d = 0; d < 16; ++d) {
+    between.row(0)[d] = data.centers.row(0)[d] + data.centers.row(1)[d];
+  }
+  between.normalize_rows();
+  const double boundary = classifier.margin_utility(between.row(0));
+  EXPECT_GT(boundary, core);
+}
+
+}  // namespace
+}  // namespace subsel::data

@@ -1,0 +1,91 @@
+// The systems invariant of the paper: no worker ever needs the whole dataset
+// resident. These tests verify that the pipeline's per-worker budget is
+// actually enforced and that sharding keeps per-worker peaks ~1/num_shards of
+// the data.
+#include <gtest/gtest.h>
+
+#include "dataflow/transforms.h"
+
+namespace subsel::dataflow {
+namespace {
+
+TEST(MemoryBudget, PeakShardBytesTracksLargestShard) {
+  PipelineOptions options;
+  options.num_shards = 10;
+  Pipeline pipeline(options);
+  const auto pc = from_generator<std::int64_t>(
+      pipeline, 1000, [](std::size_t i) { return static_cast<std::int64_t>(i); });
+  (void)pc;
+  // 100 int64 per shard = 800 bytes.
+  EXPECT_GE(pipeline.peak_shard_bytes(), 800u);
+  EXPECT_LT(pipeline.peak_shard_bytes(), 8000u);
+}
+
+TEST(MemoryBudget, MoreShardsLowerPeak) {
+  auto peak_with_shards = [](std::size_t shards) {
+    PipelineOptions options;
+    options.num_shards = shards;
+    Pipeline pipeline(options);
+    const auto pc = from_generator<std::int64_t>(
+        pipeline, 10'000, [](std::size_t i) { return static_cast<std::int64_t>(i); });
+    const auto mapped = map<std::int64_t>(pc, [](std::int64_t v) { return v + 1; });
+    (void)mapped;
+    return pipeline.peak_shard_bytes();
+  };
+  EXPECT_GT(peak_with_shards(2), 2 * peak_with_shards(16));
+}
+
+TEST(MemoryBudget, ExceedingBudgetThrows) {
+  PipelineOptions options;
+  options.num_shards = 2;
+  options.worker_memory_bytes = 100;  // far below one shard of 5000 int64
+  Pipeline pipeline(options);
+  EXPECT_THROW(from_generator<std::int64_t>(
+                   pipeline, 10'000,
+                   [](std::size_t i) { return static_cast<std::int64_t>(i); }),
+               PipelineMemoryError);
+}
+
+TEST(MemoryBudget, SufficientBudgetDoesNotThrow) {
+  PipelineOptions options;
+  options.num_shards = 64;
+  options.worker_memory_bytes = 64 * 1024;
+  Pipeline pipeline(options);
+  const auto pc = from_generator<std::int64_t>(
+      pipeline, 100'000, [](std::size_t i) { return static_cast<std::int64_t>(i); });
+  // A whole-dataset working set (800 KB) would exceed the 64 KB budget; the
+  // sharded pipeline stays within it.
+  const auto grouped = group_by_key(
+      map<std::pair<std::int64_t, std::int64_t>>(
+          pc, [](std::int64_t v) { return std::make_pair(v % 1024, v); }));
+  EXPECT_EQ(grouped.size(), 1024u);
+  EXPECT_LE(pipeline.peak_shard_bytes(), 64u * 1024u);
+}
+
+TEST(MemoryBudget, ErrorCarriesDiagnostics) {
+  PipelineOptions options;
+  options.num_shards = 1;
+  options.worker_memory_bytes = 8;
+  Pipeline pipeline(options);
+  try {
+    from_generator<std::int64_t>(pipeline, 100, [](std::size_t i) {
+      return static_cast<std::int64_t>(i);
+    });
+    FAIL() << "expected PipelineMemoryError";
+  } catch (const PipelineMemoryError& e) {
+    EXPECT_EQ(e.budget_bytes, 8u);
+    EXPECT_GE(e.needed_bytes, 800u);
+  }
+}
+
+TEST(ApproxBytes, AccountsForNestedContainers) {
+  const std::vector<std::vector<int>> nested{{1, 2, 3}, {4}};
+  EXPECT_GE(approx_bytes(nested), 4 * sizeof(int));
+  const std::pair<std::int64_t, std::vector<double>> kv{1, {1.0, 2.0}};
+  EXPECT_GE(approx_bytes(kv), sizeof(std::int64_t) + 2 * sizeof(double));
+  const std::string text = "hello world, a string with some length";
+  EXPECT_GE(approx_bytes(text), text.size());
+}
+
+}  // namespace
+}  // namespace subsel::dataflow

@@ -1,0 +1,242 @@
+#include "dataflow/transforms.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+#include "common/rng.h"
+
+namespace subsel::dataflow {
+namespace {
+
+using KV = std::pair<std::int64_t, std::int64_t>;
+
+Pipeline make_pipeline(std::size_t shards = 8) {
+  PipelineOptions options;
+  options.num_shards = shards;
+  return Pipeline(options);
+}
+
+TEST(FromVector, PreservesAllElements) {
+  Pipeline pipeline = make_pipeline(4);
+  std::vector<int> values(100);
+  std::iota(values.begin(), values.end(), 0);
+  const auto pc = from_vector(pipeline, values);
+  EXPECT_EQ(pc.size(), 100u);
+  EXPECT_EQ(to_vector(pc), values);  // contiguous sharding keeps order
+}
+
+TEST(FromVector, HandlesFewerElementsThanShards) {
+  Pipeline pipeline = make_pipeline(16);
+  const auto pc = from_vector(pipeline, std::vector<int>{1, 2, 3});
+  EXPECT_EQ(pc.size(), 3u);
+  EXPECT_EQ(to_vector(pc), (std::vector<int>{1, 2, 3}));
+}
+
+TEST(FromGenerator, GeneratesIndexFunction) {
+  Pipeline pipeline = make_pipeline(4);
+  const auto pc = from_generator<std::int64_t>(
+      pipeline, 1000, [](std::size_t i) { return static_cast<std::int64_t>(i * i); });
+  const auto values = to_vector(pc);
+  ASSERT_EQ(values.size(), 1000u);
+  for (std::size_t i = 0; i < 1000; ++i) {
+    EXPECT_EQ(values[i], static_cast<std::int64_t>(i * i));
+  }
+}
+
+TEST(Map, AppliesFunction) {
+  Pipeline pipeline = make_pipeline();
+  const auto pc = from_generator<int>(pipeline, 50, [](std::size_t i) {
+    return static_cast<int>(i);
+  });
+  const auto doubled = map<int>(pc, [](int v) { return 2 * v; });
+  const auto values = to_vector(doubled);
+  for (std::size_t i = 0; i < 50; ++i) EXPECT_EQ(values[i], 2 * static_cast<int>(i));
+}
+
+TEST(FlatMap, CanEmitZeroOrMany) {
+  Pipeline pipeline = make_pipeline();
+  const auto pc = from_generator<int>(pipeline, 10, [](std::size_t i) {
+    return static_cast<int>(i);
+  });
+  const auto expanded = flat_map<int>(pc, [](int v, auto emit) {
+    for (int copy = 0; copy < v % 3; ++copy) emit(v);
+  });
+  // i contributes (i % 3) copies: total = sum over 0..9 of i%3 = 9.
+  EXPECT_EQ(expanded.size(), 9u);
+}
+
+TEST(Filter, KeepsMatchingElements) {
+  Pipeline pipeline = make_pipeline();
+  const auto pc = from_generator<int>(pipeline, 100, [](std::size_t i) {
+    return static_cast<int>(i);
+  });
+  const auto even = filter(pc, [](int v) { return v % 2 == 0; });
+  const auto values = to_vector(even);
+  EXPECT_EQ(values.size(), 50u);
+  for (int v : values) EXPECT_EQ(v % 2, 0);
+}
+
+TEST(Flatten, ConcatenatesCollections) {
+  Pipeline pipeline = make_pipeline();
+  const auto a = from_vector(pipeline, std::vector<int>{1, 2});
+  const auto b = from_vector(pipeline, std::vector<int>{3, 4, 5});
+  const auto both = flatten(a, b);
+  auto values = to_vector(both);
+  std::sort(values.begin(), values.end());
+  EXPECT_EQ(values, (std::vector<int>{1, 2, 3, 4, 5}));
+}
+
+TEST(GroupByKey, GroupsAllValuesOfAKey) {
+  Pipeline pipeline = make_pipeline();
+  std::vector<KV> records;
+  for (std::int64_t i = 0; i < 100; ++i) records.push_back({i % 7, i});
+  const auto grouped = group_by_key(from_vector(pipeline, records));
+  const auto rows = to_vector(grouped);
+  ASSERT_EQ(rows.size(), 7u);
+  std::map<std::int64_t, std::size_t> sizes;
+  for (const auto& [key, values] : rows) {
+    sizes[key] = values.size();
+    for (std::int64_t v : values) EXPECT_EQ(v % 7, key);
+  }
+  for (std::int64_t key = 0; key < 7; ++key) {
+    EXPECT_EQ(sizes[key], key < 100 % 7 ? 15u : 14u);
+  }
+}
+
+TEST(GroupByKey, EachKeyAppearsInExactlyOneShard) {
+  Pipeline pipeline = make_pipeline(8);
+  std::vector<KV> records;
+  for (std::int64_t i = 0; i < 200; ++i) records.push_back({i % 31, i});
+  const auto grouped = group_by_key(from_vector(pipeline, records));
+  std::map<std::int64_t, int> appearances;
+  for (std::size_t s = 0; s < grouped.num_shards(); ++s) {
+    for (const auto& row : grouped.shard(s)) ++appearances[row.first];
+  }
+  EXPECT_EQ(appearances.size(), 31u);
+  for (const auto& [key, count] : appearances) EXPECT_EQ(count, 1) << key;
+}
+
+TEST(GroupByKey, DeterministicAcrossRuns) {
+  auto run = [] {
+    Pipeline pipeline = make_pipeline(8);
+    std::vector<KV> records;
+    Rng rng(5);
+    for (int i = 0; i < 500; ++i) {
+      records.push_back({static_cast<std::int64_t>(rng.uniform_index(40)),
+                         static_cast<std::int64_t>(i)});
+    }
+    return to_vector(group_by_key(from_vector(pipeline, records)));
+  };
+  const auto a = run();
+  const auto b = run();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].first, b[i].first);
+    EXPECT_EQ(a[i].second, b[i].second);
+  }
+}
+
+TEST(CoGroupByKey2, JoinsBothSides) {
+  Pipeline pipeline = make_pipeline();
+  const auto left = from_vector(
+      pipeline, std::vector<KV>{{1, 10}, {2, 20}, {2, 21}, {3, 30}});
+  const auto right = from_vector(
+      pipeline, std::vector<std::pair<std::int64_t, double>>{{2, 0.2}, {4, 0.4}});
+  const auto joined = co_group_by_key(left, right);
+  const auto rows = to_vector(joined);
+  ASSERT_EQ(rows.size(), 4u);  // keys 1, 2, 3, 4
+  std::map<std::int64_t, std::pair<std::size_t, std::size_t>> shape;
+  for (const auto& row : rows) {
+    shape[row.key] = {row.left.size(), row.right.size()};
+  }
+  EXPECT_EQ(shape[1], std::make_pair(std::size_t{1}, std::size_t{0}));
+  EXPECT_EQ(shape[2], std::make_pair(std::size_t{2}, std::size_t{1}));
+  EXPECT_EQ(shape[3], std::make_pair(std::size_t{1}, std::size_t{0}));
+  EXPECT_EQ(shape[4], std::make_pair(std::size_t{0}, std::size_t{1}));
+}
+
+TEST(CoGroupByKey3, JoinsThreeSides) {
+  Pipeline pipeline = make_pipeline();
+  const auto a = from_vector(pipeline, std::vector<KV>{{1, 10}, {2, 20}});
+  const auto b = from_vector(
+      pipeline, std::vector<std::pair<std::int64_t, float>>{{2, 2.0f}});
+  const auto c = from_vector(
+      pipeline, std::vector<std::pair<std::int64_t, std::int64_t>>{{1, -1}, {3, -3}});
+  const auto joined = co_group_by_key(a, b, c);
+  const auto rows = to_vector(joined);
+  ASSERT_EQ(rows.size(), 3u);
+  for (const auto& row : rows) {
+    if (row.key == 1) {
+      EXPECT_EQ(row.first.size(), 1u);
+      EXPECT_EQ(row.second.size(), 0u);
+      EXPECT_EQ(row.third.size(), 1u);
+    } else if (row.key == 2) {
+      EXPECT_EQ(row.first.size(), 1u);
+      EXPECT_EQ(row.second.size(), 1u);
+      EXPECT_EQ(row.third.size(), 0u);
+    } else {
+      EXPECT_EQ(row.key, 3);
+      EXPECT_EQ(row.third.size(), 1u);
+    }
+  }
+}
+
+TEST(Sum, ComputesGlobalSum) {
+  Pipeline pipeline = make_pipeline();
+  const auto pc = from_generator<double>(pipeline, 1000, [](std::size_t i) {
+    return static_cast<double>(i);
+  });
+  EXPECT_DOUBLE_EQ(sum(pc), 999.0 * 1000.0 / 2.0);
+}
+
+TEST(KthLargestDistributed, MatchesInMemorySelection) {
+  Pipeline pipeline = make_pipeline();
+  Rng rng(9);
+  std::vector<double> values(5000);
+  for (double& v : values) v = rng.uniform(-100, 100);
+  const auto pc = from_vector(pipeline, values);
+
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+  for (std::size_t k : {1u, 2u, 100u, 2500u, 5000u}) {
+    EXPECT_EQ(kth_largest_distributed(pc, k), sorted[k - 1]) << "k=" << k;
+  }
+}
+
+TEST(KthLargestDistributed, EdgeCases) {
+  Pipeline pipeline = make_pipeline();
+  const auto pc = from_vector(pipeline, std::vector<double>{1.0, -2.0, 3.0});
+  EXPECT_EQ(kth_largest_distributed(pc, 0), std::numeric_limits<double>::infinity());
+  EXPECT_EQ(kth_largest_distributed(pc, 4), -std::numeric_limits<double>::infinity());
+  EXPECT_EQ(kth_largest_distributed(pc, 1), 3.0);
+  EXPECT_EQ(kth_largest_distributed(pc, 3), -2.0);
+}
+
+TEST(KthLargestDistributed, HandlesDuplicatesAndNegatives) {
+  Pipeline pipeline = make_pipeline();
+  const auto pc = from_vector(
+      pipeline, std::vector<double>{-1.0, -1.0, -1.0, 0.0, 0.0, 2.5, 2.5});
+  EXPECT_EQ(kth_largest_distributed(pc, 2), 2.5);
+  EXPECT_EQ(kth_largest_distributed(pc, 3), 0.0);
+  EXPECT_EQ(kth_largest_distributed(pc, 7), -1.0);
+}
+
+TEST(Counters, AccumulateAcrossIncrements) {
+  Pipeline pipeline = make_pipeline();
+  pipeline.increment_counter("events");
+  pipeline.increment_counter("events", 4);
+  EXPECT_EQ(pipeline.counter("events"), 5u);
+  EXPECT_EQ(pipeline.counter("missing"), 0u);
+}
+
+TEST(Pipeline, RejectsZeroShards) {
+  PipelineOptions options;
+  options.num_shards = 0;
+  EXPECT_THROW(Pipeline pipeline(options), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace subsel::dataflow

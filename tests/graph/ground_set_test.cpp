@@ -1,0 +1,61 @@
+#include "graph/ground_set.h"
+
+#include <gtest/gtest.h>
+
+namespace subsel::graph {
+namespace {
+
+TEST(InMemoryGroundSet, ExposesGraphAndUtilities) {
+  std::vector<NeighborList> lists(3);
+  lists[0].edges = {{1, 0.5f}};
+  lists[1].edges = {{0, 0.5f}, {2, 0.25f}};
+  lists[2].edges = {{1, 0.25f}};
+  const auto graph = SimilarityGraph::from_lists(lists);
+  const std::vector<double> utilities{1.0, 2.0, 3.0};
+  InMemoryGroundSet ground_set(graph, utilities);
+
+  EXPECT_EQ(ground_set.num_points(), 3u);
+  EXPECT_EQ(ground_set.utility(1), 2.0);
+  EXPECT_EQ(ground_set.degree(1), 2u);
+
+  std::vector<Edge> neighbors;
+  ground_set.neighbors(1, neighbors);
+  ASSERT_EQ(neighbors.size(), 2u);
+  EXPECT_EQ(neighbors[0].neighbor, 0);
+  EXPECT_EQ(neighbors[1].neighbor, 2);
+}
+
+TEST(InMemoryGroundSet, NeighborBufferIsReused) {
+  std::vector<NeighborList> lists(2);
+  lists[0].edges = {{1, 0.5f}};
+  lists[1].edges = {{0, 0.5f}};
+  const auto graph = SimilarityGraph::from_lists(lists);
+  const std::vector<double> utilities{1.0, 1.0};
+  InMemoryGroundSet ground_set(graph, utilities);
+
+  std::vector<Edge> buffer;
+  ground_set.neighbors(0, buffer);
+  EXPECT_EQ(buffer.size(), 1u);
+  ground_set.neighbors(1, buffer);
+  EXPECT_EQ(buffer.size(), 1u);
+  EXPECT_EQ(buffer[0].neighbor, 0);
+}
+
+TEST(InMemoryGroundSet, DefaultDegreeFallbackMatches) {
+  // Exercise the base-class default degree() via a minimal custom view.
+  class MinimalView final : public GroundSet {
+   public:
+    std::size_t num_points() const override { return 2; }
+    double utility(NodeId) const override { return 1.0; }
+    void neighbors(NodeId v, std::vector<Edge>& out) const override {
+      out.clear();
+      if (v == 0) out.push_back(Edge{1, 0.5f});
+    }
+  };
+  MinimalView view;
+  EXPECT_EQ(view.degree(0), 1u);
+  EXPECT_EQ(view.degree(1), 0u);
+}
+
+}  // namespace
+}  // namespace subsel::graph

@@ -1,0 +1,130 @@
+// HNSW index: recall against brute force, determinism, hierarchy sanity,
+// degenerate inputs, and downstream equivalence — the selection pipeline
+// must produce near-identical quality on an HNSW-built graph as on the IVF
+// or exact graph (the ANN backend is an implementation detail).
+#include "graph/hnsw.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/greedy.h"
+#include "data/synthetic.h"
+#include "graph/knn.h"
+
+namespace subsel::graph {
+namespace {
+
+EmbeddingMatrix clustered(std::size_t n, std::size_t classes, std::uint64_t seed) {
+  data::ClusteredEmbeddingConfig config;
+  config.num_points = n;
+  config.num_classes = classes;
+  config.dim = 32;
+  config.seed = seed;
+  return data::generate_clustered_embeddings(config).points;
+}
+
+double recall_vs_brute_force(const EmbeddingMatrix& embeddings,
+                             const HnswIndex& index, std::size_t k) {
+  KnnConfig knn;
+  knn.num_neighbors = k;
+  const auto exact = brute_force_knn(embeddings, knn);
+  std::size_t hits = 0, total = 0;
+  for (std::size_t i = 0; i < embeddings.rows(); ++i) {
+    const auto approx = index.search(embeddings.row(i), k, static_cast<NodeId>(i));
+    std::set<NodeId> truth;
+    for (const Edge& e : exact[i].edges) truth.insert(e.neighbor);
+    for (const Edge& e : approx) hits += truth.count(e.neighbor);
+    total += truth.size();
+  }
+  return static_cast<double>(hits) / static_cast<double>(total);
+}
+
+TEST(Hnsw, HighRecallOnClusteredEmbeddings) {
+  const auto embeddings = clustered(2000, 20, 61);
+  const HnswIndex index(embeddings, HnswConfig{});
+  EXPECT_GT(recall_vs_brute_force(embeddings, index, 10), 0.85);
+}
+
+TEST(Hnsw, WiderBeamRaisesRecall) {
+  const auto embeddings = clustered(1500, 15, 62);
+  HnswConfig narrow;
+  narrow.ef_search = 16;
+  HnswConfig wide;
+  wide.ef_search = 128;
+  const HnswIndex narrow_index(embeddings, narrow);
+  const HnswIndex wide_index(embeddings, wide);
+  EXPECT_GE(recall_vs_brute_force(embeddings, wide_index, 10) + 0.02,
+            recall_vs_brute_force(embeddings, narrow_index, 10));
+}
+
+TEST(Hnsw, DeterministicGivenSeed) {
+  const auto embeddings = clustered(600, 8, 63);
+  const HnswIndex a(embeddings, HnswConfig{});
+  const HnswIndex b(embeddings, HnswConfig{});
+  for (std::size_t i = 0; i < embeddings.rows(); i += 37) {
+    EXPECT_EQ(a.search(embeddings.row(i), 10, static_cast<NodeId>(i)),
+              b.search(embeddings.row(i), 10, static_cast<NodeId>(i)))
+        << "query " << i;
+  }
+}
+
+TEST(Hnsw, SearchExcludesSelfAndRespectsK) {
+  const auto embeddings = clustered(500, 5, 64);
+  const HnswIndex index(embeddings, HnswConfig{});
+  for (std::size_t i = 0; i < 50; ++i) {
+    const auto result = index.search(embeddings.row(i), 7, static_cast<NodeId>(i));
+    EXPECT_EQ(result.size(), 7u);
+    for (const Edge& e : result) EXPECT_NE(e.neighbor, static_cast<NodeId>(i));
+    for (std::size_t j = 1; j < result.size(); ++j) {
+      EXPECT_GE(result[j - 1].weight, result[j].weight) << "unsorted at " << j;
+    }
+  }
+}
+
+TEST(Hnsw, HierarchyHasMultipleLevels) {
+  const auto embeddings = clustered(3000, 10, 65);
+  const HnswIndex index(embeddings, HnswConfig{});
+  EXPECT_GE(index.max_level(), 1u);  // 3000 nodes, E[height] = log_m(n) > 1
+}
+
+TEST(Hnsw, TinyAndEmptyInputs) {
+  EmbeddingMatrix empty(0, 8);
+  const HnswIndex empty_index(empty, HnswConfig{});
+  EXPECT_EQ(empty_index.size(), 0u);
+  std::vector<float> query(8, 0.0f);
+  EXPECT_TRUE(empty_index.search(query, 5, -1).empty());
+
+  const auto two = clustered(2, 1, 66);
+  const HnswIndex tiny(two, HnswConfig{});
+  const auto result = tiny.search(two.row(0), 5, 0);
+  EXPECT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0].neighbor, 1);
+}
+
+TEST(Hnsw, KnnGraphFeedsSelectionWithQualityParity) {
+  // Build the 10-NN graph with HNSW and with brute force; centralized greedy
+  // quality on the two symmetrized graphs must agree within a few percent.
+  const auto embeddings = clustered(1200, 12, 67);
+  KnnConfig knn;
+  knn.num_neighbors = 10;
+  const auto exact_graph =
+      SimilarityGraph::from_lists(brute_force_knn(embeddings, knn)).symmetrized();
+  const HnswIndex index(embeddings, HnswConfig{});
+  const auto hnsw_graph =
+      SimilarityGraph::from_lists(index.knn_graph(10)).symmetrized();
+
+  std::vector<double> utilities(embeddings.rows());
+  for (std::size_t i = 0; i < utilities.size(); ++i) {
+    utilities[i] = 0.5 + 0.5 * static_cast<double>(i % 97) / 97.0;
+  }
+  const auto params = core::ObjectiveParams::from_alpha(0.9);
+  const double exact_objective =
+      core::centralized_greedy(exact_graph, utilities, params, 120).objective;
+  const double hnsw_objective =
+      core::centralized_greedy(hnsw_graph, utilities, params, 120).objective;
+  EXPECT_NEAR(hnsw_objective / exact_objective, 1.0, 0.03);
+}
+
+}  // namespace
+}  // namespace subsel::graph

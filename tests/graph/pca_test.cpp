@@ -1,0 +1,70 @@
+#include "graph/pca.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace subsel::graph {
+namespace {
+
+TEST(Pca, RecoversDominantAxis) {
+  // Data varies strongly along dim 0, weakly along dim 1, not at all
+  // elsewhere; PC1 scores must correlate with the dim-0 coordinate.
+  subsel::Rng rng(1);
+  EmbeddingMatrix m(500, 8);
+  std::vector<double> axis0(500);
+  for (std::size_t i = 0; i < 500; ++i) {
+    axis0[i] = rng.normal() * 10.0;
+    m.row(i)[0] = static_cast<float>(axis0[i]);
+    m.row(i)[1] = static_cast<float>(rng.normal());
+  }
+  const auto projection = pca_project_2d(m);
+  double dot_product = 0.0, norm_x = 0.0, norm_a = 0.0;
+  for (std::size_t i = 0; i < 500; ++i) {
+    dot_product += projection.x[i] * axis0[i];
+    norm_x += projection.x[i] * projection.x[i];
+    norm_a += axis0[i] * axis0[i];
+  }
+  const double correlation = std::abs(dot_product) / std::sqrt(norm_x * norm_a);
+  EXPECT_GT(correlation, 0.99);
+}
+
+TEST(Pca, ComponentsAreUncorrelated) {
+  subsel::Rng rng(2);
+  EmbeddingMatrix m(400, 6);
+  for (std::size_t i = 0; i < 400; ++i) {
+    for (float& v : m.row(i)) v = static_cast<float>(rng.normal());
+  }
+  const auto projection = pca_project_2d(m);
+  double sum_xy = 0.0, sum_xx = 0.0, sum_yy = 0.0;
+  for (std::size_t i = 0; i < 400; ++i) {
+    sum_xy += projection.x[i] * projection.y[i];
+    sum_xx += projection.x[i] * projection.x[i];
+    sum_yy += projection.y[i] * projection.y[i];
+  }
+  EXPECT_LT(std::abs(sum_xy) / std::sqrt(sum_xx * sum_yy), 0.1);
+}
+
+TEST(Pca, DeterministicForFixedSeed) {
+  subsel::Rng rng(3);
+  EmbeddingMatrix m(100, 4);
+  for (std::size_t i = 0; i < 100; ++i) {
+    for (float& v : m.row(i)) v = static_cast<float>(rng.normal());
+  }
+  const auto a = pca_project_2d(m, 30, 7);
+  const auto b = pca_project_2d(m, 30, 7);
+  EXPECT_EQ(a.x, b.x);
+  EXPECT_EQ(a.y, b.y);
+}
+
+TEST(Pca, HandlesEmptyMatrix) {
+  EmbeddingMatrix m;
+  const auto projection = pca_project_2d(m);
+  EXPECT_TRUE(projection.x.empty());
+  EXPECT_TRUE(projection.y.empty());
+}
+
+}  // namespace
+}  // namespace subsel::graph

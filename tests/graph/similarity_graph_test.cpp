@@ -1,0 +1,130 @@
+#include "graph/similarity_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+namespace subsel::graph {
+namespace {
+
+std::vector<NeighborList> triangle_lists() {
+  // 0 -- 1 (0.5), 1 -- 2 (0.25), directed: only forward edges given.
+  std::vector<NeighborList> lists(3);
+  lists[0].edges = {{1, 0.5f}};
+  lists[1].edges = {{2, 0.25f}};
+  return lists;
+}
+
+TEST(SimilarityGraph, FromListsBuildsCsr) {
+  const auto graph = SimilarityGraph::from_lists(triangle_lists());
+  EXPECT_EQ(graph.num_nodes(), 3u);
+  EXPECT_EQ(graph.num_edges(), 2u);
+  ASSERT_EQ(graph.degree(0), 1u);
+  EXPECT_EQ(graph.neighbors(0)[0].neighbor, 1);
+  EXPECT_FLOAT_EQ(graph.neighbors(0)[0].weight, 0.5f);
+  EXPECT_EQ(graph.degree(2), 0u);
+}
+
+TEST(SimilarityGraph, NeighborsSortedById) {
+  std::vector<NeighborList> lists(4);
+  lists[0].edges = {{3, 0.1f}, {1, 0.2f}, {2, 0.3f}};
+  const auto graph = SimilarityGraph::from_lists(lists);
+  const auto neighbors = graph.neighbors(0);
+  ASSERT_EQ(neighbors.size(), 3u);
+  EXPECT_EQ(neighbors[0].neighbor, 1);
+  EXPECT_EQ(neighbors[1].neighbor, 2);
+  EXPECT_EQ(neighbors[2].neighbor, 3);
+}
+
+TEST(SimilarityGraph, RejectsSelfLoop) {
+  std::vector<NeighborList> lists(2);
+  lists[0].edges = {{0, 0.5f}};
+  EXPECT_THROW(SimilarityGraph::from_lists(lists), std::invalid_argument);
+}
+
+TEST(SimilarityGraph, RejectsDuplicateNeighbor) {
+  std::vector<NeighborList> lists(2);
+  lists[0].edges = {{1, 0.5f}, {1, 0.4f}};
+  EXPECT_THROW(SimilarityGraph::from_lists(lists), std::invalid_argument);
+}
+
+TEST(SimilarityGraph, RejectsOutOfRangeNeighbor) {
+  std::vector<NeighborList> lists(2);
+  lists[0].edges = {{5, 0.5f}};
+  EXPECT_THROW(SimilarityGraph::from_lists(lists), std::invalid_argument);
+}
+
+TEST(SimilarityGraph, RejectsNegativeWeight) {
+  std::vector<NeighborList> lists(2);
+  lists[0].edges = {{1, -0.5f}};
+  EXPECT_THROW(SimilarityGraph::from_lists(lists), std::invalid_argument);
+}
+
+TEST(SimilarityGraph, SymmetrizeAddsReverseEdges) {
+  const auto graph = SimilarityGraph::from_lists(triangle_lists());
+  EXPECT_FALSE(graph.is_symmetric());
+  const auto sym = graph.symmetrized();
+  EXPECT_TRUE(sym.is_symmetric());
+  EXPECT_EQ(sym.num_edges(), 4u);  // both directions of both edges
+  ASSERT_EQ(sym.degree(1), 2u);
+  EXPECT_EQ(sym.neighbors(1)[0].neighbor, 0);
+  EXPECT_FLOAT_EQ(sym.neighbors(1)[0].weight, 0.5f);
+}
+
+TEST(SimilarityGraph, SymmetrizeKeepsMaxWeightOfDirections) {
+  std::vector<NeighborList> lists(2);
+  lists[0].edges = {{1, 0.5f}};
+  lists[1].edges = {{0, 0.9f}};
+  const auto sym = SimilarityGraph::from_lists(lists).symmetrized();
+  EXPECT_FLOAT_EQ(sym.neighbors(0)[0].weight, 0.9f);
+  EXPECT_FLOAT_EQ(sym.neighbors(1)[0].weight, 0.9f);
+  EXPECT_TRUE(sym.is_symmetric());
+}
+
+TEST(SimilarityGraph, SymmetrizeIsIdempotent) {
+  const auto sym = SimilarityGraph::from_lists(triangle_lists()).symmetrized();
+  const auto sym2 = sym.symmetrized();
+  EXPECT_EQ(sym2.num_edges(), sym.num_edges());
+  EXPECT_TRUE(sym2.is_symmetric());
+}
+
+TEST(SimilarityGraph, DegreeStatistics) {
+  const auto sym = SimilarityGraph::from_lists(triangle_lists()).symmetrized();
+  EXPECT_EQ(sym.min_degree(), 1u);  // nodes 0 and 2
+  EXPECT_EQ(sym.max_degree(), 2u);  // node 1
+  EXPECT_DOUBLE_EQ(sym.average_degree(), 4.0 / 3.0);
+}
+
+TEST(SimilarityGraph, TotalEdgeWeightCountsUnorderedPairsOnce) {
+  const auto sym = SimilarityGraph::from_lists(triangle_lists()).symmetrized();
+  EXPECT_NEAR(sym.total_edge_weight(), 0.75, 1e-9);
+}
+
+TEST(SimilarityGraph, SaveLoadRoundTrip) {
+  const auto dir = std::filesystem::temp_directory_path() / "subsel_graph_test";
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / "g.bin").string();
+  const auto sym = SimilarityGraph::from_lists(triangle_lists()).symmetrized();
+  sym.save(path);
+  const auto loaded = SimilarityGraph::load(path);
+  EXPECT_EQ(loaded.num_nodes(), sym.num_nodes());
+  EXPECT_EQ(loaded.num_edges(), sym.num_edges());
+  for (std::size_t v = 0; v < sym.num_nodes(); ++v) {
+    const auto a = sym.neighbors(static_cast<NodeId>(v));
+    const auto b = loaded.neighbors(static_cast<NodeId>(v));
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t e = 0; e < a.size(); ++e) EXPECT_EQ(a[e], b[e]);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(SimilarityGraph, EmptyGraph) {
+  const auto graph = SimilarityGraph::from_lists({});
+  EXPECT_EQ(graph.num_nodes(), 0u);
+  EXPECT_EQ(graph.num_edges(), 0u);
+  EXPECT_TRUE(graph.is_symmetric());
+  EXPECT_EQ(graph.average_degree(), 0.0);
+}
+
+}  // namespace
+}  // namespace subsel::graph

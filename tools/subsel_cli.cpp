@@ -1,0 +1,275 @@
+// subsel — command-line front end for the selection library.
+//
+//   subsel generate --type=cifar|imagenet|toy --scale=0.1 --out=data/cifar
+//   subsel info     --data=data/cifar
+//   subsel select   --data=data/cifar --fraction=0.1 --alpha=0.9
+//                   --machines=8 --rounds=8 [--no-adaptive] [--disk]
+//                   [--bounding=none|exact|uniform|weighted] [--sample=0.3]
+//                   [--engine=memory|dataflow] --out=subset.ids
+//   subsel score    --data=data/cifar --subset=subset.ids --alpha=0.9
+//                   [--distributed]
+//
+// Datasets are the binary format of data/dataset_io.h; subsets are plain
+// one-id-per-line text files. Exit code 0 on success, 1 on bad usage, 2 on
+// runtime failure.
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "beam/beam_pipeline.h"
+#include "beam/beam_scoring.h"
+#include "common/timer.h"
+#include "core/selection_pipeline.h"
+#include "data/dataset_io.h"
+#include "data/datasets.h"
+#include "graph/disk_ground_set.h"
+
+namespace {
+
+using namespace subsel;
+
+/// --name=value / --name flag accessor over argv.
+class CliArgs {
+ public:
+  CliArgs(int argc, char** argv) : argc_(argc), argv_(argv) {}
+
+  std::optional<std::string> get(const std::string& name) const {
+    const std::string prefix = "--" + name + "=";
+    for (int i = 2; i < argc_; ++i) {
+      if (std::strncmp(argv_[i], prefix.c_str(), prefix.size()) == 0) {
+        return std::string(argv_[i] + prefix.size());
+      }
+    }
+    return std::nullopt;
+  }
+
+  std::string require(const std::string& name) const {
+    auto value = get(name);
+    if (!value.has_value()) {
+      throw std::invalid_argument("missing required --" + name + "=...");
+    }
+    return *value;
+  }
+
+  double get_double(const std::string& name, double fallback) const {
+    auto value = get(name);
+    return value.has_value() ? std::atof(value->c_str()) : fallback;
+  }
+
+  std::size_t get_size(const std::string& name, std::size_t fallback) const {
+    auto value = get(name);
+    return value.has_value() ? static_cast<std::size_t>(std::atoll(value->c_str()))
+                             : fallback;
+  }
+
+  bool has_flag(const std::string& name) const {
+    const std::string flag = "--" + name;
+    for (int i = 2; i < argc_; ++i) {
+      if (flag == argv_[i]) return true;
+    }
+    return false;
+  }
+
+ private:
+  int argc_;
+  char** argv_;
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: subsel <command> [options]\n"
+               "  generate --type=cifar|imagenet|toy --out=PREFIX [--scale=F]"
+               " [--seed=N]\n"
+               "  info     --data=PREFIX\n"
+               "  select   --data=PREFIX (--k=N | --fraction=F) [--alpha=F]\n"
+               "           [--machines=N] [--rounds=N] [--no-adaptive]\n"
+               "           [--bounding=none|exact|uniform|weighted] [--sample=F]\n"
+               "           [--engine=memory|dataflow] [--shards=N] [--disk]\n"
+               "           [--worker-memory-kb=N] [--seed=N] --out=FILE\n"
+               "  score    --data=PREFIX --subset=FILE [--alpha=F] [--distributed]\n");
+  return 1;
+}
+
+int cmd_generate(const CliArgs& args) {
+  const std::string type = args.require("type");
+  const std::string out = args.require("out");
+  const double scale = args.get_double("scale", 0.1);
+  const auto seed = static_cast<std::uint64_t>(args.get_size("seed", 42));
+
+  data::Dataset dataset;
+  if (type == "cifar") {
+    dataset = data::cifar_proxy(scale, seed);
+  } else if (type == "imagenet") {
+    dataset = data::imagenet_proxy(scale, seed);
+  } else if (type == "toy") {
+    dataset = data::toy_dataset(args.get_size("points", 2000),
+                                args.get_size("classes", 10), seed);
+  } else {
+    std::fprintf(stderr, "unknown --type=%s (cifar|imagenet|toy)\n", type.c_str());
+    return 1;
+  }
+  data::save_dataset(dataset, out);
+  std::printf("wrote %zu points (%zu-d, avg degree %.1f) to %s[.graph]\n",
+              dataset.size(), dataset.embeddings.dim(),
+              dataset.graph.average_degree(), out.c_str());
+  return 0;
+}
+
+int cmd_info(const CliArgs& args) {
+  const auto dataset = data::load_dataset(args.require("data"));
+  double min_utility = dataset.utilities.empty() ? 0.0 : dataset.utilities[0];
+  double max_utility = min_utility;
+  for (double u : dataset.utilities) {
+    min_utility = std::min(min_utility, u);
+    max_utility = std::max(max_utility, u);
+  }
+  std::uint32_t num_classes = 0;
+  for (std::uint32_t label : dataset.labels) {
+    num_classes = std::max(num_classes, label + 1);
+  }
+  std::printf("dataset:    %s\n", dataset.name.c_str());
+  std::printf("points:     %zu\n", dataset.size());
+  std::printf("dimensions: %zu\n", dataset.embeddings.dim());
+  std::printf("classes:    %u\n", num_classes);
+  std::printf("avg degree: %.2f\n", dataset.graph.average_degree());
+  std::printf("utilities:  [%.4f, %.4f]\n", min_utility, max_utility);
+  return 0;
+}
+
+int cmd_select(const CliArgs& args) {
+  const std::string data_path = args.require("data");
+  const std::string out = args.require("out");
+
+  // --disk keeps the adjacency on disk behind an LRU block cache; only the
+  // per-point scalars are loaded. Default materializes the whole dataset.
+  const bool disk = args.has_flag("disk");
+  data::Dataset dataset;
+  std::unique_ptr<graph::GroundSet> disk_ground_set;
+  std::size_t num_points = 0;
+  if (disk) {
+    auto scalars = data::load_dataset_scalars(data_path);
+    num_points = scalars.utilities.size();
+    graph::DiskGroundSetConfig cache;
+    cache.max_cached_blocks = args.get_size("cache-blocks", 64);
+    disk_ground_set = std::make_unique<graph::DiskGroundSet>(
+        data_path + ".graph", std::move(scalars.utilities), cache);
+  } else {
+    dataset = data::load_dataset(data_path);
+    num_points = dataset.size();
+  }
+
+  std::size_t k = args.get_size("k", 0);
+  if (k == 0) {
+    const double fraction = args.get_double("fraction", 0.0);
+    if (fraction <= 0.0 || fraction > 1.0) {
+      std::fprintf(stderr, "need --k=N or --fraction=(0,1]\n");
+      return 1;
+    }
+    k = static_cast<std::size_t>(fraction * static_cast<double>(num_points));
+  }
+
+  core::SelectionPipelineConfig config;
+  config.objective =
+      core::ObjectiveParams::from_alpha(args.get_double("alpha", 0.9));
+  config.greedy.num_machines = args.get_size("machines", 8);
+  config.greedy.num_rounds = args.get_size("rounds", 8);
+  config.greedy.adaptive_partitioning = !args.has_flag("no-adaptive");
+  config.greedy.seed = static_cast<std::uint64_t>(args.get_size("seed", 23));
+
+  const std::string bounding = args.get("bounding").value_or("uniform");
+  if (bounding == "none") {
+    config.use_bounding = false;
+  } else if (bounding == "exact") {
+    config.bounding.sampling = core::BoundingSampling::kNone;
+  } else if (bounding == "uniform") {
+    config.bounding.sampling = core::BoundingSampling::kUniform;
+  } else if (bounding == "weighted") {
+    config.bounding.sampling = core::BoundingSampling::kWeighted;
+  } else {
+    std::fprintf(stderr, "unknown --bounding=%s\n", bounding.c_str());
+    return 1;
+  }
+  config.bounding.sample_fraction = args.get_double("sample", 0.3);
+
+  Timer timer;
+  const auto in_memory_ground_set =
+      disk ? graph::InMemoryGroundSet(dataset.graph, dataset.utilities)
+           : dataset.ground_set();
+  const graph::GroundSet& ground_set =
+      disk ? *disk_ground_set
+           : static_cast<const graph::GroundSet&>(in_memory_ground_set);
+  const std::string engine = args.get("engine").value_or("memory");
+  core::SelectionPipelineResult result;
+  if (engine == "dataflow") {
+    dataflow::PipelineOptions options;
+    options.num_shards = args.get_size("shards", 64);
+    options.worker_memory_bytes = args.get_size("worker-memory-kb", 0) * 1024;
+    dataflow::Pipeline pipeline(options);
+    result = beam::beam_select_subset(pipeline, ground_set, k, config);
+    std::printf("dataflow engine: %zu shards, peak %zu bytes/shard\n",
+                options.num_shards, pipeline.peak_shard_bytes());
+  } else if (engine == "memory") {
+    result = core::select_subset(ground_set, k, config);
+  } else {
+    std::fprintf(stderr, "unknown --engine=%s (memory|dataflow)\n", engine.c_str());
+    return 1;
+  }
+  data::save_subset(result.selected, out);
+
+  std::printf("selected %zu / %zu points in %s -> %s\n", result.selected.size(),
+              num_points, format_duration(timer.elapsed_seconds()).c_str(),
+              out.c_str());
+  std::printf("objective f(S) = %.6f\n", result.objective);
+  if (result.bounding.has_value()) {
+    std::printf("bounding: included %zu, excluded %zu (%zu grow / %zu shrink"
+                " rounds)\n",
+                result.bounding->included, result.bounding->excluded,
+                result.bounding->grow_rounds, result.bounding->shrink_rounds);
+  }
+  std::printf("greedy rounds: %zu\n", result.greedy_rounds.size());
+  return 0;
+}
+
+int cmd_score(const CliArgs& args) {
+  const auto dataset = data::load_dataset(args.require("data"));
+  const auto subset = data::load_subset(args.require("subset"));
+  const auto params =
+      core::ObjectiveParams::from_alpha(args.get_double("alpha", 0.9));
+  const auto ground_set = dataset.ground_set();
+
+  double score = 0.0;
+  if (args.has_flag("distributed")) {
+    dataflow::Pipeline pipeline;
+    score = beam::beam_score(pipeline, ground_set, subset, params);
+  } else {
+    core::PairwiseObjective objective(ground_set, params);
+    score = objective.evaluate(subset);
+  }
+  std::printf("f(S) = %.6f over %zu points (alpha=%.2f%s)\n", score, subset.size(),
+              params.alpha, args.has_flag("distributed") ? ", distributed" : "");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  const CliArgs args(argc, argv);
+  try {
+    if (command == "generate") return cmd_generate(args);
+    if (command == "info") return cmd_info(args);
+    if (command == "select") return cmd_select(args);
+    if (command == "score") return cmd_score(args);
+    return usage();
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}
