@@ -57,12 +57,16 @@ GreeDiResult greedi(const GroundSet& ground_set, std::size_t k,
     cursor += size;
   }
 
-  // Per-partition greedy, selecting k each (capped by partition size).
+  // Per-partition greedy, selecting k each (capped by partition size), on
+  // per-worker reusable arenas.
+  core::SubproblemArenaPool arena_pool;
   std::vector<std::vector<NodeId>> partials(m);
   pool_or_global(config.pool).parallel_for(m, [&](std::size_t p) {
-    core::Subproblem sub = core::materialize_subproblem(
-        ground_set, std::move(partitions[p]), config.objective);
-    partials[p] = core::greedy_on_subproblem(sub, k, config.objective).selected;
+    core::SubproblemArenaPool::Lease arena(arena_pool);
+    const core::Subproblem& sub = core::materialize_subproblem(
+        ground_set, partitions[p], config.objective, nullptr, *arena);
+    partials[p] =
+        core::greedy_on_subproblem(sub, k, config.objective, *arena).selected;
   });
 
   // The centralized merge: greedy over the union — the step that needs one
@@ -73,11 +77,12 @@ GreeDiResult greedi(const GroundSet& ground_set, std::size_t k,
   }
   GreeDiResult result;
   result.merge_candidates = merge_input.size();
-  core::Subproblem merge = core::materialize_subproblem(ground_set,
-                                                        std::move(merge_input),
-                                                        config.objective);
+  core::SubproblemArenaPool::Lease merge_arena(arena_pool);
+  const core::Subproblem& merge = core::materialize_subproblem(
+      ground_set, merge_input, config.objective, nullptr, *merge_arena);
   result.merge_bytes = merge.byte_size();
-  GreedyResult merged = core::greedy_on_subproblem(merge, k, config.objective);
+  GreedyResult merged =
+      core::greedy_on_subproblem(merge, k, config.objective, *merge_arena);
 
   result.selected = std::move(merged.selected);
   std::sort(result.selected.begin(), result.selected.end());

@@ -63,8 +63,7 @@ PCollection<std::pair<NodeId, FanRecord>> fanned_neighbor_graph(
   return dataflow::flat_map<std::pair<NodeId, FanRecord>>(
       ids, [&ground_set](NodeId v, auto emit) {
         thread_local std::vector<graph::Edge> scratch;
-        ground_set.neighbors(v, scratch);
-        for (const graph::Edge& e : scratch) {
+        for (const graph::Edge& e : ground_set.neighbors_span(v, scratch)) {
           emit({e.neighbor, FanRecord{v, e.weight}});
         }
       });

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <span>
 #include <stdexcept>
 
 #include "common/log.h"
@@ -68,6 +69,9 @@ core::DistributedGreedyResult beam_distributed_greedy(
   const std::size_t partition_cap =
       (v0 + config.num_machines - 1) / std::max<std::size_t>(1, config.num_machines);
 
+  // One reusable arena per concurrent shard worker, shared across all rounds.
+  core::SubproblemArenaPool arena_pool;
+
   if (k_open > 0 && v0 > 0) {
     for (std::size_t round = 1; round <= config.num_rounds; ++round) {
       core::RoundStats stats;
@@ -106,10 +110,11 @@ core::DistributedGreedyResult beam_distributed_greedy(
       survivors = dataflow::flat_map<NodeId>(
           partitions, [&ground_set, &peak_bytes, initial, params, solver,
                        stochastic_epsilon, seed, round, per_partition_target,
-                       &pipeline](const auto& row, auto emit) {
-            core::Subproblem sub = core::materialize_subproblem(
-                ground_set, std::vector<NodeId>(row.second.begin(), row.second.end()),
-                params, initial);
+                       &pipeline, &arena_pool](const auto& row, auto emit) {
+            core::SubproblemArenaPool::Lease arena(arena_pool);
+            const core::Subproblem& sub = core::materialize_subproblem(
+                ground_set, std::span<const NodeId>(row.second), params,
+                initial, *arena);
             pipeline.charge_shard_bytes(sub.byte_size());
             std::size_t expected = peak_bytes.load();
             while (sub.byte_size() > expected &&
@@ -121,7 +126,7 @@ core::DistributedGreedyResult beam_distributed_greedy(
                           sub, per_partition_target, params, stochastic_epsilon,
                           hash_combine(seed, 0x9e37ULL * round + row.first))
                     : core::greedy_on_subproblem(sub, per_partition_target,
-                                                 params);
+                                                 params, *arena);
             for (NodeId v : local.selected) emit(v);
           });
       stats.peak_partition_bytes = peak_bytes.load();

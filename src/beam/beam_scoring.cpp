@@ -34,8 +34,7 @@ double beam_score(Pipeline& pipeline, const GroundSet& ground_set,
   auto fanned = dataflow::flat_map<std::pair<NodeId, ScoredEdge>>(
       ids, [&ground_set](NodeId v, auto emit) {
         thread_local std::vector<graph::Edge> scratch;
-        ground_set.neighbors(v, scratch);
-        for (const graph::Edge& e : scratch) {
+        for (const graph::Edge& e : ground_set.neighbors_span(v, scratch)) {
           emit({e.neighbor, ScoredEdge{v, e.weight}});
         }
       });

@@ -8,10 +8,13 @@
 // subsets and can be compared exactly in tests.
 #pragma once
 
+#include <algorithm>
 #include <cassert>
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <span>
+#include <utility>
 #include <vector>
 
 namespace subsel::core {
@@ -21,19 +24,29 @@ class AddressableMaxHeap {
   using LocalId = std::uint32_t;
   static constexpr std::uint32_t kNotInHeap = std::numeric_limits<std::uint32_t>::max();
 
+  /// An empty heap; fill it with assign().
+  AddressableMaxHeap() = default;
+
   /// Builds the heap over ids [0, priorities.size()) in O(n).
-  explicit AddressableMaxHeap(std::span<const double> priorities)
-      : priorities_(priorities.begin(), priorities.end()),
-        heap_(priorities.size()),
-        position_(priorities.size()) {
-    for (std::uint32_t i = 0; i < heap_.size(); ++i) {
+  explicit AddressableMaxHeap(std::span<const double> priorities) {
+    assign(priorities);
+  }
+
+  /// Rebuilds the heap over ids [0, priorities.size()) in O(n), reusing the
+  /// existing storage — arena-held heaps call this once per subproblem instead
+  /// of reallocating.
+  void assign(std::span<const double> priorities) {
+    priorities_.assign(priorities.begin(), priorities.end());
+    const auto n = static_cast<std::uint32_t>(priorities_.size());
+    heap_.resize(n);
+    position_.resize(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
       heap_[i] = i;
       position_[i] = i;
     }
-    if (!heap_.empty()) {
-      for (std::uint32_t i = static_cast<std::uint32_t>(heap_.size()) / 2; i-- > 0;) {
-        sift_down(i);
-      }
+    size_ = n;
+    for (std::uint32_t i = n / 2; i-- > 0;) {
+      sift_down(i);
     }
   }
 
@@ -69,6 +82,35 @@ class AddressableMaxHeap {
     assert(contains(id));
     priorities_[id] -= delta;
     sift_down(position_[id]);
+  }
+
+  /// Batched decrease: applies priorities[id] -= delta for every (id, delta)
+  /// pair — entries whose id is no longer in the heap are skipped — then
+  /// restores heap order with ONE bottom-up pass (touched slots sifted in
+  /// decreasing slot order, Floyd-style) instead of per-edge sift-downs.
+  /// Deltas are applied in input order, so the float results are bit-identical
+  /// to the equivalent sequence of decrease_weight_by calls; pop order is
+  /// identical too because the (priority, id) order popped is a total order
+  /// independent of the internal array layout. One greedy pop's whole neighbor
+  /// update becomes a single restore pass.
+  void decrease_many(std::span<const std::pair<LocalId, double>> updates) {
+    touched_slots_.clear();
+    for (const auto& [id, delta] : updates) {
+      if (!contains(id)) continue;
+      priorities_[id] -= delta;
+      touched_slots_.push_back(position_[id]);
+    }
+    if (touched_slots_.size() == 1) {
+      sift_down(touched_slots_.front());
+      return;
+    }
+    // Decreasing slot order: sifting slot s only moves elements inside s's
+    // subtree (all indices > s), so the recorded positions of the still-
+    // unprocessed (smaller) slots stay valid, and every touched slot sees
+    // fully-restored subtrees below it — the restricted Floyd heapify.
+    std::sort(touched_slots_.begin(), touched_slots_.end(),
+              std::greater<std::uint32_t>());
+    for (const std::uint32_t slot : touched_slots_) sift_down(slot);
   }
 
   /// Generic priority update (increase or decrease) for a live element.
@@ -121,7 +163,8 @@ class AddressableMaxHeap {
   std::vector<double> priorities_;
   std::vector<LocalId> heap_;       // heap_[slot] = id
   std::vector<std::uint32_t> position_;  // position_[id] = slot or kNotInHeap
-  std::size_t size_ = heap_.size();
+  std::vector<std::uint32_t> touched_slots_;  // decrease_many scratch
+  std::size_t size_ = 0;
 };
 
 }  // namespace subsel::core

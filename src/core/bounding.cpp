@@ -79,7 +79,7 @@ void compute_utility_bounds(const GroundSet& ground_set, const SelectionState& s
     for (std::size_t i = begin; i < end; ++i) {
       const auto v = static_cast<NodeId>(i);
       if (!state.is_unassigned(v)) continue;
-      ground_set.neighbors(v, scratch);
+      const auto edges = ground_set.neighbors_span(v, scratch);
 
       // Weighted sampling normalizes by the mean similarity over the *live*
       // (non-discarded) neighborhood, which is what the distributed joins in
@@ -87,7 +87,7 @@ void compute_utility_bounds(const GroundSet& ground_set, const SelectionState& s
       double mean_weight = 0.0;
       if (config.sampling == BoundingSampling::kWeighted) {
         std::size_t live = 0;
-        for (const graph::Edge& e : scratch) {
+        for (const graph::Edge& e : edges) {
           if (state.state(e.neighbor) != PointState::kDiscarded) {
             mean_weight += e.weight;
             ++live;
@@ -99,7 +99,7 @@ void compute_utility_bounds(const GroundSet& ground_set, const SelectionState& s
       const double u = ground_set.utility(v);
       double min_bound = u;
       double max_bound = u;
-      for (const graph::Edge& e : scratch) {
+      for (const graph::Edge& e : edges) {
         switch (state.state(e.neighbor)) {
           case PointState::kSelected:
             // Neighbors in S′ are always counted, in both bounds.

@@ -162,6 +162,12 @@ DistributedGreedyResult distributed_greedy(const GroundSet& ground_set, std::siz
 
   ThreadPool& workers = pool_or_global(config.pool);
 
+  // Per-worker reusable arenas: subproblem CSR, scatter map, and heap storage
+  // persist across every partition of every round instead of being
+  // reallocated per partition — the round loop's only steady-state
+  // allocations are the partition id lists themselves.
+  SubproblemArenaPool arena_pool;
+
   if (k_open > 0 && v0 > 0) {
     std::size_t executed = 0;
     for (std::size_t round = first_round; round <= config.num_rounds; ++round) {
@@ -212,8 +218,9 @@ DistributedGreedyResult distributed_greedy(const GroundSet& ground_set, std::siz
       std::vector<std::vector<NodeId>> partition_results(partitions.size());
       std::atomic<std::size_t> peak_bytes{0};
       workers.parallel_for(partitions.size(), [&](std::size_t p) {
-        Subproblem sub = materialize_subproblem(ground_set, std::move(partitions[p]),
-                                                config.objective, initial);
+        SubproblemArenaPool::Lease arena(arena_pool);
+        const Subproblem& sub = materialize_subproblem(
+            ground_set, partitions[p], config.objective, initial, *arena);
         std::size_t expected = peak_bytes.load();
         while (sub.byte_size() > expected &&
                !peak_bytes.compare_exchange_weak(expected, sub.byte_size())) {
@@ -225,7 +232,7 @@ DistributedGreedyResult distributed_greedy(const GroundSet& ground_set, std::siz
                       config.stochastic_epsilon,
                       hash_combine(config.seed, 0x9e37ULL * round + p))
                 : greedy_on_subproblem(sub, per_partition_target,
-                                       config.objective);
+                                       config.objective, *arena);
         partition_results[p] = std::move(local.selected);
       });
       stats.peak_partition_bytes = peak_bytes.load();

@@ -11,6 +11,134 @@
 
 namespace subsel::core {
 
+const Subproblem& materialize_subproblem(const GroundSet& ground_set,
+                                         std::span<const NodeId> members,
+                                         ObjectiveParams params,
+                                         const SelectionState* state,
+                                         SubproblemArena& arena) {
+  Subproblem& sub = arena.subproblem();
+  sub.global_ids.assign(members.begin(), members.end());
+  std::sort(sub.global_ids.begin(), sub.global_ids.end());
+  if (std::adjacent_find(sub.global_ids.begin(), sub.global_ids.end()) !=
+      sub.global_ids.end()) {
+    throw std::invalid_argument("materialize_subproblem: duplicate member");
+  }
+
+  const std::size_t n = sub.global_ids.size();
+  sub.priorities.resize(n);
+  sub.offsets.resize(n + 1);
+  sub.offsets[0] = 0;
+  sub.edges.clear();
+
+  // O(1) membership via the epoch-stamped scatter map; ground sets too large
+  // for the dense map (virtual billion-point sets) keep the binary search.
+  const bool dense = arena.begin_membership_epoch(ground_set.num_points());
+  if (dense) {
+    for (std::size_t i = 0; i < n; ++i) {
+      arena.insert_member(sub.global_ids[i], static_cast<std::uint32_t>(i));
+    }
+  }
+
+  const double pair_scale = params.pair_scale();
+  std::vector<graph::Edge>& scratch = arena.edge_scratch();
+  for (std::size_t i = 0; i < n; ++i) {
+    const NodeId v = sub.global_ids[i];
+    double priority = ground_set.utility(v);
+    for (const graph::Edge& e : ground_set.neighbors_span(v, scratch)) {
+      if (state != nullptr && state->is_selected(e.neighbor)) {
+        priority -= pair_scale * e.weight;
+        continue;
+      }
+      std::uint32_t local = SubproblemArena::kNotMember;
+      if (dense) {
+        local = arena.local_of(e.neighbor);
+      } else {
+        const auto it = std::lower_bound(sub.global_ids.begin(),
+                                         sub.global_ids.end(), e.neighbor);
+        if (it != sub.global_ids.end() && *it == e.neighbor) {
+          local = static_cast<std::uint32_t>(it - sub.global_ids.begin());
+        }
+      }
+      if (local != SubproblemArena::kNotMember) {
+        sub.edges.push_back(Subproblem::LocalEdge{local, e.weight});
+      }
+    }
+    sub.priorities[i] = priority;
+    sub.offsets[i + 1] = static_cast<std::int64_t>(sub.edges.size());
+  }
+  return sub;
+}
+
+Subproblem materialize_subproblem(const GroundSet& ground_set,
+                                  std::vector<NodeId> members,
+                                  ObjectiveParams params,
+                                  const SelectionState* state) {
+  // One-shot convenience path: binary-search membership, no arena. Building
+  // a dense scatter map for a single materialization would cost
+  // O(num_points) memory for no amortization; repeated callers (the round
+  // loops) use the arena overload.
+  return reference::materialize_subproblem(ground_set, std::move(members),
+                                           params, state);
+}
+
+GreedyResult greedy_on_subproblem(const Subproblem& subproblem, std::size_t k,
+                                  ObjectiveParams params) {
+  const std::size_t n = subproblem.size();
+  k = std::min(k, n);
+  GreedyResult result;
+  result.selected.reserve(k);
+
+  AddressableMaxHeap heap(subproblem.priorities);
+  const double pair_scale = params.pair_scale();
+  double priority_sum = 0.0;
+  while (result.selected.size() < k) {
+    const auto v1 = heap.pop_max();
+    priority_sum += heap.priority(v1);
+    result.selected.push_back(subproblem.global_ids[v1]);
+    const auto begin = static_cast<std::size_t>(subproblem.offsets[v1]);
+    const auto end = static_cast<std::size_t>(subproblem.offsets[v1 + 1]);
+    for (std::size_t e = begin; e < end; ++e) {
+      const auto& edge = subproblem.edges[e];
+      if (heap.contains(edge.neighbor)) {
+        heap.decrease_weight_by(edge.neighbor, pair_scale * edge.weight);
+      }
+    }
+  }
+  result.objective = params.alpha * priority_sum;
+  return result;
+}
+
+GreedyResult greedy_on_subproblem(const Subproblem& subproblem, std::size_t k,
+                                  ObjectiveParams params, SubproblemArena& arena) {
+  const std::size_t n = subproblem.size();
+  k = std::min(k, n);
+  GreedyResult result;
+  result.selected.reserve(k);
+
+  AddressableMaxHeap& heap = arena.heap();
+  heap.assign(subproblem.priorities);
+  auto& updates = arena.update_scratch();
+  const double pair_scale = params.pair_scale();
+  double priority_sum = 0.0;
+  while (result.selected.size() < k) {
+    const auto v1 = heap.pop_max();
+    priority_sum += heap.priority(v1);
+    result.selected.push_back(subproblem.global_ids[v1]);
+    const auto begin = static_cast<std::size_t>(subproblem.offsets[v1]);
+    const auto end = static_cast<std::size_t>(subproblem.offsets[v1 + 1]);
+    updates.clear();
+    for (std::size_t e = begin; e < end; ++e) {
+      const auto& edge = subproblem.edges[e];
+      updates.emplace_back(edge.neighbor, pair_scale * edge.weight);
+    }
+    heap.decrease_many(updates);  // popped neighbors are skipped inside
+  }
+  result.objective = params.alpha * priority_sum;
+  return result;
+}
+
+namespace reference {
+
 Subproblem materialize_subproblem(const GroundSet& ground_set,
                                   std::vector<NodeId> members,
                                   ObjectiveParams params,
@@ -55,30 +183,10 @@ Subproblem materialize_subproblem(const GroundSet& ground_set,
 
 GreedyResult greedy_on_subproblem(const Subproblem& subproblem, std::size_t k,
                                   ObjectiveParams params) {
-  const std::size_t n = subproblem.size();
-  k = std::min(k, n);
-  GreedyResult result;
-  result.selected.reserve(k);
-
-  AddressableMaxHeap heap(subproblem.priorities);
-  const double pair_scale = params.pair_scale();
-  double priority_sum = 0.0;
-  while (result.selected.size() < k) {
-    const auto v1 = heap.pop_max();
-    priority_sum += heap.priority(v1);
-    result.selected.push_back(subproblem.global_ids[v1]);
-    const auto begin = static_cast<std::size_t>(subproblem.offsets[v1]);
-    const auto end = static_cast<std::size_t>(subproblem.offsets[v1 + 1]);
-    for (std::size_t e = begin; e < end; ++e) {
-      const auto& edge = subproblem.edges[e];
-      if (heap.contains(edge.neighbor)) {
-        heap.decrease_weight_by(edge.neighbor, pair_scale * edge.weight);
-      }
-    }
-  }
-  result.objective = params.alpha * priority_sum;
-  return result;
+  return core::greedy_on_subproblem(subproblem, k, params);
 }
+
+}  // namespace reference
 
 GreedyResult stochastic_greedy_on_subproblem(const Subproblem& subproblem,
                                              std::size_t k, ObjectiveParams params,

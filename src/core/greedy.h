@@ -19,6 +19,7 @@
 
 #include "core/objective.h"
 #include "core/selection_state.h"
+#include "core/subproblem_arena.h"
 #include "graph/ground_set.h"
 #include "graph/similarity_graph.h"
 
@@ -35,41 +36,42 @@ struct GreedyResult {
   double objective = 0.0;
 };
 
-/// A self-contained greedy instance over a subset of the ground set.
-struct Subproblem {
-  /// Ascending global ids; local id = index into this vector.
-  std::vector<NodeId> global_ids;
-  /// Initial priorities: u(v), minus (β/α)·Σ s(v,j) over already-selected
-  /// neighbors j when conditioned on a partial solution.
-  std::vector<double> priorities;
-  /// CSR adjacency restricted to members (local ids).
-  std::vector<std::int64_t> offsets;
-  struct LocalEdge {
-    std::uint32_t neighbor;
-    float weight;
-  };
-  std::vector<LocalEdge> edges;
-
-  std::size_t size() const noexcept { return global_ids.size(); }
-  std::size_t byte_size() const noexcept {
-    return global_ids.size() * (sizeof(NodeId) + sizeof(double)) +
-           offsets.size() * sizeof(std::int64_t) + edges.size() * sizeof(LocalEdge);
-  }
-};
-
 /// Materializes the subproblem induced by `members` (any order; sorted
 /// internally). Edges to non-members are dropped — exactly the "discard any
 /// neighborhood relation across partitions" rule of Section 4.4. If `state`
 /// is given, member utilities are conditioned on its selected points (edges
 /// into S′ keep influencing marginal gains, Definition 4.2-style).
+/// One-shot convenience overload (binary-search membership); the round loops
+/// use the arena overload below.
 Subproblem materialize_subproblem(const GroundSet& ground_set,
                                   std::vector<NodeId> members,
                                   ObjectiveParams params,
                                   const SelectionState* state = nullptr);
 
+/// Hot-path variant: materializes into `arena`'s reusable storage and returns
+/// a reference to it (valid until the arena's next materialize). Membership
+/// tests use the arena's epoch-stamped scatter map (O(1) per edge, no
+/// per-partition clearing) when the ground set is small enough for the dense
+/// map, and binary search over the member list otherwise; neighborhoods are
+/// read through the zero-copy GroundSet::neighbors_span path. Selections are
+/// identical to the by-value overload.
+const Subproblem& materialize_subproblem(const GroundSet& ground_set,
+                                         std::span<const NodeId> members,
+                                         ObjectiveParams params,
+                                         const SelectionState* state,
+                                         SubproblemArena& arena);
+
 /// Algorithm 2 on a subproblem; selects min(k, size) points.
 GreedyResult greedy_on_subproblem(const Subproblem& subproblem, std::size_t k,
                                   ObjectiveParams params);
+
+/// Hot-path variant: runs on the arena's reusable heap (no per-partition
+/// allocation) and applies each pop's neighbor updates with one batched
+/// decrease_many restore pass. Bit-identical selections and objectives to the
+/// arena-free overload. `subproblem` may be (and typically is) the arena's
+/// own subproblem.
+GreedyResult greedy_on_subproblem(const Subproblem& subproblem, std::size_t k,
+                                  ObjectiveParams params, SubproblemArena& arena);
 
 /// Stochastic greedy (Mirzasoleiman et al. 2015) on a subproblem: each step
 /// examines a uniform sample of ceil(n/k * ln(1/eps)) live candidates
@@ -92,5 +94,21 @@ GreedyResult centralized_greedy(const graph::SimilarityGraph& graph,
 /// AddressableMaxHeap.
 GreedyResult naive_greedy(const GroundSet& ground_set, ObjectiveParams params,
                           std::size_t k);
+
+/// The seed (pre-arena) implementations, kept verbatim as the equivalence
+/// oracle for the zero-copy/arena fast path and as the perf baseline recorded
+/// in BENCH_micro_core.json: per-edge std::lower_bound membership, a fresh
+/// edge-copy buffer, and a freshly allocated heap with per-edge sift-downs.
+namespace reference {
+
+Subproblem materialize_subproblem(const GroundSet& ground_set,
+                                  std::vector<NodeId> members,
+                                  ObjectiveParams params,
+                                  const SelectionState* state = nullptr);
+
+GreedyResult greedy_on_subproblem(const Subproblem& subproblem, std::size_t k,
+                                  ObjectiveParams params);
+
+}  // namespace reference
 
 }  // namespace subsel::core

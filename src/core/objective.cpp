@@ -55,8 +55,7 @@ double PairwiseObjective::evaluate(const std::vector<std::uint8_t>& membership,
       if (membership[i] == 0) continue;
       const auto v = static_cast<NodeId>(i);
       unary += ground_set_->utility(v);
-      ground_set_->neighbors(v, scratch);
-      for (const graph::Edge& e : scratch) {
+      for (const graph::Edge& e : ground_set_->neighbors_span(v, scratch)) {
         if (e.neighbor > v && membership[static_cast<std::size_t>(e.neighbor)] != 0) {
           pairs += e.weight;
         }
@@ -81,8 +80,7 @@ double PairwiseObjective::marginal_gain(const std::vector<std::uint8_t>& members
   }
   double gain = params_.alpha * ground_set_->utility(v);
   std::vector<graph::Edge> scratch;
-  ground_set_->neighbors(v, scratch);
-  for (const graph::Edge& e : scratch) {
+  for (const graph::Edge& e : ground_set_->neighbors_span(v, scratch)) {
     if (membership[static_cast<std::size_t>(e.neighbor)] != 0) {
       gain -= params_.beta * e.weight;
     }
@@ -102,9 +100,9 @@ double PairwiseObjective::monotonicity_offset(ThreadPool* pool) const {
     double best = 0.0;
     std::vector<graph::Edge> scratch;
     for (std::size_t i = begin; i < end; ++i) {
-      ground_set_->neighbors(static_cast<NodeId>(i), scratch);
       double sum = 0.0;
-      for (const graph::Edge& e : scratch) sum += e.weight;
+      ground_set_->visit_neighbors(static_cast<NodeId>(i), scratch,
+                                   [&sum](const graph::Edge& e) { sum += e.weight; });
       best = std::max(best, sum);
     }
     partial_max[c] = best;

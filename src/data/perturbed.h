@@ -48,6 +48,8 @@ class PerturbedGroundSet final : public graph::GroundSet {
 
   std::size_t num_points() const override { return num_points_; }
   double utility(graph::NodeId v) const override;
+  /// Edges are computed on the fly from (seed, id), so this class keeps the
+  /// copying neighbors_span() fallback — there is no stable storage to view.
   void neighbors(graph::NodeId v, std::vector<graph::Edge>& out) const override;
   std::size_t degree(graph::NodeId v) const override;
 

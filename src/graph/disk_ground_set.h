@@ -50,6 +50,8 @@ class DiskGroundSet final : public GroundSet {
   double utility(NodeId v) const override {
     return utilities_[static_cast<std::size_t>(v)];
   }
+  /// Keeps the copying fallback for neighbors_span(): cache blocks are
+  /// evictable under the mutex, so no stable zero-copy view exists.
   void neighbors(NodeId v, std::vector<Edge>& out) const override;
   std::size_t degree(NodeId v) const override {
     const auto i = static_cast<std::size_t>(v);

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "graph/similarity_graph.h"
@@ -33,11 +34,30 @@ class GroundSet {
   /// `out`'s capacity; callers reuse one buffer across calls.
   virtual void neighbors(NodeId v, std::vector<Edge>& out) const = 0;
 
-  /// Degree of v; default derives it via neighbors() — override when cheaper.
-  virtual std::size_t degree(NodeId v) const {
-    std::vector<Edge> scratch;
+  /// Zero-copy fast path: a view of v's neighbors. Implementations backed by
+  /// stable storage (a resident CSR graph) return a span straight into it and
+  /// never touch `scratch`; the default copies through neighbors() into
+  /// `scratch` and views that. Either way the result is invalidated by the
+  /// next neighbors_span/neighbors call that reuses the same scratch buffer,
+  /// so consume it before querying the next node.
+  virtual std::span<const Edge> neighbors_span(NodeId v,
+                                               std::vector<Edge>& scratch) const {
     neighbors(v, scratch);
-    return scratch.size();
+    return {scratch.data(), scratch.size()};
+  }
+
+  /// Visitor-style iteration over v's neighbors on the zero-copy path.
+  template <typename Visitor>
+  void visit_neighbors(NodeId v, std::vector<Edge>& scratch, Visitor&& visit) const {
+    for (const Edge& edge : neighbors_span(v, scratch)) visit(edge);
+  }
+
+  /// Degree of v; default derives it via the zero-copy path — override when
+  /// cheaper. The scratch buffer is reused across calls so implementations
+  /// without a span fast path pay one copy, not one allocation, per call.
+  virtual std::size_t degree(NodeId v) const {
+    thread_local std::vector<Edge> scratch;
+    return neighbors_span(v, scratch).size();
   }
 };
 
@@ -58,6 +78,12 @@ class InMemoryGroundSet final : public GroundSet {
   void neighbors(NodeId v, std::vector<Edge>& out) const override {
     const auto span = graph_.neighbors(v);
     out.assign(span.begin(), span.end());
+  }
+
+  /// Hands out the CSR storage directly — no copy, `scratch` untouched.
+  std::span<const Edge> neighbors_span(NodeId v,
+                                       std::vector<Edge>& /*scratch*/) const override {
+    return graph_.neighbors(v);
   }
 
   std::size_t degree(NodeId v) const override { return graph_.degree(v); }

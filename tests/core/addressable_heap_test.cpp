@@ -134,5 +134,76 @@ TEST_P(HeapPropertyTest, MatchesNaiveReference) {
 INSTANTIATE_TEST_SUITE_P(RandomSeeds, HeapPropertyTest,
                          ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
 
+TEST(AddressableMaxHeap, AssignReusesStorageAndRebuilds) {
+  AddressableMaxHeap heap;
+  EXPECT_TRUE(heap.empty());
+  heap.assign(std::vector<double>{1.0, 3.0, 2.0});
+  EXPECT_EQ(heap.pop_max(), 1u);
+  heap.assign(std::vector<double>{5.0, 4.0});  // reuse after partial drain
+  EXPECT_EQ(heap.size(), 2u);
+  EXPECT_EQ(heap.pop_max(), 0u);
+  EXPECT_EQ(heap.pop_max(), 1u);
+  EXPECT_TRUE(heap.empty());
+}
+
+TEST(AddressableMaxHeap, DecreaseManySkipsPoppedIds) {
+  AddressableMaxHeap heap(std::vector<double>{5.0, 4.0, 3.0});
+  EXPECT_EQ(heap.pop_max(), 0u);
+  const std::vector<std::pair<AddressableMaxHeap::LocalId, double>> updates{
+      {0, 10.0},  // popped: must be ignored
+      {1, 2.0},   // 4.0 -> 2.0, below id 2
+  };
+  heap.decrease_many(updates);
+  EXPECT_DOUBLE_EQ(heap.priority(0), 5.0);
+  EXPECT_EQ(heap.pop_max(), 2u);
+  EXPECT_EQ(heap.pop_max(), 1u);
+}
+
+TEST(AddressableMaxHeap, DecreaseManyEmptyBatch) {
+  AddressableMaxHeap heap(std::vector<double>{1.0, 2.0});
+  heap.decrease_many({});
+  EXPECT_EQ(heap.pop_max(), 1u);
+}
+
+/// Property test: decrease_many must be indistinguishable from the same
+/// updates applied one at a time through decrease_weight_by — same priorities
+/// bit for bit, same pop order.
+class DecreaseManyPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DecreaseManyPropertyTest, MatchesSequentialDecreases) {
+  Rng rng(GetParam());
+  const std::size_t n = 30 + rng.uniform_index(100);
+  std::vector<double> priorities(n);
+  for (double& p : priorities) p = rng.uniform(-10, 10);
+
+  AddressableMaxHeap batched(priorities);
+  AddressableMaxHeap sequential(priorities);
+
+  std::size_t live = n;
+  std::vector<std::pair<AddressableMaxHeap::LocalId, double>> batch;
+  while (live > 0) {
+    // Random batch over random ids (live and popped mixed in).
+    batch.clear();
+    const std::size_t batch_size = rng.uniform_index(20);
+    for (std::size_t i = 0; i < batch_size; ++i) {
+      batch.emplace_back(static_cast<std::uint32_t>(rng.uniform_index(n)),
+                         rng.uniform(0, 5));
+    }
+    batched.decrease_many(batch);
+    for (const auto& [id, delta] : batch) {
+      if (sequential.contains(id)) sequential.decrease_weight_by(id, delta);
+    }
+    for (std::uint32_t id = 0; id < n; ++id) {
+      ASSERT_EQ(batched.priority(id), sequential.priority(id));
+    }
+    const auto expected = sequential.pop_max();
+    ASSERT_EQ(batched.pop_max(), expected);
+    --live;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, DecreaseManyPropertyTest,
+                         ::testing::Values(11, 12, 13, 14, 15, 16, 17, 18));
+
 }  // namespace
 }  // namespace subsel::core

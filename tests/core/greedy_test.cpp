@@ -171,6 +171,146 @@ TEST(Subproblem, GreedyCapsAtSubproblemSize) {
   EXPECT_EQ(result.selected.size(), 3u);
 }
 
+/// The zero-copy/arena fast path (scatter-map membership, reused storage,
+/// batched heap updates) must reproduce the seed implementation exactly:
+/// identical subsets in identical order, identical objectives, identical
+/// materialized CSR.
+class ArenaEquivalenceTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ArenaEquivalenceTest, ArenaPathMatchesSeedReference) {
+  Rng rng(GetParam());
+  const Instance instance = random_instance(80, 5, GetParam());
+  const auto ground_set = instance.ground_set();
+  SubproblemArena arena;  // deliberately reused across every subcase below
+
+  for (const double alpha : {0.9, 0.5, 0.1}) {
+    const auto params = ObjectiveParams::from_alpha(alpha);
+    for (std::size_t trial = 0; trial < 4; ++trial) {
+      // Random member subset of random size (unsorted on purpose).
+      std::vector<NodeId> members;
+      for (NodeId v = 0; v < 80; ++v) {
+        if (rng.bernoulli(0.4)) members.push_back(v);
+      }
+      rng.shuffle(std::span<NodeId>(members));
+      if (members.empty()) members.push_back(static_cast<NodeId>(trial));
+      const std::size_t k = 1 + rng.uniform_index(members.size());
+
+      const auto seed_sub =
+          reference::materialize_subproblem(ground_set, members, params);
+      const Subproblem& arena_sub =
+          materialize_subproblem(ground_set, members, params, nullptr, arena);
+      EXPECT_EQ(arena_sub.global_ids, seed_sub.global_ids);
+      EXPECT_EQ(arena_sub.priorities, seed_sub.priorities);
+      EXPECT_EQ(arena_sub.offsets, seed_sub.offsets);
+      ASSERT_EQ(arena_sub.edges.size(), seed_sub.edges.size());
+      for (std::size_t e = 0; e < seed_sub.edges.size(); ++e) {
+        EXPECT_EQ(arena_sub.edges[e].neighbor, seed_sub.edges[e].neighbor);
+        EXPECT_EQ(arena_sub.edges[e].weight, seed_sub.edges[e].weight);
+      }
+
+      const auto seed_result =
+          reference::greedy_on_subproblem(seed_sub, k, params);
+      const auto arena_result = greedy_on_subproblem(arena_sub, k, params, arena);
+      EXPECT_EQ(arena_result.selected, seed_result.selected);
+      EXPECT_EQ(arena_result.objective, seed_result.objective);
+    }
+  }
+}
+
+TEST_P(ArenaEquivalenceTest, ArenaPathMatchesSeedReferenceWithConditioning) {
+  const Instance instance = random_instance(60, 4, GetParam());
+  const auto ground_set = instance.ground_set();
+  const auto params = ObjectiveParams::from_alpha(0.5);
+
+  SelectionState state(60);
+  Rng rng(GetParam() ^ 0xC0DEULL);
+  std::vector<NodeId> members;
+  for (NodeId v = 0; v < 60; ++v) {
+    if (rng.bernoulli(0.2)) {
+      state.select(v);
+    } else if (rng.bernoulli(0.5)) {
+      members.push_back(v);
+    }
+  }
+  if (members.empty()) GTEST_SKIP();
+
+  SubproblemArena arena;
+  const auto seed_sub =
+      reference::materialize_subproblem(ground_set, members, params, &state);
+  const Subproblem& arena_sub =
+      materialize_subproblem(ground_set, members, params, &state, arena);
+  EXPECT_EQ(arena_sub.global_ids, seed_sub.global_ids);
+  EXPECT_EQ(arena_sub.priorities, seed_sub.priorities);
+
+  const std::size_t k = (members.size() + 1) / 2;
+  const auto seed_result = reference::greedy_on_subproblem(seed_sub, k, params);
+  const auto arena_result = greedy_on_subproblem(arena_sub, k, params, arena);
+  EXPECT_EQ(arena_result.selected, seed_result.selected);
+  EXPECT_EQ(arena_result.objective, seed_result.objective);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, ArenaEquivalenceTest,
+                         ::testing::Values(81, 82, 83, 84, 85, 86, 87, 88));
+
+TEST(SubproblemArena, ByValueOverloadMatchesSeedReference) {
+  const Instance instance = random_instance(40, 4, 91);
+  const auto ground_set = instance.ground_set();
+  const ObjectiveParams params{0.9, 0.1};
+  const std::vector<NodeId> members{7, 3, 21, 14, 30, 2};
+  const auto legacy = materialize_subproblem(ground_set, members, params);
+  const auto seed = reference::materialize_subproblem(ground_set, members, params);
+  EXPECT_EQ(legacy.global_ids, seed.global_ids);
+  EXPECT_EQ(legacy.priorities, seed.priorities);
+  EXPECT_EQ(legacy.offsets, seed.offsets);
+}
+
+TEST(SubproblemArena, RejectsDuplicates) {
+  const Instance instance = random_instance(5, 2, 92);
+  const auto ground_set = instance.ground_set();
+  SubproblemArena arena;
+  const std::vector<NodeId> members{1, 1};
+  EXPECT_THROW(materialize_subproblem(ground_set, members,
+                                      ObjectiveParams{0.9, 0.1}, nullptr, arena),
+               std::invalid_argument);
+}
+
+TEST(SubproblemArena, BinarySearchFallbackBeyondDenseLimit) {
+  // A view that reports a ground set too large for the dense scatter map but
+  // only ever hands out small ids — forces the lower_bound fallback branch.
+  class HugeView final : public graph::GroundSet {
+   public:
+    explicit HugeView(const graph::InMemoryGroundSet& inner) : inner_(inner) {}
+    std::size_t num_points() const override {
+      return SubproblemArena::kDenseMembershipLimit + 1;
+    }
+    double utility(NodeId v) const override { return inner_.utility(v); }
+    void neighbors(NodeId v, std::vector<graph::Edge>& out) const override {
+      inner_.neighbors(v, out);
+    }
+
+   private:
+    const graph::InMemoryGroundSet& inner_;
+  };
+
+  const Instance instance = random_instance(50, 5, 93);
+  const auto ground_set = instance.ground_set();
+  const HugeView huge(ground_set);
+  const ObjectiveParams params{0.9, 0.1};
+  std::vector<NodeId> members;
+  for (NodeId v = 0; v < 50; v += 2) members.push_back(v);
+
+  SubproblemArena arena;
+  const auto seed = reference::materialize_subproblem(ground_set, members, params);
+  const Subproblem& fallback =
+      materialize_subproblem(huge, members, params, nullptr, arena);
+  EXPECT_EQ(fallback.global_ids, seed.global_ids);
+  EXPECT_EQ(fallback.priorities, seed.priorities);
+  EXPECT_EQ(fallback.offsets, seed.offsets);
+  const auto seed_result = reference::greedy_on_subproblem(seed, 10, params);
+  const auto fallback_result = greedy_on_subproblem(fallback, 10, params, arena);
+  EXPECT_EQ(fallback_result.selected, seed_result.selected);
+}
+
 TEST(NaiveGreedy, EmptyBudget) {
   const Instance instance = random_instance(10, 2, 74);
   const auto ground_set = instance.ground_set();

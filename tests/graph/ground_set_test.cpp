@@ -57,5 +57,62 @@ TEST(InMemoryGroundSet, DefaultDegreeFallbackMatches) {
   EXPECT_EQ(view.degree(1), 0u);
 }
 
+TEST(InMemoryGroundSet, NeighborsSpanIsZeroCopy) {
+  std::vector<NeighborList> lists(3);
+  lists[0].edges = {{1, 0.5f}};
+  lists[1].edges = {{0, 0.5f}, {2, 0.25f}};
+  lists[2].edges = {{1, 0.25f}};
+  const auto graph = SimilarityGraph::from_lists(lists);
+  const std::vector<double> utilities{1.0, 2.0, 3.0};
+  InMemoryGroundSet ground_set(graph, utilities);
+
+  std::vector<Edge> scratch;
+  const auto span = ground_set.neighbors_span(1, scratch);
+  ASSERT_EQ(span.size(), 2u);
+  EXPECT_EQ(span[0].neighbor, 0);
+  EXPECT_EQ(span[1].neighbor, 2);
+  // Zero-copy: the view aliases the CSR storage and never touches scratch.
+  EXPECT_TRUE(scratch.empty());
+  EXPECT_EQ(span.data(), graph.neighbors(1).data());
+}
+
+TEST(GroundSet, NeighborsSpanDefaultFallsBackToCopy) {
+  class CopyOnlyView final : public GroundSet {
+   public:
+    std::size_t num_points() const override { return 2; }
+    double utility(NodeId) const override { return 1.0; }
+    void neighbors(NodeId v, std::vector<Edge>& out) const override {
+      out.clear();
+      out.push_back(Edge{v == 0 ? NodeId{1} : NodeId{0}, 0.75f});
+    }
+  };
+  CopyOnlyView view;
+  std::vector<Edge> scratch;
+  const auto span = view.neighbors_span(0, scratch);
+  ASSERT_EQ(span.size(), 1u);
+  EXPECT_EQ(span[0].neighbor, 1);
+  EXPECT_EQ(span.data(), scratch.data());  // view over the scratch copy
+}
+
+TEST(GroundSet, VisitNeighborsSeesEveryEdge) {
+  std::vector<NeighborList> lists(3);
+  lists[0].edges = {{1, 0.5f}, {2, 0.125f}};
+  lists[1].edges = {{0, 0.5f}};
+  lists[2].edges = {{0, 0.125f}};
+  const auto graph = SimilarityGraph::from_lists(lists);
+  const std::vector<double> utilities{1.0, 1.0, 1.0};
+  InMemoryGroundSet ground_set(graph, utilities);
+
+  std::vector<Edge> scratch;
+  double weight_sum = 0.0;
+  std::size_t count = 0;
+  ground_set.visit_neighbors(0, scratch, [&](const Edge& e) {
+    weight_sum += e.weight;
+    ++count;
+  });
+  EXPECT_EQ(count, 2u);
+  EXPECT_FLOAT_EQ(static_cast<float>(weight_sum), 0.625f);
+}
+
 }  // namespace
 }  // namespace subsel::graph
