@@ -19,6 +19,12 @@
 // batched decrease_many). Results, including the speedup, are written to
 // BENCH_micro_core.json so every PR records the perf trajectory.
 //
+// The binary can additionally run the SOLVER MATRIX: every solver in the
+// api::SolverRegistry on one fixed instance, timed and scored through the
+// unified SelectionRequest/SelectionReport schema, written to
+// BENCH_solver_matrix.json — the cross-solver perf/quality trajectory future
+// PRs diff against.
+//
 // Flags (in addition to the standard --benchmark_* ones):
 //   --quick            CI mode: hot path only, 200k nodes, 2 iterations
 //   --hot-only         skip the google-benchmark micros
@@ -26,6 +32,9 @@
 //   --hot-partitions=N partitions per round (default 8)
 //   --hot-iters=N      measurement repetitions, best-of (default 3)
 //   --json=PATH        output path (default BENCH_micro_core.json)
+//   --solver-matrix    also run every registered solver on a fixed instance
+//   --matrix-points=N  solver-matrix instance size (default 6000)
+//   --matrix-json=PATH output path (default BENCH_solver_matrix.json)
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -34,6 +43,8 @@
 #include <cstring>
 #include <string>
 
+#include "api/solver_registry.h"
+#include "common/json.h"
 #include "common/timer.h"
 #include "core/addressable_heap.h"
 #include "core/bounding.h"
@@ -436,10 +447,100 @@ int run_hot_path(HotPathConfig config) {
   return equivalent ? 0 : 2;
 }
 
+// ---------------------------------------------------------------------------
+// Solver matrix: every registered solver on one fixed instance.
+// ---------------------------------------------------------------------------
+
+struct MatrixConfig {
+  std::size_t points = 6000;
+  double fraction = 0.1;
+  std::uint64_t seed = 77;
+  std::string json_path = "BENCH_solver_matrix.json";
+};
+
+int run_solver_matrix(const MatrixConfig& config) {
+  std::printf("\n=== solver matrix: every registered solver at %zu points,"
+              " k = %.0f%% ===\n",
+              config.points, config.fraction * 100.0);
+  const data::Dataset dataset = data::toy_dataset(config.points, 32, config.seed);
+  const auto ground_set = dataset.ground_set();
+  const std::size_t k =
+      static_cast<std::size_t>(config.fraction * static_cast<double>(config.points));
+
+  api::SelectionRequest request;
+  request.ground_set = &ground_set;
+  request.k = k;
+  request.objective = core::ObjectiveParams::from_alpha(0.9);
+  request.seed = config.seed;
+  // One shared context: the arena pool warms across solvers exactly like a
+  // long-lived serving process.
+  api::SolverContext context;
+
+  // Run every registered solver once; lazy-greedy's run doubles as the
+  // centralized (1-1/e) reference every objective is normalized against.
+  std::vector<api::SelectionReport> reports;
+  double gold = 0.0;
+  for (const auto& info : api::SolverRegistry::instance().list()) {
+    request.solver = info.name;
+    reports.push_back(api::select(request, context));
+    if (info.name == "lazy-greedy") gold = reports.back().objective;
+  }
+
+  JsonWriter json;
+  json.begin_object();
+  json.key("bench").value("solver_matrix");
+  json.key("points").value(config.points);
+  json.key("k").value(k);
+  json.key("alpha").value(0.9);
+  json.key("seed").value(config.seed);
+  json.key("reference_solver").value("lazy-greedy");
+  json.key("reference_objective").value(gold);
+  json.key("solvers").begin_array();
+  std::printf("%-20s %12s %10s %10s %12s\n", "solver", "f(S)", "vs lazy",
+              "solve ms", "|S|");
+  for (const api::SelectionReport& report : reports) {
+    // Solver latency = the sum of its stage timings; total_seconds would
+    // also charge the cross-solver exact rescoring pass to the solver.
+    double solve_seconds = 0.0;
+    for (const api::StageTiming& timing : report.timings) {
+      solve_seconds += timing.seconds;
+    }
+    const double normalized = gold > 0.0 ? report.objective / gold : 0.0;
+    std::printf("%-20s %12.3f %9.1f%% %10.2f %12zu\n", report.solver.c_str(),
+                report.objective, 100.0 * normalized, solve_seconds * 1e3,
+                report.selected.size());
+    json.begin_object();
+    json.key("solver").value(report.solver);
+    json.key("objective").value(report.objective);
+    json.key("normalized_vs_lazy").value(normalized);
+    json.key("solve_seconds").value(solve_seconds);
+    json.key("total_seconds").value(report.total_seconds);
+    json.key("selected_count").value(report.selected.size());
+    json.key("peak_partition_bytes").value(report.peak_partition_bytes);
+    json.key("peak_resident_elements").value(report.peak_resident_elements);
+    json.key("preempted").value(report.preempted);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+
+  std::FILE* out = std::fopen(config.json_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", config.json_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "%s\n", json.str().c_str());
+  std::fclose(out);
+  std::printf("wrote %s\n", config.json_path.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   HotPathConfig hot;
+  MatrixConfig matrix;
+  bool run_matrix = false;
   bool run_gbench = true;
   std::vector<char*> gbench_args;
   gbench_args.push_back(argv[0]);
@@ -460,6 +561,12 @@ int main(int argc, char** argv) {
       hot.iterations = static_cast<std::size_t>(std::atoll(value().c_str()));
     } else if (arg.rfind("--json=", 0) == 0) {
       hot.json_path = value();
+    } else if (arg == "--solver-matrix") {
+      run_matrix = true;
+    } else if (arg.rfind("--matrix-points=", 0) == 0) {
+      matrix.points = static_cast<std::size_t>(std::atoll(value().c_str()));
+    } else if (arg.rfind("--matrix-json=", 0) == 0) {
+      matrix.json_path = value();
     } else {
       gbench_args.push_back(argv[i]);
     }
@@ -467,5 +574,11 @@ int main(int argc, char** argv) {
   int gbench_argc = static_cast<int>(gbench_args.size());
   benchmark::Initialize(&gbench_argc, gbench_args.data());
   if (run_gbench) benchmark::RunSpecifiedBenchmarks();
-  return run_hot_path(hot);
+  const int hot_status = run_hot_path(hot);
+  if (run_matrix) {
+    matrix.points = std::max<std::size_t>(matrix.points, 100);
+    const int matrix_status = run_solver_matrix(matrix);
+    if (matrix_status != 0) return matrix_status;
+  }
+  return hot_status;
 }

@@ -19,7 +19,7 @@
 #include <numeric>
 #include <set>
 
-#include "core/selection_pipeline.h"
+#include "api/solver_registry.h"
 #include "data/datasets.h"
 #include "data/synthetic.h"
 #include "data/utility_model.h"
@@ -55,6 +55,9 @@ int main(int argc, char** argv) {
   std::set<std::uint32_t> seen_classes;
   std::vector<std::uint8_t> labeled(pool_config.num_points, 0);
   const auto params = core::ObjectiveParams::from_alpha(0.7);
+  // One context across all acquisition rounds: the subproblem arenas warmed
+  // by round 1 are reused by every later selection.
+  api::SolverContext context;
 
   for (std::size_t round = 0; round < rounds; ++round) {
     // The model sharpens as it trains on the acquired batches: its believed
@@ -76,15 +79,18 @@ int main(int argc, char** argv) {
       if (labeled[i] != 0) utilities[i] = 0.0;
     }
 
-    // Select the next batch with bounding + distributed greedy.
+    // Select the next batch with bounding + distributed greedy ("pipeline").
     graph::InMemoryGroundSet ground_set(graph, utilities);
-    core::SelectionPipelineConfig config;
-    config.objective = params;
-    config.bounding.sampling = core::BoundingSampling::kUniform;
-    config.bounding.sample_fraction = 0.3;
-    config.greedy.num_machines = 4;
-    config.greedy.num_rounds = 4;
-    const auto result = core::select_subset(ground_set, batch, config);
+    api::SelectionRequest request;
+    request.ground_set = &ground_set;
+    request.k = batch;
+    request.objective = params;
+    request.solver = "pipeline";
+    request.bounding.sampling = core::BoundingSampling::kUniform;
+    request.bounding.sample_fraction = 0.3;
+    request.distributed.num_machines = 4;
+    request.distributed.num_rounds = 4;
+    const api::SelectionReport result = api::select(request, context);
 
     std::size_t new_classes = 0;
     for (core::NodeId v : result.selected) {

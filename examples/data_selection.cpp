@@ -3,21 +3,19 @@
 // model's uncertainty scores, pick the k most informative-and-diverse points
 // to train on.
 //
-// Walks the full CIFAR-100-proxy flow of Section 6: dataset construction,
-// an α sweep showing the utility/diversity trade-off, selection with the
-// distributed pipeline, distributed (dataflow) re-scoring of the result, and
-// a per-class coverage report comparing against top-k-by-utility and random
-// baselines.
+// Walks the full CIFAR-100-proxy flow of Section 6 on the unified API: one
+// SelectionRequest template, dispatched to several registry solvers (random,
+// GreeDi, the paper's pipeline) for apples-to-apples comparison, an α sweep
+// showing the utility/diversity trade-off, distributed (dataflow) re-scoring
+// of the result, and a per-class coverage report.
 //
 // Run:  ./build/examples/data_selection [--scale=0.1]
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
-#include <map>
 
-#include "baselines/baselines.h"
+#include "api/solver_registry.h"
 #include "beam/beam_scoring.h"
-#include "core/selection_pipeline.h"
 #include "data/datasets.h"
 
 namespace {
@@ -65,23 +63,11 @@ int main(int argc, char** argv) {
               dataset.size(), num_classes, k);
 
   const auto ground_set = dataset.ground_set();
-  std::printf("\n%-28s %12s %8s %8s %8s\n", "method", "f(S) @a=0.9", "classes",
-              "min/cls", "max/cls");
-
-  // Baseline 1: top-k by utility alone — ignores diversity, so it piles up
-  // on the most ambiguous class boundaries.
-  std::vector<core::NodeId> by_utility(dataset.size());
-  for (std::size_t i = 0; i < dataset.size(); ++i) {
-    by_utility[i] = static_cast<core::NodeId>(i);
-  }
-  std::sort(by_utility.begin(), by_utility.end(),
-            [&](core::NodeId a, core::NodeId b) {
-              return dataset.utilities[a] > dataset.utilities[b];
-            });
-  by_utility.resize(k);
-
   const auto params = core::ObjectiveParams::from_alpha(0.9);
   core::PairwiseObjective objective(ground_set, params);
+
+  std::printf("\n%-28s %12s %8s %8s %8s\n", "method", "f(S) @a=0.9", "classes",
+              "min/cls", "max/cls");
 
   const auto report_line = [&](const char* name,
                                const std::vector<core::NodeId>& selected) {
@@ -91,38 +77,63 @@ int main(int argc, char** argv) {
                 rep.smallest_class, rep.largest_class);
   };
 
+  // Baseline 1: top-k by utility alone — ignores diversity, so it piles up
+  // on the most ambiguous class boundaries. (Not a registry solver: it is
+  // not even submodular maximization, just a sort.)
+  std::vector<core::NodeId> by_utility(dataset.size());
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    by_utility[i] = static_cast<core::NodeId>(i);
+  }
+  std::sort(by_utility.begin(), by_utility.end(),
+            [&](core::NodeId a, core::NodeId b) {
+              return dataset.utilities[a] > dataset.utilities[b];
+            });
+  by_utility.resize(k);
   report_line("top-k by utility", by_utility);
 
-  // Baseline 2: uniform random.
-  const auto random = baselines::random_selection(ground_set, params, k, 99);
-  report_line("random", random.selected);
+  // Everything else is one request, fanned out across registry solvers. One
+  // SolverContext shares the thread pool and subproblem arenas across runs.
+  api::SelectionRequest request;
+  request.ground_set = &ground_set;
+  request.k = k;
+  request.objective = params;
+  request.bounding.sampling = core::BoundingSampling::kUniform;
+  request.bounding.sample_fraction = 0.3;
+  request.distributed.num_machines = 8;
+  request.distributed.num_rounds = 8;
+  api::SolverContext context;
 
-  // Baseline 3: GreeDi — needs one machine for the m*k-candidate merge.
-  baselines::GreeDiConfig greedi_config;
-  greedi_config.objective = params;
-  greedi_config.num_machines = 8;
-  const auto greedi = baselines::greedi(ground_set, k, greedi_config);
-  report_line("GreeDi (central merge)", greedi.selected);
+  api::SelectionReport selected;  // the pipeline run, reused below
+  api::SelectionReport greedi;    // for its merge-cost stats
+  for (const auto& [solver, label] :
+       {std::pair<const char*, const char*>{"random", "random"},
+        {"greedi", "GreeDi (central merge)"},
+        {"pipeline", "bounding + dist. greedy"}}) {
+    request.solver = solver;
+    request.seed = 99;
+    api::SelectionReport report = api::select(request, context);
+    report_line(label, report.selected);
+    if (request.solver == std::string("pipeline")) selected = std::move(report);
+    if (request.solver == std::string("greedi")) greedi = std::move(report);
+  }
 
-  // This paper: bounding + multi-round distributed greedy; no machine ever
-  // holds the subset.
-  core::SelectionPipelineConfig config;
-  config.objective = params;
-  config.bounding.sampling = core::BoundingSampling::kUniform;
-  config.bounding.sample_fraction = 0.3;
-  config.greedy.num_machines = 8;
-  config.greedy.num_rounds = 8;
-  const auto selected = core::select_subset(ground_set, k, config);
-  report_line("bounding + dist. greedy", selected.selected);
+  // GreeDi's hidden cost, straight from the report: the m*k-candidate merge
+  // one machine must hold (the requirement the paper's algorithm removes).
+  for (const auto& [name, value] : greedi.extra) {
+    if (name == "merge_candidates") {
+      std::printf("%-28s %.0f candidates on the merge machine\n",
+                  "  (GreeDi merge cost)", value);
+    }
+  }
 
   // α sweep: smaller α = more diversity pressure = flatter class histogram.
   std::printf("\nutility/diversity trade-off (bounding + distributed greedy):\n");
   std::printf("%-8s %12s %8s %8s %8s\n", "alpha", "f_a(S)", "classes", "min/cls",
               "max/cls");
+  request.solver = "pipeline";
   for (const double alpha : {0.9, 0.5, 0.1}) {
-    core::SelectionPipelineConfig sweep_config = config;
-    sweep_config.objective = core::ObjectiveParams::from_alpha(alpha);
-    const auto run = core::select_subset(ground_set, k, sweep_config);
+    request.objective = core::ObjectiveParams::from_alpha(alpha);
+    const api::SelectionReport run = api::select(request, context);
     const CoverageReport rep = coverage(run.selected, dataset.labels, num_classes);
     std::printf("%-8.1f %12.2f %8zu %8zu %8zu\n", alpha, run.objective,
                 rep.classes_covered, rep.smallest_class, rep.largest_class);

@@ -6,11 +6,13 @@
 // neighborhoods are generated on demand from seeded hashes, so the resident
 // footprint is O(base dataset), not O(points). The example
 //   1. quantifies the DRAM a materialized run would need,
-//   2. runs approximate bounding, which decides most points without any
-//      machine holding the subset,
-//   3. finishes the remaining budget with the multi-round distributed
-//      greedy and reports the peak per-partition working set — the largest
-//      amount of memory any "machine" actually used,
+//   2. runs the full "pipeline" solver through the unified API — approximate
+//      bounding decides most points, the multi-round distributed greedy
+//      finishes the budget — watching round progress through the
+//      SolverContext progress callback,
+//   3. reads the bounding/round/memory statistics off the SelectionReport:
+//      the peak per-partition working set is the largest amount of memory any
+//      "machine" actually used,
 //   4. re-scores the selection through the dataflow (Apache-Beam-style)
 //      engine under an explicit per-worker memory budget, proving the
 //      Section-5 claim that scoring needs no resident subset either.
@@ -20,9 +22,8 @@
 #include <cstdio>
 #include <cstring>
 
+#include "api/solver_registry.h"
 #include "beam/beam_scoring.h"
-#include "core/bounding.h"
-#include "core/distributed_greedy.h"
 #include "data/perturbed.h"
 
 int main(int argc, char** argv) {
@@ -56,42 +57,48 @@ int main(int argc, char** argv) {
                                   sizeof(float)) /
                   1e6);
 
-  // 2. Approximate bounding (30 % uniform sampling): most of the ground set
-  //    is decided here, in embarrassingly parallel passes.
-  core::BoundingConfig bounding_config;
-  bounding_config.objective = core::ObjectiveParams::from_alpha(0.9);
-  bounding_config.sampling = core::BoundingSampling::kUniform;
-  bounding_config.sample_fraction = 0.3;
-  auto bounding = core::bound(ground_set, k, bounding_config);
-  std::printf("\nbounding: included %zu (%.1f%%), excluded %zu (%.1f%%),"
-              " %zu points still open\n",
-              bounding.included, 100.0 * bounding.included / n, bounding.excluded,
-              100.0 * bounding.excluded / n, bounding.k_remaining);
+  // 2. One request against the "pipeline" solver: 30 %-sampled approximate
+  //    bounding, then 4 rounds of distributed greedy over 16 machines. The
+  //    progress callback is the operational hook long cluster jobs need —
+  //    the same channel a driver would use to decide to cancel.
+  api::SelectionRequest request;
+  request.ground_set = &ground_set;
+  request.k = k;
+  request.objective = core::ObjectiveParams::from_alpha(0.9);
+  request.solver = "pipeline";
+  request.bounding.sampling = core::BoundingSampling::kUniform;
+  request.bounding.sample_fraction = 0.3;
+  request.distributed.num_machines = 16;
+  request.distributed.num_rounds = 4;
 
-  // 3. Distributed greedy on whatever bounding left open.
-  std::vector<core::NodeId> selected;
-  if (bounding.complete()) {
-    selected = bounding.state.selected_ids();
+  api::SolverContext context;
+  context.set_progress([](const ProgressEvent& event) {
+    std::printf("  progress: %.*s %zu/%zu (%zu survivors)\n",
+                static_cast<int>(event.stage.size()), event.stage.data(),
+                event.step, event.total_steps, event.items);
+  });
+  const api::SelectionReport report = api::select(request, context);
+
+  // 3. Everything the run did, off the one report.
+  if (report.bounding.has_value()) {
+    std::printf("\nbounding: included %zu (%.1f%%), excluded %zu (%.1f%%)\n",
+                report.bounding->included,
+                100.0 * static_cast<double>(report.bounding->included) /
+                    static_cast<double>(n),
+                report.bounding->excluded,
+                100.0 * static_cast<double>(report.bounding->excluded) /
+                    static_cast<double>(n));
+  }
+  if (report.rounds.empty()) {
     std::printf("bounding completed the subset on its own — no greedy needed\n");
   } else {
-    core::DistributedGreedyConfig greedy_config;
-    greedy_config.objective = bounding_config.objective;
-    greedy_config.num_machines = 16;
-    greedy_config.num_rounds = 4;
-    const auto result =
-        core::distributed_greedy(ground_set, k, greedy_config, &bounding.state);
-    selected = result.selected;
-    std::size_t peak = 0;
-    for (const auto& round : result.rounds) {
-      peak = std::max(peak, round.peak_partition_bytes);
-    }
     std::printf("distributed greedy: f(S) = %.1f over %zu rounds; peak"
                 " per-partition working set %.2f MB (vs %.2f GB materialized)\n",
-                result.objective, result.rounds.size(),
-                static_cast<double>(peak) / 1e6,
+                report.objective, report.rounds.size(),
+                static_cast<double>(report.peak_partition_bytes) / 1e6,
                 static_cast<double>(ground_set.bytes_if_materialized()) / 1e9);
   }
-  std::printf("selected %zu of %zu points\n", selected.size(), n);
+  std::printf("selected %zu of %zu points\n", report.selected.size(), n);
 
   // 4. Score the subset through the dataflow engine with a hard per-worker
   //    memory budget — no worker ever holds the subset (Section 5).
@@ -99,8 +106,8 @@ int main(int argc, char** argv) {
   options.num_shards = 256;
   options.worker_memory_bytes = 8ull * 1024 * 1024;
   dataflow::Pipeline pipeline(options);
-  const double score = beam::beam_score(pipeline, ground_set, selected,
-                                        bounding_config.objective);
+  const double score = beam::beam_score(pipeline, ground_set, report.selected,
+                                        request.objective);
   std::printf("\ndistributed scoring under an 8 MB/worker budget: f(S) = %.1f,"
               " peak shard working set %.2f MB\n",
               score, static_cast<double>(pipeline.peak_shard_bytes()) / 1e6);

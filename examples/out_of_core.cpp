@@ -1,16 +1,19 @@
 // Out-of-core operations: a materialized dataset whose adjacency stays on
-// disk, selected by a run that gets preempted and resumes.
+// disk, selected by a run that gets preempted — twice, two different ways —
+// and resumes.
 //
 // The paper's production setting is long jobs (10-48 h, Appendix D) on
 // shared clusters where workers are preempted and no machine holds the
 // data. This example demonstrates the operational pieces on a materialized
-// (not virtual) dataset:
+// (not virtual) dataset, all through the unified API:
 //   1. persist a dataset with the binary IO, then reopen only its per-point
 //      scalars — the adjacency is served from disk through a bounded LRU
 //      block cache (graph::DiskGroundSet);
-//   2. run the multi-round greedy with round checkpointing, preempt it
-//      mid-run (stop_after_round), and resume to completion — bit-identical
-//      to an uninterrupted run;
+//   2. run the multi-round "distributed-greedy" solver with round
+//      checkpointing and preempt it mid-run two ways: a scheduled
+//      stop_after_round, then a cooperative cancellation fired from the
+//      progress callback (what a SIGTERM handler would call); resume to
+//      completion — bit-identical to an uninterrupted run;
 //   3. report the cache hit rate and the resident footprint vs the full
 //      adjacency size.
 //
@@ -19,7 +22,7 @@
 #include <cstring>
 #include <filesystem>
 
-#include "core/distributed_greedy.h"
+#include "api/solver_registry.h"
 #include "data/dataset_io.h"
 #include "data/datasets.h"
 #include "graph/disk_ground_set.h"
@@ -59,27 +62,49 @@ int main(int argc, char** argv) {
               static_cast<double>(edge_bytes) / 1e6,
               static_cast<double>(ground_set.resident_bytes()) / 1e6);
 
-  // 2. Checkpointed run, preempted after 2 of 6 rounds...
-  const std::size_t k = points / 10;
-  core::DistributedGreedyConfig config;
-  config.objective = core::ObjectiveParams::from_alpha(0.9);
-  config.num_machines = 8;
-  config.num_rounds = 6;
-  config.checkpoint_file = (scratch / "run.ckpt").string();
-  config.stop_after_round = 2;
-  const auto partial = core::distributed_greedy(ground_set, k, config);
-  std::printf("\npreempted after round %zu (checkpoint at %s)\n",
-              partial.rounds.back().round, config.checkpoint_file.c_str());
+  // 2a. Checkpointed run, preempted after 2 of 6 rounds by a scheduled stop.
+  api::SelectionRequest request;
+  request.ground_set = &ground_set;
+  request.k = points / 10;
+  request.objective = core::ObjectiveParams::from_alpha(0.9);
+  request.solver = "distributed-greedy";
+  request.distributed.num_machines = 8;
+  request.distributed.num_rounds = 6;
+  request.distributed.checkpoint_file = (scratch / "run.ckpt").string();
+  request.distributed.stop_after_round = 2;
 
-  // ... then resumed to completion.
-  config.stop_after_round = 0;
-  const auto resumed = core::distributed_greedy(ground_set, k, config);
-  std::printf("resumed %zu round(s) later: selected %zu points, f(S) = %.2f\n",
-              resumed.resumed_rounds, resumed.selected.size(), resumed.objective);
+  const api::SelectionReport partial = api::select(request);
+  std::printf("\nscheduled stop: preempted=%s after %zu round(s) (checkpoint"
+              " at %s)\n",
+              partial.preempted ? "yes" : "no", partial.rounds.size(),
+              request.distributed.checkpoint_file.c_str());
+
+  // 2b. Resume... and preempt again, this time cooperatively: the progress
+  //     callback cancels after one more round, exactly what a preemption
+  //     signal handler on a shared cluster would do.
+  request.distributed.stop_after_round = 0;
+  {
+    api::SolverContext context;
+    context.set_progress([&context](const ProgressEvent& event) {
+      if (event.step >= 4) context.cancel().request_stop();
+    });
+    const api::SelectionReport cancelled = api::select(request, context);
+    std::printf("cooperative cancel: preempted=%s after round 4\n",
+                cancelled.preempted ? "yes" : "no");
+  }
+
+  // 2c. ...then resumed to completion with a fresh context.
+  const api::SelectionReport resumed = api::select(request);
+  double resumed_rounds = 0;
+  for (const auto& [name, value] : resumed.extra) {
+    if (name == "resumed_rounds") resumed_rounds = value;
+  }
+  std::printf("resumed from round %.0f: selected %zu points, f(S) = %.2f\n",
+              resumed_rounds, resumed.selected.size(), resumed.objective);
 
   // Sanity: identical to an uninterrupted run (per-round RNG streams).
-  config.checkpoint_file.clear();
-  const auto uninterrupted = core::distributed_greedy(ground_set, k, config);
+  request.distributed.checkpoint_file.clear();
+  const api::SelectionReport uninterrupted = api::select(request);
   std::printf("uninterrupted run selects the identical subset: %s\n",
               resumed.selected == uninterrupted.selected ? "yes" : "NO (bug!)");
 

@@ -1,14 +1,16 @@
 // Quickstart: the public API in one file.
 //
 //   1. Build (or bring) a dataset: embeddings -> utilities -> kNN graph.
-//   2. Wrap it in a GroundSet and pick an objective f(S) = αΣu − βΣs.
-//   3. Select a subset with the end-to-end pipeline (bounding + distributed
-//      greedy), and compare against the centralized gold standard.
+//   2. Describe what you want as a SelectionRequest: ground set, budget,
+//      objective f(S) = αΣu − βΣs, and a solver name from the registry.
+//   3. api::select() runs it and returns a SelectionReport with the ids, the
+//      exactly recomputed objective, and per-stage timings — the same schema
+//      for every solver (`subsel solvers` lists them all).
 //
 // Run:  ./build/examples/quickstart
 #include <cstdio>
 
-#include "core/selection_pipeline.h"
+#include "api/solver_registry.h"
 #include "data/datasets.h"
 
 int main() {
@@ -26,45 +28,46 @@ int main() {
               dataset.size(), dataset.embeddings.dim(),
               dataset.graph.average_degree());
 
-  // 2. The pairwise submodular objective. α = 0.9 weighs utility 9:1 over
-  //    diversity (the paper's default); β is always 1 − α.
-  const auto params = core::ObjectiveParams::from_alpha(0.9);
-
-  // 3. Select a 10 % subset. The pipeline first runs approximate bounding
-  //    (30 % uniform neighborhood sampling), then finishes whatever budget
-  //    remains with the multi-round distributed greedy.
-  const std::size_t k = dataset.size() / 10;
-  core::SelectionPipelineConfig config;
-  config.objective = params;
-  config.use_bounding = true;
-  config.bounding.sampling = core::BoundingSampling::kUniform;
-  config.bounding.sample_fraction = 0.3;
-  config.greedy.num_machines = 8;
-  config.greedy.num_rounds = 4;
-  config.greedy.adaptive_partitioning = true;
-
+  // 2. The request: select a 10 % subset under α = 0.9 (utility 9:1 over
+  //    diversity, the paper's default; β is always 1 − α) with the "pipeline"
+  //    solver — approximate bounding (30 % uniform neighborhood sampling)
+  //    followed by the multi-round distributed greedy.
   const auto ground_set = dataset.ground_set();
-  const auto result = core::select_subset(ground_set, k, config);
+  api::SelectionRequest request;
+  request.ground_set = &ground_set;
+  request.fraction = 0.1;
+  request.objective = core::ObjectiveParams::from_alpha(0.9);
+  request.solver = "pipeline";
+  request.bounding.sampling = core::BoundingSampling::kUniform;
+  request.bounding.sample_fraction = 0.3;
+  request.distributed.num_machines = 8;
+  request.distributed.num_rounds = 4;
 
-  std::printf("selected %zu points, f(S) = %.3f\n", result.selected.size(),
-              result.objective);
-  if (result.bounding.has_value()) {
+  // 3. Run it. The report's `objective` is always f(S) recomputed exactly on
+  //    the full ground set, so numbers are comparable across solvers.
+  const api::SelectionReport report = api::select(request);
+  std::printf("selected %zu points, f(S) = %.3f\n", report.selected.size(),
+              report.objective);
+  if (report.bounding.has_value()) {
     std::printf("  bounding: included %zu, excluded %zu (%zu grow / %zu shrink"
-                " rounds, %.1f ms)\n",
-                result.bounding->included, result.bounding->excluded,
-                result.bounding->grow_rounds, result.bounding->shrink_rounds,
-                result.bounding_seconds * 1e3);
+                " rounds)\n",
+                report.bounding->included, report.bounding->excluded,
+                report.bounding->grow_rounds, report.bounding->shrink_rounds);
   }
-  std::printf("  greedy: %zu distributed round(s), %.1f ms\n",
-              result.greedy_rounds.size(), result.greedy_seconds * 1e3);
+  for (const api::StageTiming& timing : report.timings) {
+    std::printf("  stage %-10s %.1f ms\n", timing.stage.c_str(),
+                timing.seconds * 1e3);
+  }
+  std::printf("  greedy: %zu distributed round(s)\n", report.rounds.size());
 
-  // 4. Compare with centralized greedy — the (1 − 1/e) reference the paper
-  //    normalizes against. Expect the distributed result within a few
-  //    percent.
-  const auto centralized =
-      core::centralized_greedy(dataset.graph, dataset.utilities, params, k);
-  std::printf("centralized greedy: f(S) = %.3f -> distributed reaches %.1f%%\n",
-              centralized.objective,
-              100.0 * result.objective / centralized.objective);
+  // 4. Compare with the centralized gold standard — same request, different
+  //    solver name. Expect the distributed result within a few percent of
+  //    the (1 − 1/e)-optimal lazy greedy.
+  api::SelectionRequest centralized = request;
+  centralized.solver = "lazy-greedy";
+  const api::SelectionReport gold = api::select(centralized);
+  std::printf("lazy greedy (centralized): f(S) = %.3f -> distributed reaches"
+              " %.1f%%\n",
+              gold.objective, 100.0 * report.objective / gold.objective);
   return 0;
 }

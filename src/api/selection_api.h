@@ -1,0 +1,210 @@
+// One request/response schema for every selection engine in the repo.
+//
+// The library grew ~10 divergent entry points (core::select_subset,
+// core::distributed_greedy, beam::beam_select_subset, the baselines::
+// family); each caller — CLI, examples, benches — re-implemented dispatch,
+// timing, and reporting. This façade collapses them behind three types:
+//
+//   SelectionRequest : what to select — ground set, budget (k or fraction),
+//                      objective, seed, solver name, per-solver options.
+//   SelectionReport  : what happened — the ids, the *exactly recomputed*
+//                      objective (PairwiseObjective over the full ground
+//                      set, never the solver's internal accounting),
+//                      per-stage timings, round/memory statistics, a config
+//                      echo, and JSON serialization.
+//   SolverContext    : shared execution state — the thread pool, the
+//                      reusable SubproblemArenaPool, a progress callback,
+//                      and a cooperative cancellation token threaded into
+//                      the round loops.
+//
+// Solvers are looked up by string in the SolverRegistry (solver_registry.h);
+// `subsel solvers` lists them. The original free functions remain the
+// implementations — the registry entries are thin adapters over them.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/run_control.h"
+#include "common/thread_pool.h"
+#include "core/bounding.h"
+#include "core/distributed_greedy.h"
+#include "core/objective.h"
+#include "core/subproblem_arena.h"
+#include "graph/ground_set.h"
+
+namespace subsel::api {
+
+using core::NodeId;
+
+/// Options for the multi-round distributed greedy and for the partition-based
+/// baselines (GreeDi reads num_machines; stochastic greedy reads
+/// stochastic_epsilon).
+struct DistributedOptions {
+  std::size_t num_machines = 8;
+  std::size_t num_rounds = 8;
+  bool adaptive_partitioning = true;
+  core::PartitionSolver partition_solver = core::PartitionSolver::kPriorityQueue;
+  double stochastic_epsilon = 0.1;
+  /// Round checkpoint/resume file (empty disables); see distributed_greedy.h.
+  std::string checkpoint_file;
+  /// Graceful preemption after this many rounds of this invocation (0 = off).
+  std::size_t stop_after_round = 0;
+};
+
+/// Bounding pre-pass options (solvers "pipeline" and "dataflow").
+struct BoundingOptions {
+  bool enabled = true;
+  core::BoundingSampling sampling = core::BoundingSampling::kUniform;
+  double sample_fraction = 0.3;
+};
+
+/// Dataflow substrate options (solver "dataflow").
+struct DataflowOptions {
+  std::size_t num_shards = 64;
+  /// Per-worker memory budget in bytes; 0 disables enforcement.
+  std::size_t worker_memory_bytes = 0;
+};
+
+/// Options for the streaming/threshold baselines.
+struct StreamingOptions {
+  double epsilon = 0.1;
+  /// Apply the Appendix-A monotonicity offset (sieve-streaming only).
+  bool monotonicity_offset = false;
+};
+
+/// Options for the SAMPLE&PRUNE baseline.
+struct SamplePruneOptions {
+  std::size_t machine_capacity = 0;  // 0 -> 4·k
+  std::size_t max_rounds = 64;
+};
+
+struct SelectionRequest {
+  /// Non-owning; must outlive the run. Any GroundSet implementation works
+  /// (in-memory, disk-backed, virtual).
+  const graph::GroundSet* ground_set = nullptr;
+  /// Subset budget: an absolute k, or (when k == 0) a fraction of the ground
+  /// set in (0, 1].
+  std::size_t k = 0;
+  double fraction = 0.0;
+  core::ObjectiveParams objective;
+  std::uint64_t seed = 23;
+  /// Registry key; `SolverRegistry::list()` / `subsel solvers` enumerate.
+  std::string solver = "pipeline";
+  /// Per-solver options; each solver reads only the blocks relevant to it.
+  DistributedOptions distributed;
+  BoundingOptions bounding;
+  DataflowOptions dataflow;
+  StreamingOptions streaming;
+  SamplePruneOptions sample_prune;
+
+  /// The absolute budget this request resolves to; throws on an unset or
+  /// out-of-range budget or a missing ground set.
+  std::size_t resolved_k() const {
+    if (ground_set == nullptr) {
+      throw std::invalid_argument("SelectionRequest: ground_set is null");
+    }
+    const std::size_t n = ground_set->num_points();
+    if (k > 0) {
+      if (k > n) throw std::invalid_argument("SelectionRequest: k exceeds |V|");
+      return k;
+    }
+    // Negated comparison so NaN also fails validation instead of falling
+    // through to an undefined float->size_t cast.
+    if (!(fraction > 0.0 && fraction <= 1.0)) {
+      throw std::invalid_argument(
+          "SelectionRequest: need k >= 1 or fraction in (0, 1]");
+    }
+    return static_cast<std::size_t>(fraction * static_cast<double>(n));
+  }
+};
+
+struct StageTiming {
+  std::string stage;
+  double seconds = 0.0;
+};
+
+/// Compact bounding echo (the full BoundingResult carries the per-point
+/// SelectionState, which has no business in a report).
+struct BoundingSummary {
+  std::size_t included = 0;
+  std::size_t excluded = 0;
+  std::size_t grow_rounds = 0;
+  std::size_t shrink_rounds = 0;
+};
+
+struct SelectionReport {
+  std::string solver;
+  std::size_t num_points = 0;
+  std::size_t k_requested = 0;
+  core::ObjectiveParams objective_params;
+  std::uint64_t seed = 0;
+
+  /// Ascending unique ids; |selected| <= k (streaming baselines may return
+  /// fewer), empty when preempted.
+  std::vector<NodeId> selected;
+  /// f(selected) recomputed exactly with PairwiseObjective on the full
+  /// ground set — comparable across every solver.
+  double objective = 0.0;
+  /// Whatever the solver itself reported (subproblem-local accounting for
+  /// greedy variants); kept for diagnosing solver-internal drift.
+  double solver_objective = 0.0;
+  /// The run was cancelled or stopped before completing.
+  bool preempted = false;
+
+  std::vector<StageTiming> timings;
+  double total_seconds = 0.0;
+
+  /// Round statistics for the multi-round solvers (empty otherwise).
+  std::vector<core::RoundStats> rounds;
+  std::optional<BoundingSummary> bounding;
+  /// Largest materialized per-partition subproblem (multi-round solvers).
+  std::size_t peak_partition_bytes = 0;
+  /// Peak elements resident on one machine (streaming/merge-based solvers).
+  std::size_t peak_resident_elements = 0;
+  /// Solver-specific scalar stats (e.g. GreeDi merge_candidates).
+  std::vector<std::pair<std::string, double>> extra;
+
+  /// A config echo of the request, so a report alone reproduces its run.
+  DistributedOptions distributed_echo;
+  BoundingOptions bounding_echo;
+  DataflowOptions dataflow_echo;
+  StreamingOptions streaming_echo;
+  SamplePruneOptions sample_prune_echo;
+
+  /// Schema-stable JSON document ("subsel.selection_report.v1").
+  std::string to_json() const;
+};
+
+/// Shared execution state passed to every solver: which threads to run on,
+/// which arenas to reuse, how to report progress, and how to stop. One
+/// context can serve many sequential runs (arena reuse across runs is the
+/// point); it must not be shared by concurrent runs.
+class SolverContext {
+ public:
+  SolverContext() = default;
+  /// `pool` may be nullptr (solvers then use the process-global pool); the
+  /// pool must outlive the context.
+  explicit SolverContext(ThreadPool* pool) : pool_(pool) {}
+
+  ThreadPool* pool() const noexcept { return pool_; }
+  core::SubproblemArenaPool& arenas() noexcept { return arenas_; }
+
+  /// Cancellation token threaded into every round loop the solver runs.
+  const CancellationToken& cancel() const noexcept { return cancel_; }
+
+  void set_progress(ProgressFn fn) { progress_ = std::move(fn); }
+  const ProgressFn& progress() const noexcept { return progress_; }
+
+ private:
+  ThreadPool* pool_ = nullptr;
+  core::SubproblemArenaPool arenas_;
+  CancellationToken cancel_;
+  ProgressFn progress_;
+};
+
+}  // namespace subsel::api

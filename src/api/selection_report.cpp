@@ -1,0 +1,124 @@
+#include "api/selection_api.h"
+
+#include "common/json.h"
+
+namespace subsel::api {
+namespace {
+
+const char* sampling_name(core::BoundingSampling sampling) {
+  switch (sampling) {
+    case core::BoundingSampling::kNone: return "none";
+    case core::BoundingSampling::kUniform: return "uniform";
+    case core::BoundingSampling::kWeighted: return "weighted";
+  }
+  return "unknown";
+}
+
+const char* partition_solver_name(core::PartitionSolver solver) {
+  switch (solver) {
+    case core::PartitionSolver::kPriorityQueue: return "priority-queue";
+    case core::PartitionSolver::kStochastic: return "stochastic";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+std::string SelectionReport::to_json() const {
+  JsonWriter json;
+  json.begin_object();
+  json.key("schema").value("subsel.selection_report.v1");
+  json.key("solver").value(solver);
+  json.key("num_points").value(num_points);
+  json.key("k_requested").value(k_requested);
+  json.key("objective_params").begin_object();
+  json.key("alpha").value(objective_params.alpha);
+  json.key("beta").value(objective_params.beta);
+  json.end_object();
+  json.key("seed").value(seed);
+  json.key("preempted").value(preempted);
+
+  json.key("objective").value(objective);
+  json.key("solver_objective").value(solver_objective);
+  json.key("selected_count").value(selected.size());
+  json.key("selected").begin_array();
+  for (NodeId id : selected) json.value(static_cast<std::uint64_t>(id));
+  json.end_array();
+
+  json.key("timings").begin_array();
+  for (const StageTiming& timing : timings) {
+    json.begin_object();
+    json.key("stage").value(timing.stage);
+    json.key("seconds").value(timing.seconds);
+    json.end_object();
+  }
+  json.end_array();
+  json.key("total_seconds").value(total_seconds);
+
+  json.key("rounds").begin_array();
+  for (const core::RoundStats& round : rounds) {
+    json.begin_object();
+    json.key("round").value(round.round);
+    json.key("input_size").value(round.input_size);
+    json.key("target_size").value(round.target_size);
+    json.key("num_partitions").value(round.num_partitions);
+    json.key("output_size").value(round.output_size);
+    json.key("peak_partition_bytes").value(round.peak_partition_bytes);
+    json.end_object();
+  }
+  json.end_array();
+
+  if (bounding.has_value()) {
+    json.key("bounding").begin_object();
+    json.key("included").value(bounding->included);
+    json.key("excluded").value(bounding->excluded);
+    json.key("grow_rounds").value(bounding->grow_rounds);
+    json.key("shrink_rounds").value(bounding->shrink_rounds);
+    json.end_object();
+  }
+
+  json.key("memory").begin_object();
+  json.key("peak_partition_bytes").value(peak_partition_bytes);
+  json.key("peak_resident_elements").value(peak_resident_elements);
+  json.end_object();
+
+  json.key("extra").begin_object();
+  for (const auto& [name, value] : extra) json.key(name).value(value);
+  json.end_object();
+
+  // Full config echo: a report alone documents how to reproduce its run.
+  json.key("config").begin_object();
+  json.key("distributed").begin_object();
+  json.key("num_machines").value(distributed_echo.num_machines);
+  json.key("num_rounds").value(distributed_echo.num_rounds);
+  json.key("adaptive_partitioning").value(distributed_echo.adaptive_partitioning);
+  json.key("partition_solver")
+      .value(partition_solver_name(distributed_echo.partition_solver));
+  json.key("stochastic_epsilon").value(distributed_echo.stochastic_epsilon);
+  json.key("checkpoint_file").value(distributed_echo.checkpoint_file);
+  json.key("stop_after_round").value(distributed_echo.stop_after_round);
+  json.end_object();
+  json.key("bounding").begin_object();
+  json.key("enabled").value(bounding_echo.enabled);
+  json.key("sampling").value(sampling_name(bounding_echo.sampling));
+  json.key("sample_fraction").value(bounding_echo.sample_fraction);
+  json.end_object();
+  json.key("dataflow").begin_object();
+  json.key("num_shards").value(dataflow_echo.num_shards);
+  json.key("worker_memory_bytes").value(dataflow_echo.worker_memory_bytes);
+  json.end_object();
+  json.key("streaming").begin_object();
+  json.key("epsilon").value(streaming_echo.epsilon);
+  json.key("monotonicity_offset").value(streaming_echo.monotonicity_offset);
+  json.end_object();
+  json.key("sample_prune").begin_object();
+  json.key("machine_capacity").value(sample_prune_echo.machine_capacity);
+  json.key("max_rounds").value(sample_prune_echo.max_rounds);
+  json.end_object();
+  json.end_object();
+
+  json.end_object();
+  return json.str();
+}
+
+}  // namespace subsel::api

@@ -1,0 +1,372 @@
+#include "api/solver_registry.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "baselines/baselines.h"
+#include "baselines/streaming.h"
+#include "beam/beam_pipeline.h"
+#include "common/timer.h"
+#include "core/selection_pipeline.h"
+#include "dataflow/pipeline.h"
+
+namespace subsel::api {
+namespace {
+
+/// Maps the request's option blocks onto the core round-loop config and wires
+/// in the context's shared state (pool, arenas, cancellation, progress).
+core::DistributedGreedyConfig greedy_config(const SelectionRequest& request,
+                                            SolverContext& context) {
+  core::DistributedGreedyConfig config;
+  config.objective = request.objective;
+  config.num_machines = request.distributed.num_machines;
+  config.num_rounds = request.distributed.num_rounds;
+  config.adaptive_partitioning = request.distributed.adaptive_partitioning;
+  config.partition_solver = request.distributed.partition_solver;
+  config.stochastic_epsilon = request.distributed.stochastic_epsilon;
+  config.checkpoint_file = request.distributed.checkpoint_file;
+  config.stop_after_round = request.distributed.stop_after_round;
+  config.seed = request.seed;
+  config.pool = context.pool();
+  config.arena_pool = &context.arenas();
+  config.cancel = context.cancel();
+  config.progress = context.progress();
+  return config;
+}
+
+core::SelectionPipelineConfig pipeline_config(const SelectionRequest& request,
+                                              SolverContext& context) {
+  core::SelectionPipelineConfig config;
+  config.objective = request.objective;
+  config.use_bounding = request.bounding.enabled;
+  config.bounding.sampling = request.bounding.sampling;
+  config.bounding.sample_fraction = request.bounding.sample_fraction;
+  config.bounding.seed = request.seed;
+  config.bounding.pool = context.pool();
+  config.greedy = greedy_config(request, context);
+  return config;
+}
+
+void absorb_pipeline_result(core::SelectionPipelineResult&& result,
+                            SelectionReport& report) {
+  report.selected = std::move(result.selected);
+  report.solver_objective = result.objective;
+  report.preempted = result.preempted;
+  report.rounds = std::move(result.greedy_rounds);
+  if (result.bounding.has_value()) {
+    report.bounding = BoundingSummary{
+        result.bounding->included, result.bounding->excluded,
+        result.bounding->grow_rounds, result.bounding->shrink_rounds};
+    report.timings.push_back({"bounding", result.bounding_seconds});
+  }
+  report.timings.push_back({"greedy", result.greedy_seconds});
+}
+
+SelectionReport run_pipeline(const SelectionRequest& request,
+                             SolverContext& context) {
+  SelectionReport report;
+  absorb_pipeline_result(core::select_subset(*request.ground_set,
+                                             request.resolved_k(),
+                                             pipeline_config(request, context)),
+                         report);
+  return report;
+}
+
+SelectionReport run_distributed_greedy(const SelectionRequest& request,
+                                       SolverContext& context) {
+  auto result = core::distributed_greedy(*request.ground_set, request.resolved_k(),
+                                         greedy_config(request, context));
+  SelectionReport report;
+  report.selected = std::move(result.selected);
+  report.solver_objective = result.objective;
+  report.preempted = result.preempted;
+  report.rounds = std::move(result.rounds);
+  if (result.resumed_rounds > 0) {
+    report.extra.emplace_back("resumed_rounds",
+                              static_cast<double>(result.resumed_rounds));
+  }
+  return report;
+}
+
+SelectionReport run_dataflow(const SelectionRequest& request,
+                             SolverContext& context) {
+  dataflow::PipelineOptions options;
+  options.num_shards = request.dataflow.num_shards;
+  options.worker_memory_bytes = request.dataflow.worker_memory_bytes;
+  options.pool = context.pool();
+  dataflow::Pipeline pipeline(options);
+  SelectionReport report;
+  absorb_pipeline_result(
+      beam::beam_select_subset(pipeline, *request.ground_set,
+                               request.resolved_k(),
+                               pipeline_config(request, context)),
+      report);
+  report.extra.emplace_back("peak_shard_bytes",
+                            static_cast<double>(pipeline.peak_shard_bytes()));
+  return report;
+}
+
+SelectionReport run_greedi(const SelectionRequest& request, SolverContext& context,
+                           baselines::PartitionScheme scheme) {
+  baselines::GreeDiConfig config;
+  config.objective = request.objective;
+  config.num_machines = request.distributed.num_machines;
+  config.scheme = scheme;
+  config.seed = request.seed;
+  config.pool = context.pool();
+  auto result = baselines::greedi(*request.ground_set, request.resolved_k(), config);
+  SelectionReport report;
+  report.selected = std::move(result.selected);
+  report.solver_objective = result.objective;
+  report.peak_resident_elements = result.merge_candidates;
+  report.extra.emplace_back("merge_candidates",
+                            static_cast<double>(result.merge_candidates));
+  report.extra.emplace_back("merge_bytes", static_cast<double>(result.merge_bytes));
+  return report;
+}
+
+SelectionReport from_greedy_result(core::GreedyResult&& result) {
+  SelectionReport report;
+  report.selected = std::move(result.selected);
+  report.solver_objective = result.objective;
+  return report;
+}
+
+SelectionReport run_sieve(const SelectionRequest& request, SolverContext&) {
+  baselines::SieveStreamingConfig config;
+  config.objective = request.objective;
+  config.epsilon = request.streaming.epsilon;
+  config.apply_monotonicity_offset = request.streaming.monotonicity_offset;
+  config.seed = request.seed;
+  auto result =
+      baselines::sieve_streaming(*request.ground_set, request.resolved_k(), config);
+  SelectionReport report;
+  report.selected = std::move(result.selected);
+  report.solver_objective = result.objective;
+  report.peak_resident_elements = result.peak_resident_elements;
+  report.extra.emplace_back("num_sieves", static_cast<double>(result.num_sieves));
+  return report;
+}
+
+SelectionReport run_sample_and_prune(const SelectionRequest& request,
+                                     SolverContext&) {
+  baselines::SamplePruneConfig config;
+  config.objective = request.objective;
+  config.machine_capacity = request.sample_prune.machine_capacity;
+  config.max_rounds = request.sample_prune.max_rounds;
+  config.seed = request.seed;
+  auto result =
+      baselines::sample_and_prune(*request.ground_set, request.resolved_k(), config);
+  SelectionReport report;
+  report.selected = std::move(result.selected);
+  report.solver_objective = result.objective;
+  report.peak_resident_elements = result.peak_resident_elements;
+  report.extra.emplace_back("rounds", static_cast<double>(result.rounds));
+  return report;
+}
+
+void register_builtins(SolverRegistry& registry) {
+  using baselines::PartitionScheme;
+
+  SolverCapabilities round_based;
+  round_based.distributed = true;
+  round_based.cancellable = true;
+  round_based.checkpointable = true;
+
+  registry.register_solver(
+      {"pipeline",
+       "Bounding pre-pass + multi-round distributed greedy — the paper's"
+       " deployed end-to-end system",
+       "1-1/e vs centralized (empirical)", "O(|V|/m) per machine", round_based},
+      run_pipeline);
+
+  registry.register_solver(
+      {"distributed-greedy",
+       "Pure multi-round partition greedy (Algorithm 6), no bounding, no"
+       " central merge",
+       "1-1/e vs centralized (empirical)", "O(|V|/m) per machine", round_based},
+      run_distributed_greedy);
+
+  SolverCapabilities dataflow_caps = round_based;
+  dataflow_caps.checkpointable = false;  // beam rounds re-run from scratch
+  registry.register_solver(
+      {"dataflow",
+       "The full pipeline on the Beam-style dataflow substrate with enforced"
+       " per-worker memory budgets",
+       "1-1/e vs centralized (empirical)", "per-worker budget, enforced",
+       dataflow_caps},
+      run_dataflow);
+
+  SolverCapabilities merge_based;
+  merge_based.distributed = true;
+  registry.register_solver(
+      {"greedi",
+       "GreeDi (Mirzasoleiman et al.): per-partition greedy over contiguous"
+       " partitions, then one centralized merge of m*k candidates",
+       "(1-1/e)/min(sqrt(k),m)", "O(m*k) central merge", merge_based},
+      [](const SelectionRequest& request, SolverContext& context) {
+        return run_greedi(request, context, PartitionScheme::kContiguous);
+      });
+
+  registry.register_solver(
+      {"randgreedi",
+       "RandGreeDi (Barbosa et al.): GreeDi with uniform random partitioning",
+       "(1-1/e)/2 in expectation", "O(m*k) central merge", merge_based},
+      [](const SelectionRequest& request, SolverContext& context) {
+        return run_greedi(request, context, PartitionScheme::kRandom);
+      });
+
+  registry.register_solver(
+      {"lazy-greedy",
+       "Lazy greedy (Minoux): centralized Algorithm 2 with stale-gain"
+       " re-evaluation; the gold-standard output",
+       "1-1/e", "O(n) one machine", SolverCapabilities{}},
+      [](const SelectionRequest& request, SolverContext&) {
+        return from_greedy_result(baselines::lazy_greedy(
+            *request.ground_set, request.objective, request.resolved_k()));
+      });
+
+  registry.register_solver(
+      {"stochastic-greedy",
+       "Stochastic greedy (lazier-than-lazy): each step scans a random"
+       " (n/k)ln(1/eps) sample",
+       "1-1/e-eps in expectation", "O(n) one machine", SolverCapabilities{}},
+      [](const SelectionRequest& request, SolverContext&) {
+        return from_greedy_result(baselines::stochastic_greedy(
+            *request.ground_set, request.objective, request.resolved_k(),
+            request.distributed.stochastic_epsilon, request.seed));
+      });
+
+  registry.register_solver(
+      {"threshold-greedy",
+       "Threshold greedy (Badanidiyuru & Vondrak): descending geometric"
+       " threshold sweep",
+       "1-1/e-eps", "O(n) one machine", SolverCapabilities{}},
+      [](const SelectionRequest& request, SolverContext&) {
+        return from_greedy_result(baselines::threshold_greedy(
+            *request.ground_set, request.objective, request.resolved_k(),
+            request.streaming.epsilon));
+      });
+
+  SolverCapabilities streaming_caps;
+  streaming_caps.needs_full_graph = false;
+  streaming_caps.streaming = true;
+  registry.register_solver(
+      {"sieve-streaming",
+       "SieveStreaming (Badanidiyuru et al.): one pass over a random"
+       " permutation, O(k log(k)/eps) resident elements",
+       "1/2-eps", "O(k log(k)/eps) resident", streaming_caps},
+      run_sieve);
+
+  SolverCapabilities sample_prune_caps;
+  sample_prune_caps.distributed = true;
+  registry.register_solver(
+      {"sample-and-prune",
+       "SAMPLE&PRUNE (Kumar et al.): MapReduce rounds of sample, greedy"
+       " extend, prune",
+       "constant factor", "O(k*n^delta) coordinator", sample_prune_caps},
+      run_sample_and_prune);
+
+  SolverCapabilities random_caps;
+  random_caps.needs_full_graph = false;
+  registry.register_solver(
+      {"random",
+       "Uniform random subset without replacement — the floor every"
+       " normalized score is measured against",
+       "none", "O(k)", random_caps},
+      [](const SelectionRequest& request, SolverContext&) {
+        return from_greedy_result(baselines::random_selection(
+            *request.ground_set, request.objective, request.resolved_k(),
+            request.seed));
+      });
+}
+
+}  // namespace
+
+SolverRegistry& SolverRegistry::instance() {
+  static SolverRegistry registry = [] {
+    SolverRegistry built;
+    register_builtins(built);
+    return built;
+  }();
+  return registry;
+}
+
+void SolverRegistry::register_solver(SolverInfo info, SolverFn fn) {
+  const std::string name = info.name;
+  entries_[name] = Entry{std::move(info), std::move(fn)};
+}
+
+bool SolverRegistry::contains(const std::string& name) const {
+  return entries_.count(name) != 0;
+}
+
+const SolverInfo* SolverRegistry::info(const std::string& name) const {
+  const auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : &it->second.info;
+}
+
+std::vector<SolverInfo> SolverRegistry::list() const {
+  std::vector<SolverInfo> infos;
+  infos.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) infos.push_back(entry.info);
+  return infos;
+}
+
+SelectionReport SolverRegistry::run(const SelectionRequest& request,
+                                    SolverContext& context) const {
+  const auto it = entries_.find(request.solver);
+  if (it == entries_.end()) {
+    std::string known;
+    for (const auto& [name, entry] : entries_) {
+      if (!known.empty()) known += ", ";
+      known += name;
+    }
+    throw std::invalid_argument("unknown solver \"" + request.solver +
+                                "\" (known: " + known + ")");
+  }
+  const std::size_t k = request.resolved_k();  // validates request up front
+
+  Timer total;
+  SelectionReport report = it->second.fn(request, context);
+  const double solve_seconds = total.elapsed_seconds();
+
+  report.solver = request.solver;
+  report.num_points = request.ground_set->num_points();
+  report.k_requested = k;
+  report.objective_params = request.objective;
+  report.seed = request.seed;
+  report.distributed_echo = request.distributed;
+  report.bounding_echo = request.bounding;
+  report.dataflow_echo = request.dataflow;
+  report.streaming_echo = request.streaming;
+  report.sample_prune_echo = request.sample_prune;
+
+  std::sort(report.selected.begin(), report.selected.end());
+  if (report.timings.empty()) report.timings.push_back({"solve", solve_seconds});
+  for (const core::RoundStats& round : report.rounds) {
+    report.peak_partition_bytes =
+        std::max(report.peak_partition_bytes, round.peak_partition_bytes);
+  }
+
+  // The uniform, cross-solver comparable number: f(S) recomputed from
+  // scratch on the full ground set, never the solver's internal accounting.
+  core::PairwiseObjective objective(*request.ground_set, request.objective);
+  report.objective = report.selected.empty()
+                         ? 0.0
+                         : objective.evaluate(report.selected, context.pool());
+  report.total_seconds = total.elapsed_seconds();
+  return report;
+}
+
+SelectionReport select(const SelectionRequest& request) {
+  SolverContext context;
+  return SolverRegistry::instance().run(request, context);
+}
+
+SelectionReport select(const SelectionRequest& request, SolverContext& context) {
+  return SolverRegistry::instance().run(request, context);
+}
+
+}  // namespace subsel::api

@@ -1,0 +1,82 @@
+// String-keyed registry of every selection solver in the repo.
+//
+// An entry is a name, human-facing metadata (description, guarantee,
+// capability flags — what `subsel solvers` prints), and an adapter closure
+// that maps (SelectionRequest, SolverContext) onto one of the library's
+// engines and normalizes its result into a SelectionReport. The built-in
+// solvers are registered on first access of instance(); downstream code can
+// register additional ones (the conformance suite in tests/api runs against
+// whatever is registered, so extensions inherit the test coverage).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "api/selection_api.h"
+
+namespace subsel::api {
+
+struct SolverCapabilities {
+  /// Needs the whole similarity graph reachable (random access); streaming
+  /// solvers that only do one pass clear this.
+  bool needs_full_graph = true;
+  /// Processes the ground set as a one-pass stream with sublinear memory.
+  bool streaming = false;
+  /// Partition-parallel: work splits across "machines" (pool workers).
+  bool distributed = false;
+  /// Honors SolverContext::cancel() at round boundaries.
+  bool cancellable = false;
+  /// Supports round checkpoint/resume via DistributedOptions::checkpoint_file.
+  bool checkpointable = false;
+};
+
+struct SolverInfo {
+  std::string name;
+  std::string description;
+  /// Approximation guarantee, for the solver table ("1-1/e", "1/2-eps", ...).
+  std::string guarantee;
+  /// Memory regime of the most loaded machine ("O(n)", "O(m*k) merge", ...).
+  std::string memory_regime;
+  SolverCapabilities caps;
+};
+
+class SolverRegistry {
+ public:
+  using SolverFn =
+      std::function<SelectionReport(const SelectionRequest&, SolverContext&)>;
+
+  /// The process-wide registry, with all built-in solvers registered.
+  static SolverRegistry& instance();
+
+  /// Registers (or replaces) a solver. Not thread-safe against concurrent
+  /// run()/list(); register at startup.
+  void register_solver(SolverInfo info, SolverFn fn);
+
+  bool contains(const std::string& name) const;
+  /// Metadata for `name`, or nullptr when unknown.
+  const SolverInfo* info(const std::string& name) const;
+  /// All registered solvers, sorted by name.
+  std::vector<SolverInfo> list() const;
+
+  /// Dispatches `request.solver`, fills the report's common fields (exact
+  /// objective recompute, total wall time, config echo), and returns it.
+  /// Throws std::invalid_argument on an unknown solver name (the message
+  /// lists the known ones) or an invalid request.
+  SelectionReport run(const SelectionRequest& request, SolverContext& context) const;
+
+ private:
+  struct Entry {
+    SolverInfo info;
+    SolverFn fn;
+  };
+  std::map<std::string, Entry> entries_;
+};
+
+/// Convenience: run `request` on the global registry with a fresh context.
+SelectionReport select(const SelectionRequest& request);
+/// Convenience: run `request` on the global registry with `context`.
+SelectionReport select(const SelectionRequest& request, SolverContext& context);
+
+}  // namespace subsel::api

@@ -69,11 +69,21 @@ core::DistributedGreedyResult beam_distributed_greedy(
   const std::size_t partition_cap =
       (v0 + config.num_machines - 1) / std::max<std::size_t>(1, config.num_machines);
 
-  // One reusable arena per concurrent shard worker, shared across all rounds.
-  core::SubproblemArenaPool arena_pool;
+  // One reusable arena per concurrent shard worker, shared across all rounds
+  // (and across invocations when the caller provides a pool).
+  core::SubproblemArenaPool local_arena_pool;
+  core::SubproblemArenaPool& arena_pool =
+      config.arena_pool != nullptr ? *config.arena_pool : local_arena_pool;
 
   if (k_open > 0 && v0 > 0) {
     for (std::size_t round = 1; round <= config.num_rounds; ++round) {
+      if (config.cancel.stop_requested()) {
+        // Same contract as core::distributed_greedy: a cancelled run reports
+        // `preempted` with no selection instead of a partial answer.
+        result.preempted = true;
+        LOG_INFO("beam_distributed_greedy: cancelled before round %zu", round);
+        return result;
+      }
       core::RoundStats stats;
       stats.round = round;
       stats.input_size = dataflow::count(survivors);
@@ -134,6 +144,10 @@ core::DistributedGreedyResult beam_distributed_greedy(
       result.rounds.push_back(stats);
       LOG_DEBUG("beam_distributed_greedy round %zu: %zu -> %zu (m=%zu, target %zu)",
                 round, stats.input_size, stats.output_size, m_round, n_round);
+      if (config.progress) {
+        config.progress(ProgressEvent{"round", round, config.num_rounds,
+                                      stats.output_size});
+      }
     }
 
     // Distributed subsample to k_open: give every survivor a hashed priority

@@ -36,6 +36,7 @@ SelectionPipelineResult beam_select_subset(dataflow::Pipeline& pipeline,
   result.greedy_seconds = timer.elapsed_seconds();
   result.selected = std::move(greedy.selected);
   result.greedy_rounds = std::move(greedy.rounds);
+  result.preempted = greedy.preempted;
   result.objective = beam_score(pipeline, ground_set, result.selected,
                                 config.objective);
   return result;

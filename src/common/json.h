@@ -1,0 +1,133 @@
+// Minimal JSON emitter for machine-readable reports (selection reports,
+// bench matrices). Write-only by design: the repo consumes JSON with external
+// tooling (CI validation, plotting), never parses it back — round-trippable
+// artifacts use the binary format in common/serialize.h instead.
+//
+// The writer tracks nesting and comma placement so call sites read linearly:
+//
+//   JsonWriter json;
+//   json.begin_object();
+//   json.key("solver").value("greedi");
+//   json.key("selected").begin_array();
+//   for (auto id : ids) json.value(id);
+//   json.end_array();
+//   json.end_object();
+//   std::string text = json.str();
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+namespace subsel {
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object() { return open('{', '}'); }
+  JsonWriter& end_object() { return close('}'); }
+  JsonWriter& begin_array() { return open('[', ']'); }
+  JsonWriter& end_array() { return close(']'); }
+
+  JsonWriter& key(std::string_view name) {
+    separate();
+    write_string(name);
+    out_ += ':';
+    pending_value_ = true;
+    return *this;
+  }
+
+  JsonWriter& value(std::string_view text) {
+    separate();
+    write_string(text);
+    return *this;
+  }
+  JsonWriter& value(const char* text) { return value(std::string_view(text)); }
+  JsonWriter& value(bool flag) {
+    separate();
+    out_ += flag ? "true" : "false";
+    return *this;
+  }
+  JsonWriter& value(double number) {
+    separate();
+    // NaN/Inf are not representable in JSON; emit null so the document stays
+    // parseable rather than silently corrupting downstream tooling.
+    if (!std::isfinite(number)) {
+      out_ += "null";
+      return *this;
+    }
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.17g", number);
+    out_ += buffer;
+    return *this;
+  }
+  template <typename T>
+    requires(std::is_integral_v<T> && !std::is_same_v<T, bool>)
+  JsonWriter& value(T number) {
+    separate();
+    out_ += std::to_string(number);
+    return *this;
+  }
+
+  /// The document built so far. Call after the outermost end_object/array.
+  const std::string& str() const noexcept { return out_; }
+
+ private:
+  JsonWriter& open(char opener, char closer) {
+    separate();
+    out_ += opener;
+    closers_.push_back(closer);
+    first_in_scope_ = true;
+    return *this;
+  }
+
+  JsonWriter& close(char closer) {
+    out_ += closer;
+    closers_.pop_back();
+    first_in_scope_ = false;
+    return *this;
+  }
+
+  /// Emits the comma between siblings; keys and their values are one sibling.
+  void separate() {
+    if (pending_value_) {
+      pending_value_ = false;
+      return;
+    }
+    if (!closers_.empty() && !first_in_scope_) out_ += ',';
+    first_in_scope_ = false;
+  }
+
+  void write_string(std::string_view text) {
+    out_ += '"';
+    for (char c : text) {
+      switch (c) {
+        case '"': out_ += "\\\""; break;
+        case '\\': out_ += "\\\\"; break;
+        case '\n': out_ += "\\n"; break;
+        case '\r': out_ += "\\r"; break;
+        case '\t': out_ += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buffer[8];
+            std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                          static_cast<unsigned>(static_cast<unsigned char>(c)));
+            out_ += buffer;
+          } else {
+            out_ += c;
+          }
+      }
+    }
+    out_ += '"';
+  }
+
+  std::string out_;
+  std::vector<char> closers_;
+  bool first_in_scope_ = true;
+  bool pending_value_ = false;
+};
+
+}  // namespace subsel

@@ -1,0 +1,59 @@
+// Cooperative run control shared by every long-running solver: a cancellation
+// token checked at round boundaries and a progress-event callback.
+//
+// The paper's production jobs run for hours on shared, preemptible clusters
+// (Appendix D); the operational story therefore needs a way to (a) observe a
+// run from the outside and (b) stop it cleanly between rounds so the round
+// checkpoint (core/distributed_greedy.h) can take over on the next attempt.
+// Both hooks are deliberately coarse — one check / one event per round — so
+// they cost nothing on the hot path.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string_view>
+
+namespace subsel {
+
+/// Copyable handle to a shared stop flag. Copies share state, so a token
+/// embedded into several solver configs (or captured by a progress callback)
+/// cancels them all at once. Default-constructed tokens own their own state.
+class CancellationToken {
+ public:
+  CancellationToken() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  /// Requests a cooperative stop; safe from any thread, including progress
+  /// callbacks running inside the solver.
+  void request_stop() const noexcept { flag_->store(true, std::memory_order_relaxed); }
+
+  bool stop_requested() const noexcept {
+    return flag_->load(std::memory_order_relaxed);
+  }
+
+  /// Re-arms the token (e.g. to resume a preempted run with the same config).
+  void reset() const noexcept { flag_->store(false, std::memory_order_relaxed); }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+/// One solver heartbeat: emitted after each completed unit of coarse-grained
+/// work (a distributed-greedy round, a bounding pass, ...).
+struct ProgressEvent {
+  /// Stage label, e.g. "round", "bounding", "merge".
+  std::string_view stage;
+  /// 1-based step within the stage (round number, pass number, ...).
+  std::size_t step = 0;
+  /// Total steps of the stage when known, 0 otherwise.
+  std::size_t total_steps = 0;
+  /// Stage-specific size metric (e.g. survivors after the round).
+  std::size_t items = 0;
+};
+
+/// Progress callbacks run on the solver's driver thread between rounds; they
+/// must not block for long and may call CancellationToken::request_stop().
+using ProgressFn = std::function<void(const ProgressEvent&)>;
+
+}  // namespace subsel

@@ -165,12 +165,20 @@ DistributedGreedyResult distributed_greedy(const GroundSet& ground_set, std::siz
   // Per-worker reusable arenas: subproblem CSR, scatter map, and heap storage
   // persist across every partition of every round instead of being
   // reallocated per partition — the round loop's only steady-state
-  // allocations are the partition id lists themselves.
-  SubproblemArenaPool arena_pool;
+  // allocations are the partition id lists themselves. A caller-provided
+  // pool (api::SolverContext) extends the reuse across invocations.
+  SubproblemArenaPool local_arena_pool;
+  SubproblemArenaPool& arena_pool =
+      config.arena_pool != nullptr ? *config.arena_pool : local_arena_pool;
 
   if (k_open > 0 && v0 > 0) {
     std::size_t executed = 0;
     for (std::size_t round = first_round; round <= config.num_rounds; ++round) {
+      if (config.cancel.stop_requested()) {
+        result.preempted = true;
+        LOG_INFO("distributed_greedy: cancelled before round %zu", round);
+        return result;
+      }
       RoundStats stats;
       stats.round = round;
       stats.input_size = survivors.size();
@@ -248,6 +256,10 @@ DistributedGreedyResult distributed_greedy(const GroundSet& ground_set, std::siz
 
       if (!config.checkpoint_file.empty() && round < config.num_rounds) {
         save_checkpoint(config.checkpoint_file, fingerprint, round, survivors);
+      }
+      if (config.progress) {
+        config.progress(ProgressEvent{"round", round, config.num_rounds,
+                                      survivors.size()});
       }
       ++executed;
       if (config.stop_after_round != 0 && executed >= config.stop_after_round &&

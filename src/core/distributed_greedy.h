@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "common/run_control.h"
 #include "common/thread_pool.h"
 #include "core/greedy.h"
 #include "core/objective.h"
@@ -71,6 +72,18 @@ struct DistributedGreedyConfig {
   /// `preempted` set and `selected` left empty.
   std::size_t stop_after_round = 0;
   ThreadPool* pool = nullptr;
+  /// Reusable per-worker arenas shared across invocations (e.g. the
+  /// api::SolverContext pool); nullptr uses a run-local pool.
+  SubproblemArenaPool* arena_pool = nullptr;
+  /// Cooperative cancellation, checked once per round boundary. A run stopped
+  /// this way returns with `preempted` set (and, with a checkpoint_file, can
+  /// be resumed by a later invocation) — the same contract as
+  /// stop_after_round, but triggered externally, e.g. from a progress
+  /// callback or another thread.
+  CancellationToken cancel;
+  /// Per-round heartbeat (stage "round"); runs on the driver thread after
+  /// each round completes and may call cancel.request_stop().
+  ProgressFn progress;
   /// Worst-case partitioning ablation (Section 6.4): if set, round 1 places
   /// exactly these points into one partition and splits the rest randomly.
   std::optional<std::vector<NodeId>> forced_first_partition;
@@ -95,7 +108,8 @@ struct DistributedGreedyResult {
   std::vector<RoundStats> rounds;
   /// Rounds restored from the checkpoint instead of executed.
   std::size_t resumed_rounds = 0;
-  /// True when stop_after_round preempted the run before completion.
+  /// True when stop_after_round or the cancellation token preempted the run
+  /// before completion.
   bool preempted = false;
 };
 

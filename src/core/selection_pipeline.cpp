@@ -36,6 +36,7 @@ SelectionPipelineResult select_subset(const GroundSet& ground_set, std::size_t k
   result.selected = std::move(greedy.selected);
   result.objective = greedy.objective;
   result.greedy_rounds = std::move(greedy.rounds);
+  result.preempted = greedy.preempted;
   return result;
 }
 

@@ -27,6 +27,9 @@ struct SelectionPipelineResult {
   std::vector<RoundStats> greedy_rounds;
   double bounding_seconds = 0.0;
   double greedy_seconds = 0.0;
+  /// True when the greedy stage was preempted (stop_after_round or the
+  /// cancellation token); `selected` is then empty.
+  bool preempted = false;
 };
 
 /// Selects k points from the ground set. The objective params in

@@ -1,0 +1,72 @@
+// SelectionReport JSON: schema marker, key presence, structural sanity, and
+// round-trip-free parseability invariants (balanced nesting, quoted keys).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "../testing/test_instances.h"
+#include "api/solver_registry.h"
+
+namespace subsel::api {
+namespace {
+
+using subsel::testing::random_instance;
+
+SelectionReport sample_report(const std::string& solver) {
+  static const auto instance = random_instance(200, 5, 8801);
+  static const auto ground_set = instance.ground_set();
+  SelectionRequest request;
+  request.ground_set = &ground_set;
+  request.k = 20;
+  request.solver = solver;
+  request.distributed.num_machines = 4;
+  request.distributed.num_rounds = 2;
+  return select(request);
+}
+
+TEST(SelectionReportJson, ContainsTheSchemaAndAllSections) {
+  const std::string json = sample_report("pipeline").to_json();
+  for (const char* needle :
+       {"\"schema\":\"subsel.selection_report.v1\"", "\"solver\":\"pipeline\"",
+        "\"objective_params\":{\"alpha\":", "\"selected\":[", "\"timings\":[",
+        "\"rounds\":[", "\"memory\":{", "\"extra\":{", "\"config\":{",
+        "\"distributed\":{", "\"num_machines\":4", "\"preempted\":false",
+        "\"selected_count\":20"}) {
+    EXPECT_NE(json.find(needle), std::string::npos) << "missing " << needle;
+  }
+}
+
+TEST(SelectionReportJson, NestingIsBalanced) {
+  for (const char* solver : {"pipeline", "greedi", "sieve-streaming", "random"}) {
+    const std::string json = sample_report(solver).to_json();
+    int braces = 0;
+    int brackets = 0;
+    bool in_string = false;
+    for (std::size_t i = 0; i < json.size(); ++i) {
+      const char c = json[i];
+      if (c == '"' && (i == 0 || json[i - 1] != '\\')) in_string = !in_string;
+      if (in_string) continue;
+      braces += (c == '{') - (c == '}');
+      brackets += (c == '[') - (c == ']');
+      EXPECT_GE(braces, 0);
+      EXPECT_GE(brackets, 0);
+    }
+    EXPECT_FALSE(in_string) << solver;
+    EXPECT_EQ(braces, 0) << solver;
+    EXPECT_EQ(brackets, 0) << solver;
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_EQ(json.back(), '}');
+  }
+}
+
+TEST(SelectionReportJson, EchoesTheSolverSpecificConfig) {
+  const std::string json = sample_report("sieve-streaming").to_json();
+  EXPECT_NE(json.find("\"streaming\":{\"epsilon\":0.1"), std::string::npos);
+  EXPECT_NE(json.find("\"solver\":\"sieve-streaming\""), std::string::npos);
+  // Streaming solvers surface their resident-memory footprint.
+  EXPECT_NE(json.find("\"peak_resident_elements\":"), std::string::npos);
+  EXPECT_NE(json.find("\"num_sieves\":"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace subsel::api

@@ -173,6 +173,32 @@ TEST(BeamGreedy, AdaptivePartitioningReducesPartitions) {
   EXPECT_EQ(result.rounds.back().num_partitions, 1u);
 }
 
+TEST(BeamGreedy, CancellationMidRunYieldsCleanPreemption) {
+  const Instance instance = random_instance(300, 4, 911);
+  const auto ground_set = instance.ground_set();
+  auto pipeline = make_pipeline();
+  auto config = make_config(4, 5);
+  config.progress = [&config](const ProgressEvent& event) {
+    if (event.step >= 1) config.cancel.request_stop();
+  };
+  const auto cancelled =
+      beam_distributed_greedy(pipeline, ground_set, 30, config);
+  EXPECT_TRUE(cancelled.preempted);
+  EXPECT_TRUE(cancelled.selected.empty());
+  EXPECT_EQ(cancelled.rounds.size(), 1u);
+
+  // Re-armed, the same config completes and matches an undisturbed run.
+  config.cancel.reset();
+  config.progress = nullptr;
+  auto pipeline2 = make_pipeline();
+  const auto full = beam_distributed_greedy(pipeline2, ground_set, 30, config);
+  auto pipeline3 = make_pipeline();
+  const auto undisturbed =
+      beam_distributed_greedy(pipeline3, ground_set, 30, make_config(4, 5));
+  EXPECT_FALSE(full.preempted);
+  EXPECT_EQ(full.selected, undisturbed.selected);
+}
+
 TEST(BeamGreedy, ZeroOpenBudgetReturnsBoundingSelection) {
   const Instance instance = random_instance(50, 3, 910);
   const auto ground_set = instance.ground_set();

@@ -1,0 +1,74 @@
+// JsonWriter: comma/nesting bookkeeping, string escaping, numeric formats.
+#include "common/json.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace subsel {
+namespace {
+
+TEST(JsonWriter, EmptyObjectAndArray) {
+  {
+    JsonWriter json;
+    json.begin_object().end_object();
+    EXPECT_EQ(json.str(), "{}");
+  }
+  {
+    JsonWriter json;
+    json.begin_array().end_array();
+    EXPECT_EQ(json.str(), "[]");
+  }
+}
+
+TEST(JsonWriter, CommasBetweenSiblingsButNotAfterKeys) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("a").value(1);
+  json.key("b").value("two");
+  json.key("c").begin_array();
+  json.value(1).value(2).value(3);
+  json.end_array();
+  json.key("d").begin_object();
+  json.key("nested").value(true);
+  json.end_object();
+  json.end_object();
+  EXPECT_EQ(json.str(),
+            "{\"a\":1,\"b\":\"two\",\"c\":[1,2,3],\"d\":{\"nested\":true}}");
+}
+
+TEST(JsonWriter, EscapesStrings) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("text").value("quote\" slash\\ newline\n tab\t bell\x07");
+  json.end_object();
+  EXPECT_EQ(json.str(),
+            "{\"text\":\"quote\\\" slash\\\\ newline\\n tab\\t bell\\u0007\"}");
+}
+
+TEST(JsonWriter, NumbersRoundTripAndNonFiniteBecomesNull) {
+  JsonWriter json;
+  json.begin_array();
+  json.value(0.5);
+  json.value(std::size_t{18446744073709551615ull});
+  json.value(-7);
+  json.value(std::numeric_limits<double>::infinity());
+  json.value(std::numeric_limits<double>::quiet_NaN());
+  json.end_array();
+  EXPECT_EQ(json.str(), "[0.5,18446744073709551615,-7,null,null]");
+}
+
+TEST(JsonWriter, ArrayOfObjects) {
+  JsonWriter json;
+  json.begin_array();
+  for (int i = 0; i < 2; ++i) {
+    json.begin_object();
+    json.key("i").value(i);
+    json.end_object();
+  }
+  json.end_array();
+  EXPECT_EQ(json.str(), "[{\"i\":0},{\"i\":1}]");
+}
+
+}  // namespace
+}  // namespace subsel

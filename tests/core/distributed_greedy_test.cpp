@@ -232,5 +232,73 @@ TEST(DistributedGreedy, DeterministicForFixedSeed) {
   EXPECT_EQ(a.objective, b.objective);
 }
 
+TEST(DistributedGreedy, ProgressReportsEveryRound) {
+  const Instance instance = random_instance(200, 4, 214);
+  const auto ground_set = instance.ground_set();
+  auto config = make_config(4, 3, false);
+  std::vector<std::size_t> steps;
+  config.progress = [&steps](const ProgressEvent& event) {
+    EXPECT_EQ(event.stage, "round");
+    EXPECT_EQ(event.total_steps, 3u);
+    steps.push_back(event.step);
+  };
+  const auto result = distributed_greedy(ground_set, 20, config);
+  EXPECT_EQ(steps, (std::vector<std::size_t>{1, 2, 3}));
+  EXPECT_FALSE(result.preempted);
+  EXPECT_EQ(result.selected.size(), 20u);
+}
+
+TEST(DistributedGreedy, CancellationMidRunYieldsCleanPreemption) {
+  const Instance instance = random_instance(300, 4, 215);
+  const auto ground_set = instance.ground_set();
+  auto config = make_config(4, 5, false);
+  // Cancel from the progress callback after the first round completes — the
+  // round loop must stop at the next round boundary with a preempted result,
+  // not a full run and not a partial subset.
+  config.progress = [&config](const ProgressEvent& event) {
+    if (event.step >= 1) config.cancel.request_stop();
+  };
+  const auto cancelled = distributed_greedy(ground_set, 30, config);
+  EXPECT_TRUE(cancelled.preempted);
+  EXPECT_TRUE(cancelled.selected.empty());
+  EXPECT_EQ(cancelled.objective, 0.0);
+  EXPECT_EQ(cancelled.rounds.size(), 1u);
+
+  // Re-arming the token lets the identical config run to completion and
+  // match an undisturbed run exactly.
+  config.cancel.reset();
+  config.progress = nullptr;
+  const auto full = distributed_greedy(ground_set, 30, config);
+  const auto undisturbed =
+      distributed_greedy(ground_set, 30, make_config(4, 5, false));
+  EXPECT_FALSE(full.preempted);
+  EXPECT_EQ(full.selected, undisturbed.selected);
+}
+
+TEST(DistributedGreedy, CancelledCheckpointedRunResumes) {
+  const Instance instance = random_instance(250, 4, 216);
+  const auto ground_set = instance.ground_set();
+  const std::string checkpoint =
+      ::testing::TempDir() + "/distgreedy_cancel.ckpt";
+
+  auto config = make_config(4, 4, false);
+  config.checkpoint_file = checkpoint;
+  config.progress = [&config](const ProgressEvent& event) {
+    if (event.step >= 2) config.cancel.request_stop();
+  };
+  const auto cancelled = distributed_greedy(ground_set, 25, config);
+  EXPECT_TRUE(cancelled.preempted);
+  EXPECT_EQ(cancelled.rounds.size(), 2u);
+
+  config.cancel.reset();
+  config.progress = nullptr;
+  const auto resumed = distributed_greedy(ground_set, 25, config);
+  EXPECT_EQ(resumed.resumed_rounds, 2u);
+
+  config.checkpoint_file.clear();
+  const auto uninterrupted = distributed_greedy(ground_set, 25, config);
+  EXPECT_EQ(resumed.selected, uninterrupted.selected);
+}
+
 }  // namespace
 }  // namespace subsel::core

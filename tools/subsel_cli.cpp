@@ -2,27 +2,33 @@
 //
 //   subsel generate --type=cifar|imagenet|toy --scale=0.1 --out=data/cifar
 //   subsel info     --data=data/cifar
+//   subsel solvers
 //   subsel select   --data=data/cifar --fraction=0.1 --alpha=0.9
-//                   --machines=8 --rounds=8 [--no-adaptive] [--disk]
+//                   --solver=pipeline [--machines=8] [--rounds=8]
+//                   [--no-adaptive] [--disk]
 //                   [--bounding=none|exact|uniform|weighted] [--sample=0.3]
-//                   [--engine=memory|dataflow] --out=subset.ids
+//                   [--report=FILE] --out=subset.ids
 //   subsel score    --data=data/cifar --subset=subset.ids --alpha=0.9
 //                   [--distributed]
 //
-// Datasets are the binary format of data/dataset_io.h; subsets are plain
-// one-id-per-line text files. Exit code 0 on success, 1 on bad usage, 2 on
-// runtime failure.
+// Every solver in the registry (see `subsel solvers`) runs through the same
+// SelectionRequest/SelectionReport schema; --report writes the full JSON
+// report. Datasets are the binary format of data/dataset_io.h; subsets are
+// plain one-id-per-line text files. Exit code 0 on success, 1 on bad usage,
+// 2 on runtime failure.
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <exception>
+#include <fstream>
 #include <memory>
 #include <optional>
 #include <string>
 
-#include "beam/beam_pipeline.h"
+#include "api/solver_registry.h"
 #include "beam/beam_scoring.h"
 #include "common/timer.h"
-#include "core/selection_pipeline.h"
 #include "data/dataset_io.h"
 #include "data/datasets.h"
 #include "graph/disk_ground_set.h"
@@ -31,7 +37,9 @@ namespace {
 
 using namespace subsel;
 
-/// --name=value / --name flag accessor over argv.
+/// --name=value / --name flag accessor over argv. Numeric accessors validate
+/// that the whole value parses (strtod/strtoull full-consume) — a malformed
+/// `--fraction=0.1x` or `--machines=abc` is a usage error, never a silent 0.
 class CliArgs {
  public:
   CliArgs(int argc, char** argv) : argc_(argc), argv_(argv) {}
@@ -56,13 +64,31 @@ class CliArgs {
 
   double get_double(const std::string& name, double fallback) const {
     auto value = get(name);
-    return value.has_value() ? std::atof(value->c_str()) : fallback;
+    if (!value.has_value()) return fallback;
+    errno = 0;
+    char* end = nullptr;
+    const double parsed = std::strtod(value->c_str(), &end);
+    if (end == value->c_str() || *end != '\0' || errno == ERANGE) {
+      throw std::invalid_argument("--" + name + "=" + *value +
+                                  " is not a valid number");
+    }
+    return parsed;
   }
 
   std::size_t get_size(const std::string& name, std::size_t fallback) const {
     auto value = get(name);
-    return value.has_value() ? static_cast<std::size_t>(std::atoll(value->c_str()))
-                             : fallback;
+    if (!value.has_value()) return fallback;
+    // strtoull accepts "-1" by wrapping; reject any sign explicitly.
+    const char* text = value->c_str();
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(text, &end, 10);
+    if (end == text || *end != '\0' || errno == ERANGE || text[0] == '-' ||
+        text[0] == '+') {
+      throw std::invalid_argument("--" + name + "=" + *value +
+                                  " is not a valid non-negative integer");
+    }
+    return static_cast<std::size_t>(parsed);
   }
 
   bool has_flag(const std::string& name) const {
@@ -84,11 +110,14 @@ int usage() {
                "  generate --type=cifar|imagenet|toy --out=PREFIX [--scale=F]"
                " [--seed=N]\n"
                "  info     --data=PREFIX\n"
+               "  solvers                            list registered solvers\n"
                "  select   --data=PREFIX (--k=N | --fraction=F) [--alpha=F]\n"
-               "           [--machines=N] [--rounds=N] [--no-adaptive]\n"
+               "           [--solver=NAME] [--machines=N] [--rounds=N]"
+               " [--no-adaptive]\n"
                "           [--bounding=none|exact|uniform|weighted] [--sample=F]\n"
-               "           [--engine=memory|dataflow] [--shards=N] [--disk]\n"
-               "           [--worker-memory-kb=N] [--seed=N] --out=FILE\n"
+               "           [--epsilon=F] [--shards=N] [--disk]\n"
+               "           [--worker-memory-kb=N] [--seed=N] [--report=FILE]\n"
+               "           --out=FILE\n"
                "  score    --data=PREFIX --subset=FILE [--alpha=F] [--distributed]\n");
   return 1;
 }
@@ -139,6 +168,25 @@ int cmd_info(const CliArgs& args) {
   return 0;
 }
 
+int cmd_solvers() {
+  const auto solvers = api::SolverRegistry::instance().list();
+  std::printf("%zu registered solvers:\n\n", solvers.size());
+  for (const auto& info : solvers) {
+    std::string flags;
+    if (info.caps.distributed) flags += " distributed";
+    if (info.caps.streaming) flags += " streaming";
+    if (!info.caps.needs_full_graph) flags += " no-full-graph";
+    if (info.caps.cancellable) flags += " cancellable";
+    if (info.caps.checkpointable) flags += " checkpointable";
+    if (flags.empty()) flags = " centralized";
+    std::printf("%-20s guarantee: %-28s memory: %s\n", info.name.c_str(),
+                info.guarantee.c_str(), info.memory_regime.c_str());
+    std::printf("%-20s flags:%s\n", "", flags.c_str());
+    std::printf("%-20s %s\n\n", "", info.description.c_str());
+  }
+  return 0;
+}
+
 int cmd_select(const CliArgs& args) {
   const std::string data_path = args.require("data");
   const std::string out = args.require("out");
@@ -148,88 +196,94 @@ int cmd_select(const CliArgs& args) {
   const bool disk = args.has_flag("disk");
   data::Dataset dataset;
   std::unique_ptr<graph::GroundSet> disk_ground_set;
-  std::size_t num_points = 0;
   if (disk) {
     auto scalars = data::load_dataset_scalars(data_path);
-    num_points = scalars.utilities.size();
     graph::DiskGroundSetConfig cache;
     cache.max_cached_blocks = args.get_size("cache-blocks", 64);
     disk_ground_set = std::make_unique<graph::DiskGroundSet>(
         data_path + ".graph", std::move(scalars.utilities), cache);
   } else {
     dataset = data::load_dataset(data_path);
-    num_points = dataset.size();
   }
-
-  std::size_t k = args.get_size("k", 0);
-  if (k == 0) {
-    const double fraction = args.get_double("fraction", 0.0);
-    if (fraction <= 0.0 || fraction > 1.0) {
-      std::fprintf(stderr, "need --k=N or --fraction=(0,1]\n");
-      return 1;
-    }
-    k = static_cast<std::size_t>(fraction * static_cast<double>(num_points));
-  }
-
-  core::SelectionPipelineConfig config;
-  config.objective =
-      core::ObjectiveParams::from_alpha(args.get_double("alpha", 0.9));
-  config.greedy.num_machines = args.get_size("machines", 8);
-  config.greedy.num_rounds = args.get_size("rounds", 8);
-  config.greedy.adaptive_partitioning = !args.has_flag("no-adaptive");
-  config.greedy.seed = static_cast<std::uint64_t>(args.get_size("seed", 23));
-
-  const std::string bounding = args.get("bounding").value_or("uniform");
-  if (bounding == "none") {
-    config.use_bounding = false;
-  } else if (bounding == "exact") {
-    config.bounding.sampling = core::BoundingSampling::kNone;
-  } else if (bounding == "uniform") {
-    config.bounding.sampling = core::BoundingSampling::kUniform;
-  } else if (bounding == "weighted") {
-    config.bounding.sampling = core::BoundingSampling::kWeighted;
-  } else {
-    std::fprintf(stderr, "unknown --bounding=%s\n", bounding.c_str());
-    return 1;
-  }
-  config.bounding.sample_fraction = args.get_double("sample", 0.3);
-
-  Timer timer;
   const auto in_memory_ground_set =
       disk ? graph::InMemoryGroundSet(dataset.graph, dataset.utilities)
            : dataset.ground_set();
   const graph::GroundSet& ground_set =
       disk ? *disk_ground_set
            : static_cast<const graph::GroundSet&>(in_memory_ground_set);
-  const std::string engine = args.get("engine").value_or("memory");
-  core::SelectionPipelineResult result;
-  if (engine == "dataflow") {
-    dataflow::PipelineOptions options;
-    options.num_shards = args.get_size("shards", 64);
-    options.worker_memory_bytes = args.get_size("worker-memory-kb", 0) * 1024;
-    dataflow::Pipeline pipeline(options);
-    result = beam::beam_select_subset(pipeline, ground_set, k, config);
-    std::printf("dataflow engine: %zu shards, peak %zu bytes/shard\n",
-                options.num_shards, pipeline.peak_shard_bytes());
-  } else if (engine == "memory") {
-    result = core::select_subset(ground_set, k, config);
+
+  api::SelectionRequest request;
+  request.ground_set = &ground_set;
+  request.k = args.get_size("k", 0);
+  request.fraction = args.get_double("fraction", 0.0);
+  request.objective = core::ObjectiveParams::from_alpha(args.get_double("alpha", 0.9));
+  request.seed = static_cast<std::uint64_t>(args.get_size("seed", 23));
+  request.solver = args.get("solver").value_or("pipeline");
+  // Back-compat: --engine=memory|dataflow predates --solver.
+  if (const auto engine = args.get("engine"); engine.has_value()) {
+    if (*engine == "dataflow") {
+      request.solver = "dataflow";
+    } else if (*engine != "memory") {
+      std::fprintf(stderr, "unknown --engine=%s (memory|dataflow)\n",
+                   engine->c_str());
+      return 1;
+    }
+  }
+
+  request.distributed.num_machines = args.get_size("machines", 8);
+  request.distributed.num_rounds = args.get_size("rounds", 8);
+  request.distributed.adaptive_partitioning = !args.has_flag("no-adaptive");
+  request.distributed.stochastic_epsilon = args.get_double("epsilon", 0.1);
+  request.streaming.epsilon = args.get_double("epsilon", 0.1);
+
+  const std::string bounding = args.get("bounding").value_or("uniform");
+  if (bounding == "none") {
+    request.bounding.enabled = false;
+  } else if (bounding == "exact") {
+    request.bounding.sampling = core::BoundingSampling::kNone;
+  } else if (bounding == "uniform") {
+    request.bounding.sampling = core::BoundingSampling::kUniform;
+  } else if (bounding == "weighted") {
+    request.bounding.sampling = core::BoundingSampling::kWeighted;
   } else {
-    std::fprintf(stderr, "unknown --engine=%s (memory|dataflow)\n", engine.c_str());
+    std::fprintf(stderr, "unknown --bounding=%s\n", bounding.c_str());
     return 1;
   }
-  data::save_subset(result.selected, out);
+  request.bounding.sample_fraction = args.get_double("sample", 0.3);
+  request.dataflow.num_shards = args.get_size("shards", 64);
+  request.dataflow.worker_memory_bytes =
+      args.get_size("worker-memory-kb", 0) * 1024;
 
-  std::printf("selected %zu / %zu points in %s -> %s\n", result.selected.size(),
-              num_points, format_duration(timer.elapsed_seconds()).c_str(),
-              out.c_str());
-  std::printf("objective f(S) = %.6f\n", result.objective);
-  if (result.bounding.has_value()) {
+  const api::SelectionReport report = api::select(request);
+  data::save_subset(report.selected, out);
+
+  std::printf("solver %s: selected %zu / %zu points in %s -> %s\n",
+              report.solver.c_str(), report.selected.size(), report.num_points,
+              format_duration(report.total_seconds).c_str(), out.c_str());
+  std::printf("objective f(S) = %.6f\n", report.objective);
+  if (report.bounding.has_value()) {
     std::printf("bounding: included %zu, excluded %zu (%zu grow / %zu shrink"
                 " rounds)\n",
-                result.bounding->included, result.bounding->excluded,
-                result.bounding->grow_rounds, result.bounding->shrink_rounds);
+                report.bounding->included, report.bounding->excluded,
+                report.bounding->grow_rounds, report.bounding->shrink_rounds);
   }
-  std::printf("greedy rounds: %zu\n", result.greedy_rounds.size());
+  if (!report.rounds.empty()) {
+    std::printf("greedy rounds: %zu (peak partition %.2f MB)\n",
+                report.rounds.size(),
+                static_cast<double>(report.peak_partition_bytes) / 1e6);
+  }
+  if (report.preempted) std::printf("run preempted before completion\n");
+
+  if (const auto report_path = args.get("report"); report_path.has_value()) {
+    std::ofstream report_file(*report_path, std::ios::trunc);
+    report_file << report.to_json() << '\n';
+    report_file.close();  // flush before checking, or buffered errors hide
+    if (!report_file) {
+      std::fprintf(stderr, "cannot write --report=%s\n", report_path->c_str());
+      return 2;
+    }
+    std::printf("report written to %s\n", report_path->c_str());
+  }
   return 0;
 }
 
@@ -262,6 +316,7 @@ int main(int argc, char** argv) {
   try {
     if (command == "generate") return cmd_generate(args);
     if (command == "info") return cmd_info(args);
+    if (command == "solvers") return cmd_solvers();
     if (command == "select") return cmd_select(args);
     if (command == "score") return cmd_score(args);
     return usage();
