@@ -25,6 +25,11 @@
 // BENCH_solver_matrix.json — the cross-solver perf/quality trajectory future
 // PRs diff against.
 //
+// And the OBJECTIVE MATRIX: every registered objective kernel crossed with
+// every compatible solver on one fixed instance (objective value + solve
+// latency per cell, incompatible combinations recorded as skipped), written
+// to BENCH_objective_matrix.json — the pluggable-objective trajectory.
+//
 // Flags (in addition to the standard --benchmark_* ones):
 //   --quick            CI mode: hot path only, 200k nodes, 2 iterations
 //   --hot-only         skip the google-benchmark micros
@@ -33,8 +38,11 @@
 //   --hot-iters=N      measurement repetitions, best-of (default 3)
 //   --json=PATH        output path (default BENCH_micro_core.json)
 //   --solver-matrix    also run every registered solver on a fixed instance
-//   --matrix-points=N  solver-matrix instance size (default 6000)
+//   --matrix-points=N  solver/objective matrix instance size (default 6000)
 //   --matrix-json=PATH output path (default BENCH_solver_matrix.json)
+//   --objective-matrix also run every objective x compatible solver
+//   --objective-matrix-json=PATH
+//                      output path (default BENCH_objective_matrix.json)
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -43,6 +51,7 @@
 #include <cstring>
 #include <string>
 
+#include "api/objective_registry.h"
 #include "api/solver_registry.h"
 #include "common/json.h"
 #include "common/timer.h"
@@ -535,12 +544,121 @@ int run_solver_matrix(const MatrixConfig& config) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// Objective matrix: every registered objective x every compatible solver.
+// ---------------------------------------------------------------------------
+
+struct ObjectiveMatrixConfig {
+  std::size_t points = 6000;
+  double fraction = 0.1;
+  std::uint64_t seed = 77;
+  std::string json_path = "BENCH_objective_matrix.json";
+};
+
+int run_objective_matrix(const ObjectiveMatrixConfig& config) {
+  std::printf("\n=== objective matrix: every objective x compatible solver at"
+              " %zu points, k = %.0f%% ===\n",
+              config.points, config.fraction * 100.0);
+  const data::Dataset dataset = data::toy_dataset(config.points, 32, config.seed);
+  const auto ground_set = dataset.ground_set();
+  const std::size_t k =
+      static_cast<std::size_t>(config.fraction * static_cast<double>(config.points));
+
+  api::SolverContext context;
+  JsonWriter json;
+  json.begin_object();
+  json.key("bench").value("objective_matrix");
+  json.key("points").value(config.points);
+  json.key("k").value(k);
+  json.key("seed").value(config.seed);
+  json.key("cells").begin_array();
+
+  std::printf("%-20s %-20s %12s %10s %8s\n", "objective", "solver", "f(S)",
+              "solve ms", "|S|");
+  for (const api::ObjectiveInfo& objective :
+       api::ObjectiveRegistry::instance().list()) {
+    // Per-objective reference: lazy-greedy's centralized output, computed up
+    // front so every row can be normalized against it.
+    double gold = 0.0;
+    {
+      api::SelectionRequest request;
+      request.ground_set = &ground_set;
+      request.k = k;
+      request.objective_name = objective.name;
+      request.objective = core::ObjectiveParams::from_alpha(0.9);
+      request.seed = config.seed;
+      request.solver = "lazy-greedy";
+      gold = api::select(request, context).objective;
+    }
+    for (const api::SolverInfo& solver : api::SolverRegistry::instance().list()) {
+      api::SelectionRequest request;
+      request.ground_set = &ground_set;
+      request.k = k;
+      request.objective_name = objective.name;
+      request.objective = core::ObjectiveParams::from_alpha(0.9);
+      request.seed = config.seed;
+      request.solver = solver.name;
+      // The pipeline/dataflow bounding stage is pairwise-only; run those
+      // solvers without bounding whenever the objective lacks bound support
+      // so the matrix exercises the widest valid surface.
+      if (solver.caps.bounding_stage && !objective.caps.utility_bounds) {
+        request.bounding.enabled = false;
+      }
+
+      json.begin_object();
+      json.key("objective").value(objective.name);
+      json.key("solver").value(solver.name);
+      const std::string reason = api::incompatibility_reason(
+          solver.caps, objective.caps, request.bounding.enabled);
+      if (!reason.empty()) {
+        std::printf("%-20s %-20s %12s\n", objective.name.c_str(),
+                    solver.name.c_str(), "(skipped)");
+        json.key("supported").value(false);
+        json.key("reason").value(reason);
+        json.end_object();
+        continue;
+      }
+
+      const api::SelectionReport report = api::select(request, context);
+      double solve_seconds = 0.0;
+      for (const api::StageTiming& timing : report.timings) {
+        solve_seconds += timing.seconds;
+      }
+      std::printf("%-20s %-20s %12.3f %10.2f %8zu\n", objective.name.c_str(),
+                  solver.name.c_str(), report.objective, solve_seconds * 1e3,
+                  report.selected.size());
+      json.key("supported").value(true);
+      json.key("objective_value").value(report.objective);
+      json.key("normalized_vs_lazy")
+          .value(gold > 0.0 ? report.objective / gold : 0.0);
+      json.key("solve_seconds").value(solve_seconds);
+      json.key("selected_count").value(report.selected.size());
+      json.key("bounding_enabled").value(request.bounding.enabled);
+      json.end_object();
+    }
+  }
+  json.end_array();
+  json.end_object();
+
+  std::FILE* out = std::fopen(config.json_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", config.json_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "%s\n", json.str().c_str());
+  std::fclose(out);
+  std::printf("wrote %s\n", config.json_path.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   HotPathConfig hot;
   MatrixConfig matrix;
+  ObjectiveMatrixConfig objective_matrix;
   bool run_matrix = false;
+  bool run_obj_matrix = false;
   bool run_gbench = true;
   std::vector<char*> gbench_args;
   gbench_args.push_back(argv[0]);
@@ -563,10 +681,15 @@ int main(int argc, char** argv) {
       hot.json_path = value();
     } else if (arg == "--solver-matrix") {
       run_matrix = true;
+    } else if (arg == "--objective-matrix") {
+      run_obj_matrix = true;
     } else if (arg.rfind("--matrix-points=", 0) == 0) {
       matrix.points = static_cast<std::size_t>(std::atoll(value().c_str()));
+      objective_matrix.points = matrix.points;
     } else if (arg.rfind("--matrix-json=", 0) == 0) {
       matrix.json_path = value();
+    } else if (arg.rfind("--objective-matrix-json=", 0) == 0) {
+      objective_matrix.json_path = value();
     } else {
       gbench_args.push_back(argv[i]);
     }
@@ -578,6 +701,11 @@ int main(int argc, char** argv) {
   if (run_matrix) {
     matrix.points = std::max<std::size_t>(matrix.points, 100);
     const int matrix_status = run_solver_matrix(matrix);
+    if (matrix_status != 0) return matrix_status;
+  }
+  if (run_obj_matrix) {
+    objective_matrix.points = std::max<std::size_t>(objective_matrix.points, 100);
+    const int matrix_status = run_objective_matrix(objective_matrix);
     if (matrix_status != 0) return matrix_status;
   }
   return hot_status;

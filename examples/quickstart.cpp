@@ -1,11 +1,14 @@
 // Quickstart: the public API in one file.
 //
 //   1. Build (or bring) a dataset: embeddings -> utilities -> kNN graph.
-//   2. Describe what you want as a SelectionRequest: ground set, budget,
-//      objective f(S) = αΣu − βΣs, and a solver name from the registry.
+//   2. Describe what you want as a SelectionRequest: ground set, budget, an
+//      objective name from the ObjectiveRegistry (pairwise f(S) = αΣu − βΣs
+//      by default; facility location and saturated coverage ship too), and a
+//      solver name from the SolverRegistry.
 //   3. api::select() runs it and returns a SelectionReport with the ids, the
 //      exactly recomputed objective, and per-stage timings — the same schema
-//      for every solver (`subsel solvers` lists them all).
+//      for every solver and every objective (`subsel solvers` /
+//      `subsel objectives` list them all).
 //
 // Run:  ./build/examples/quickstart
 #include <cstdio>
@@ -69,5 +72,20 @@ int main() {
   std::printf("lazy greedy (centralized): f(S) = %.3f -> distributed reaches"
               " %.1f%%\n",
               gold.objective, 100.0 * report.objective / gold.objective);
+
+  // 5. Swap the objective, keep everything else: the same solvers maximize
+  //    any kernel in the ObjectiveRegistry (`subsel objectives` lists them).
+  //    Facility location scores every point by its best selected
+  //    representative — exemplar selection instead of the pairwise
+  //    utility/diversity trade-off. The bounding pre-pass is
+  //    pairwise-specific, so this request disables it and the distributed
+  //    greedy runs the lazy marginal-gain path instead of the closed-form
+  //    priority queue.
+  api::SelectionRequest exemplar = request;
+  exemplar.objective_name = "facility-location";
+  exemplar.bounding.enabled = false;
+  const api::SelectionReport fl_report = api::select(exemplar);
+  std::printf("facility-location: f(S) = %.3f with the same %s solver\n",
+              fl_report.objective, fl_report.solver.c_str());
   return 0;
 }

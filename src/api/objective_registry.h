@@ -1,0 +1,67 @@
+// String-keyed registry of every objective kernel the API can build —
+// the objective-side mirror of SolverRegistry.
+//
+// An entry is a name, human-facing metadata (description, the f(S) formula,
+// capability flags — what `subsel objectives` prints), and a factory that
+// instantiates a core::ObjectiveKernel over a request's ground set from the
+// request's typed per-objective options. Built-ins ("pairwise",
+// "facility-location", "saturated-coverage") are registered on first access
+// of instance(); downstream code can register more — the conformance suite
+// in tests/api runs against whatever is registered, so extensions inherit
+// the submodularity/monotonicity/consistency coverage.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/selection_api.h"
+#include "core/objective_kernel.h"
+
+namespace subsel::api {
+
+struct ObjectiveInfo {
+  std::string name;
+  std::string description;
+  /// The f(S) form, for the objective table.
+  std::string formula;
+  core::ObjectiveKernelCaps caps;
+};
+
+class ObjectiveRegistry {
+ public:
+  /// Builds a kernel over request.ground_set from the request's option
+  /// blocks. Factories must validate their options (throw
+  /// std::invalid_argument) so a bad request fails before any solver runs.
+  using KernelFactory = std::function<std::unique_ptr<core::ObjectiveKernel>(
+      const SelectionRequest&)>;
+
+  /// The process-wide registry, with all built-in objectives registered.
+  static ObjectiveRegistry& instance();
+
+  /// Registers (or replaces) an objective. Not thread-safe against concurrent
+  /// make()/list(); register at startup.
+  void register_objective(ObjectiveInfo info, KernelFactory factory);
+
+  bool contains(const std::string& name) const;
+  /// Metadata for `name`, or nullptr when unknown.
+  const ObjectiveInfo* info(const std::string& name) const;
+  /// All registered objectives, sorted by name.
+  std::vector<ObjectiveInfo> list() const;
+
+  /// Instantiates request.objective_name over request.ground_set. Throws
+  /// std::invalid_argument on an unknown name (the message lists the known
+  /// ones), a null ground set, or invalid objective options.
+  std::unique_ptr<core::ObjectiveKernel> make(const SelectionRequest& request) const;
+
+ private:
+  struct Entry {
+    ObjectiveInfo info;
+    KernelFactory factory;
+  };
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace subsel::api

@@ -83,6 +83,19 @@ struct SamplePruneOptions {
   std::size_t max_rounds = 64;
 };
 
+/// Options for the "facility-location" objective (max-based coverage).
+struct FacilityLocationOptions {
+  double self_similarity = 1.0;
+  bool utility_weighted = true;
+};
+
+/// Options for the "saturated-coverage" objective (truncated sum coverage).
+struct CoverageOptions {
+  double saturation = 1.0;
+  double self_similarity = 1.0;
+  bool utility_weighted = true;
+};
+
 struct SelectionRequest {
   /// Non-owning; must outlive the run. Any GroundSet implementation works
   /// (in-memory, disk-backed, virtual).
@@ -91,7 +104,15 @@ struct SelectionRequest {
   /// set in (0, 1].
   std::size_t k = 0;
   double fraction = 0.0;
+  /// ObjectiveRegistry key; `subsel objectives` enumerates. Each objective
+  /// reads only its own option block below; solver×objective compatibility is
+  /// validated before anything runs (see SolverCapabilities).
+  std::string objective_name = "pairwise";
+  /// Options for the "pairwise" objective — validated (alpha > 0, beta >= 0)
+  /// when the kernel is built.
   core::ObjectiveParams objective;
+  FacilityLocationOptions facility_location;
+  CoverageOptions coverage;
   std::uint64_t seed = 23;
   /// Registry key; `SolverRegistry::list()` / `subsel solvers` enumerate.
   std::string solver = "pipeline";
@@ -139,6 +160,8 @@ struct BoundingSummary {
 
 struct SelectionReport {
   std::string solver;
+  /// Which registered objective the run maximized.
+  std::string objective_name = "pairwise";
   std::size_t num_points = 0;
   std::size_t k_requested = 0;
   core::ObjectiveParams objective_params;
@@ -147,8 +170,8 @@ struct SelectionReport {
   /// Ascending unique ids; |selected| <= k (streaming baselines may return
   /// fewer), empty when preempted.
   std::vector<NodeId> selected;
-  /// f(selected) recomputed exactly with PairwiseObjective on the full
-  /// ground set — comparable across every solver.
+  /// f(selected) recomputed exactly with the objective kernel on the full
+  /// ground set — comparable across every solver (same objective).
   double objective = 0.0;
   /// Whatever the solver itself reported (subproblem-local accounting for
   /// greedy variants); kept for diagnosing solver-internal drift.
@@ -175,6 +198,8 @@ struct SelectionReport {
   DataflowOptions dataflow_echo;
   StreamingOptions streaming_echo;
   SamplePruneOptions sample_prune_echo;
+  FacilityLocationOptions facility_location_echo;
+  CoverageOptions coverage_echo;
 
   /// Schema-stable JSON document ("subsel.selection_report.v1").
   std::string to_json() const;

@@ -29,6 +29,7 @@ std::string SelectionReport::to_json() const {
   json.begin_object();
   json.key("schema").value("subsel.selection_report.v1");
   json.key("solver").value(solver);
+  json.key("objective_name").value(objective_name);
   json.key("num_points").value(num_points);
   json.key("k_requested").value(k_requested);
   json.key("objective_params").begin_object();
@@ -114,6 +115,18 @@ std::string SelectionReport::to_json() const {
   json.key("sample_prune").begin_object();
   json.key("machine_capacity").value(sample_prune_echo.machine_capacity);
   json.key("max_rounds").value(sample_prune_echo.max_rounds);
+  json.end_object();
+  json.key("objective").begin_object();
+  json.key("name").value(objective_name);
+  json.key("facility_location").begin_object();
+  json.key("self_similarity").value(facility_location_echo.self_similarity);
+  json.key("utility_weighted").value(facility_location_echo.utility_weighted);
+  json.end_object();
+  json.key("coverage").begin_object();
+  json.key("saturation").value(coverage_echo.saturation);
+  json.key("self_similarity").value(coverage_echo.self_similarity);
+  json.key("utility_weighted").value(coverage_echo.utility_weighted);
+  json.end_object();
   json.end_object();
   json.end_object();
 

@@ -1,6 +1,7 @@
 #include "api/solver_registry.h"
 
 #include <algorithm>
+#include <span>
 #include <stdexcept>
 #include <utility>
 
@@ -15,11 +16,14 @@ namespace subsel::api {
 namespace {
 
 /// Maps the request's option blocks onto the core round-loop config and wires
-/// in the context's shared state (pool, arenas, cancellation, progress).
+/// in the context's shared state (pool, arenas, cancellation, progress) plus
+/// the objective kernel.
 core::DistributedGreedyConfig greedy_config(const SelectionRequest& request,
-                                            SolverContext& context) {
+                                            SolverContext& context,
+                                            const core::ObjectiveKernel& kernel) {
   core::DistributedGreedyConfig config;
   config.objective = request.objective;
+  config.kernel = &kernel;
   config.num_machines = request.distributed.num_machines;
   config.num_rounds = request.distributed.num_rounds;
   config.adaptive_partitioning = request.distributed.adaptive_partitioning;
@@ -36,15 +40,17 @@ core::DistributedGreedyConfig greedy_config(const SelectionRequest& request,
 }
 
 core::SelectionPipelineConfig pipeline_config(const SelectionRequest& request,
-                                              SolverContext& context) {
+                                              SolverContext& context,
+                                              const core::ObjectiveKernel& kernel) {
   core::SelectionPipelineConfig config;
   config.objective = request.objective;
+  config.kernel = &kernel;
   config.use_bounding = request.bounding.enabled;
   config.bounding.sampling = request.bounding.sampling;
   config.bounding.sample_fraction = request.bounding.sample_fraction;
   config.bounding.seed = request.seed;
   config.bounding.pool = context.pool();
-  config.greedy = greedy_config(request, context);
+  config.greedy = greedy_config(request, context, kernel);
   return config;
 }
 
@@ -64,19 +70,22 @@ void absorb_pipeline_result(core::SelectionPipelineResult&& result,
 }
 
 SelectionReport run_pipeline(const SelectionRequest& request,
-                             SolverContext& context) {
+                             SolverContext& context,
+                             const core::ObjectiveKernel& kernel) {
   SelectionReport report;
-  absorb_pipeline_result(core::select_subset(*request.ground_set,
-                                             request.resolved_k(),
-                                             pipeline_config(request, context)),
-                         report);
+  absorb_pipeline_result(
+      core::select_subset(*request.ground_set, request.resolved_k(),
+                          pipeline_config(request, context, kernel)),
+      report);
   return report;
 }
 
 SelectionReport run_distributed_greedy(const SelectionRequest& request,
-                                       SolverContext& context) {
-  auto result = core::distributed_greedy(*request.ground_set, request.resolved_k(),
-                                         greedy_config(request, context));
+                                       SolverContext& context,
+                                       const core::ObjectiveKernel& kernel) {
+  auto result =
+      core::distributed_greedy(*request.ground_set, request.resolved_k(),
+                               greedy_config(request, context, kernel));
   SelectionReport report;
   report.selected = std::move(result.selected);
   report.solver_objective = result.objective;
@@ -90,7 +99,8 @@ SelectionReport run_distributed_greedy(const SelectionRequest& request,
 }
 
 SelectionReport run_dataflow(const SelectionRequest& request,
-                             SolverContext& context) {
+                             SolverContext& context,
+                             const core::ObjectiveKernel& kernel) {
   dataflow::PipelineOptions options;
   options.num_shards = request.dataflow.num_shards;
   options.worker_memory_bytes = request.dataflow.worker_memory_bytes;
@@ -100,7 +110,7 @@ SelectionReport run_dataflow(const SelectionRequest& request,
   absorb_pipeline_result(
       beam::beam_select_subset(pipeline, *request.ground_set,
                                request.resolved_k(),
-                               pipeline_config(request, context)),
+                               pipeline_config(request, context, kernel)),
       report);
   report.extra.emplace_back("peak_shard_bytes",
                             static_cast<double>(pipeline.peak_shard_bytes()));
@@ -108,9 +118,11 @@ SelectionReport run_dataflow(const SelectionRequest& request,
 }
 
 SelectionReport run_greedi(const SelectionRequest& request, SolverContext& context,
+                           const core::ObjectiveKernel& kernel,
                            baselines::PartitionScheme scheme) {
   baselines::GreeDiConfig config;
   config.objective = request.objective;
+  config.kernel = &kernel;
   config.num_machines = request.distributed.num_machines;
   config.scheme = scheme;
   config.seed = request.seed;
@@ -133,9 +145,11 @@ SelectionReport from_greedy_result(core::GreedyResult&& result) {
   return report;
 }
 
-SelectionReport run_sieve(const SelectionRequest& request, SolverContext&) {
+SelectionReport run_sieve(const SelectionRequest& request, SolverContext&,
+                          const core::ObjectiveKernel& kernel) {
   baselines::SieveStreamingConfig config;
   config.objective = request.objective;
+  config.kernel = &kernel;
   config.epsilon = request.streaming.epsilon;
   config.apply_monotonicity_offset = request.streaming.monotonicity_offset;
   config.seed = request.seed;
@@ -150,9 +164,11 @@ SelectionReport run_sieve(const SelectionRequest& request, SolverContext&) {
 }
 
 SelectionReport run_sample_and_prune(const SelectionRequest& request,
-                                     SolverContext&) {
+                                     SolverContext&,
+                                     const core::ObjectiveKernel& kernel) {
   baselines::SamplePruneConfig config;
   config.objective = request.objective;
+  config.kernel = &kernel;
   config.machine_capacity = request.sample_prune.machine_capacity;
   config.max_rounds = request.sample_prune.max_rounds;
   config.seed = request.seed;
@@ -174,11 +190,13 @@ void register_builtins(SolverRegistry& registry) {
   round_based.cancellable = true;
   round_based.checkpointable = true;
 
+  SolverCapabilities pipeline_caps = round_based;
+  pipeline_caps.bounding_stage = true;
   registry.register_solver(
       {"pipeline",
        "Bounding pre-pass + multi-round distributed greedy — the paper's"
        " deployed end-to-end system",
-       "1-1/e vs centralized (empirical)", "O(|V|/m) per machine", round_based},
+       "1-1/e vs centralized (empirical)", "O(|V|/m) per machine", pipeline_caps},
       run_pipeline);
 
   registry.register_solver(
@@ -190,6 +208,8 @@ void register_builtins(SolverRegistry& registry) {
 
   SolverCapabilities dataflow_caps = round_based;
   dataflow_caps.checkpointable = false;  // beam rounds re-run from scratch
+  dataflow_caps.bounding_stage = true;
+  dataflow_caps.needs_distributed_scoring = true;
   registry.register_solver(
       {"dataflow",
        "The full pipeline on the Beam-style dataflow substrate with enforced"
@@ -205,16 +225,18 @@ void register_builtins(SolverRegistry& registry) {
        "GreeDi (Mirzasoleiman et al.): per-partition greedy over contiguous"
        " partitions, then one centralized merge of m*k candidates",
        "(1-1/e)/min(sqrt(k),m)", "O(m*k) central merge", merge_based},
-      [](const SelectionRequest& request, SolverContext& context) {
-        return run_greedi(request, context, PartitionScheme::kContiguous);
+      [](const SelectionRequest& request, SolverContext& context,
+         const core::ObjectiveKernel& kernel) {
+        return run_greedi(request, context, kernel, PartitionScheme::kContiguous);
       });
 
   registry.register_solver(
       {"randgreedi",
        "RandGreeDi (Barbosa et al.): GreeDi with uniform random partitioning",
        "(1-1/e)/2 in expectation", "O(m*k) central merge", merge_based},
-      [](const SelectionRequest& request, SolverContext& context) {
-        return run_greedi(request, context, PartitionScheme::kRandom);
+      [](const SelectionRequest& request, SolverContext& context,
+         const core::ObjectiveKernel& kernel) {
+        return run_greedi(request, context, kernel, PartitionScheme::kRandom);
       });
 
   registry.register_solver(
@@ -222,9 +244,10 @@ void register_builtins(SolverRegistry& registry) {
        "Lazy greedy (Minoux): centralized Algorithm 2 with stale-gain"
        " re-evaluation; the gold-standard output",
        "1-1/e", "O(n) one machine", SolverCapabilities{}},
-      [](const SelectionRequest& request, SolverContext&) {
-        return from_greedy_result(baselines::lazy_greedy(
-            *request.ground_set, request.objective, request.resolved_k()));
+      [](const SelectionRequest& request, SolverContext&,
+         const core::ObjectiveKernel& kernel) {
+        return from_greedy_result(
+            baselines::lazy_greedy(kernel, request.resolved_k()));
       });
 
   registry.register_solver(
@@ -232,9 +255,10 @@ void register_builtins(SolverRegistry& registry) {
        "Stochastic greedy (lazier-than-lazy): each step scans a random"
        " (n/k)ln(1/eps) sample",
        "1-1/e-eps in expectation", "O(n) one machine", SolverCapabilities{}},
-      [](const SelectionRequest& request, SolverContext&) {
+      [](const SelectionRequest& request, SolverContext&,
+         const core::ObjectiveKernel& kernel) {
         return from_greedy_result(baselines::stochastic_greedy(
-            *request.ground_set, request.objective, request.resolved_k(),
+            kernel, request.resolved_k(),
             request.distributed.stochastic_epsilon, request.seed));
       });
 
@@ -243,10 +267,10 @@ void register_builtins(SolverRegistry& registry) {
        "Threshold greedy (Badanidiyuru & Vondrak): descending geometric"
        " threshold sweep",
        "1-1/e-eps", "O(n) one machine", SolverCapabilities{}},
-      [](const SelectionRequest& request, SolverContext&) {
+      [](const SelectionRequest& request, SolverContext&,
+         const core::ObjectiveKernel& kernel) {
         return from_greedy_result(baselines::threshold_greedy(
-            *request.ground_set, request.objective, request.resolved_k(),
-            request.streaming.epsilon));
+            kernel, request.resolved_k(), request.streaming.epsilon));
       });
 
   SolverCapabilities streaming_caps;
@@ -275,14 +299,29 @@ void register_builtins(SolverRegistry& registry) {
        "Uniform random subset without replacement — the floor every"
        " normalized score is measured against",
        "none", "O(k)", random_caps},
-      [](const SelectionRequest& request, SolverContext&) {
+      [](const SelectionRequest& request, SolverContext&,
+         const core::ObjectiveKernel& kernel) {
         return from_greedy_result(baselines::random_selection(
-            *request.ground_set, request.objective, request.resolved_k(),
-            request.seed));
+            kernel, request.resolved_k(), request.seed));
       });
 }
 
 }  // namespace
+
+std::string incompatibility_reason(const SolverCapabilities& solver,
+                                   const core::ObjectiveKernelCaps& objective,
+                                   bool bounding_enabled) {
+  if (solver.needs_distributed_scoring && !objective.distributed_scoring) {
+    return "the solver scores f(S) with the Section 5 distributed joins,"
+           " which need an edge-decomposable objective";
+  }
+  if (solver.bounding_stage && bounding_enabled && !objective.utility_bounds) {
+    return "the bounding pre-pass needs utility-bound support"
+           " (Section 4.1 Umin/Umax); disable bounding (--bounding=none) or"
+           " use the pairwise objective";
+  }
+  return "";
+}
 
 SolverRegistry& SolverRegistry::instance() {
   static SolverRegistry registry = [] {
@@ -328,11 +367,24 @@ SelectionReport SolverRegistry::run(const SelectionRequest& request,
   }
   const std::size_t k = request.resolved_k();  // validates request up front
 
+  // Build the objective (throws on an unknown name or bad options), then
+  // check the solver can actually run it.
+  const std::unique_ptr<core::ObjectiveKernel> kernel =
+      ObjectiveRegistry::instance().make(request);
+  const std::string reason = incompatibility_reason(
+      it->second.info.caps, kernel->caps(), request.bounding.enabled);
+  if (!reason.empty()) {
+    throw std::invalid_argument("solver \"" + request.solver +
+                                "\" cannot run objective \"" +
+                                request.objective_name + "\": " + reason);
+  }
+
   Timer total;
-  SelectionReport report = it->second.fn(request, context);
+  SelectionReport report = it->second.fn(request, context, *kernel);
   const double solve_seconds = total.elapsed_seconds();
 
   report.solver = request.solver;
+  report.objective_name = request.objective_name;
   report.num_points = request.ground_set->num_points();
   report.k_requested = k;
   report.objective_params = request.objective;
@@ -342,6 +394,8 @@ SelectionReport SolverRegistry::run(const SelectionRequest& request,
   report.dataflow_echo = request.dataflow;
   report.streaming_echo = request.streaming;
   report.sample_prune_echo = request.sample_prune;
+  report.facility_location_echo = request.facility_location;
+  report.coverage_echo = request.coverage;
 
   std::sort(report.selected.begin(), report.selected.end());
   if (report.timings.empty()) report.timings.push_back({"solve", solve_seconds});
@@ -351,11 +405,13 @@ SelectionReport SolverRegistry::run(const SelectionRequest& request,
   }
 
   // The uniform, cross-solver comparable number: f(S) recomputed from
-  // scratch on the full ground set, never the solver's internal accounting.
-  core::PairwiseObjective objective(*request.ground_set, request.objective);
-  report.objective = report.selected.empty()
-                         ? 0.0
-                         : objective.evaluate(report.selected, context.pool());
+  // scratch on the full ground set through the objective kernel, never the
+  // solver's internal accounting.
+  report.objective =
+      report.selected.empty()
+          ? 0.0
+          : kernel->evaluate(std::span<const NodeId>(report.selected),
+                             context.pool());
   report.total_seconds = total.elapsed_seconds();
   return report;
 }

@@ -14,7 +14,9 @@
 #include <string>
 #include <vector>
 
+#include "api/objective_registry.h"
 #include "api/selection_api.h"
+#include "core/objective_kernel.h"
 
 namespace subsel::api {
 
@@ -30,7 +32,26 @@ struct SolverCapabilities {
   bool cancellable = false;
   /// Supports round checkpoint/resume via DistributedOptions::checkpoint_file.
   bool checkpointable = false;
+
+  // What the solver demands of the objective. Checked against the objective's
+  // ObjectiveKernelCaps when a request is validated, so an unsupported
+  // solver×objective combination fails with a clear error before anything
+  // runs.
+  /// Runs the bounding pre-pass when request.bounding.enabled — requires an
+  /// objective with utility-bound support (caps().utility_bounds).
+  bool bounding_stage = false;
+  /// Scores f(S) with the Section 5 distributed joins — requires an
+  /// edge-decomposable objective (caps().distributed_scoring).
+  bool needs_distributed_scoring = false;
 };
+
+/// Why `solver` cannot run `objective` under `request` — empty string when
+/// the combination is valid. The single source of truth for request
+/// validation, `subsel objectives`' support matrix, and the bench objective
+/// matrix.
+std::string incompatibility_reason(const SolverCapabilities& solver,
+                                   const core::ObjectiveKernelCaps& objective,
+                                   bool bounding_enabled);
 
 struct SolverInfo {
   std::string name;
@@ -44,8 +65,11 @@ struct SolverInfo {
 
 class SolverRegistry {
  public:
-  using SolverFn =
-      std::function<SelectionReport(const SelectionRequest&, SolverContext&)>;
+  /// The adapter closure: maps (request, context, kernel) onto one of the
+  /// library's engines. The kernel is the already-built, already-validated
+  /// objective instance for request.objective_name over request.ground_set.
+  using SolverFn = std::function<SelectionReport(
+      const SelectionRequest&, SolverContext&, const core::ObjectiveKernel&)>;
 
   /// The process-wide registry, with all built-in solvers registered.
   static SolverRegistry& instance();
@@ -61,9 +85,10 @@ class SolverRegistry {
   std::vector<SolverInfo> list() const;
 
   /// Dispatches `request.solver`, fills the report's common fields (exact
-  /// objective recompute, total wall time, config echo), and returns it.
-  /// Throws std::invalid_argument on an unknown solver name (the message
-  /// lists the known ones) or an invalid request.
+  /// objective recompute through the request's kernel, total wall time,
+  /// config echo), and returns it. Throws std::invalid_argument on an
+  /// unknown solver or objective name (the message lists the known ones), an
+  /// invalid request, or an unsupported solver×objective combination.
   SelectionReport run(const SelectionRequest& request, SolverContext& context) const;
 
  private:

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <optional>
 #include <queue>
+#include <span>
 
 #include "common/rng.h"
 
@@ -18,7 +20,12 @@ ThreadPool& pool_or_global(ThreadPool* pool) {
 
 GreedyResult random_selection(const GroundSet& ground_set, ObjectiveParams params,
                               std::size_t k, std::uint64_t seed) {
-  const std::size_t n = ground_set.num_points();
+  return random_selection(core::PairwiseKernel(ground_set, params), k, seed);
+}
+
+GreedyResult random_selection(const ObjectiveKernel& kernel, std::size_t k,
+                              std::uint64_t seed) {
+  const std::size_t n = kernel.ground_set().num_points();
   k = std::min(k, n);
   Rng rng(seed);
   const auto picks = rng.sample_without_replacement(n, k);
@@ -28,8 +35,7 @@ GreedyResult random_selection(const GroundSet& ground_set, ObjectiveParams param
     result.selected.push_back(static_cast<NodeId>(index));
   }
   std::sort(result.selected.begin(), result.selected.end());
-  core::PairwiseObjective objective(ground_set, params);
-  result.objective = objective.evaluate(result.selected);
+  result.objective = kernel.evaluate(std::span<const NodeId>(result.selected));
   return result;
 }
 
@@ -38,6 +44,10 @@ GreeDiResult greedi(const GroundSet& ground_set, std::size_t k,
   const std::size_t n = ground_set.num_points();
   k = std::min(k, n);
   const std::size_t m = std::max<std::size_t>(1, config.num_machines);
+
+  std::optional<core::PairwiseKernel> local_kernel;
+  const ObjectiveKernel& kernel = core::resolve_kernel(
+      config.kernel, ground_set, config.objective, local_kernel);
 
   // Partition the ground set.
   std::vector<NodeId> ids(n);
@@ -58,15 +68,17 @@ GreeDiResult greedi(const GroundSet& ground_set, std::size_t k,
   }
 
   // Per-partition greedy, selecting k each (capped by partition size), on
-  // per-worker reusable arenas.
+  // per-worker reusable arenas. solve_partition dispatches: pairwise kernels
+  // take the closed-form arena path, others the lazy scorer fallback.
   core::SubproblemArenaPool arena_pool;
   std::vector<std::vector<NodeId>> partials(m);
   pool_or_global(config.pool).parallel_for(m, [&](std::size_t p) {
     core::SubproblemArenaPool::Lease arena(arena_pool);
-    const core::Subproblem& sub = core::materialize_subproblem(
-        ground_set, partitions[p], config.objective, nullptr, *arena);
-    partials[p] =
-        core::greedy_on_subproblem(sub, k, config.objective, *arena).selected;
+    partials[p] = core::solve_partition(ground_set, partitions[p], k, kernel,
+                                        nullptr, *arena,
+                                        core::PartitionSolver::kPriorityQueue,
+                                        /*stochastic_epsilon=*/0.1, config.seed)
+                      .selected;
   });
 
   // The centralized merge: greedy over the union — the step that needs one
@@ -78,16 +90,15 @@ GreeDiResult greedi(const GroundSet& ground_set, std::size_t k,
   GreeDiResult result;
   result.merge_candidates = merge_input.size();
   core::SubproblemArenaPool::Lease merge_arena(arena_pool);
-  const core::Subproblem& merge = core::materialize_subproblem(
-      ground_set, merge_input, config.objective, nullptr, *merge_arena);
-  result.merge_bytes = merge.byte_size();
-  GreedyResult merged =
-      core::greedy_on_subproblem(merge, k, config.objective, *merge_arena);
+  GreedyResult merged = core::solve_partition(
+      ground_set, merge_input, k, kernel, nullptr, *merge_arena,
+      core::PartitionSolver::kPriorityQueue, /*stochastic_epsilon=*/0.1,
+      config.seed, &result.merge_bytes);
 
   result.selected = std::move(merged.selected);
   std::sort(result.selected.begin(), result.selected.end());
-  core::PairwiseObjective objective(ground_set, config.objective);
-  result.objective = objective.evaluate(result.selected, config.pool);
+  result.objective =
+      kernel.evaluate(std::span<const NodeId>(result.selected), config.pool);
   return result;
 }
 
@@ -137,7 +148,13 @@ KCenterResult greedy_k_center(const graph::EmbeddingMatrix& embeddings,
 
 GreedyResult lazy_greedy(const GroundSet& ground_set, ObjectiveParams params,
                          std::size_t k) {
-  const std::size_t n = ground_set.num_points();
+  // singleton_value(v) is exactly the α·u(v) the pre-kernel implementation
+  // seeded its queue with, so this delegation is bit-identical.
+  return lazy_greedy(core::PairwiseKernel(ground_set, params), k);
+}
+
+GreedyResult lazy_greedy(const ObjectiveKernel& kernel, std::size_t k) {
+  const std::size_t n = kernel.ground_set().num_points();
   k = std::min(k, n);
   GreedyResult result;
   result.selected.reserve(k);
@@ -154,10 +171,9 @@ GreedyResult lazy_greedy(const GroundSet& ground_set, ObjectiveParams params,
     return a.id > b.id;
   };
   std::priority_queue<Entry, std::vector<Entry>, decltype(worse)> queue(worse);
-  core::PairwiseObjective objective(ground_set, params);
   std::vector<std::uint8_t> in_subset(n, 0);
   for (std::size_t i = 0; i < n; ++i) {
-    queue.push(Entry{params.alpha * ground_set.utility(static_cast<NodeId>(i)),
+    queue.push(Entry{kernel.singleton_value(static_cast<NodeId>(i)),
                      static_cast<NodeId>(i), 0});
   }
   double total = 0.0;
@@ -170,7 +186,7 @@ GreedyResult lazy_greedy(const GroundSet& ground_set, ObjectiveParams params,
       total += top.gain;
       continue;
     }
-    top.gain = objective.marginal_gain(in_subset, top.id);
+    top.gain = kernel.marginal_gain(in_subset, top.id);
     top.version = result.selected.size();
     queue.push(top);
   }
@@ -180,7 +196,13 @@ GreedyResult lazy_greedy(const GroundSet& ground_set, ObjectiveParams params,
 
 GreedyResult stochastic_greedy(const GroundSet& ground_set, ObjectiveParams params,
                                std::size_t k, double epsilon, std::uint64_t seed) {
-  const std::size_t n = ground_set.num_points();
+  return stochastic_greedy(core::PairwiseKernel(ground_set, params), k, epsilon,
+                           seed);
+}
+
+GreedyResult stochastic_greedy(const ObjectiveKernel& kernel, std::size_t k,
+                               double epsilon, std::uint64_t seed) {
+  const std::size_t n = kernel.ground_set().num_points();
   k = std::min(k, n);
   GreedyResult result;
   result.selected.reserve(k);
@@ -191,7 +213,6 @@ GreedyResult stochastic_greedy(const GroundSet& ground_set, ObjectiveParams para
                                             static_cast<double>(k) *
                                             std::log(1.0 / epsilon))));
   Rng rng(seed);
-  core::PairwiseObjective objective(ground_set, params);
   std::vector<std::uint8_t> in_subset(n, 0);
   std::vector<NodeId> remaining(n);
   for (std::size_t i = 0; i < n; ++i) remaining[i] = static_cast<NodeId>(i);
@@ -208,7 +229,7 @@ GreedyResult stochastic_greedy(const GroundSet& ground_set, ObjectiveParams para
     double best_gain = -std::numeric_limits<double>::infinity();
     std::size_t best_slot = 0;
     for (std::size_t i = 0; i < draw; ++i) {
-      const double gain = objective.marginal_gain(in_subset, remaining[i]);
+      const double gain = kernel.marginal_gain(in_subset, remaining[i]);
       if (gain > best_gain ||
           (gain == best_gain && remaining[i] < remaining[best_slot])) {
         best_gain = gain;

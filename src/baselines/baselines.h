@@ -18,6 +18,7 @@
 
 #include "common/thread_pool.h"
 #include "core/greedy.h"
+#include "core/objective_kernel.h"
 #include "graph/embedding_matrix.h"
 #include "core/objective.h"
 #include "graph/ground_set.h"
@@ -26,12 +27,20 @@ namespace subsel::baselines {
 
 using core::GreedyResult;
 using core::NodeId;
+using core::ObjectiveKernel;
 using core::ObjectiveParams;
 using graph::GroundSet;
+
+// Every baseline exists in two spellings: the historical pairwise one
+// (ObjectiveParams) and the kernel one. The pairwise overloads construct a
+// PairwiseKernel and delegate, with arithmetic chosen so selections and
+// objectives are bit-identical to the pre-kernel implementations.
 
 /// Uniform random subset of size k (without replacement), with its objective.
 GreedyResult random_selection(const GroundSet& ground_set, ObjectiveParams params,
                               std::size_t k, std::uint64_t seed);
+GreedyResult random_selection(const ObjectiveKernel& kernel, std::size_t k,
+                              std::uint64_t seed);
 
 enum class PartitionScheme : std::uint8_t {
   kContiguous = 0,  // GreeDi: arbitrary (contiguous-range) assignment
@@ -40,6 +49,10 @@ enum class PartitionScheme : std::uint8_t {
 
 struct GreeDiConfig {
   ObjectiveParams objective;
+  /// Objective kernel; non-owning, must outlive the run and be bound to the
+  /// ground set passed to greedi(). When set it overrides `objective`
+  /// (pairwise kernels run the identical closed-form per-partition path).
+  const ObjectiveKernel* kernel = nullptr;
   std::size_t num_machines = 8;
   PartitionScheme scheme = PartitionScheme::kRandom;
   std::uint64_t seed = 29;
@@ -61,15 +74,19 @@ GreeDiResult greedi(const GroundSet& ground_set, std::size_t k,
                     const GreeDiConfig& config);
 
 /// Lazy greedy (Minoux): max-heap of stale marginal gains, re-evaluated only
-/// when popped. Identical output to Algorithm 1 by submodularity.
+/// when popped. Identical output to Algorithm 1 by submodularity — for any
+/// submodular kernel, not just pairwise.
 GreedyResult lazy_greedy(const GroundSet& ground_set, ObjectiveParams params,
                          std::size_t k);
+GreedyResult lazy_greedy(const ObjectiveKernel& kernel, std::size_t k);
 
 /// Stochastic greedy (lazier-than-lazy): each step evaluates a random sample
 /// of size (n/k)·ln(1/epsilon) and takes its best element.
 GreedyResult stochastic_greedy(const GroundSet& ground_set, ObjectiveParams params,
                                std::size_t k, double epsilon = 0.1,
                                std::uint64_t seed = 31);
+GreedyResult stochastic_greedy(const ObjectiveKernel& kernel, std::size_t k,
+                               double epsilon = 0.1, std::uint64_t seed = 31);
 
 /// Greedy k-center (Gonzalez): repeatedly take the point farthest (in
 /// embedding space) from the current centers — the clustering-side baseline

@@ -4,66 +4,95 @@
 #include <cmath>
 #include <limits>
 #include <map>
+#include <optional>
+#include <span>
 
 #include "common/rng.h"
 
 namespace subsel::baselines {
 namespace {
 
-using core::PairwiseObjective;
+using core::PairwiseKernel;
 
-/// Utilities shifted by the Appendix-A δ when requested; empty otherwise.
-std::vector<double> shifted_utilities(const GroundSet& ground_set,
-                                      const PairwiseObjective& objective,
-                                      bool apply_offset) {
-  std::vector<double> shifted;
-  if (!apply_offset) return shifted;
-  const double delta = objective.monotonicity_offset();
-  shifted.resize(ground_set.num_points());
-  for (std::size_t i = 0; i < shifted.size(); ++i) {
-    shifted[i] = ground_set.utility(static_cast<core::NodeId>(i)) + delta;
-  }
-  return shifted;
-}
+/// The sieve's monotonicity machinery, in two arithmetics:
+///  - pairwise kernels keep the pre-kernel shifted-utilities form — the
+///    per-element shift is α·((u(v)+δ) − u(v)), evaluated with exactly the
+///    legacy floating-point operation order so sieve selections stay
+///    bit-identical to the historical implementation;
+///  - every other kernel uses the kernel's gain_offset() directly (0 for
+///    monotone kernels, so the offset is a no-op there).
+struct GainShift {
+  const ObjectiveKernel* kernel = nullptr;
+  std::vector<double> shifted;  // pairwise only: u(v) + δ
+  double generic_offset = 0.0;  // non-pairwise only
 
-/// Marginal gain of v given the membership bitmap, with the optional utility
-/// shift folded in (gain_shifted = gain + α·δ).
-double gain(const PairwiseObjective& objective,
-            const std::vector<std::uint8_t>& membership, core::NodeId v,
-            const GroundSet& ground_set, const std::vector<double>& shifted) {
-  double value = objective.marginal_gain(membership, v);
-  if (!shifted.empty()) {
-    value += objective.params().alpha *
-             (shifted[static_cast<std::size_t>(v)] - ground_set.utility(v));
+  GainShift(const ObjectiveKernel& k, bool apply_offset) : kernel(&k) {
+    if (!apply_offset) return;
+    if (const core::ObjectiveParams* params = k.pairwise_params()) {
+      const auto& ground_set = k.ground_set();
+      const double delta =
+          core::PairwiseObjective(ground_set, *params).monotonicity_offset();
+      shifted.resize(ground_set.num_points());
+      for (std::size_t i = 0; i < shifted.size(); ++i) {
+        shifted[i] = ground_set.utility(static_cast<core::NodeId>(i)) + delta;
+      }
+    } else {
+      generic_offset = k.gain_offset();
+    }
   }
-  return value;
-}
+
+  double singleton(core::NodeId v) const {
+    if (const core::ObjectiveParams* params = kernel->pairwise_params()) {
+      return params->alpha *
+             (shifted.empty() ? kernel->ground_set().utility(v)
+                              : shifted[static_cast<std::size_t>(v)]);
+    }
+    return kernel->singleton_value(v) + generic_offset;
+  }
+
+  double gain(const std::vector<std::uint8_t>& membership, core::NodeId v) const {
+    double value = kernel->marginal_gain(membership, v);
+    if (const core::ObjectiveParams* params = kernel->pairwise_params()) {
+      if (!shifted.empty()) {
+        value += params->alpha * (shifted[static_cast<std::size_t>(v)] -
+                                  kernel->ground_set().utility(v));
+      }
+      return value;
+    }
+    return value + generic_offset;
+  }
+};
 
 }  // namespace
 
 GreedyResult threshold_greedy(const GroundSet& ground_set, ObjectiveParams params,
                               std::size_t k, double epsilon) {
-  const std::size_t n = ground_set.num_points();
+  // singleton_value(v) = α·u(v) exactly — the delegation is bit-identical.
+  return threshold_greedy(PairwiseKernel(ground_set, params), k, epsilon);
+}
+
+GreedyResult threshold_greedy(const ObjectiveKernel& kernel, std::size_t k,
+                              double epsilon) {
+  const std::size_t n = kernel.ground_set().num_points();
   k = std::min(k, n);
   GreedyResult result;
   result.selected.reserve(k);
   if (k == 0 || n == 0) return result;
 
-  PairwiseObjective objective(ground_set, params);
   std::vector<std::uint8_t> membership(n, 0);
 
-  // d = max singleton value = α · max utility (no pairwise term for a
-  // singleton).
+  // d = the maximum singleton value (α·max utility for pairwise — a
+  // singleton has no pairwise term).
   double d = -std::numeric_limits<double>::infinity();
   for (std::size_t i = 0; i < n; ++i) {
-    d = std::max(d, params.alpha * ground_set.utility(static_cast<NodeId>(i)));
+    d = std::max(d, kernel.singleton_value(static_cast<NodeId>(i)));
   }
   if (d <= 0.0) {
     // Degenerate: no positive singleton; fall back to smallest ids.
     for (std::size_t i = 0; i < k; ++i) {
       result.selected.push_back(static_cast<NodeId>(i));
     }
-    result.objective = objective.evaluate(result.selected);
+    result.objective = kernel.evaluate(std::span<const NodeId>(result.selected));
     return result;
   }
 
@@ -74,7 +103,7 @@ GreedyResult threshold_greedy(const GroundSet& ground_set, ObjectiveParams param
     for (std::size_t i = 0; i < n && result.selected.size() < k; ++i) {
       const auto v = static_cast<NodeId>(i);
       if (membership[i] != 0) continue;
-      const double g = objective.marginal_gain(membership, v);
+      const double g = kernel.marginal_gain(membership, v);
       if (g >= w) {
         membership[i] = 1;
         result.selected.push_back(v);
@@ -91,7 +120,7 @@ GreedyResult threshold_greedy(const GroundSet& ground_set, ObjectiveParams param
     std::size_t best = n;
     for (std::size_t i = 0; i < n; ++i) {
       if (membership[i] != 0) continue;
-      const double g = objective.marginal_gain(membership, static_cast<NodeId>(i));
+      const double g = kernel.marginal_gain(membership, static_cast<NodeId>(i));
       if (best == n || g > best_gain) {
         best_gain = g;
         best = i;
@@ -113,9 +142,10 @@ SieveStreamingResult sieve_streaming(const GroundSet& ground_set, std::size_t k,
   SieveStreamingResult result;
   if (k == 0 || n == 0) return result;
 
-  PairwiseObjective objective(ground_set, config.objective);
-  const std::vector<double> shifted = shifted_utilities(
-      ground_set, objective, config.apply_monotonicity_offset);
+  std::optional<PairwiseKernel> local_kernel;
+  const ObjectiveKernel& kernel = core::resolve_kernel(
+      config.kernel, ground_set, config.objective, local_kernel);
+  const GainShift shift(kernel, config.apply_monotonicity_offset);
 
   // One sieve per threshold (1+ε)^i in [m, 2km], instantiated lazily as the
   // running singleton maximum m grows.
@@ -137,10 +167,7 @@ SieveStreamingResult sieve_streaming(const GroundSet& ground_set, std::size_t k,
   double m = 0.0;  // max singleton value seen so far
   std::size_t resident = 0;
   for (core::NodeId v : order) {
-    const double singleton =
-        config.objective.alpha *
-        (shifted.empty() ? ground_set.utility(v)
-                         : shifted[static_cast<std::size_t>(v)]);
+    const double singleton = shift.singleton(v);
     if (singleton > m) {
       m = singleton;
       // Maintain the active threshold window [m, 2km].
@@ -166,7 +193,7 @@ SieveStreamingResult sieve_streaming(const GroundSet& ground_set, std::size_t k,
     for (auto& [i, sieve] : sieves) {
       if (sieve.selected.size() >= k) continue;
       const double target = threshold_of(i);
-      const double g = gain(objective, sieve.membership, v, ground_set, shifted);
+      const double g = shift.gain(sieve.membership, v);
       const double bar = (target / 2.0 - sieve.value) /
                          static_cast<double>(k - sieve.selected.size());
       if (g >= bar) {
@@ -187,7 +214,8 @@ SieveStreamingResult sieve_streaming(const GroundSet& ground_set, std::size_t k,
   if (best != nullptr) {
     result.selected = best->selected;
     std::sort(result.selected.begin(), result.selected.end());
-    result.objective = objective.evaluate(result.selected);
+    result.objective =
+        kernel.evaluate(std::span<const core::NodeId>(result.selected));
   }
   return result;
 }
@@ -199,9 +227,12 @@ SamplePruneResult sample_and_prune(const GroundSet& ground_set, std::size_t k,
   SamplePruneResult result;
   if (k == 0 || n == 0) return result;
 
+  std::optional<PairwiseKernel> local_kernel;
+  const ObjectiveKernel& kernel = core::resolve_kernel(
+      config.kernel, ground_set, config.objective, local_kernel);
+
   const std::size_t capacity =
       config.machine_capacity > 0 ? config.machine_capacity : 4 * k;
-  PairwiseObjective objective(ground_set, config.objective);
   Rng rng(config.seed);
 
   std::vector<core::NodeId> survivors(n);
@@ -238,7 +269,7 @@ SamplePruneResult sample_and_prune(const GroundSet& ground_set, std::size_t k,
       for (std::size_t i = 0; i < draw; ++i) {
         const core::NodeId v = survivors[i];
         if (membership[static_cast<std::size_t>(v)] != 0) continue;
-        const double g = objective.marginal_gain(membership, v);
+        const double g = kernel.marginal_gain(membership, v);
         if (!found || g > best_gain || (g == best_gain && v < best)) {
           best_gain = g;
           best = v;
@@ -260,7 +291,7 @@ SamplePruneResult sample_and_prune(const GroundSet& ground_set, std::size_t k,
       if (membership[static_cast<std::size_t>(v)] != 0) continue;  // taken
       if (solution.size() < k &&
           smallest_gain != std::numeric_limits<double>::infinity() &&
-          objective.marginal_gain(membership, v) < smallest_gain) {
+          kernel.marginal_gain(membership, v) < smallest_gain) {
         continue;
       }
       next.push_back(v);
@@ -276,7 +307,7 @@ SamplePruneResult sample_and_prune(const GroundSet& ground_set, std::size_t k,
     double best_gain = -std::numeric_limits<double>::infinity();
     std::size_t best_slot = 0;
     for (std::size_t i = 0; i < survivors.size(); ++i) {
-      const double g = objective.marginal_gain(membership, survivors[i]);
+      const double g = kernel.marginal_gain(membership, survivors[i]);
       if (g > best_gain) {
         best_gain = g;
         best_slot = i;
@@ -291,7 +322,8 @@ SamplePruneResult sample_and_prune(const GroundSet& ground_set, std::size_t k,
 
   std::sort(solution.begin(), solution.end());
   result.selected = std::move(solution);
-  result.objective = objective.evaluate(result.selected);
+  result.objective =
+      kernel.evaluate(std::span<const core::NodeId>(result.selected));
   return result;
 }
 

@@ -25,23 +25,35 @@
 
 #include "core/greedy.h"
 #include "core/objective.h"
+#include "core/objective_kernel.h"
 #include "graph/ground_set.h"
 
 namespace subsel::baselines {
 
 using core::GreedyResult;
 using core::NodeId;
+using core::ObjectiveKernel;
 using core::ObjectiveParams;
 using graph::GroundSet;
+
+// All three baselines work against any submodular ObjectiveKernel: they only
+// need singleton values, marginal gains, and (for the sieve) the
+// monotonicity gain offset. The ObjectiveParams spellings delegate through a
+// PairwiseKernel bit-identically.
 
 /// Threshold greedy: for w = d, d(1−ε), d(1−ε)², …, εd/n (d = the maximum
 /// singleton value), add every element whose marginal gain is ≥ w until k
 /// elements are chosen.
 GreedyResult threshold_greedy(const GroundSet& ground_set, ObjectiveParams params,
                               std::size_t k, double epsilon = 0.1);
+GreedyResult threshold_greedy(const ObjectiveKernel& kernel, std::size_t k,
+                              double epsilon = 0.1);
 
 struct SieveStreamingConfig {
   ObjectiveParams objective;
+  /// Objective kernel; non-owning, must outlive the run and be bound to the
+  /// ground set passed to sieve_streaming(). Overrides `objective` when set.
+  const ObjectiveKernel* kernel = nullptr;
   double epsilon = 0.1;
   /// Add the Appendix-A δ offset to every utility so the monotone analysis
   /// applies. The reported objective is still the *unshifted* f(S).
@@ -67,6 +79,9 @@ SieveStreamingResult sieve_streaming(const GroundSet& ground_set, std::size_t k,
 
 struct SamplePruneConfig {
   ObjectiveParams objective;
+  /// Objective kernel; non-owning, must outlive the run and be bound to the
+  /// ground set passed to sample_and_prune(). Overrides `objective` when set.
+  const ObjectiveKernel* kernel = nullptr;
   /// Elements the coordinating machine can hold per round — the paper's
   /// O(k·n^δ) memory assumption, surfaced as an explicit cap.
   std::size_t machine_capacity = 0;  // 0 -> 4·k

@@ -3,12 +3,14 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <optional>
 #include <span>
 #include <stdexcept>
 
 #include "common/log.h"
 #include "common/rng.h"
 #include "core/greedy.h"
+#include "core/objective_kernel.h"
 #include "dataflow/transforms.h"
 
 namespace subsel::beam {
@@ -41,6 +43,12 @@ core::DistributedGreedyResult beam_distributed_greedy(
   }
   const std::size_t n = ground_set.num_points();
   k = std::min(k, n);
+
+  // Resolve the objective exactly like core::distributed_greedy: an explicit
+  // kernel wins, otherwise the legacy pairwise params.
+  std::optional<core::PairwiseKernel> local_kernel;
+  const core::ObjectiveKernel& kernel = core::resolve_kernel(
+      config.kernel, ground_set, config.objective, local_kernel);
 
   // Survivor source: every unassigned id (all ids when no bounding state).
   std::vector<NodeId> pre_selected;
@@ -113,30 +121,25 @@ core::DistributedGreedyResult beam_distributed_greedy(
       auto partitions = dataflow::group_by_key(keyed);
 
       const std::size_t per_partition_target = (n_round + m_round - 1) / m_round;
-      const auto params = config.objective;
       const auto solver = config.partition_solver;
       const double stochastic_epsilon = config.stochastic_epsilon;
       std::atomic<std::size_t> peak_bytes{0};
       survivors = dataflow::flat_map<NodeId>(
-          partitions, [&ground_set, &peak_bytes, initial, params, solver,
+          partitions, [&ground_set, &peak_bytes, initial, &kernel, solver,
                        stochastic_epsilon, seed, round, per_partition_target,
                        &pipeline, &arena_pool](const auto& row, auto emit) {
             core::SubproblemArenaPool::Lease arena(arena_pool);
-            const core::Subproblem& sub = core::materialize_subproblem(
-                ground_set, std::span<const NodeId>(row.second), params,
-                initial, *arena);
-            pipeline.charge_shard_bytes(sub.byte_size());
+            std::size_t sub_bytes = 0;
+            core::GreedyResult local = core::solve_partition(
+                ground_set, std::span<const NodeId>(row.second),
+                per_partition_target, kernel, initial, *arena, solver,
+                stochastic_epsilon,
+                hash_combine(seed, 0x9e37ULL * round + row.first), &sub_bytes);
+            pipeline.charge_shard_bytes(sub_bytes);
             std::size_t expected = peak_bytes.load();
-            while (sub.byte_size() > expected &&
-                   !peak_bytes.compare_exchange_weak(expected, sub.byte_size())) {
+            while (sub_bytes > expected &&
+                   !peak_bytes.compare_exchange_weak(expected, sub_bytes)) {
             }
-            core::GreedyResult local =
-                solver == core::PartitionSolver::kStochastic
-                    ? core::stochastic_greedy_on_subproblem(
-                          sub, per_partition_target, params, stochastic_epsilon,
-                          hash_combine(seed, 0x9e37ULL * round + row.first))
-                    : core::greedy_on_subproblem(sub, per_partition_target,
-                                                 params, *arena);
             for (NodeId v : local.selected) emit(v);
           });
       stats.peak_partition_bytes = peak_bytes.load();
@@ -181,8 +184,8 @@ core::DistributedGreedyResult beam_distributed_greedy(
                          pre_selected.end());
   std::sort(result.selected.begin(), result.selected.end());
 
-  core::PairwiseObjective objective(ground_set, config.objective);
-  result.objective = objective.evaluate(result.selected, config.pool);
+  result.objective =
+      kernel.evaluate(std::span<const NodeId>(result.selected), config.pool);
   return result;
 }
 

@@ -1,9 +1,12 @@
 #include "beam/beam_pipeline.h"
 
 #include <algorithm>
+#include <stdexcept>
+#include <string>
 
 #include "beam/beam_scoring.h"
 #include "common/timer.h"
+#include "core/objective_kernel.h"
 
 namespace subsel::beam {
 
@@ -11,8 +14,39 @@ SelectionPipelineResult beam_select_subset(dataflow::Pipeline& pipeline,
                                            const graph::GroundSet& ground_set,
                                            std::size_t k,
                                            SelectionPipelineConfig config) {
+  // This engine's premise is that no stage — including the final scoring —
+  // ever holds the subset on one machine, and the Section 5 scoring joins
+  // exist only for the edge-decomposable pairwise form. Rejecting other
+  // kernels here keeps the core layer in exact agreement with the API's
+  // needs_distributed_scoring rule (same combinations, same verdict); the
+  // kernel-generic round loops remain reachable through
+  // beam_distributed_greedy directly.
+  const core::ObjectiveKernel* kernel = config.kernel;
+  if (kernel != nullptr) {
+    if (!kernel->caps().distributed_scoring) {
+      throw std::invalid_argument(
+          "beam_select_subset: distributed scoring needs an edge-decomposable"
+          " objective (kernel \"" +
+          std::string(kernel->name()) +
+          "\" has none); use core::select_subset or beam_distributed_greedy"
+          " for this kernel");
+    }
+    if (const core::ObjectiveParams* params = kernel->pairwise_params()) {
+      config.objective = *params;
+    } else if (config.use_bounding) {
+      throw std::invalid_argument(
+          "beam_select_subset: the bounding pre-pass requires an objective"
+          " with utility-bound support (kernel \"" +
+          std::string(kernel->name()) +
+          "\" has none); disable bounding to run this kernel");
+    }
+  }
+  const auto score = [&](const std::vector<core::NodeId>& selected) {
+    return beam_score(pipeline, ground_set, selected, config.objective);
+  };
   config.bounding.objective = config.objective;
   config.greedy.objective = config.objective;
+  config.greedy.kernel = config.kernel;
 
   SelectionPipelineResult result;
   const core::SelectionState* initial = nullptr;
@@ -25,8 +59,7 @@ SelectionPipelineResult beam_select_subset(dataflow::Pipeline& pipeline,
 
   if (initial != nullptr && result.bounding->complete()) {
     result.selected = initial->selected_ids();
-    result.objective = beam_score(pipeline, ground_set, result.selected,
-                                  config.objective);
+    result.objective = score(result.selected);
     return result;
   }
 
@@ -37,8 +70,7 @@ SelectionPipelineResult beam_select_subset(dataflow::Pipeline& pipeline,
   result.selected = std::move(greedy.selected);
   result.greedy_rounds = std::move(greedy.rounds);
   result.preempted = greedy.preempted;
-  result.objective = beam_score(pipeline, ground_set, result.selected,
-                                config.objective);
+  result.objective = score(result.selected);
   return result;
 }
 

@@ -1,0 +1,172 @@
+#include "core/coverage_kernel.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace subsel::core {
+namespace {
+
+ThreadPool& pool_or_global(ThreadPool* pool) {
+  return pool != nullptr ? *pool : global_thread_pool();
+}
+
+/// Maintains each member's accumulated coverage mass C_v; gain(v) sums the
+/// saturated increments v would contribute to itself and its local
+/// neighbors.
+class SaturatedCoverageScorer final : public SubproblemScorer {
+ public:
+  SaturatedCoverageScorer(const graph::GroundSet& ground_set,
+                          SaturatedCoverageParams params)
+      : ground_set_(&ground_set), params_(params) {}
+
+  void reset(Subproblem& sub, const SelectionState* state) override {
+    sub_ = &sub;
+    const std::size_t n = sub.size();
+    mass_.assign(n, 0.0);
+    weight_.resize(n);
+    std::vector<graph::Edge> scratch;
+    for (std::size_t i = 0; i < n; ++i) {
+      const NodeId v = sub.global_ids[i];
+      weight_[i] = params_.utility_weighted ? ground_set_->utility(v) : 1.0;
+      if (state != nullptr) {
+        double mass = 0.0;
+        for (const graph::Edge& e : ground_set_->neighbors_span(v, scratch)) {
+          if (state->is_selected(e.neighbor)) mass += e.weight;
+        }
+        mass_[i] = mass;
+      }
+    }
+    sub.priorities.resize(n);
+    for (std::uint32_t i = 0; i < n; ++i) sub.priorities[i] = gain(i);
+  }
+
+  double gain(std::uint32_t v) const override {
+    const double tau = params_.saturation;
+    double total = weight_[v] * (std::min(tau, mass_[v] + params_.self_similarity) -
+                                 std::min(tau, mass_[v]));
+    const auto begin = static_cast<std::size_t>(sub_->offsets[v]);
+    const auto end = static_cast<std::size_t>(sub_->offsets[v + 1]);
+    for (std::size_t e = begin; e < end; ++e) {
+      const auto& edge = sub_->edges[e];
+      const double mass = mass_[edge.neighbor];
+      total += weight_[edge.neighbor] *
+               (std::min(tau, mass + static_cast<double>(edge.weight)) -
+                std::min(tau, mass));
+    }
+    return total;
+  }
+
+  void select(std::uint32_t v) override {
+    mass_[v] += params_.self_similarity;
+    const auto begin = static_cast<std::size_t>(sub_->offsets[v]);
+    const auto end = static_cast<std::size_t>(sub_->offsets[v + 1]);
+    for (std::size_t e = begin; e < end; ++e) {
+      const auto& edge = sub_->edges[e];
+      mass_[edge.neighbor] += static_cast<double>(edge.weight);
+    }
+  }
+
+ private:
+  const graph::GroundSet* ground_set_;
+  SaturatedCoverageParams params_;
+  const Subproblem* sub_ = nullptr;
+  std::vector<double> mass_;  // per-member C_v
+  std::vector<double> weight_;
+};
+
+}  // namespace
+
+void SaturatedCoverageParams::validate() const {
+  if (!std::isfinite(saturation) || saturation <= 0.0) {
+    throw std::invalid_argument(
+        "SaturatedCoverageParams: saturation must be finite and > 0");
+  }
+  if (!std::isfinite(self_similarity) || self_similarity < 0.0) {
+    throw std::invalid_argument(
+        "SaturatedCoverageParams: self_similarity must be finite and >= 0");
+  }
+}
+
+SaturatedCoverageKernel::SaturatedCoverageKernel(const graph::GroundSet& ground_set,
+                                                 SaturatedCoverageParams params)
+    : ground_set_(&ground_set), params_(params) {
+  params_.validate();
+}
+
+double SaturatedCoverageKernel::mass_of(const std::vector<std::uint8_t>& membership,
+                                        NodeId v,
+                                        std::vector<graph::Edge>& scratch) const {
+  double mass =
+      membership[static_cast<std::size_t>(v)] != 0 ? params_.self_similarity : 0.0;
+  for (const graph::Edge& e : ground_set_->neighbors_span(v, scratch)) {
+    if (membership[static_cast<std::size_t>(e.neighbor)] != 0) mass += e.weight;
+  }
+  return mass;
+}
+
+double SaturatedCoverageKernel::evaluate(const std::vector<std::uint8_t>& membership,
+                                         ThreadPool* pool) const {
+  if (membership.size() != ground_set_->num_points()) {
+    throw std::invalid_argument(
+        "SaturatedCoverageKernel::evaluate: bitmap size mismatch");
+  }
+  const std::size_t n = membership.size();
+  ThreadPool& workers = pool_or_global(pool);
+  const std::size_t num_chunks = std::max<std::size_t>(1, workers.size() * 4);
+  const std::size_t chunk = (n + num_chunks - 1) / num_chunks;
+  std::vector<double> partial(num_chunks, 0.0);
+  workers.parallel_for(num_chunks, [&](std::size_t c) {
+    const std::size_t begin = c * chunk;
+    const std::size_t end = std::min(n, begin + chunk);
+    double sum = 0.0;
+    std::vector<graph::Edge> scratch;
+    for (std::size_t i = begin; i < end; ++i) {
+      const auto v = static_cast<NodeId>(i);
+      sum += point_weight(v) *
+             std::min(params_.saturation, mass_of(membership, v, scratch));
+    }
+    partial[c] = sum;
+  });
+  double total = 0.0;
+  for (double value : partial) total += value;
+  return total;
+}
+
+double SaturatedCoverageKernel::marginal_gain(
+    const std::vector<std::uint8_t>& membership, NodeId v) const {
+  if (membership[static_cast<std::size_t>(v)] != 0) {
+    throw std::invalid_argument(
+        "SaturatedCoverageKernel::marginal_gain: v already in S");
+  }
+  const double tau = params_.saturation;
+  std::vector<graph::Edge> scratch, inner_scratch;
+  const double own_mass = mass_of(membership, v, scratch);
+  double gain = point_weight(v) * (std::min(tau, own_mass + params_.self_similarity) -
+                                   std::min(tau, own_mass));
+  ground_set_->neighbors(v, scratch);
+  for (const graph::Edge& e : scratch) {
+    const double mass = mass_of(membership, e.neighbor, inner_scratch);
+    gain += point_weight(e.neighbor) *
+            (std::min(tau, mass + static_cast<double>(e.weight)) -
+             std::min(tau, mass));
+  }
+  return gain;
+}
+
+double SaturatedCoverageKernel::singleton_value(NodeId v) const {
+  const double tau = params_.saturation;
+  double total = point_weight(v) * std::min(tau, params_.self_similarity);
+  std::vector<graph::Edge> scratch;
+  for (const graph::Edge& e : ground_set_->neighbors_span(v, scratch)) {
+    total += point_weight(e.neighbor) *
+             std::min(tau, static_cast<double>(e.weight));
+  }
+  return total;
+}
+
+std::unique_ptr<SubproblemScorer> SaturatedCoverageKernel::make_scorer() const {
+  return std::make_unique<SaturatedCoverageScorer>(*ground_set_, params_);
+}
+
+}  // namespace subsel::core

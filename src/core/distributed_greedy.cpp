@@ -41,7 +41,8 @@ std::vector<std::vector<NodeId>> split_balanced(const std::vector<NodeId>& ids,
 /// not hashable; keeping it consistent is the caller's contract, as with
 /// the ground set itself).
 std::uint64_t run_fingerprint(std::size_t n, std::size_t v0, std::size_t k_open,
-                              const DistributedGreedyConfig& config) {
+                              const DistributedGreedyConfig& config,
+                              const ObjectiveKernel& kernel) {
   std::uint64_t h = 0x5ca1ab1e;
   auto mix = [&h](std::uint64_t value) { h = hash_combine(h, value); };
   mix(n);
@@ -53,6 +54,18 @@ std::uint64_t run_fingerprint(std::size_t n, std::size_t v0, std::size_t k_open,
   mix(config.seed);
   mix(static_cast<std::uint64_t>(config.partition_solver));
   mix(static_cast<std::uint64_t>(config.stochastic_epsilon * 1e9));
+  // The objective's full identity — name AND parameters: a checkpoint
+  // written under one objective configuration must never resume a run under
+  // another (rounds selected under different objectives would be silently
+  // blended). FNV-1a, not std::hash, because checkpoint files outlive the
+  // process. The null-kernel legacy path resolves to a PairwiseKernel first,
+  // so both spellings of the same pairwise run stay interchangeable.
+  std::uint64_t name_hash = 0xcbf29ce484222325ULL;
+  for (const char c : kernel.name()) {
+    name_hash = (name_hash ^ static_cast<std::uint8_t>(c)) * 0x100000001b3ULL;
+  }
+  mix(name_hash);
+  mix(kernel.config_fingerprint());
   return h;
 }
 
@@ -124,6 +137,12 @@ DistributedGreedyResult distributed_greedy(const GroundSet& ground_set, std::siz
   const std::size_t n = ground_set.num_points();
   k = std::min(k, n);
 
+  // Resolve the objective: an explicit kernel wins; otherwise the legacy
+  // pairwise params (whose kernel adapter runs the identical fast path).
+  std::optional<PairwiseKernel> local_kernel;
+  const ObjectiveKernel& kernel =
+      resolve_kernel(config.kernel, ground_set, config.objective, local_kernel);
+
   // Open budget and surviving ground set, after any bounding pre-pass.
   std::vector<NodeId> pre_selected;
   std::vector<NodeId> survivors;
@@ -147,7 +166,7 @@ DistributedGreedyResult distributed_greedy(const GroundSet& ground_set, std::siz
   const std::size_t partition_cap =
       (v0 + config.num_machines - 1) / std::max<std::size_t>(1, config.num_machines);
 
-  const std::uint64_t fingerprint = run_fingerprint(n, v0, k_open, config);
+  const std::uint64_t fingerprint = run_fingerprint(n, v0, k_open, config, kernel);
   std::size_t first_round = 1;
   if (!config.checkpoint_file.empty()) {
     const std::size_t completed =
@@ -227,20 +246,15 @@ DistributedGreedyResult distributed_greedy(const GroundSet& ground_set, std::siz
       std::atomic<std::size_t> peak_bytes{0};
       workers.parallel_for(partitions.size(), [&](std::size_t p) {
         SubproblemArenaPool::Lease arena(arena_pool);
-        const Subproblem& sub = materialize_subproblem(
-            ground_set, partitions[p], config.objective, initial, *arena);
+        std::size_t sub_bytes = 0;
+        GreedyResult local = solve_partition(
+            ground_set, partitions[p], per_partition_target, kernel, initial,
+            *arena, config.partition_solver, config.stochastic_epsilon,
+            hash_combine(config.seed, 0x9e37ULL * round + p), &sub_bytes);
         std::size_t expected = peak_bytes.load();
-        while (sub.byte_size() > expected &&
-               !peak_bytes.compare_exchange_weak(expected, sub.byte_size())) {
+        while (sub_bytes > expected &&
+               !peak_bytes.compare_exchange_weak(expected, sub_bytes)) {
         }
-        GreedyResult local =
-            config.partition_solver == PartitionSolver::kStochastic
-                ? stochastic_greedy_on_subproblem(
-                      sub, per_partition_target, config.objective,
-                      config.stochastic_epsilon,
-                      hash_combine(config.seed, 0x9e37ULL * round + p))
-                : greedy_on_subproblem(sub, per_partition_target,
-                                       config.objective, *arena);
         partition_results[p] = std::move(local.selected);
       });
       stats.peak_partition_bytes = peak_bytes.load();
@@ -291,8 +305,8 @@ DistributedGreedyResult distributed_greedy(const GroundSet& ground_set, std::siz
                          pre_selected.end());
   std::sort(result.selected.begin(), result.selected.end());
 
-  PairwiseObjective objective(ground_set, config.objective);
-  result.objective = objective.evaluate(result.selected, config.pool);
+  result.objective =
+      kernel.evaluate(std::span<const NodeId>(result.selected), config.pool);
   return result;
 }
 

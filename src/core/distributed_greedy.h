@@ -39,17 +39,15 @@ using DeltaSchedule =
 /// (Section 6.1, γ = 0.75; Appendix E ablates γ).
 DeltaSchedule linear_delta(double gamma = 0.75);
 
-/// Centralized algorithm run inside each partition. The paper's default is
-/// the priority-queue Algorithm 2; stochastic greedy trades a (1-1/e-eps)
-/// expected guarantee for O(n log(1/eps)) gain evaluations per partition
-/// ("any centralized version of the algorithm" — Section 3).
-enum class PartitionSolver : std::uint8_t {
-  kPriorityQueue = 0,
-  kStochastic = 1,
-};
-
 struct DistributedGreedyConfig {
+  /// Pairwise objective parameters, used when `kernel` is null (the
+  /// pre-kernel configuration surface; unchanged behavior).
   ObjectiveParams objective;
+  /// Objective kernel to maximize; non-owning, must outlive the run and be
+  /// bound to the same ground set the solver is given. When set it overrides
+  /// `objective` entirely: pairwise-family kernels run the identical arena
+  /// fast path, others the lazy scorer fallback (see core/objective_kernel.h).
+  const ObjectiveKernel* kernel = nullptr;
   /// m — machines available (= maximum parallel partitions).
   std::size_t num_machines = 8;
   /// r — rounds of partition/select/union.

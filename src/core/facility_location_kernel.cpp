@@ -1,0 +1,169 @@
+#include "core/facility_location_kernel.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace subsel::core {
+namespace {
+
+ThreadPool& pool_or_global(ThreadPool* pool) {
+  return pool != nullptr ? *pool : global_thread_pool();
+}
+
+/// Maintains, per member, the best similarity to anything selected so far
+/// (seeded from the globally pre-selected points when conditioning on a
+/// bounding state). gain(v) sums the coverage improvements v would bring to
+/// itself and its local neighbors.
+class FacilityLocationScorer final : public SubproblemScorer {
+ public:
+  FacilityLocationScorer(const graph::GroundSet& ground_set,
+                         FacilityLocationParams params)
+      : ground_set_(&ground_set), params_(params) {}
+
+  void reset(Subproblem& sub, const SelectionState* state) override {
+    sub_ = &sub;
+    const std::size_t n = sub.size();
+    coverage_.assign(n, 0.0);
+    weight_.resize(n);
+    std::vector<graph::Edge> scratch;
+    for (std::size_t i = 0; i < n; ++i) {
+      const NodeId v = sub.global_ids[i];
+      weight_[i] = params_.utility_weighted ? ground_set_->utility(v) : 1.0;
+      if (state != nullptr) {
+        double best = 0.0;
+        for (const graph::Edge& e : ground_set_->neighbors_span(v, scratch)) {
+          if (state->is_selected(e.neighbor)) {
+            best = std::max(best, static_cast<double>(e.weight));
+          }
+        }
+        coverage_[i] = best;
+      }
+    }
+    sub.priorities.resize(n);
+    for (std::uint32_t i = 0; i < n; ++i) sub.priorities[i] = gain(i);
+  }
+
+  double gain(std::uint32_t v) const override {
+    double total =
+        weight_[v] * std::max(0.0, params_.self_similarity - coverage_[v]);
+    const auto begin = static_cast<std::size_t>(sub_->offsets[v]);
+    const auto end = static_cast<std::size_t>(sub_->offsets[v + 1]);
+    for (std::size_t e = begin; e < end; ++e) {
+      const auto& edge = sub_->edges[e];
+      total += weight_[edge.neighbor] *
+               std::max(0.0, static_cast<double>(edge.weight) -
+                                 coverage_[edge.neighbor]);
+    }
+    return total;
+  }
+
+  void select(std::uint32_t v) override {
+    coverage_[v] = std::max(coverage_[v], params_.self_similarity);
+    const auto begin = static_cast<std::size_t>(sub_->offsets[v]);
+    const auto end = static_cast<std::size_t>(sub_->offsets[v + 1]);
+    for (std::size_t e = begin; e < end; ++e) {
+      const auto& edge = sub_->edges[e];
+      coverage_[edge.neighbor] =
+          std::max(coverage_[edge.neighbor], static_cast<double>(edge.weight));
+    }
+  }
+
+ private:
+  const graph::GroundSet* ground_set_;
+  FacilityLocationParams params_;
+  const Subproblem* sub_ = nullptr;
+  std::vector<double> coverage_;  // per-member best selected similarity
+  std::vector<double> weight_;
+};
+
+}  // namespace
+
+void FacilityLocationParams::validate() const {
+  if (!std::isfinite(self_similarity) || self_similarity < 0.0) {
+    throw std::invalid_argument(
+        "FacilityLocationParams: self_similarity must be finite and >= 0");
+  }
+}
+
+FacilityLocationKernel::FacilityLocationKernel(const graph::GroundSet& ground_set,
+                                               FacilityLocationParams params)
+    : ground_set_(&ground_set), params_(params) {
+  params_.validate();
+}
+
+double FacilityLocationKernel::coverage_of(
+    const std::vector<std::uint8_t>& membership, NodeId v,
+    std::vector<graph::Edge>& scratch) const {
+  double best =
+      membership[static_cast<std::size_t>(v)] != 0 ? params_.self_similarity : 0.0;
+  for (const graph::Edge& e : ground_set_->neighbors_span(v, scratch)) {
+    if (membership[static_cast<std::size_t>(e.neighbor)] != 0) {
+      best = std::max(best, static_cast<double>(e.weight));
+    }
+  }
+  return best;
+}
+
+double FacilityLocationKernel::evaluate(const std::vector<std::uint8_t>& membership,
+                                        ThreadPool* pool) const {
+  if (membership.size() != ground_set_->num_points()) {
+    throw std::invalid_argument(
+        "FacilityLocationKernel::evaluate: bitmap size mismatch");
+  }
+  const std::size_t n = membership.size();
+  ThreadPool& workers = pool_or_global(pool);
+  const std::size_t num_chunks = std::max<std::size_t>(1, workers.size() * 4);
+  const std::size_t chunk = (n + num_chunks - 1) / num_chunks;
+  std::vector<double> partial(num_chunks, 0.0);
+  workers.parallel_for(num_chunks, [&](std::size_t c) {
+    const std::size_t begin = c * chunk;
+    const std::size_t end = std::min(n, begin + chunk);
+    double sum = 0.0;
+    std::vector<graph::Edge> scratch;
+    for (std::size_t i = begin; i < end; ++i) {
+      const auto v = static_cast<NodeId>(i);
+      sum += point_weight(v) * coverage_of(membership, v, scratch);
+    }
+    partial[c] = sum;
+  });
+  double total = 0.0;
+  for (double value : partial) total += value;
+  return total;
+}
+
+double FacilityLocationKernel::marginal_gain(
+    const std::vector<std::uint8_t>& membership, NodeId v) const {
+  if (membership[static_cast<std::size_t>(v)] != 0) {
+    throw std::invalid_argument(
+        "FacilityLocationKernel::marginal_gain: v already in S");
+  }
+  std::vector<graph::Edge> scratch, inner_scratch;
+  // v's own coverage improves to at least self_similarity...
+  double gain = point_weight(v) *
+                std::max(0.0, params_.self_similarity -
+                                  coverage_of(membership, v, scratch));
+  // ...and every neighbor u is now covered at least as well as s(u,v).
+  ground_set_->neighbors(v, scratch);
+  for (const graph::Edge& e : scratch) {
+    const double improved = static_cast<double>(e.weight) -
+                            coverage_of(membership, e.neighbor, inner_scratch);
+    if (improved > 0.0) gain += point_weight(e.neighbor) * improved;
+  }
+  return gain;
+}
+
+double FacilityLocationKernel::singleton_value(NodeId v) const {
+  double total = point_weight(v) * params_.self_similarity;
+  std::vector<graph::Edge> scratch;
+  for (const graph::Edge& e : ground_set_->neighbors_span(v, scratch)) {
+    total += point_weight(e.neighbor) * static_cast<double>(e.weight);
+  }
+  return total;
+}
+
+std::unique_ptr<SubproblemScorer> FacilityLocationKernel::make_scorer() const {
+  return std::make_unique<FacilityLocationScorer>(*ground_set_, params_);
+}
+
+}  // namespace subsel::core

@@ -69,6 +69,53 @@ const Subproblem& materialize_subproblem(const GroundSet& ground_set,
   return sub;
 }
 
+Subproblem& materialize_subproblem_topology(const GroundSet& ground_set,
+                                            std::span<const NodeId> members,
+                                            SubproblemArena& arena) {
+  Subproblem& sub = arena.subproblem();
+  sub.global_ids.assign(members.begin(), members.end());
+  std::sort(sub.global_ids.begin(), sub.global_ids.end());
+  if (std::adjacent_find(sub.global_ids.begin(), sub.global_ids.end()) !=
+      sub.global_ids.end()) {
+    throw std::invalid_argument("materialize_subproblem_topology: duplicate member");
+  }
+
+  const std::size_t n = sub.global_ids.size();
+  sub.priorities.resize(n);  // filled by the kernel's SubproblemScorer
+  sub.offsets.resize(n + 1);
+  sub.offsets[0] = 0;
+  sub.edges.clear();
+
+  const bool dense = arena.begin_membership_epoch(ground_set.num_points());
+  if (dense) {
+    for (std::size_t i = 0; i < n; ++i) {
+      arena.insert_member(sub.global_ids[i], static_cast<std::uint32_t>(i));
+    }
+  }
+
+  std::vector<graph::Edge>& scratch = arena.edge_scratch();
+  for (std::size_t i = 0; i < n; ++i) {
+    const NodeId v = sub.global_ids[i];
+    for (const graph::Edge& e : ground_set.neighbors_span(v, scratch)) {
+      std::uint32_t local = SubproblemArena::kNotMember;
+      if (dense) {
+        local = arena.local_of(e.neighbor);
+      } else {
+        const auto it = std::lower_bound(sub.global_ids.begin(),
+                                         sub.global_ids.end(), e.neighbor);
+        if (it != sub.global_ids.end() && *it == e.neighbor) {
+          local = static_cast<std::uint32_t>(it - sub.global_ids.begin());
+        }
+      }
+      if (local != SubproblemArena::kNotMember) {
+        sub.edges.push_back(Subproblem::LocalEdge{local, e.weight});
+      }
+    }
+    sub.offsets[i + 1] = static_cast<std::int64_t>(sub.edges.size());
+  }
+  return sub;
+}
+
 Subproblem materialize_subproblem(const GroundSet& ground_set,
                                   std::vector<NodeId> members,
                                   ObjectiveParams params,
@@ -135,6 +182,114 @@ GreedyResult greedy_on_subproblem(const Subproblem& subproblem, std::size_t k,
   }
   result.objective = params.alpha * priority_sum;
   return result;
+}
+
+GreedyResult lazy_greedy_on_subproblem(const Subproblem& subproblem, std::size_t k,
+                                       SubproblemScorer& scorer,
+                                       SubproblemArena& arena) {
+  const std::size_t n = subproblem.size();
+  k = std::min(k, n);
+  GreedyResult result;
+  result.selected.reserve(k);
+
+  AddressableMaxHeap& heap = arena.heap();
+  heap.assign(subproblem.priorities);
+  // version[v] = |selection| when v's heap priority was last computed; the
+  // top of the heap is only trusted when its gain is fresh.
+  std::vector<std::uint32_t> version(n, 0);
+  while (result.selected.size() < k && !heap.empty()) {
+    const auto v1 = heap.peek();
+    const auto selection_size = static_cast<std::uint32_t>(result.selected.size());
+    if (version[v1] == selection_size) {
+      heap.pop_max();
+      result.objective += heap.priority(v1);
+      result.selected.push_back(subproblem.global_ids[v1]);
+      scorer.select(v1);
+      continue;
+    }
+    version[v1] = selection_size;
+    // Submodularity: the fresh gain can only be lower, so update-in-place
+    // keeps the heap a valid upper-bound structure.
+    heap.update(v1, scorer.gain(v1));
+  }
+  return result;
+}
+
+GreedyResult stochastic_greedy_on_subproblem(const Subproblem& subproblem,
+                                             std::size_t k, SubproblemScorer& scorer,
+                                             double epsilon, std::uint64_t seed) {
+  const std::size_t n = subproblem.size();
+  k = std::min(k, n);
+  GreedyResult result;
+  result.selected.reserve(k);
+  if (k == 0) return result;
+  if (epsilon <= 0.0 || epsilon >= 1.0) {
+    throw std::invalid_argument("stochastic_greedy_on_subproblem: epsilon in (0,1)");
+  }
+
+  // Same live-set bookkeeping and Rng stream as the pairwise overload; only
+  // the scoring differs (fresh scorer gains instead of maintained
+  // priorities).
+  std::vector<std::uint32_t> live(n);
+  for (std::uint32_t i = 0; i < n; ++i) live[i] = i;
+  const std::size_t sample_size = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::ceil(static_cast<double>(n) /
+                                            static_cast<double>(k) *
+                                            std::log(1.0 / epsilon))));
+  Rng rng(seed);
+  while (result.selected.size() < k) {
+    const std::size_t live_count = live.size();
+    const std::size_t draw = std::min(sample_size, live_count);
+    for (std::size_t i = 0; i < draw; ++i) {
+      const std::size_t j =
+          i + static_cast<std::size_t>(rng.uniform_index(live_count - i));
+      std::swap(live[i], live[j]);
+    }
+    std::size_t best_slot = 0;
+    double best_gain = scorer.gain(live[0]);
+    for (std::size_t i = 1; i < draw; ++i) {
+      const double gain = scorer.gain(live[i]);
+      if (gain > best_gain ||
+          (gain == best_gain && live[i] < live[best_slot])) {
+        best_gain = gain;
+        best_slot = i;
+      }
+    }
+    const std::uint32_t v1 = live[best_slot];
+    result.objective += best_gain;
+    result.selected.push_back(subproblem.global_ids[v1]);
+    scorer.select(v1);
+    live[best_slot] = live.back();
+    live.pop_back();
+  }
+  return result;
+}
+
+GreedyResult solve_partition(const GroundSet& ground_set,
+                             std::span<const NodeId> members, std::size_t k,
+                             const ObjectiveKernel& kernel,
+                             const SelectionState* state, SubproblemArena& arena,
+                             PartitionSolver partition_solver,
+                             double stochastic_epsilon, std::uint64_t seed,
+                             std::size_t* materialized_bytes) {
+  if (const ObjectiveParams* params = kernel.pairwise_params()) {
+    // Closed-form path — the exact pre-kernel machine code.
+    const Subproblem& sub =
+        materialize_subproblem(ground_set, members, *params, state, arena);
+    if (materialized_bytes != nullptr) *materialized_bytes = sub.byte_size();
+    return partition_solver == PartitionSolver::kStochastic
+               ? stochastic_greedy_on_subproblem(sub, k, *params,
+                                                 stochastic_epsilon, seed)
+               : greedy_on_subproblem(sub, k, *params, arena);
+  }
+  Subproblem& sub = materialize_subproblem_topology(ground_set, members, arena);
+  if (materialized_bytes != nullptr) *materialized_bytes = sub.byte_size();
+  const std::unique_ptr<SubproblemScorer> scorer = kernel.make_scorer();
+  scorer->reset(sub, state);
+  return partition_solver == PartitionSolver::kStochastic
+             ? stochastic_greedy_on_subproblem(sub, k, *scorer,
+                                               stochastic_epsilon, seed)
+             : lazy_greedy_on_subproblem(sub, k, *scorer, arena);
 }
 
 namespace reference {
@@ -308,6 +463,33 @@ GreedyResult naive_greedy(const GroundSet& ground_set, ObjectiveParams params,
     for (std::size_t i = 0; i < n; ++i) {
       if (in_subset[i] != 0) continue;
       const double gain = objective.marginal_gain(in_subset, static_cast<NodeId>(i));
+      if (gain > best_gain) {  // strict: first maximizer wins = smallest id
+        best_gain = gain;
+        best = static_cast<NodeId>(i);
+      }
+    }
+    in_subset[static_cast<std::size_t>(best)] = 1;
+    result.selected.push_back(best);
+    total += best_gain;
+  }
+  result.objective = total;
+  return result;
+}
+
+GreedyResult naive_greedy(const ObjectiveKernel& kernel, std::size_t k) {
+  const std::size_t n = kernel.ground_set().num_points();
+  k = std::min(k, n);
+  GreedyResult result;
+  result.selected.reserve(k);
+
+  std::vector<std::uint8_t> in_subset(n, 0);
+  double total = 0.0;
+  for (std::size_t step = 0; step < k; ++step) {
+    double best_gain = -std::numeric_limits<double>::infinity();
+    NodeId best = -1;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (in_subset[i] != 0) continue;
+      const double gain = kernel.marginal_gain(in_subset, static_cast<NodeId>(i));
       if (gain > best_gain) {  // strict: first maximizer wins = smallest id
         best_gain = gain;
         best = static_cast<NodeId>(i);

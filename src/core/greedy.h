@@ -14,16 +14,27 @@
 // already-selected partial solution.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
 #include "core/objective.h"
+#include "core/objective_kernel.h"
 #include "core/selection_state.h"
 #include "core/subproblem_arena.h"
 #include "graph/ground_set.h"
 #include "graph/similarity_graph.h"
 
 namespace subsel::core {
+
+/// Centralized algorithm run inside each partition. The paper's default is
+/// the priority-queue Algorithm 2; stochastic greedy trades a (1-1/e-eps)
+/// expected guarantee for O(n log(1/eps)) gain evaluations per partition
+/// ("any centralized version of the algorithm" — Section 3).
+enum class PartitionSolver : std::uint8_t {
+  kPriorityQueue = 0,
+  kStochastic = 1,
+};
 
 struct GreedyResult {
   /// Selected ids in pick order (global ids).
@@ -83,6 +94,48 @@ GreedyResult stochastic_greedy_on_subproblem(const Subproblem& subproblem,
                                              std::size_t k, ObjectiveParams params,
                                              double epsilon, std::uint64_t seed);
 
+/// Topology-only arena materialization for the kernel fallback path: global
+/// ids + member-restricted CSR, with `priorities` sized but left for the
+/// kernel's SubproblemScorer to fill (SubproblemScorer::reset). Shares the
+/// epoch-stamped scatter-map membership machinery of the pairwise overload.
+Subproblem& materialize_subproblem_topology(const GroundSet& ground_set,
+                                            std::span<const NodeId> members,
+                                            SubproblemArena& arena);
+
+/// Lazy greedy (Minoux) over kernel-supplied gains — the fallback partition
+/// solver for kernels without closed-form priority updates. The heap holds
+/// possibly-stale gains; the top is re-evaluated through the scorer before
+/// being accepted, which is exact for any submodular kernel (stale values
+/// only ever overestimate). `scorer` must already be reset() on `subproblem`
+/// (its initial gains are read from subproblem.priorities). Ties break
+/// toward smaller local ids, like every other solver in this repo.
+GreedyResult lazy_greedy_on_subproblem(const Subproblem& subproblem, std::size_t k,
+                                       SubproblemScorer& scorer,
+                                       SubproblemArena& arena);
+
+/// Stochastic greedy over kernel-supplied gains: each step scans a uniform
+/// sample of ceil(n/k·ln(1/eps)) live candidates, evaluating each through the
+/// scorer. Sampling sequence matches the pairwise overload (same Rng stream),
+/// so kernels differ only in scoring.
+GreedyResult stochastic_greedy_on_subproblem(const Subproblem& subproblem,
+                                             std::size_t k, SubproblemScorer& scorer,
+                                             double epsilon, std::uint64_t seed);
+
+/// The one partition-solve entry point the round loops (distributed greedy,
+/// GreeDi, beam) call: materializes `members` and selects min(k, size) points
+/// under `kernel`. Pairwise-family kernels (pairwise_params() != nullptr)
+/// take the exact pre-kernel arena fast path — bit-identical selections and
+/// objectives, zero added hot-path work; other kernels run the lazy (or
+/// sampled) driver over a fresh scorer. `materialized_bytes`, when non-null,
+/// receives the subproblem's byte size (the round-stats memory number).
+GreedyResult solve_partition(const GroundSet& ground_set,
+                             std::span<const NodeId> members, std::size_t k,
+                             const ObjectiveKernel& kernel,
+                             const SelectionState* state, SubproblemArena& arena,
+                             PartitionSolver partition_solver,
+                             double stochastic_epsilon, std::uint64_t seed,
+                             std::size_t* materialized_bytes = nullptr);
+
 /// Algorithm 2 on a full materialized dataset (fast path, no id translation).
 GreedyResult centralized_greedy(const graph::SimilarityGraph& graph,
                                 const std::vector<double>& utilities,
@@ -94,6 +147,11 @@ GreedyResult centralized_greedy(const graph::SimilarityGraph& graph,
 /// AddressableMaxHeap.
 GreedyResult naive_greedy(const GroundSet& ground_set, ObjectiveParams params,
                           std::size_t k);
+
+/// Reference greedy over an arbitrary kernel: recomputes every marginal gain
+/// each step through the kernel's exact oracle. The equivalence baseline the
+/// conformance tests hold the lazy/scorer machinery against.
+GreedyResult naive_greedy(const ObjectiveKernel& kernel, std::size_t k);
 
 /// The seed (pre-arena) implementations, kept verbatim as the equivalence
 /// oracle for the zero-copy/arena fast path and as the perf baseline recorded

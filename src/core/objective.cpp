@@ -1,6 +1,7 @@
 #include "core/objective.h"
 
 #include <atomic>
+#include <cmath>
 #include <stdexcept>
 
 namespace subsel::core {
@@ -9,6 +10,19 @@ ThreadPool& pool_or_global(ThreadPool* pool) {
   return pool != nullptr ? *pool : global_thread_pool();
 }
 }  // namespace
+
+void ObjectiveParams::validate() const {
+  if (!std::isfinite(alpha) || alpha <= 0.0) {
+    throw std::invalid_argument(
+        "ObjectiveParams: alpha must be finite and > 0 (pair_scale divides"
+        " by it)");
+  }
+  if (!std::isfinite(beta) || beta < 0.0) {
+    throw std::invalid_argument(
+        "ObjectiveParams: beta must be finite and >= 0 (negative beta breaks"
+        " submodularity)");
+  }
+}
 
 std::vector<std::uint8_t> membership_bitmap(std::size_t num_points,
                                             std::span<const NodeId> subset) {

@@ -30,14 +30,23 @@ struct ObjectiveParams {
   /// ensure alpha > 0 (the paper's smallest setting is 0.1).
   double pair_scale() const noexcept { return beta / alpha; }
 
+  /// Throws std::invalid_argument unless alpha > 0 and beta >= 0 (both
+  /// finite). pair_scale() divides by alpha, so a malformed alpha would
+  /// otherwise propagate inf/NaN into every heap priority instead of failing
+  /// fast with a clear error.
+  void validate() const;
+
   static ObjectiveParams from_alpha(double alpha) { return {alpha, 1.0 - alpha}; }
 };
 
 class PairwiseObjective {
  public:
-  /// The ground set must outlive the objective.
+  /// The ground set must outlive the objective. Throws std::invalid_argument
+  /// on malformed params (see ObjectiveParams::validate).
   PairwiseObjective(const GroundSet& ground_set, ObjectiveParams params)
-      : ground_set_(&ground_set), params_(params) {}
+      : ground_set_(&ground_set), params_(params) {
+    params_.validate();
+  }
 
   const ObjectiveParams& params() const noexcept { return params_; }
 

@@ -1,0 +1,95 @@
+#include "core/objective_kernel.h"
+
+#include <bit>
+
+namespace subsel::core {
+
+std::uint64_t fingerprint_mix(std::uint64_t hash, std::uint64_t value) {
+  // FNV-1a over the value's bytes — deliberately not std::hash, which is not
+  // guaranteed stable across process restarts (checkpoint files persist).
+  for (int byte = 0; byte < 8; ++byte) {
+    hash = (hash ^ ((value >> (8 * byte)) & 0xFF)) * 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+std::uint64_t fingerprint_mix(std::uint64_t hash, double value) {
+  return fingerprint_mix(hash, std::bit_cast<std::uint64_t>(value));
+}
+
+namespace {
+
+/// Pairwise gains maintained incrementally: gain(v|S) = α·u(v) − β·Σ s over
+/// selected neighbors, so selecting v1 lowers each local neighbor's gain by
+/// β·s. Only used by tests and by downstream kernels that wrap pairwise
+/// without the linear-update capability — the round loops route pairwise
+/// through the closed-form arena path instead.
+class PairwiseScorer final : public SubproblemScorer {
+ public:
+  PairwiseScorer(const graph::GroundSet& ground_set, ObjectiveParams params)
+      : ground_set_(&ground_set), params_(params) {}
+
+  void reset(Subproblem& sub, const SelectionState* state) override {
+    sub_ = &sub;
+    const std::size_t n = sub.size();
+    sub.priorities.resize(n);
+    gains_.resize(n);
+    std::vector<graph::Edge> scratch;
+    for (std::size_t i = 0; i < n; ++i) {
+      const NodeId v = sub.global_ids[i];
+      double gain = params_.alpha * ground_set_->utility(v);
+      if (state != nullptr) {
+        for (const graph::Edge& e : ground_set_->neighbors_span(v, scratch)) {
+          if (state->is_selected(e.neighbor)) gain -= params_.beta * e.weight;
+        }
+      }
+      gains_[i] = gain;
+      sub.priorities[i] = gain;
+    }
+  }
+
+  double gain(std::uint32_t v) const override { return gains_[v]; }
+
+  void select(std::uint32_t v) override {
+    const auto begin = static_cast<std::size_t>(sub_->offsets[v]);
+    const auto end = static_cast<std::size_t>(sub_->offsets[v + 1]);
+    for (std::size_t e = begin; e < end; ++e) {
+      const auto& edge = sub_->edges[e];
+      gains_[edge.neighbor] -= params_.beta * edge.weight;
+    }
+  }
+
+ private:
+  const graph::GroundSet* ground_set_;
+  ObjectiveParams params_;
+  const Subproblem* sub_ = nullptr;
+  std::vector<double> gains_;
+};
+
+}  // namespace
+
+PairwiseKernel::PairwiseKernel(const graph::GroundSet& ground_set,
+                               ObjectiveParams params)
+    : ground_set_(&ground_set),
+      params_(params),
+      objective_(ground_set, params) {}  // the PairwiseObjective ctor validates
+
+std::uint64_t PairwiseKernel::config_fingerprint() const noexcept {
+  return fingerprint_mix(fingerprint_mix(0xcbf29ce484222325ULL, params_.alpha),
+                         params_.beta);
+}
+
+std::unique_ptr<SubproblemScorer> PairwiseKernel::make_scorer() const {
+  return std::make_unique<PairwiseScorer>(*ground_set_, params_);
+}
+
+const ObjectiveKernel& resolve_kernel(const ObjectiveKernel* kernel,
+                                      const graph::GroundSet& ground_set,
+                                      ObjectiveParams params,
+                                      std::optional<PairwiseKernel>& storage) {
+  if (kernel != nullptr) return *kernel;
+  storage.emplace(ground_set, params);  // validates params
+  return *storage;
+}
+
+}  // namespace subsel::core

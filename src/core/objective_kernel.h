@@ -1,0 +1,203 @@
+// The pluggable objective seam: everything a selection solver needs to know
+// about the function it maximizes, captured in one interface.
+//
+// The repo's solvers historically hardwired the paper's pairwise objective
+// f(S) = α·Σu(v) − β·Σs(v1,v2). An ObjectiveKernel decouples them from that
+// choice. A kernel provides:
+//
+//  - exact `evaluate` / `marginal_gain` / `singleton_value` over the full
+//    ground set (the cross-solver comparable numbers, and the fallback gain
+//    oracle for the centralized/streaming baselines);
+//  - a `gain_offset` making every marginal gain non-negative (the Appendix-A
+//    monotonicity shift, 0 for inherently monotone kernels);
+//  - the priority-queue hooks of the arena-backed hot path. Kernels whose
+//    marginal gains are *linear in the selected neighborhood* — gain(v|S) =
+//    α·(u(v) − (β/α)·Σ_{j∈S∩N(v)} s(v,j)) — expose their ObjectiveParams via
+//    `pairwise_params()`, and the round loops run the exact same
+//    materialize + batched-decrease-key machine code as before (bit-identical
+//    selections, zero hot-path overhead). Every other kernel supplies a
+//    SubproblemScorer, and the round loops fall back to lazy marginal-gain
+//    evaluation (correct for any submodular kernel: stale priorities only
+//    overestimate, so re-checking the heap top suffices).
+//
+// Capability flags tell the API layer which solver×objective combinations are
+// valid (e.g. the bounding pre-pass needs the pairwise Umin/Umax bounds), so
+// invalid combos fail at request validation instead of deep inside a solver.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/objective.h"
+#include "core/selection_state.h"
+#include "core/subproblem_arena.h"
+#include "graph/ground_set.h"
+
+namespace subsel::core {
+
+/// What a kernel can do, consumed by the API layer's solver×objective
+/// validation and printed by `subsel objectives`.
+struct ObjectiveKernelCaps {
+  /// Marginal gains are linear in the selected neighborhood, so the greedy
+  /// can run closed-form batched decrease-keys (the Algorithm 2 hot path).
+  /// Implies pairwise_params() != nullptr.
+  bool linear_priority_updates = false;
+  /// The Section 4.1 utility bounds (Umin/Umax) apply, so the bounding
+  /// pre-pass (Algorithms 3-5) can run under this objective.
+  bool utility_bounds = false;
+  /// The Section 5 distributed scoring joins can compute f(S) without any
+  /// worker holding S (the edge-decomposable pairwise form).
+  bool distributed_scoring = false;
+  /// Monotone non-decreasing without any offset (gain_offset() == 0).
+  bool monotone = false;
+};
+
+/// FNV-1a step over a 64-bit value (or a double's bit pattern) — stable
+/// across process restarts, unlike std::hash. The building block for
+/// ObjectiveKernel::config_fingerprint overrides.
+std::uint64_t fingerprint_mix(std::uint64_t hash, std::uint64_t value);
+std::uint64_t fingerprint_mix(std::uint64_t hash, double value);
+
+/// Per-subproblem stateful gain oracle for kernels without closed-form
+/// priority updates. One scorer serves one subproblem at a time; `reset`
+/// rebinds it. Not thread-safe — the round loops create one per partition
+/// task (or reuse one per worker).
+class SubproblemScorer {
+ public:
+  virtual ~SubproblemScorer() = default;
+
+  /// Binds the scorer to a materialized subproblem and writes the initial
+  /// marginal gains (empty local selection, conditioned on the selected
+  /// points of `state` when given) into `sub.priorities`.
+  virtual void reset(Subproblem& sub, const SelectionState* state) = 0;
+
+  /// Marginal gain of selecting local id `v` given everything select()ed on
+  /// this scorer since the last reset.
+  virtual double gain(std::uint32_t v) const = 0;
+
+  /// Commits the selection of local id `v`.
+  virtual void select(std::uint32_t v) = 0;
+};
+
+class ObjectiveKernel {
+ public:
+  virtual ~ObjectiveKernel() = default;
+
+  /// Stable registry-style identifier ("pairwise", "facility-location", ...).
+  virtual std::string_view name() const noexcept = 0;
+  virtual ObjectiveKernelCaps caps() const noexcept = 0;
+  /// The ground set this kernel scores over (kernels are bound to their data:
+  /// a kernel is an objective *instance*, not a formula).
+  virtual const graph::GroundSet& ground_set() const noexcept = 0;
+
+  /// f(S) for S given as a 0/1 membership bitmap of size num_points().
+  virtual double evaluate(const std::vector<std::uint8_t>& membership,
+                          ThreadPool* pool = nullptr) const = 0;
+
+  /// f(S) for S given as an id list (builds a bitmap internally).
+  double evaluate(std::span<const NodeId> subset, ThreadPool* pool = nullptr) const {
+    return evaluate(membership_bitmap(ground_set().num_points(), subset), pool);
+  }
+
+  /// f(S ∪ {v}) − f(S) for v ∉ S.
+  virtual double marginal_gain(const std::vector<std::uint8_t>& membership,
+                               NodeId v) const = 0;
+
+  /// f({v}) — the first-step gain, used by the threshold/sieve baselines.
+  virtual double singleton_value(NodeId v) const = 0;
+
+  /// Additive per-element gain shift δ' such that marginal_gain + δ' >= 0 for
+  /// every (S, v). 0 for monotone kernels; α·δ (Appendix A) for pairwise.
+  virtual double gain_offset(ThreadPool* pool = nullptr) const {
+    (void)pool;
+    return 0.0;
+  }
+
+  /// Non-null iff caps().linear_priority_updates: the exact parameters the
+  /// Algorithm 2 fast path should run with. The fast path is bit-identical to
+  /// the pre-kernel ObjectiveParams overloads.
+  virtual const ObjectiveParams* pairwise_params() const noexcept { return nullptr; }
+
+  /// Hash of everything that parameterizes this kernel instance (not the
+  /// ground set). Mixed into distributed_greedy's checkpoint fingerprint
+  /// together with name() so a checkpoint written under one objective
+  /// configuration never resumes a run under another — override whenever the
+  /// kernel has tunable parameters.
+  virtual std::uint64_t config_fingerprint() const noexcept { return 0; }
+
+  /// Fresh scorer for the lazy fallback path. Every kernel must provide one
+  /// (linear kernels included — tests use it to validate the lazy driver
+  /// against the closed-form path).
+  virtual std::unique_ptr<SubproblemScorer> make_scorer() const = 0;
+};
+
+/// The paper's pairwise objective as the first kernel: a thin adapter over
+/// PairwiseObjective whose fast path is the existing arena machinery.
+class PairwiseKernel final : public ObjectiveKernel {
+ public:
+  /// Validates params (alpha > 0, beta >= 0, both finite) — a malformed
+  /// --alpha=0 must fail fast instead of pushing inf/NaN into heap
+  /// priorities via pair_scale().
+  PairwiseKernel(const graph::GroundSet& ground_set, ObjectiveParams params);
+
+  std::string_view name() const noexcept override { return "pairwise"; }
+  ObjectiveKernelCaps caps() const noexcept override {
+    return {/*linear_priority_updates=*/true, /*utility_bounds=*/true,
+            /*distributed_scoring=*/true, /*monotone=*/false};
+  }
+  const graph::GroundSet& ground_set() const noexcept override {
+    return *ground_set_;
+  }
+
+  double evaluate(const std::vector<std::uint8_t>& membership,
+                  ThreadPool* pool = nullptr) const override {
+    return objective_.evaluate(membership, pool);
+  }
+  using ObjectiveKernel::evaluate;
+
+  double marginal_gain(const std::vector<std::uint8_t>& membership,
+                       NodeId v) const override {
+    return objective_.marginal_gain(membership, v);
+  }
+
+  double singleton_value(NodeId v) const override {
+    return params_.alpha * ground_set_->utility(v);
+  }
+
+  /// α·δ — the shift the sieve/threshold baselines add per accepted element.
+  double gain_offset(ThreadPool* pool = nullptr) const override {
+    return params_.alpha * objective_.monotonicity_offset(pool);
+  }
+
+  const ObjectiveParams* pairwise_params() const noexcept override {
+    return &params_;
+  }
+
+  std::uint64_t config_fingerprint() const noexcept override;
+
+  std::unique_ptr<SubproblemScorer> make_scorer() const override;
+
+  const PairwiseObjective& objective() const noexcept { return objective_; }
+
+ private:
+  const graph::GroundSet* ground_set_;
+  ObjectiveParams params_;
+  PairwiseObjective objective_;
+};
+
+/// Resolves the objective for a legacy-compatible config surface: returns
+/// `*kernel` when the caller supplied one, otherwise constructs a
+/// PairwiseKernel over (ground_set, params) into `storage` (validating the
+/// params) and returns that. The single spelling of the "explicit kernel
+/// wins, else legacy pairwise params" rule used by every round loop and
+/// baseline.
+const ObjectiveKernel& resolve_kernel(const ObjectiveKernel* kernel,
+                                      const graph::GroundSet& ground_set,
+                                      ObjectiveParams params,
+                                      std::optional<PairwiseKernel>& storage);
+
+}  // namespace subsel::core

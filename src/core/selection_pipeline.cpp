@@ -1,6 +1,9 @@
 #include "core/selection_pipeline.h"
 
 #include <algorithm>
+#include <span>
+#include <stdexcept>
+#include <string>
 
 #include "common/rng.h"
 #include "common/timer.h"
@@ -9,8 +12,22 @@ namespace subsel::core {
 
 SelectionPipelineResult select_subset(const GroundSet& ground_set, std::size_t k,
                                       SelectionPipelineConfig config) {
+  if (config.kernel != nullptr) {
+    if (const ObjectiveParams* params = config.kernel->pairwise_params()) {
+      // Keep the stage configs and the kernel in agreement: the kernel's own
+      // parameters are the single source of truth.
+      config.objective = *params;
+    } else if (config.use_bounding) {
+      throw std::invalid_argument(
+          "select_subset: the bounding pre-pass requires an objective with"
+          " utility-bound support (kernel \"" +
+          std::string(config.kernel->name()) +
+          "\" has none); disable bounding to run this kernel");
+    }
+  }
   config.bounding.objective = config.objective;
   config.greedy.objective = config.objective;
+  config.greedy.kernel = config.kernel;
 
   SelectionPipelineResult result;
   const SelectionState* initial = nullptr;
@@ -24,8 +41,13 @@ SelectionPipelineResult select_subset(const GroundSet& ground_set, std::size_t k
   if (initial != nullptr && result.bounding->complete()) {
     // Bounding found the entire subset; no greedy needed.
     result.selected = initial->selected_ids();
-    PairwiseObjective objective(ground_set, config.objective);
-    result.objective = objective.evaluate(result.selected, config.greedy.pool);
+    if (config.kernel != nullptr) {
+      result.objective = config.kernel->evaluate(
+          std::span<const NodeId>(result.selected), config.greedy.pool);
+    } else {
+      PairwiseObjective objective(ground_set, config.objective);
+      result.objective = objective.evaluate(result.selected, config.greedy.pool);
+    }
     return result;
   }
 

@@ -12,6 +12,12 @@ namespace subsel::core {
 
 struct SelectionPipelineConfig {
   ObjectiveParams objective;
+  /// Objective kernel; non-owning, must outlive the run and be bound to the
+  /// same ground set. Null runs the legacy pairwise path under `objective`.
+  /// The bounding pre-pass requires caps().utility_bounds (the Section 4.1
+  /// Umin/Umax math is pairwise) — select_subset throws on a kernel without
+  /// it unless bounding is disabled.
+  const ObjectiveKernel* kernel = nullptr;
   /// Bounding pre-pass; disable to run pure distributed greedy.
   bool use_bounding = true;
   BoundingConfig bounding;

@@ -1,0 +1,291 @@
+// Objective-registry metadata and the kernel conformance suite: every
+// registered objective, instantiated through the registry, must be
+// submodular (diminishing returns vs brute force on small instances),
+// monotone after its gain offset, and self-consistent
+// (evaluate/marginal_gain/singleton agree); every compatible solver must run
+// it end-to-end through the one SelectionRequest/SelectionReport schema, and
+// every incompatible combination must fail at validation.
+#include "api/objective_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "../testing/test_instances.h"
+#include "api/solver_registry.h"
+#include "common/rng.h"
+
+namespace subsel::api {
+namespace {
+
+using subsel::testing::Instance;
+using subsel::testing::random_instance;
+
+std::vector<std::string> registered_objectives() {
+  std::vector<std::string> names;
+  for (const auto& info : ObjectiveRegistry::instance().list()) {
+    names.push_back(info.name);
+  }
+  return names;
+}
+
+TEST(ObjectiveRegistry, RegistersTheBuiltinObjectives) {
+  const auto infos = ObjectiveRegistry::instance().list();
+  EXPECT_GE(infos.size(), 3u);
+  for (const auto& info : infos) {
+    EXPECT_FALSE(info.name.empty());
+    EXPECT_FALSE(info.description.empty()) << info.name;
+    EXPECT_FALSE(info.formula.empty()) << info.name;
+    EXPECT_TRUE(ObjectiveRegistry::instance().contains(info.name));
+    EXPECT_NE(ObjectiveRegistry::instance().info(info.name), nullptr);
+  }
+  for (const char* name : {"pairwise", "facility-location", "saturated-coverage"}) {
+    EXPECT_TRUE(ObjectiveRegistry::instance().contains(name)) << name;
+  }
+}
+
+TEST(ObjectiveRegistry, UnknownObjectiveThrowsWithKnownNames) {
+  const Instance instance = random_instance(40, 4, 8101);
+  const auto ground_set = instance.ground_set();
+  SelectionRequest request;
+  request.ground_set = &ground_set;
+  request.k = 4;
+  request.objective_name = "does-not-exist";
+  try {
+    select(request);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("pairwise"), std::string::npos);
+  }
+}
+
+TEST(ObjectiveRegistry, RejectsMalformedPairwiseParams) {
+  const Instance instance = random_instance(40, 4, 8102);
+  const auto ground_set = instance.ground_set();
+  SelectionRequest request;
+  request.ground_set = &ground_set;
+  request.k = 4;
+  request.solver = "lazy-greedy";
+  request.objective.alpha = 0.0;  // pair_scale() would divide by zero
+  EXPECT_THROW(select(request), std::invalid_argument);
+  request.objective.alpha = 0.9;
+  request.objective.beta = -1.0;
+  EXPECT_THROW(select(request), std::invalid_argument);
+}
+
+TEST(ObjectiveRegistry, RejectsMalformedObjectiveOptions) {
+  const Instance instance = random_instance(40, 4, 8103);
+  const auto ground_set = instance.ground_set();
+  SelectionRequest request;
+  request.ground_set = &ground_set;
+  request.k = 4;
+  request.solver = "lazy-greedy";
+  request.objective_name = "saturated-coverage";
+  request.coverage.saturation = 0.0;
+  EXPECT_THROW(select(request), std::invalid_argument);
+  request.coverage.saturation = 1.0;
+  request.objective_name = "facility-location";
+  request.facility_location.self_similarity = -2.0;
+  EXPECT_THROW(select(request), std::invalid_argument);
+}
+
+TEST(ObjectiveRegistry, MetadataCapsMatchKernelCaps) {
+  const Instance instance = random_instance(30, 4, 8104);
+  const auto ground_set = instance.ground_set();
+  for (const auto& info : ObjectiveRegistry::instance().list()) {
+    SelectionRequest request;
+    request.ground_set = &ground_set;
+    request.objective_name = info.name;
+    const auto kernel = ObjectiveRegistry::instance().make(request);
+    EXPECT_EQ(kernel->name(), info.name);
+    const auto caps = kernel->caps();
+    EXPECT_EQ(caps.linear_priority_updates, info.caps.linear_priority_updates)
+        << info.name;
+    EXPECT_EQ(caps.utility_bounds, info.caps.utility_bounds) << info.name;
+    EXPECT_EQ(caps.distributed_scoring, info.caps.distributed_scoring)
+        << info.name;
+    EXPECT_EQ(caps.monotone, info.caps.monotone) << info.name;
+    // Linear updates promise the fast path; the two must agree.
+    EXPECT_EQ(caps.linear_priority_updates,
+              kernel->pairwise_params() != nullptr)
+        << info.name;
+  }
+}
+
+/// Conformance suite, parameterized over every registered objective name.
+class ObjectiveConformance : public ::testing::TestWithParam<std::string> {
+ protected:
+  std::unique_ptr<core::ObjectiveKernel> make_kernel(
+      const graph::GroundSet& ground_set) {
+    SelectionRequest request;
+    request.ground_set = &ground_set;
+    request.objective_name = GetParam();
+    return ObjectiveRegistry::instance().make(request);
+  }
+};
+
+TEST_P(ObjectiveConformance, EvaluateAndMarginalGainAgree) {
+  const Instance instance = random_instance(60, 5, 8201);
+  const auto ground_set = instance.ground_set();
+  const auto kernel = make_kernel(ground_set);
+
+  Rng rng(8202);
+  std::vector<std::uint8_t> membership(60, 0);
+  double value = kernel->evaluate(membership);
+  EXPECT_NEAR(value, 0.0, 1e-12);  // f(empty) = 0 for every built-in kernel
+
+  // Grow a random subset one element at a time; the marginal gain must match
+  // the evaluate difference at every step, and the singleton value must be
+  // the first gain from empty.
+  for (std::size_t step = 0; step < 20; ++step) {
+    core::NodeId v;
+    do {
+      v = static_cast<core::NodeId>(rng.uniform_index(60));
+    } while (membership[static_cast<std::size_t>(v)] != 0);
+
+    if (step == 0) {
+      EXPECT_NEAR(kernel->marginal_gain(membership, v), kernel->singleton_value(v),
+                  1e-9);
+    }
+    const double gain = kernel->marginal_gain(membership, v);
+    membership[static_cast<std::size_t>(v)] = 1;
+    const double next = kernel->evaluate(membership);
+    EXPECT_NEAR(next - value, gain, 1e-9) << GetParam() << " step " << step;
+    value = next;
+  }
+}
+
+TEST_P(ObjectiveConformance, DiminishingReturnsOnNestedSubsets) {
+  // Submodularity vs brute force: for random S ⊂ T and v ∉ T,
+  // gain(v | S) >= gain(v | T).
+  const Instance instance = random_instance(50, 5, 8301);
+  const auto ground_set = instance.ground_set();
+  const auto kernel = make_kernel(ground_set);
+
+  Rng rng(8302);
+  for (std::size_t trial = 0; trial < 200; ++trial) {
+    std::vector<std::uint8_t> small(50, 0), large(50, 0);
+    for (std::size_t i = 0; i < 50; ++i) {
+      const double roll = rng.uniform();
+      if (roll < 0.15) {
+        small[i] = 1;
+        large[i] = 1;
+      } else if (roll < 0.4) {
+        large[i] = 1;
+      }
+    }
+    core::NodeId v;
+    do {
+      v = static_cast<core::NodeId>(rng.uniform_index(50));
+    } while (large[static_cast<std::size_t>(v)] != 0);
+    small[static_cast<std::size_t>(v)] = 0;
+
+    const double gain_small = kernel->marginal_gain(small, v);
+    const double gain_large = kernel->marginal_gain(large, v);
+    EXPECT_GE(gain_small, gain_large - 1e-9)
+        << GetParam() << " trial " << trial;
+  }
+}
+
+TEST_P(ObjectiveConformance, MonotoneAfterGainOffset) {
+  // Every marginal gain plus the kernel's offset must be non-negative; for
+  // kernels declaring monotone, the offset must be zero and raw gains
+  // already non-negative.
+  const Instance instance = random_instance(50, 5, 8401);
+  const auto ground_set = instance.ground_set();
+  const auto kernel = make_kernel(ground_set);
+  const double offset = kernel->gain_offset();
+  if (kernel->caps().monotone) {
+    EXPECT_EQ(offset, 0.0) << GetParam();
+  }
+
+  Rng rng(8402);
+  for (std::size_t trial = 0; trial < 100; ++trial) {
+    std::vector<std::uint8_t> membership(50, 0);
+    for (std::size_t i = 0; i < 50; ++i) {
+      membership[i] = rng.uniform() < 0.3 ? 1 : 0;
+    }
+    core::NodeId v;
+    do {
+      v = static_cast<core::NodeId>(rng.uniform_index(50));
+    } while (membership[static_cast<std::size_t>(v)] != 0);
+    EXPECT_GE(kernel->marginal_gain(membership, v) + offset, -1e-9)
+        << GetParam() << " trial " << trial;
+  }
+}
+
+TEST_P(ObjectiveConformance, EverySolverRunsOrFailsAtValidation) {
+  // The solver×objective matrix, exercised end to end: compatible pairs
+  // return a valid report whose exact objective matches a fresh kernel
+  // evaluation; incompatible pairs throw std::invalid_argument up front.
+  const Instance instance = random_instance(150, 5, 8501);
+  const auto ground_set = instance.ground_set();
+  const auto kernel = make_kernel(ground_set);
+  const ObjectiveInfo* objective_info =
+      ObjectiveRegistry::instance().info(GetParam());
+  ASSERT_NE(objective_info, nullptr);
+
+  for (const auto& solver_info : SolverRegistry::instance().list()) {
+    SelectionRequest request;
+    request.ground_set = &ground_set;
+    request.k = 15;
+    request.objective_name = GetParam();
+    request.solver = solver_info.name;
+    request.seed = 3;
+    request.distributed.num_machines = 3;
+    request.distributed.num_rounds = 2;
+    request.dataflow.num_shards = 8;
+
+    const std::string reason = incompatibility_reason(
+        solver_info.caps, objective_info->caps, request.bounding.enabled);
+    if (!reason.empty()) {
+      EXPECT_THROW(select(request), std::invalid_argument)
+          << solver_info.name << " x " << GetParam();
+      // The same solver must work once the conflicting stage is disabled,
+      // unless the incompatibility is unconditional.
+      request.bounding.enabled = false;
+      if (incompatibility_reason(solver_info.caps, objective_info->caps, false)
+              .empty()) {
+        EXPECT_NO_THROW(select(request)) << solver_info.name;
+      } else {
+        EXPECT_THROW(select(request), std::invalid_argument) << solver_info.name;
+      }
+      continue;
+    }
+
+    SolverContext context;
+    const SelectionReport report = select(request, context);
+    EXPECT_EQ(report.solver, solver_info.name);
+    EXPECT_EQ(report.objective_name, GetParam());
+    EXPECT_LE(report.selected.size(), 15u);
+    EXPECT_FALSE(report.selected.empty()) << solver_info.name;
+    EXPECT_TRUE(std::is_sorted(report.selected.begin(), report.selected.end()));
+    EXPECT_EQ(std::adjacent_find(report.selected.begin(), report.selected.end()),
+              report.selected.end());
+    for (const NodeId id : report.selected) {
+      EXPECT_GE(id, 0);
+      EXPECT_LT(static_cast<std::size_t>(id), ground_set.num_points());
+    }
+    const double fresh =
+        kernel->evaluate(std::span<const NodeId>(report.selected));
+    EXPECT_NEAR(report.objective, fresh, 1e-9)
+        << solver_info.name << " x " << GetParam();
+    // JSON must carry the objective name.
+    EXPECT_NE(report.to_json().find("\"objective_name\":\"" + GetParam() + "\""),
+              std::string::npos);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllObjectives, ObjectiveConformance,
+                         ::testing::ValuesIn(registered_objectives()),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           std::replace(name.begin(), name.end(), '-', '_');
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace subsel::api

@@ -1,21 +1,24 @@
 // subsel — command-line front end for the selection library.
 //
-//   subsel generate --type=cifar|imagenet|toy --scale=0.1 --out=data/cifar
-//   subsel info     --data=data/cifar
+//   subsel generate   --type=cifar|imagenet|toy --scale=0.1 --out=data/cifar
+//   subsel info       --data=data/cifar
 //   subsel solvers
-//   subsel select   --data=data/cifar --fraction=0.1 --alpha=0.9
-//                   --solver=pipeline [--machines=8] [--rounds=8]
-//                   [--no-adaptive] [--disk]
-//                   [--bounding=none|exact|uniform|weighted] [--sample=0.3]
-//                   [--report=FILE] --out=subset.ids
-//   subsel score    --data=data/cifar --subset=subset.ids --alpha=0.9
-//                   [--distributed]
+//   subsel objectives
+//   subsel select     --data=data/cifar --fraction=0.1 --alpha=0.9
+//                     --solver=pipeline [--objective=NAME] [--machines=8]
+//                     [--rounds=8] [--no-adaptive] [--disk]
+//                     [--bounding=none|exact|uniform|weighted] [--sample=0.3]
+//                     [--saturation=1.0] [--self-sim=1.0] [--unweighted]
+//                     [--report=FILE] --out=subset.ids
+//   subsel score      --data=data/cifar --subset=subset.ids --alpha=0.9
+//                     [--objective=NAME] [--distributed]
 //
 // Every solver in the registry (see `subsel solvers`) runs through the same
-// SelectionRequest/SelectionReport schema; --report writes the full JSON
-// report. Datasets are the binary format of data/dataset_io.h; subsets are
-// plain one-id-per-line text files. Exit code 0 on success, 1 on bad usage,
-// 2 on runtime failure.
+// SelectionRequest/SelectionReport schema, under any registered objective
+// (see `subsel objectives` for the solver×objective support rules);
+// --report writes the full JSON report. Datasets are the binary format of
+// data/dataset_io.h; subsets are plain one-id-per-line text files. Exit code
+// 0 on success, 1 on bad usage, 2 on runtime failure.
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -26,6 +29,7 @@
 #include <optional>
 #include <string>
 
+#include "api/objective_registry.h"
 #include "api/solver_registry.h"
 #include "beam/beam_scoring.h"
 #include "common/timer.h"
@@ -107,18 +111,25 @@ class CliArgs {
 int usage() {
   std::fprintf(stderr,
                "usage: subsel <command> [options]\n"
-               "  generate --type=cifar|imagenet|toy --out=PREFIX [--scale=F]"
+               "  generate   --type=cifar|imagenet|toy --out=PREFIX [--scale=F]"
                " [--seed=N]\n"
-               "  info     --data=PREFIX\n"
+               "  info       --data=PREFIX\n"
                "  solvers                            list registered solvers\n"
-               "  select   --data=PREFIX (--k=N | --fraction=F) [--alpha=F]\n"
-               "           [--solver=NAME] [--machines=N] [--rounds=N]"
+               "  objectives                         list registered objectives\n"
+               "  select     --data=PREFIX (--k=N | --fraction=F)"
+               " [--objective=NAME]\n"
+               "             [--alpha=F] [--saturation=F] [--self-sim=F]"
+               " [--unweighted]\n"
+               "             [--solver=NAME] [--machines=N] [--rounds=N]"
                " [--no-adaptive]\n"
-               "           [--bounding=none|exact|uniform|weighted] [--sample=F]\n"
-               "           [--epsilon=F] [--shards=N] [--disk]\n"
-               "           [--worker-memory-kb=N] [--seed=N] [--report=FILE]\n"
-               "           --out=FILE\n"
-               "  score    --data=PREFIX --subset=FILE [--alpha=F] [--distributed]\n");
+               "             [--bounding=none|exact|uniform|weighted]"
+               " [--sample=F]\n"
+               "             [--epsilon=F] [--shards=N] [--disk]\n"
+               "             [--worker-memory-kb=N] [--seed=N] [--report=FILE]\n"
+               "             --out=FILE\n"
+               "  score      --data=PREFIX --subset=FILE [--objective=NAME]"
+               " [--alpha=F]\n"
+               "             [--distributed]\n");
   return 1;
 }
 
@@ -187,6 +198,52 @@ int cmd_solvers() {
   return 0;
 }
 
+int cmd_objectives() {
+  const auto objectives = api::ObjectiveRegistry::instance().list();
+  const auto solvers = api::SolverRegistry::instance().list();
+  std::printf("%zu registered objectives:\n\n", objectives.size());
+  for (const auto& info : objectives) {
+    std::string flags;
+    if (info.caps.linear_priority_updates) flags += " closed-form-updates";
+    else flags += " lazy-gain-path";
+    if (info.caps.utility_bounds) flags += " utility-bounds";
+    if (info.caps.distributed_scoring) flags += " distributed-scoring";
+    if (info.caps.monotone) flags += " monotone";
+    std::printf("%-20s %s\n", info.name.c_str(), info.formula.c_str());
+    std::printf("%-20s flags:%s\n", "", flags.c_str());
+    std::printf("%-20s %s\n", "", info.description.c_str());
+
+    // Per-solver support, derived from the same rule request validation
+    // applies: fully supported / supported once bounding is disabled /
+    // unsupported.
+    std::string supported, bounding_off, unsupported;
+    for (const auto& solver : solvers) {
+      const bool with_bounding =
+          api::incompatibility_reason(solver.caps, info.caps, true).empty();
+      const bool without_bounding =
+          api::incompatibility_reason(solver.caps, info.caps, false).empty();
+      auto append = [&solver](std::string& list) {
+        if (!list.empty()) list += ", ";
+        list += solver.name;
+      };
+      if (with_bounding) append(supported);
+      else if (without_bounding) append(bounding_off);
+      else append(unsupported);
+    }
+    if (!supported.empty()) {
+      std::printf("%-20s solvers: %s\n", "", supported.c_str());
+    }
+    if (!bounding_off.empty()) {
+      std::printf("%-20s with --bounding=none: %s\n", "", bounding_off.c_str());
+    }
+    if (!unsupported.empty()) {
+      std::printf("%-20s unsupported: %s\n", "", unsupported.c_str());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
 int cmd_select(const CliArgs& args) {
   const std::string data_path = args.require("data");
   const std::string out = args.require("out");
@@ -216,7 +273,13 @@ int cmd_select(const CliArgs& args) {
   request.ground_set = &ground_set;
   request.k = args.get_size("k", 0);
   request.fraction = args.get_double("fraction", 0.0);
+  request.objective_name = args.get("objective").value_or("pairwise");
   request.objective = core::ObjectiveParams::from_alpha(args.get_double("alpha", 0.9));
+  request.facility_location.self_similarity = args.get_double("self-sim", 1.0);
+  request.facility_location.utility_weighted = !args.has_flag("unweighted");
+  request.coverage.saturation = args.get_double("saturation", 1.0);
+  request.coverage.self_similarity = args.get_double("self-sim", 1.0);
+  request.coverage.utility_weighted = !args.has_flag("unweighted");
   request.seed = static_cast<std::uint64_t>(args.get_size("seed", 23));
   request.solver = args.get("solver").value_or("pipeline");
   // Back-compat: --engine=memory|dataflow predates --solver.
@@ -260,7 +323,8 @@ int cmd_select(const CliArgs& args) {
   std::printf("solver %s: selected %zu / %zu points in %s -> %s\n",
               report.solver.c_str(), report.selected.size(), report.num_points,
               format_duration(report.total_seconds).c_str(), out.c_str());
-  std::printf("objective f(S) = %.6f\n", report.objective);
+  std::printf("objective %s: f(S) = %.6f\n", report.objective_name.c_str(),
+              report.objective);
   if (report.bounding.has_value()) {
     std::printf("bounding: included %zu, excluded %zu (%zu grow / %zu shrink"
                 " rounds)\n",
@@ -294,16 +358,35 @@ int cmd_score(const CliArgs& args) {
       core::ObjectiveParams::from_alpha(args.get_double("alpha", 0.9));
   const auto ground_set = dataset.ground_set();
 
+  // Build the scoring kernel through the registry, like `select` does.
+  api::SelectionRequest request;
+  request.ground_set = &ground_set;
+  request.objective_name = args.get("objective").value_or("pairwise");
+  request.objective = params;
+  request.facility_location.self_similarity = args.get_double("self-sim", 1.0);
+  request.facility_location.utility_weighted = !args.has_flag("unweighted");
+  request.coverage.saturation = args.get_double("saturation", 1.0);
+  request.coverage.self_similarity = args.get_double("self-sim", 1.0);
+  request.coverage.utility_weighted = !args.has_flag("unweighted");
+  const auto kernel = api::ObjectiveRegistry::instance().make(request);
+
   double score = 0.0;
   if (args.has_flag("distributed")) {
+    if (!kernel->caps().distributed_scoring) {
+      std::fprintf(stderr,
+                   "--distributed scoring needs an edge-decomposable"
+                   " objective; \"%s\" has none\n",
+                   request.objective_name.c_str());
+      return 1;
+    }
     dataflow::Pipeline pipeline;
     score = beam::beam_score(pipeline, ground_set, subset, params);
   } else {
-    core::PairwiseObjective objective(ground_set, params);
-    score = objective.evaluate(subset);
+    score = kernel->evaluate(std::span<const core::NodeId>(subset));
   }
-  std::printf("f(S) = %.6f over %zu points (alpha=%.2f%s)\n", score, subset.size(),
-              params.alpha, args.has_flag("distributed") ? ", distributed" : "");
+  std::printf("f(S) = %.6f over %zu points (objective=%s, alpha=%.2f%s)\n",
+              score, subset.size(), request.objective_name.c_str(), params.alpha,
+              args.has_flag("distributed") ? ", distributed" : "");
   return 0;
 }
 
@@ -317,6 +400,7 @@ int main(int argc, char** argv) {
     if (command == "generate") return cmd_generate(args);
     if (command == "info") return cmd_info(args);
     if (command == "solvers") return cmd_solvers();
+    if (command == "objectives") return cmd_objectives();
     if (command == "select") return cmd_select(args);
     if (command == "score") return cmd_score(args);
     return usage();
