@@ -150,8 +150,7 @@ int main(int argc, char** argv) {
     std::size_t internal_edges = 0;
     std::vector<graph::Edge> edges;
     for (core::NodeId v : selected) {
-      ground_set.neighbors(v, edges);
-      for (const graph::Edge& e : edges) {
+      for (const graph::Edge& e : ground_set.neighbors_span(v, edges)) {
         if (member[static_cast<std::size_t>(e.neighbor)] != 0) {
           internal_similarity += e.weight;
           ++internal_edges;

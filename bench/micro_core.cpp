@@ -30,6 +30,18 @@
 // latency per cell, incompatible combinations recorded as skipped), written
 // to BENCH_objective_matrix.json — the pluggable-objective trajectory.
 //
+// And the KERNEL HOT PATH: the non-pairwise solve phase for the coverage-
+// family kernels (facility location, saturated coverage) at 1M nodes,
+// measured three ways — the pre-incremental-state exact-oracle path
+// (baselines::reference::lazy_greedy: O(deg^2) per gain evaluation, the
+// 10-80x gaps of BENCH_objective_matrix.json), the virtual SubproblemScorer
+// fallback, and the flat incremental-state + batched-gains path. Selections
+// must be identical across all three; the headline solve_speedup is
+// oracle/incremental. --min-speedup=X turns the harness into a self-check
+// (exit 3 when the minimum solve speedup across kernels falls below X, exit
+// 2 when selections diverge) — CI runs it on a small fixture against the
+// committed baseline.
+//
 // Flags (in addition to the standard --benchmark_* ones):
 //   --quick            CI mode: hot path only, 200k nodes, 2 iterations
 //   --hot-only         skip the google-benchmark micros
@@ -37,6 +49,10 @@
 //   --hot-partitions=N partitions per round (default 8)
 //   --hot-iters=N      measurement repetitions, best-of (default 3)
 //   --json=PATH        output path (default BENCH_micro_core.json)
+//   --kernel-hotpath   also run the kernel solve-phase harness
+//   --kernel-nodes=N   kernel harness ground set size (default = --hot-nodes)
+//   --kernel-k-frac=F  kernel harness budget fraction (default 0.01)
+//   --min-speedup=X    exit 3 unless every kernel solve speedup >= X
 //   --solver-matrix    also run every registered solver on a fixed instance
 //   --matrix-points=N  solver/objective matrix instance size (default 6000)
 //   --matrix-json=PATH output path (default BENCH_solver_matrix.json)
@@ -53,12 +69,16 @@
 
 #include "api/objective_registry.h"
 #include "api/solver_registry.h"
+#include "baselines/baselines.h"
 #include "common/json.h"
 #include "common/timer.h"
 #include "core/addressable_heap.h"
 #include "core/bounding.h"
+#include "core/coverage_kernel.h"
+#include "core/facility_location_kernel.h"
 #include "core/greedy.h"
 #include "core/objective.h"
+#include "core/objective_kernel.h"
 #include "data/datasets.h"
 #include "data/perturbed.h"
 #include "dataflow/transforms.h"
@@ -320,7 +340,66 @@ graph::SimilarityGraph hot_path_graph(const HotPathConfig& config) {
   return graph::SimilarityGraph::from_lists(lists).symmetrized();
 }
 
-int run_hot_path(HotPathConfig config) {
+struct HotPathReport {
+  HotPathConfig config;
+  std::size_t directed_edges = 0;
+  double avg_degree = 0.0;
+  StageTimes best_baseline;
+  StageTimes best_arena;
+  bool equivalent = true;
+};
+
+/// One solve regime measured three ways: the pre-incremental-state
+/// per-candidate exact-oracle machinery (what every non-pairwise baseline
+/// shipped with, O(deg^2) per evaluation), the virtual SubproblemScorer
+/// driver (the equivalence oracle), and the flat incremental state.
+struct KernelRegime {
+  double oracle_ms = 0.0;
+  double scorer_ms = 0.0;
+  double incremental_ms = 0.0;
+  /// Incremental selections == scorer selections. Guaranteed (the state
+  /// mirrors the scorer's arithmetic operation-for-operation) — this is what
+  /// the exit-2 gate and CI check.
+  bool identical = true;
+  /// Incremental selections == exact-oracle selections. Holds for facility
+  /// location by construction (max is order-independent and exact) and
+  /// empirically for saturated coverage, whose oracle sums masses in a
+  /// different floating-point order; informational, not gated.
+  bool oracle_identical = true;
+  double speedup_vs_oracle() const {
+    return incremental_ms > 0.0 ? oracle_ms / incremental_ms : 0.0;
+  }
+  double speedup_vs_scorer() const {
+    return incremental_ms > 0.0 ? scorer_ms / incremental_ms : 0.0;
+  }
+};
+
+/// One kernel's solve-phase comparison in the kernel hot-path harness.
+struct KernelHotPathResult {
+  std::string objective;
+  double materialize_ms = 0.0;  // full-ground topology materialization
+  std::size_t state_bytes = 0;
+  /// Priority-queue (lazy) solve: refresh-dominated; the scorer was already
+  /// O(deg) incremental here, so the win is vs the exact-oracle path.
+  KernelRegime lazy;
+  /// Sampled solve (the stochastic partition solver): one re-evaluation per
+  /// candidate per round — the regime behind the 10-80x objective-matrix
+  /// gaps, and the headline speedup.
+  KernelRegime sampled;
+  double solve_speedup() const { return sampled.speedup_vs_oracle(); }
+  bool selections_identical() const {
+    return lazy.identical && sampled.identical;
+  }
+};
+
+struct KernelHotPathConfig {
+  std::size_t nodes = 0;  // 0 -> follow the pairwise hot path's node count
+  double k_fraction = 0.01;
+  std::size_t iterations = 2;
+  std::uint64_t seed = 2025;
+};
+
+int run_hot_path(HotPathConfig config, HotPathReport& report) {
   // Guard against nonsense flag values (--hot-partitions=0 etc.).
   config.nodes = std::max<std::size_t>(config.nodes, 16);
   config.partitions = std::clamp<std::size_t>(config.partitions, 1, config.nodes);
@@ -421,39 +500,252 @@ int run_hot_path(HotPathConfig config) {
               speedup_mat, speedup_solve,
               equivalent ? "identical" : "DIVERGED");
 
-  std::FILE* out = std::fopen(config.json_path.c_str(), "w");
+  report.config = config;
+  report.directed_edges = graph.num_edges();
+  report.avg_degree = graph.average_degree();
+  report.best_baseline = best_baseline;
+  report.best_arena = best_arena;
+  report.equivalent = equivalent;
+  return equivalent ? 0 : 2;
+}
+
+// ---------------------------------------------------------------------------
+// Kernel hot path: the non-pairwise solve phase, oracle vs scorer vs state.
+// ---------------------------------------------------------------------------
+
+/// Guards against nonsense flag values; main applies it before running AND
+/// before writing the JSON so the emitted metadata always describes the
+/// measured run.
+void clamp_kernel_config(KernelHotPathConfig& config) {
+  config.nodes = std::max<std::size_t>(config.nodes, 16);
+  config.iterations = std::max<std::size_t>(config.iterations, 1);
+}
+
+std::size_t kernel_budget(const KernelHotPathConfig& config) {
+  return std::max<std::size_t>(
+      1, static_cast<std::size_t>(config.k_fraction *
+                                  static_cast<double>(config.nodes)));
+}
+
+std::vector<KernelHotPathResult> run_kernel_hot_path(
+    const KernelHotPathConfig& config) {
+  const std::size_t k = kernel_budget(config);
+  std::printf("\n=== kernel hot path: coverage-family solve phase at %zu nodes,"
+              " k=%zu ===\n",
+              config.nodes, k);
+
+  HotPathConfig graph_config;
+  graph_config.nodes = config.nodes;
+  graph_config.seed = config.seed;
+  Timer build_timer;
+  const graph::SimilarityGraph graph = hot_path_graph(graph_config);
+  Rng rng(config.seed ^ 0xABCDULL);
+  std::vector<double> utilities(config.nodes);
+  for (double& u : utilities) u = rng.uniform(0.01, 2.0);
+  const graph::InMemoryGroundSet ground_set(graph, utilities);
+  std::printf("graph: %zu nodes, %zu directed edges, built in %s\n",
+              graph.num_nodes(), graph.num_edges(),
+              format_duration(build_timer.elapsed_seconds()).c_str());
+
+  core::FacilityLocationKernel facility_location(ground_set, {});
+  core::SaturatedCoverageParams coverage_params;
+  const core::SaturatedCoverageKernel coverage(ground_set, coverage_params);
+  const std::vector<const core::ObjectiveKernel*> kernels = {&facility_location,
+                                                             &coverage};
+
+  std::vector<core::NodeId> members(config.nodes);
+  for (std::size_t i = 0; i < config.nodes; ++i) {
+    members[i] = static_cast<core::NodeId>(i);
+  }
+
+  constexpr double kEpsilon = 0.1;  // sampled-regime parameter
+  std::vector<KernelHotPathResult> results;
+  for (const core::ObjectiveKernel* kernel : kernels) {
+    KernelHotPathResult result;
+    result.objective = std::string(kernel->name());
+    for (std::size_t iter = 0; iter < config.iterations; ++iter) {
+      KernelRegime lazy, sampled;
+      double materialize_ms = 0.0;
+
+      // Pre-PR machinery: per-candidate exact-oracle evaluation (O(deg^2)
+      // each) in both regimes.
+      Timer timer;
+      const core::GreedyResult lazy_oracle =
+          baselines::reference::lazy_greedy(*kernel, k);
+      lazy.oracle_ms = timer.elapsed_seconds() * 1e3;
+      timer.reset();
+      const core::GreedyResult sampled_oracle = baselines::reference::
+          stochastic_greedy(*kernel, k, kEpsilon, config.seed);
+      sampled.oracle_ms = timer.elapsed_seconds() * 1e3;
+
+      // PR 3 fallback: virtual per-candidate SubproblemScorer (already
+      // O(deg) incremental — the equivalence oracle of the parity suite).
+      core::SubproblemArena scorer_arena;
+      core::Subproblem& scorer_sub = core::materialize_subproblem_topology(
+          ground_set, members, scorer_arena);
+      const auto scorer = kernel->make_scorer();
+      timer.reset();
+      scorer->reset(scorer_sub, nullptr);
+      const core::GreedyResult lazy_scorer =
+          core::lazy_greedy_on_subproblem(scorer_sub, k, *scorer, scorer_arena);
+      lazy.scorer_ms = timer.elapsed_seconds() * 1e3;
+      timer.reset();
+      scorer->reset(scorer_sub, nullptr);
+      const core::GreedyResult sampled_scorer = core::stochastic_greedy_on_subproblem(
+          scorer_sub, k, *scorer, kEpsilon, config.seed);
+      sampled.scorer_ms = timer.elapsed_seconds() * 1e3;
+
+      // This PR: flat incremental state, batched gains.
+      core::SubproblemArena state_arena;
+      timer.reset();
+      core::Subproblem& state_sub = core::materialize_subproblem_topology(
+          ground_set, members, state_arena);
+      materialize_ms = timer.elapsed_seconds() * 1e3;
+      const auto state = kernel->make_incremental_state(state_arena);
+      timer.reset();
+      state->reset(state_sub, nullptr);
+      const core::GreedyResult lazy_incremental =
+          core::incremental_greedy_on_subproblem(state_sub, k, *state, state_arena);
+      lazy.incremental_ms = timer.elapsed_seconds() * 1e3;
+      timer.reset();
+      state->reset(state_sub, nullptr, /*init_priorities=*/false);
+      const core::GreedyResult sampled_incremental =
+          core::stochastic_greedy_on_subproblem(state_sub, k, *state, kEpsilon,
+                                                config.seed, state_arena);
+      sampled.incremental_ms = timer.elapsed_seconds() * 1e3;
+
+      lazy.identical = lazy_incremental.selected == lazy_scorer.selected;
+      lazy.oracle_identical = lazy_incremental.selected == lazy_oracle.selected;
+      sampled.identical = sampled_incremental.selected == sampled_scorer.selected;
+      sampled.oracle_identical =
+          sampled_incremental.selected == sampled_oracle.selected;
+
+      if (iter == 0) {
+        result.lazy = lazy;
+        result.sampled = sampled;
+        result.materialize_ms = materialize_ms;
+        result.state_bytes = state->state_bytes();
+      } else {
+        const auto keep_best = [](KernelRegime& best, const KernelRegime& run) {
+          best.oracle_ms = std::min(best.oracle_ms, run.oracle_ms);
+          best.scorer_ms = std::min(best.scorer_ms, run.scorer_ms);
+          best.incremental_ms = std::min(best.incremental_ms, run.incremental_ms);
+          best.identical = best.identical && run.identical;
+          best.oracle_identical = best.oracle_identical && run.oracle_identical;
+        };
+        keep_best(result.lazy, lazy);
+        keep_best(result.sampled, sampled);
+        result.materialize_ms = std::min(result.materialize_ms, materialize_ms);
+      }
+      std::printf("%-20s iter %zu: lazy %.0f/%.0f/%.0f ms | sampled "
+                  "%.0f/%.0f/%.0f ms (oracle/scorer/incremental)\n",
+                  result.objective.c_str(), iter, lazy.oracle_ms, lazy.scorer_ms,
+                  lazy.incremental_ms, sampled.oracle_ms, sampled.scorer_ms,
+                  sampled.incremental_ms);
+    }
+    std::printf("%-20s lazy: %.2fx vs oracle (%.2fx vs scorer) | sampled: "
+                "%.2fx vs oracle (%.2fx vs scorer) | selections %s\n",
+                result.objective.c_str(), result.lazy.speedup_vs_oracle(),
+                result.lazy.speedup_vs_scorer(), result.sampled.speedup_vs_oracle(),
+                result.sampled.speedup_vs_scorer(),
+                result.selections_identical() ? "identical" : "DIVERGED");
+    results.push_back(std::move(result));
+  }
+  return results;
+}
+
+int write_micro_core_json(const std::string& path, const HotPathReport& hot,
+                          const std::vector<KernelHotPathResult>& kernel_results,
+                          const KernelHotPathConfig& kernel_config,
+                          std::size_t kernel_k) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("bench").value("micro_core_hot_path");
+  json.key("workload")
+      .value("distributed-greedy round: materialize+solve over " +
+             std::to_string(hot.config.partitions) +
+             " partitions, k=half per partition");
+  json.key("nodes").value(hot.config.nodes);
+  json.key("directed_edges").value(hot.directed_edges);
+  json.key("avg_degree").value(hot.avg_degree);
+  json.key("partitions").value(hot.config.partitions);
+  json.key("iterations").value(hot.config.iterations);
+  const auto stage = [&json](const char* name, const StageTimes& times) {
+    json.key(name).begin_object();
+    json.key("materialize_ms").value(times.materialize_ms);
+    json.key("solve_ms").value(times.solve_ms);
+    json.key("total_ms").value(times.total_ms());
+    json.end_object();
+  };
+  stage("baseline", hot.best_baseline);
+  stage("arena", hot.best_arena);
+  const auto ratio = [](double baseline_ms, double arena_ms) {
+    return arena_ms > 0.0 ? baseline_ms / arena_ms : 0.0;
+  };
+  json.key("speedup_total")
+      .value(ratio(hot.best_baseline.total_ms(), hot.best_arena.total_ms()));
+  json.key("speedup_materialize")
+      .value(ratio(hot.best_baseline.materialize_ms, hot.best_arena.materialize_ms));
+  json.key("speedup_solve")
+      .value(ratio(hot.best_baseline.solve_ms, hot.best_arena.solve_ms));
+  json.key("selections_identical").value(hot.equivalent);
+
+  if (!kernel_results.empty()) {
+    json.key("kernel_hotpath").begin_object();
+    json.key("workload")
+        .value("non-pairwise solve phase, full ground set: per-candidate "
+               "exact-oracle machinery vs virtual-scorer fallback vs flat "
+               "incremental state + batched gains, in the lazy "
+               "(priority-queue) and sampled (stochastic, one re-evaluation "
+               "per candidate per round) regimes");
+    json.key("nodes").value(kernel_config.nodes);
+    json.key("k").value(kernel_k);
+    json.key("iterations").value(kernel_config.iterations);
+    double min_speedup = 0.0;
+    bool identical = true;
+    json.key("kernels").begin_array();
+    for (const KernelHotPathResult& result : kernel_results) {
+      json.begin_object();
+      json.key("objective").value(result.objective);
+      json.key("materialize_ms").value(result.materialize_ms);
+      json.key("state_bytes").value(result.state_bytes);
+      const auto regime = [&json](const char* name, const KernelRegime& r) {
+        json.key(name).begin_object();
+        json.key("oracle_solve_ms").value(r.oracle_ms);
+        json.key("scorer_solve_ms").value(r.scorer_ms);
+        json.key("incremental_solve_ms").value(r.incremental_ms);
+        json.key("speedup_vs_oracle").value(r.speedup_vs_oracle());
+        json.key("speedup_vs_scorer").value(r.speedup_vs_scorer());
+        json.key("selections_identical").value(r.identical);
+        json.key("oracle_selections_identical").value(r.oracle_identical);
+        json.end_object();
+      };
+      regime("lazy", result.lazy);
+      regime("sampled", result.sampled);
+      json.key("solve_speedup").value(result.solve_speedup());
+      json.key("selections_identical").value(result.selections_identical());
+      json.end_object();
+      min_speedup = min_speedup == 0.0
+                        ? result.solve_speedup()
+                        : std::min(min_speedup, result.solve_speedup());
+      identical = identical && result.selections_identical();
+    }
+    json.end_array();
+    json.key("min_solve_speedup").value(min_speedup);
+    json.key("selections_identical").value(identical);
+    json.end_object();
+  }
+  json.end_object();
+
+  std::FILE* out = std::fopen(path.c_str(), "w");
   if (out == nullptr) {
-    std::fprintf(stderr, "cannot write %s\n", config.json_path.c_str());
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
     return 1;
   }
-  std::fprintf(out,
-               "{\n"
-               "  \"bench\": \"micro_core_hot_path\",\n"
-               "  \"workload\": \"distributed-greedy round: materialize+solve "
-               "over %zu partitions, k=half per partition\",\n"
-               "  \"nodes\": %zu,\n"
-               "  \"directed_edges\": %zu,\n"
-               "  \"avg_degree\": %.2f,\n"
-               "  \"partitions\": %zu,\n"
-               "  \"iterations\": %zu,\n"
-               "  \"baseline\": {\"materialize_ms\": %.2f, \"solve_ms\": %.2f, "
-               "\"total_ms\": %.2f},\n"
-               "  \"arena\": {\"materialize_ms\": %.2f, \"solve_ms\": %.2f, "
-               "\"total_ms\": %.2f},\n"
-               "  \"speedup_total\": %.3f,\n"
-               "  \"speedup_materialize\": %.3f,\n"
-               "  \"speedup_solve\": %.3f,\n"
-               "  \"selections_identical\": %s\n"
-               "}\n",
-               config.partitions, config.nodes, graph.num_edges(),
-               graph.average_degree(), config.partitions, config.iterations,
-               best_baseline.materialize_ms, best_baseline.solve_ms,
-               best_baseline.total_ms(), best_arena.materialize_ms,
-               best_arena.solve_ms, best_arena.total_ms(), speedup,
-               speedup_mat, speedup_solve, equivalent ? "true" : "false");
+  std::fprintf(out, "%s\n", json.str().c_str());
   std::fclose(out);
-  std::printf("wrote %s\n", config.json_path.c_str());
-  return equivalent ? 0 : 2;
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
 }
 
 // ---------------------------------------------------------------------------
@@ -655,11 +947,14 @@ int run_objective_matrix(const ObjectiveMatrixConfig& config) {
 
 int main(int argc, char** argv) {
   HotPathConfig hot;
+  KernelHotPathConfig kernel;
   MatrixConfig matrix;
   ObjectiveMatrixConfig objective_matrix;
   bool run_matrix = false;
   bool run_obj_matrix = false;
+  bool run_kernel = false;
   bool run_gbench = true;
+  double min_speedup = 0.0;
   std::vector<char*> gbench_args;
   gbench_args.push_back(argv[0]);
   for (int i = 1; i < argc; ++i) {
@@ -679,6 +974,14 @@ int main(int argc, char** argv) {
       hot.iterations = static_cast<std::size_t>(std::atoll(value().c_str()));
     } else if (arg.rfind("--json=", 0) == 0) {
       hot.json_path = value();
+    } else if (arg == "--kernel-hotpath") {
+      run_kernel = true;
+    } else if (arg.rfind("--kernel-nodes=", 0) == 0) {
+      kernel.nodes = static_cast<std::size_t>(std::atoll(value().c_str()));
+    } else if (arg.rfind("--kernel-k-frac=", 0) == 0) {
+      kernel.k_fraction = std::atof(value().c_str());
+    } else if (arg.rfind("--min-speedup=", 0) == 0) {
+      min_speedup = std::atof(value().c_str());
     } else if (arg == "--solver-matrix") {
       run_matrix = true;
     } else if (arg == "--objective-matrix") {
@@ -697,7 +1000,33 @@ int main(int argc, char** argv) {
   int gbench_argc = static_cast<int>(gbench_args.size());
   benchmark::Initialize(&gbench_argc, gbench_args.data());
   if (run_gbench) benchmark::RunSpecifiedBenchmarks();
-  const int hot_status = run_hot_path(hot);
+
+  HotPathReport hot_report;
+  int hot_status = run_hot_path(hot, hot_report);
+
+  std::vector<KernelHotPathResult> kernel_results;
+  if (kernel.nodes == 0) kernel.nodes = hot_report.config.nodes;
+  clamp_kernel_config(kernel);
+  std::size_t kernel_k = 0;
+  if (run_kernel) {
+    kernel_results = run_kernel_hot_path(kernel);
+    kernel_k = kernel_budget(kernel);
+  }
+
+  const int write_status = write_micro_core_json(
+      hot_report.config.json_path, hot_report, kernel_results, kernel, kernel_k);
+  if (write_status != 0) return write_status;
+
+  for (const KernelHotPathResult& result : kernel_results) {
+    if (!result.selections_identical()) hot_status = 2;
+    if (min_speedup > 0.0 && result.solve_speedup() < min_speedup) {
+      std::fprintf(stderr,
+                   "FAIL: %s solve speedup %.2fx below --min-speedup=%.2f\n",
+                   result.objective.c_str(), result.solve_speedup(), min_speedup);
+      hot_status = 3;
+    }
+  }
+
   if (run_matrix) {
     matrix.points = std::max<std::size_t>(matrix.points, 100);
     const int matrix_status = run_solver_matrix(matrix);

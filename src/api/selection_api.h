@@ -185,10 +185,15 @@ struct SelectionReport {
   /// Round statistics for the multi-round solvers (empty otherwise).
   std::vector<core::RoundStats> rounds;
   std::optional<BoundingSummary> bounding;
-  /// Largest materialized per-partition subproblem (multi-round solvers).
+  /// Largest materialized per-partition subproblem (multi-round solvers) or
+  /// the engine's materialized working set (centralized baselines).
   std::size_t peak_partition_bytes = 0;
-  /// Peak elements resident on one machine (streaming/merge-based solvers).
+  /// Peak elements resident on one machine: partition size for the
+  /// round-based solvers, sieve/merge/coordinator residency for the rest.
   std::size_t peak_resident_elements = 0;
+  /// Largest flat kernel incremental state behind one solve unit (0 for the
+  /// closed-form pairwise path and pure-oracle paths).
+  std::size_t peak_kernel_state_bytes = 0;
   /// Solver-specific scalar stats (e.g. GreeDi merge_candidates).
   std::vector<std::pair<std::string, double>> extra;
 

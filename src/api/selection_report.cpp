@@ -65,6 +65,7 @@ std::string SelectionReport::to_json() const {
     json.key("num_partitions").value(round.num_partitions);
     json.key("output_size").value(round.output_size);
     json.key("peak_partition_bytes").value(round.peak_partition_bytes);
+    json.key("peak_state_bytes").value(round.peak_state_bytes);
     json.end_object();
   }
   json.end_array();
@@ -81,6 +82,7 @@ std::string SelectionReport::to_json() const {
   json.key("memory").begin_object();
   json.key("peak_partition_bytes").value(peak_partition_bytes);
   json.key("peak_resident_elements").value(peak_resident_elements);
+  json.key("peak_kernel_state_bytes").value(peak_kernel_state_bytes);
   json.end_object();
 
   json.key("extra").begin_object();

@@ -132,16 +132,25 @@ SelectionReport run_greedi(const SelectionRequest& request, SolverContext& conte
   report.selected = std::move(result.selected);
   report.solver_objective = result.objective;
   report.peak_resident_elements = result.merge_candidates;
+  report.peak_partition_bytes = result.peak_partition_bytes;
+  report.peak_kernel_state_bytes = result.peak_state_bytes;
   report.extra.emplace_back("merge_candidates",
                             static_cast<double>(result.merge_candidates));
   report.extra.emplace_back("merge_bytes", static_cast<double>(result.merge_bytes));
   return report;
 }
 
-SelectionReport from_greedy_result(core::GreedyResult&& result) {
+/// Centralized baselines hold the whole ground set on one machine; their
+/// engine bytes map onto the partition/state memory stats so no solver
+/// reports zeros it shouldn't.
+SelectionReport from_greedy_result(core::GreedyResult&& result,
+                                   std::size_t resident_elements = 0) {
   SelectionReport report;
   report.selected = std::move(result.selected);
   report.solver_objective = result.objective;
+  report.peak_partition_bytes = result.materialized_bytes;
+  report.peak_kernel_state_bytes = result.kernel_state_bytes;
+  report.peak_resident_elements = resident_elements;
   return report;
 }
 
@@ -178,6 +187,8 @@ SelectionReport run_sample_and_prune(const SelectionRequest& request,
   report.selected = std::move(result.selected);
   report.solver_objective = result.objective;
   report.peak_resident_elements = result.peak_resident_elements;
+  report.peak_partition_bytes = result.materialized_bytes;
+  report.peak_kernel_state_bytes = result.kernel_state_bytes;
   report.extra.emplace_back("rounds", static_cast<double>(result.rounds));
   return report;
 }
@@ -247,7 +258,8 @@ void register_builtins(SolverRegistry& registry) {
       [](const SelectionRequest& request, SolverContext&,
          const core::ObjectiveKernel& kernel) {
         return from_greedy_result(
-            baselines::lazy_greedy(kernel, request.resolved_k()));
+            baselines::lazy_greedy(kernel, request.resolved_k()),
+            request.ground_set->num_points());
       });
 
   registry.register_solver(
@@ -257,9 +269,11 @@ void register_builtins(SolverRegistry& registry) {
        "1-1/e-eps in expectation", "O(n) one machine", SolverCapabilities{}},
       [](const SelectionRequest& request, SolverContext&,
          const core::ObjectiveKernel& kernel) {
-        return from_greedy_result(baselines::stochastic_greedy(
-            kernel, request.resolved_k(),
-            request.distributed.stochastic_epsilon, request.seed));
+        return from_greedy_result(
+            baselines::stochastic_greedy(kernel, request.resolved_k(),
+                                         request.distributed.stochastic_epsilon,
+                                         request.seed),
+            request.ground_set->num_points());
       });
 
   registry.register_solver(
@@ -269,8 +283,10 @@ void register_builtins(SolverRegistry& registry) {
        "1-1/e-eps", "O(n) one machine", SolverCapabilities{}},
       [](const SelectionRequest& request, SolverContext&,
          const core::ObjectiveKernel& kernel) {
-        return from_greedy_result(baselines::threshold_greedy(
-            kernel, request.resolved_k(), request.streaming.epsilon));
+        return from_greedy_result(
+            baselines::threshold_greedy(kernel, request.resolved_k(),
+                                        request.streaming.epsilon),
+            request.ground_set->num_points());
       });
 
   SolverCapabilities streaming_caps;
@@ -402,6 +418,15 @@ SelectionReport SolverRegistry::run(const SelectionRequest& request,
   for (const core::RoundStats& round : report.rounds) {
     report.peak_partition_bytes =
         std::max(report.peak_partition_bytes, round.peak_partition_bytes);
+    report.peak_kernel_state_bytes =
+        std::max(report.peak_kernel_state_bytes, round.peak_state_bytes);
+    // One machine holds one partition: its residency is the round input
+    // spread over the round's partitions.
+    if (round.num_partitions > 0) {
+      report.peak_resident_elements = std::max(
+          report.peak_resident_elements,
+          (round.input_size + round.num_partitions - 1) / round.num_partitions);
+    }
   }
 
   // The uniform, cross-solver comparable number: f(S) recomputed from

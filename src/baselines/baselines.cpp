@@ -1,12 +1,15 @@
 #include "baselines/baselines.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <limits>
 #include <optional>
 #include <queue>
 #include <span>
 
+#include "baselines/gain_engine.h"
+#include "common/atomic_util.h"
 #include "common/rng.h"
 
 namespace subsel::baselines {
@@ -69,16 +72,21 @@ GreeDiResult greedi(const GroundSet& ground_set, std::size_t k,
 
   // Per-partition greedy, selecting k each (capped by partition size), on
   // per-worker reusable arenas. solve_partition dispatches: pairwise kernels
-  // take the closed-form arena path, others the lazy scorer fallback.
+  // take the closed-form arena path, others the batched incremental-state
+  // driver (or the scorer fallback).
   core::SubproblemArenaPool arena_pool;
   std::vector<std::vector<NodeId>> partials(m);
+  std::atomic<std::size_t> peak_bytes{0};
+  std::atomic<std::size_t> peak_state_bytes{0};
   pool_or_global(config.pool).parallel_for(m, [&](std::size_t p) {
     core::SubproblemArenaPool::Lease arena(arena_pool);
-    partials[p] = core::solve_partition(ground_set, partitions[p], k, kernel,
-                                        nullptr, *arena,
-                                        core::PartitionSolver::kPriorityQueue,
-                                        /*stochastic_epsilon=*/0.1, config.seed)
-                      .selected;
+    GreedyResult local = core::solve_partition(
+        ground_set, partitions[p], k, kernel, nullptr, *arena,
+        core::PartitionSolver::kPriorityQueue,
+        /*stochastic_epsilon=*/0.1, config.seed);
+    atomic_fetch_max(peak_bytes, local.materialized_bytes);
+    atomic_fetch_max(peak_state_bytes, local.kernel_state_bytes);
+    partials[p] = std::move(local.selected);
   });
 
   // The centralized merge: greedy over the union — the step that needs one
@@ -94,6 +102,10 @@ GreeDiResult greedi(const GroundSet& ground_set, std::size_t k,
       ground_set, merge_input, k, kernel, nullptr, *merge_arena,
       core::PartitionSolver::kPriorityQueue, /*stochastic_epsilon=*/0.1,
       config.seed, &result.merge_bytes);
+  atomic_fetch_max(peak_bytes, merged.materialized_bytes);
+  atomic_fetch_max(peak_state_bytes, merged.kernel_state_bytes);
+  result.peak_partition_bytes = peak_bytes.load();
+  result.peak_state_bytes = peak_state_bytes.load();
 
   result.selected = std::move(merged.selected);
   std::sort(result.selected.begin(), result.selected.end());
@@ -153,14 +165,19 @@ GreedyResult lazy_greedy(const GroundSet& ground_set, ObjectiveParams params,
   return lazy_greedy(core::PairwiseKernel(ground_set, params), k);
 }
 
-GreedyResult lazy_greedy(const ObjectiveKernel& kernel, std::size_t k) {
+namespace {
+
+/// The lazy-greedy loop over any gain callable: (stale gain, id, |S| when the
+/// gain was computed); outranking = higher gain, smaller id on ties —
+/// consistent with the other implementations.
+template <typename GainFn, typename SelectFn>
+GreedyResult lazy_greedy_loop(const ObjectiveKernel& kernel, std::size_t k,
+                              GainFn&& fresh_gain, SelectFn&& commit) {
   const std::size_t n = kernel.ground_set().num_points();
   k = std::min(k, n);
   GreedyResult result;
   result.selected.reserve(k);
 
-  // (stale gain, id, |S| when the gain was computed); outranking = higher
-  // gain, smaller id on ties — consistent with the other implementations.
   struct Entry {
     double gain;
     NodeId id;
@@ -171,7 +188,6 @@ GreedyResult lazy_greedy(const ObjectiveKernel& kernel, std::size_t k) {
     return a.id > b.id;
   };
   std::priority_queue<Entry, std::vector<Entry>, decltype(worse)> queue(worse);
-  std::vector<std::uint8_t> in_subset(n, 0);
   for (std::size_t i = 0; i < n; ++i) {
     queue.push(Entry{kernel.singleton_value(static_cast<NodeId>(i)),
                      static_cast<NodeId>(i), 0});
@@ -181,12 +197,12 @@ GreedyResult lazy_greedy(const ObjectiveKernel& kernel, std::size_t k) {
     Entry top = queue.top();
     queue.pop();
     if (top.version == result.selected.size()) {  // gain is fresh: take it
-      in_subset[static_cast<std::size_t>(top.id)] = 1;
+      commit(top.id);
       result.selected.push_back(top.id);
       total += top.gain;
       continue;
     }
-    top.gain = kernel.marginal_gain(in_subset, top.id);
+    top.gain = fresh_gain(top.id);
     top.version = result.selected.size();
     queue.push(top);
   }
@@ -194,10 +210,26 @@ GreedyResult lazy_greedy(const ObjectiveKernel& kernel, std::size_t k) {
   return result;
 }
 
-GreedyResult stochastic_greedy(const GroundSet& ground_set, ObjectiveParams params,
-                               std::size_t k, double epsilon, std::uint64_t seed) {
-  return stochastic_greedy(core::PairwiseKernel(ground_set, params), k, epsilon,
-                           seed);
+}  // namespace
+
+GreedyResult lazy_greedy(const ObjectiveKernel& kernel, std::size_t k) {
+  MarginalGainEngine engine(kernel);
+  GreedyResult result = lazy_greedy_loop(
+      kernel, k, [&engine](NodeId v) { return engine.gain(v); },
+      [&engine](NodeId v) { engine.select(v); });
+  result.materialized_bytes = engine.materialized_bytes();
+  result.kernel_state_bytes = engine.kernel_state_bytes();
+  return result;
+}
+
+namespace reference {
+
+GreedyResult lazy_greedy(const ObjectiveKernel& kernel, std::size_t k) {
+  std::vector<std::uint8_t> in_subset(kernel.ground_set().num_points(), 0);
+  return lazy_greedy_loop(
+      kernel, k,
+      [&](NodeId v) { return kernel.marginal_gain(in_subset, v); },
+      [&](NodeId v) { in_subset[static_cast<std::size_t>(v)] = 1; });
 }
 
 GreedyResult stochastic_greedy(const ObjectiveKernel& kernel, std::size_t k,
@@ -220,7 +252,6 @@ GreedyResult stochastic_greedy(const ObjectiveKernel& kernel, std::size_t k,
   double total = 0.0;
   for (std::size_t step = 0; step < k; ++step) {
     const std::size_t draw = std::min(sample_size, remaining.size());
-    // Partial Fisher-Yates: the first `draw` slots become the random sample.
     for (std::size_t i = 0; i < draw; ++i) {
       const std::size_t j = i + static_cast<std::size_t>(
                                     rng.uniform_index(remaining.size() - i));
@@ -244,6 +275,66 @@ GreedyResult stochastic_greedy(const ObjectiveKernel& kernel, std::size_t k,
     remaining.pop_back();
   }
   result.objective = total;
+  return result;
+}
+
+}  // namespace reference
+
+GreedyResult stochastic_greedy(const GroundSet& ground_set, ObjectiveParams params,
+                               std::size_t k, double epsilon, std::uint64_t seed) {
+  return stochastic_greedy(core::PairwiseKernel(ground_set, params), k, epsilon,
+                           seed);
+}
+
+GreedyResult stochastic_greedy(const ObjectiveKernel& kernel, std::size_t k,
+                               double epsilon, std::uint64_t seed) {
+  const std::size_t n = kernel.ground_set().num_points();
+  k = std::min(k, n);
+  GreedyResult result;
+  result.selected.reserve(k);
+  if (k == 0) return result;
+
+  const std::size_t sample_size = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::ceil(static_cast<double>(n) /
+                                            static_cast<double>(k) *
+                                            std::log(1.0 / epsilon))));
+  Rng rng(seed);
+  MarginalGainEngine engine(kernel);
+  std::vector<NodeId> remaining(n);
+  for (std::size_t i = 0; i < n; ++i) remaining[i] = static_cast<NodeId>(i);
+  std::vector<double> gains;
+
+  double total = 0.0;
+  for (std::size_t step = 0; step < k; ++step) {
+    const std::size_t draw = std::min(sample_size, remaining.size());
+    // Partial Fisher-Yates: the first `draw` slots become the random sample.
+    for (std::size_t i = 0; i < draw; ++i) {
+      const std::size_t j = i + static_cast<std::size_t>(
+                                    rng.uniform_index(remaining.size() - i));
+      std::swap(remaining[i], remaining[j]);
+    }
+    // One batched evaluation of the whole sample.
+    gains.resize(draw);
+    engine.gains_batch(std::span<const NodeId>(remaining.data(), draw), gains);
+    double best_gain = -std::numeric_limits<double>::infinity();
+    std::size_t best_slot = 0;
+    for (std::size_t i = 0; i < draw; ++i) {
+      if (gains[i] > best_gain ||
+          (gains[i] == best_gain && remaining[i] < remaining[best_slot])) {
+        best_gain = gains[i];
+        best_slot = i;
+      }
+    }
+    const NodeId chosen = remaining[best_slot];
+    engine.select(chosen);
+    result.selected.push_back(chosen);
+    total += best_gain;
+    std::swap(remaining[best_slot], remaining.back());
+    remaining.pop_back();
+  }
+  result.objective = total;
+  result.materialized_bytes = engine.materialized_bytes();
+  result.kernel_state_bytes = engine.kernel_state_bytes();
   return result;
 }
 

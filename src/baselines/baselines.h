@@ -66,6 +66,10 @@ struct GreeDiResult {
   /// hold in DRAM — the central-machine requirement the paper removes.
   std::size_t merge_candidates = 0;
   std::size_t merge_bytes = 0;  // materialized subproblem size of the merge
+  /// Largest materialized per-partition subproblem (merge included) and the
+  /// largest flat kernel state behind one — the report memory numbers.
+  std::size_t peak_partition_bytes = 0;
+  std::size_t peak_state_bytes = 0;
 };
 
 /// GreeDi / RandGreeDi: per-partition greedy selecting k each, then
@@ -75,10 +79,25 @@ GreeDiResult greedi(const GroundSet& ground_set, std::size_t k,
 
 /// Lazy greedy (Minoux): max-heap of stale marginal gains, re-evaluated only
 /// when popped. Identical output to Algorithm 1 by submodularity — for any
-/// submodular kernel, not just pairwise.
+/// submodular kernel, not just pairwise. Gains run through the
+/// MarginalGainEngine: the exact O(deg) oracle for pairwise kernels
+/// (bit-identical to the historical implementation), flat incremental state
+/// for the coverage-family kernels (O(deg) instead of the O(deg^2) oracle).
 GreedyResult lazy_greedy(const GroundSet& ground_set, ObjectiveParams params,
                          std::size_t k);
 GreedyResult lazy_greedy(const ObjectiveKernel& kernel, std::size_t k);
+
+namespace reference {
+
+/// The pre-engine implementations, verbatim: every gain through the kernel's
+/// exact oracle (one re-evaluation per candidate per round for the sampled
+/// variant). Kept as the equivalence baselines the incremental-state parity
+/// tests and the bench --kernel-hotpath harness measure against.
+GreedyResult lazy_greedy(const ObjectiveKernel& kernel, std::size_t k);
+GreedyResult stochastic_greedy(const ObjectiveKernel& kernel, std::size_t k,
+                               double epsilon = 0.1, std::uint64_t seed = 31);
+
+}  // namespace reference
 
 /// Stochastic greedy (lazier-than-lazy): each step evaluates a random sample
 /// of size (n/k)·ln(1/epsilon) and takes its best element.

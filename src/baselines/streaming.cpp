@@ -7,6 +7,7 @@
 #include <optional>
 #include <span>
 
+#include "baselines/gain_engine.h"
 #include "common/rng.h"
 
 namespace subsel::baselines {
@@ -79,7 +80,10 @@ GreedyResult threshold_greedy(const ObjectiveKernel& kernel, std::size_t k,
   result.selected.reserve(k);
   if (k == 0 || n == 0) return result;
 
-  std::vector<std::uint8_t> membership(n, 0);
+  // Every sweep re-evaluates every remaining candidate — precisely the
+  // workload the engine's incremental state turns from O(deg^2) into O(deg)
+  // per evaluation for the coverage-family kernels.
+  MarginalGainEngine engine(kernel);
 
   // d = the maximum singleton value (α·max utility for pairwise — a
   // singleton has no pairwise term).
@@ -102,10 +106,10 @@ GreedyResult threshold_greedy(const ObjectiveKernel& kernel, std::size_t k,
        w *= (1.0 - epsilon)) {
     for (std::size_t i = 0; i < n && result.selected.size() < k; ++i) {
       const auto v = static_cast<NodeId>(i);
-      if (membership[i] != 0) continue;
-      const double g = kernel.marginal_gain(membership, v);
+      if (engine.is_selected(v)) continue;
+      const double g = engine.gain(v);
       if (g >= w) {
-        membership[i] = 1;
+        engine.select(v);
         result.selected.push_back(v);
         total += g;
       }
@@ -119,19 +123,22 @@ GreedyResult threshold_greedy(const ObjectiveKernel& kernel, std::size_t k,
     double best_gain = -std::numeric_limits<double>::infinity();
     std::size_t best = n;
     for (std::size_t i = 0; i < n; ++i) {
-      if (membership[i] != 0) continue;
-      const double g = kernel.marginal_gain(membership, static_cast<NodeId>(i));
+      const auto v = static_cast<NodeId>(i);
+      if (engine.is_selected(v)) continue;
+      const double g = engine.gain(v);
       if (best == n || g > best_gain) {
         best_gain = g;
         best = i;
       }
     }
     if (best == n) break;
-    membership[best] = 1;
+    engine.select(static_cast<NodeId>(best));
     result.selected.push_back(static_cast<NodeId>(best));
     total += best_gain;
   }
   result.objective = total;
+  result.materialized_bytes = engine.materialized_bytes();
+  result.kernel_state_bytes = engine.kernel_state_bytes();
   return result;
 }
 
@@ -235,9 +242,14 @@ SamplePruneResult sample_and_prune(const GroundSet& ground_set, std::size_t k,
       config.machine_capacity > 0 ? config.machine_capacity : 4 * k;
   Rng rng(config.seed);
 
+  // Every round evaluates each sampled candidate per greedy step and every
+  // survivor once for the prune — the per-candidate-per-round re-evaluation
+  // the engine's incremental state makes O(deg) and batchable.
+  MarginalGainEngine engine(kernel);
   std::vector<core::NodeId> survivors(n);
   for (std::size_t i = 0; i < n; ++i) survivors[i] = static_cast<core::NodeId>(i);
-  std::vector<std::uint8_t> membership(n, 0);
+  std::vector<core::NodeId> candidates;
+  std::vector<double> gains;
   std::vector<core::NodeId> solution;
   solution.reserve(k);
 
@@ -256,30 +268,28 @@ SamplePruneResult sample_and_prune(const GroundSet& ground_set, std::size_t k,
         std::max(result.peak_resident_elements, draw + solution.size());
 
     // Extend the solution by greedy over the sample (gains conditioned on
-    // the current solution). Track the smallest accepted gain.
+    // the current solution), one batched evaluation per step. Track the
+    // smallest accepted gain.
     double smallest_gain = std::numeric_limits<double>::infinity();
-    std::vector<std::uint8_t> sampled(n, 0);
-    for (std::size_t i = 0; i < draw; ++i) {
-      sampled[static_cast<std::size_t>(survivors[i])] = 1;
-    }
     while (solution.size() < k) {
-      double best_gain = -std::numeric_limits<double>::infinity();
-      core::NodeId best = 0;
-      bool found = false;
+      candidates.clear();
       for (std::size_t i = 0; i < draw; ++i) {
-        const core::NodeId v = survivors[i];
-        if (membership[static_cast<std::size_t>(v)] != 0) continue;
-        const double g = kernel.marginal_gain(membership, v);
-        if (!found || g > best_gain || (g == best_gain && v < best)) {
-          best_gain = g;
-          best = v;
-          found = true;
+        if (!engine.is_selected(survivors[i])) candidates.push_back(survivors[i]);
+      }
+      if (candidates.empty()) break;
+      gains.resize(candidates.size());
+      engine.gains_batch(candidates, gains);
+      std::size_t best_slot = 0;
+      for (std::size_t i = 1; i < candidates.size(); ++i) {
+        if (gains[i] > gains[best_slot] ||
+            (gains[i] == gains[best_slot] &&
+             candidates[i] < candidates[best_slot])) {
+          best_slot = i;
         }
       }
-      if (!found) break;
-      membership[static_cast<std::size_t>(best)] = 1;
-      solution.push_back(best);
-      smallest_gain = std::min(smallest_gain, best_gain);
+      engine.select(candidates[best_slot]);
+      solution.push_back(candidates[best_slot]);
+      smallest_gain = std::min(smallest_gain, gains[best_slot]);
     }
 
     // Prune: by submodularity, a survivor whose gain w.r.t. the extended
@@ -287,14 +297,23 @@ SamplePruneResult sample_and_prune(const GroundSet& ground_set, std::size_t k,
     // it later. Keep everything when no element was accepted this round.
     std::vector<core::NodeId> next;
     next.reserve(survivors.size());
-    for (core::NodeId v : survivors) {
-      if (membership[static_cast<std::size_t>(v)] != 0) continue;  // taken
-      if (solution.size() < k &&
-          smallest_gain != std::numeric_limits<double>::infinity() &&
-          kernel.marginal_gain(membership, v) < smallest_gain) {
-        continue;
+    const bool prune_active =
+        solution.size() < k &&
+        smallest_gain != std::numeric_limits<double>::infinity();
+    if (prune_active) {
+      candidates.clear();
+      for (core::NodeId v : survivors) {
+        if (!engine.is_selected(v)) candidates.push_back(v);
       }
-      next.push_back(v);
+      gains.resize(candidates.size());
+      engine.gains_batch(candidates, gains);
+      for (std::size_t i = 0; i < candidates.size(); ++i) {
+        if (gains[i] >= smallest_gain) next.push_back(candidates[i]);
+      }
+    } else {
+      for (core::NodeId v : survivors) {
+        if (!engine.is_selected(v)) next.push_back(v);
+      }
     }
     survivors = std::move(next);
     result.survivors_per_round.push_back(survivors.size());
@@ -304,21 +323,20 @@ SamplePruneResult sample_and_prune(const GroundSet& ground_set, std::size_t k,
   // Budget not filled from pruned ground set (rare: tiny capacity and
   // aggressive pruning) — top up with the best remaining survivors.
   while (solution.size() < k && !survivors.empty()) {
-    double best_gain = -std::numeric_limits<double>::infinity();
+    gains.resize(survivors.size());
+    engine.gains_batch(survivors, gains);
     std::size_t best_slot = 0;
-    for (std::size_t i = 0; i < survivors.size(); ++i) {
-      const double g = kernel.marginal_gain(membership, survivors[i]);
-      if (g > best_gain) {
-        best_gain = g;
-        best_slot = i;
-      }
+    for (std::size_t i = 1; i < survivors.size(); ++i) {
+      if (gains[i] > gains[best_slot]) best_slot = i;
     }
     const core::NodeId v = survivors[best_slot];
-    membership[static_cast<std::size_t>(v)] = 1;
+    engine.select(v);
     solution.push_back(v);
     std::swap(survivors[best_slot], survivors.back());
     survivors.pop_back();
   }
+  result.materialized_bytes = engine.materialized_bytes();
+  result.kernel_state_bytes = engine.kernel_state_bytes();
 
   std::sort(solution.begin(), solution.end());
   result.selected = std::move(solution);

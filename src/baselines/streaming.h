@@ -98,6 +98,10 @@ struct SamplePruneResult {
   std::vector<std::size_t> survivors_per_round;
   /// Peak elements materialized on the coordinating machine.
   std::size_t peak_resident_elements = 0;
+  /// Gain-engine footprint: materialized full-ground subproblem + flat kernel
+  /// state (0 on the pairwise oracle path).
+  std::size_t materialized_bytes = 0;
+  std::size_t kernel_state_bytes = 0;
 };
 
 /// SAMPLE&PRUNE: per round, draw a uniform sample of the surviving elements

@@ -7,6 +7,7 @@
 #include <span>
 #include <stdexcept>
 
+#include "common/atomic_util.h"
 #include "common/log.h"
 #include "common/rng.h"
 #include "core/greedy.h"
@@ -124,25 +125,28 @@ core::DistributedGreedyResult beam_distributed_greedy(
       const auto solver = config.partition_solver;
       const double stochastic_epsilon = config.stochastic_epsilon;
       std::atomic<std::size_t> peak_bytes{0};
+      std::atomic<std::size_t> peak_state_bytes{0};
       survivors = dataflow::flat_map<NodeId>(
-          partitions, [&ground_set, &peak_bytes, initial, &kernel, solver,
-                       stochastic_epsilon, seed, round, per_partition_target,
-                       &pipeline, &arena_pool](const auto& row, auto emit) {
+          partitions, [&ground_set, &peak_bytes, &peak_state_bytes, initial,
+                       &kernel, solver, stochastic_epsilon, seed, round,
+                       per_partition_target, &pipeline,
+                       &arena_pool](const auto& row, auto emit) {
             core::SubproblemArenaPool::Lease arena(arena_pool);
-            std::size_t sub_bytes = 0;
             core::GreedyResult local = core::solve_partition(
                 ground_set, std::span<const NodeId>(row.second),
                 per_partition_target, kernel, initial, *arena, solver,
                 stochastic_epsilon,
-                hash_combine(seed, 0x9e37ULL * round + row.first), &sub_bytes);
-            pipeline.charge_shard_bytes(sub_bytes);
-            std::size_t expected = peak_bytes.load();
-            while (sub_bytes > expected &&
-                   !peak_bytes.compare_exchange_weak(expected, sub_bytes)) {
-            }
+                hash_combine(seed, 0x9e37ULL * round + row.first));
+            // The worker's working set: the subproblem CSR plus any flat
+            // kernel state behind it.
+            pipeline.charge_shard_bytes(local.materialized_bytes +
+                                        local.kernel_state_bytes);
+            atomic_fetch_max(peak_bytes, local.materialized_bytes);
+            atomic_fetch_max(peak_state_bytes, local.kernel_state_bytes);
             for (NodeId v : local.selected) emit(v);
           });
       stats.peak_partition_bytes = peak_bytes.load();
+      stats.peak_state_bytes = peak_state_bytes.load();
       stats.output_size = dataflow::count(survivors);
       result.rounds.push_back(stats);
       LOG_DEBUG("beam_distributed_greedy round %zu: %zu -> %zu (m=%zu, target %zu)",

@@ -1,0 +1,20 @@
+// Small lock-free helpers shared by the round loops' statistics tracking.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+
+namespace subsel {
+
+/// peak = max(peak, value) via a CAS loop — the standard atomic-max idiom for
+/// tracking a high-water mark from concurrent workers. Relaxed ordering: the
+/// peaks are read only after the owning parallel region has joined.
+inline void atomic_fetch_max(std::atomic<std::size_t>& peak,
+                             std::size_t value) noexcept {
+  std::size_t expected = peak.load(std::memory_order_relaxed);
+  while (value > expected &&
+         !peak.compare_exchange_weak(expected, value, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace subsel

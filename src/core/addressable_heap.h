@@ -113,6 +113,20 @@ class AddressableMaxHeap {
     for (const std::uint32_t slot : touched_slots_) sift_down(slot);
   }
 
+  /// Re-inserts a previously popped element with a new priority. The batched
+  /// lazy greedy pops a run of stale tops, re-evaluates them in one
+  /// gains_batch call, and pushes them back; pop/peek order stays the
+  /// (priority, id) total order regardless of insertion order, so batching
+  /// cannot change which element is accepted.
+  void push(LocalId id, double priority) noexcept {
+    assert(!contains(id));
+    priorities_[id] = priority;
+    heap_[size_] = id;
+    position_[id] = static_cast<std::uint32_t>(size_);
+    ++size_;
+    sift_up(static_cast<std::uint32_t>(size_ - 1));
+  }
+
   /// Generic priority update (increase or decrease) for a live element.
   void update(LocalId id, double new_priority) noexcept {
     assert(contains(id));

@@ -75,6 +75,99 @@ class SaturatedCoverageScorer final : public SubproblemScorer {
   std::vector<double> weight_;
 };
 
+/// Flat-state twin of SaturatedCoverageScorer: accumulated mass (the
+/// residual-capacity view: residual = tau - mass) plus weight per member, in
+/// reusable arena buffers. gain() keeps the scorer's exact expression
+/// min(tau, m+w) - min(tau, m) — mirrored operation-for-operation so the two
+/// paths select identically — but skips saturated neighbors outright: with
+/// m >= tau both minima are tau and the term is exactly +0.0, so the branch
+/// changes nothing except the work done.
+class SaturatedCoverageIncrementalState final : public KernelIncrementalState {
+ public:
+  SaturatedCoverageIncrementalState(const graph::GroundSet& ground_set,
+                                    SaturatedCoverageParams params,
+                                    SubproblemArena& arena)
+      : ground_set_(&ground_set),
+        params_(params),
+        arena_(&arena),
+        mass_(arena.kernel_state_buffer(0)),
+        weight_(arena.kernel_state_buffer(1)) {}
+
+  void reset(Subproblem& sub, const SelectionState* state,
+             bool init_priorities) override {
+    sub_ = &sub;
+    const std::size_t n = sub.size();
+    mass_.assign(n, 0.0);
+    weight_.resize(n);
+    std::vector<graph::Edge>& scratch = arena_->edge_scratch();
+    for (std::size_t i = 0; i < n; ++i) {
+      const NodeId v = sub.global_ids[i];
+      weight_[i] = params_.utility_weighted ? ground_set_->utility(v) : 1.0;
+      if (state != nullptr) {
+        double mass = 0.0;
+        for (const graph::Edge& e : ground_set_->neighbors_span(v, scratch)) {
+          if (state->is_selected(e.neighbor)) mass += e.weight;
+        }
+        mass_[i] = mass;
+      }
+    }
+    if (init_priorities) {
+      sub.priorities.resize(n);
+      for (std::uint32_t i = 0; i < n; ++i) sub.priorities[i] = gain_of(i);
+    }
+  }
+
+  double gain(std::uint32_t v) const override { return gain_of(v); }
+
+  void gains_batch(std::span<const std::uint32_t> candidates,
+                   std::span<double> out) const override {
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      out[i] = gain_of(candidates[i]);
+    }
+  }
+
+  void select(std::uint32_t v) override {
+    mass_[v] += params_.self_similarity;
+    const auto begin = static_cast<std::size_t>(sub_->offsets[v]);
+    const auto end = static_cast<std::size_t>(sub_->offsets[v + 1]);
+    const Subproblem::LocalEdge* edges = sub_->edges.data();
+    for (std::size_t e = begin; e < end; ++e) {
+      mass_[edges[e].neighbor] += static_cast<double>(edges[e].weight);
+    }
+  }
+
+  std::size_t state_bytes() const noexcept override {
+    return (mass_.size() + weight_.size()) * sizeof(double);
+  }
+
+ private:
+  double gain_of(std::uint32_t v) const {
+    const double tau = params_.saturation;
+    const double* mass = mass_.data();
+    const double* weight = weight_.data();
+    double total = weight[v] * (std::min(tau, mass[v] + params_.self_similarity) -
+                                std::min(tau, mass[v]));
+    const auto begin = static_cast<std::size_t>(sub_->offsets[v]);
+    const auto end = static_cast<std::size_t>(sub_->offsets[v + 1]);
+    const Subproblem::LocalEdge* edges = sub_->edges.data();
+    for (std::size_t e = begin; e < end; ++e) {
+      const std::uint32_t u = edges[e].neighbor;
+      const double m = mass[u];
+      if (m >= tau) continue;  // no residual capacity: the term is exactly 0
+      total += weight[u] * (std::min(tau, m + static_cast<double>(edges[e].weight)) -
+                            std::min(tau, m));
+    }
+    return total;
+  }
+
+  const graph::GroundSet* ground_set_;
+  SaturatedCoverageParams params_;
+  SubproblemArena* arena_;
+  const Subproblem* sub_ = nullptr;
+  std::vector<double>& mass_;  // per-member C_v; residual capacity = tau - C_v
+  std::vector<double>& weight_;
+};
+
 }  // namespace
 
 void SaturatedCoverageParams::validate() const {
@@ -144,8 +237,7 @@ double SaturatedCoverageKernel::marginal_gain(
   const double own_mass = mass_of(membership, v, scratch);
   double gain = point_weight(v) * (std::min(tau, own_mass + params_.self_similarity) -
                                    std::min(tau, own_mass));
-  ground_set_->neighbors(v, scratch);
-  for (const graph::Edge& e : scratch) {
+  for (const graph::Edge& e : ground_set_->neighbors_span(v, scratch)) {
     const double mass = mass_of(membership, e.neighbor, inner_scratch);
     gain += point_weight(e.neighbor) *
             (std::min(tau, mass + static_cast<double>(e.weight)) -
@@ -167,6 +259,12 @@ double SaturatedCoverageKernel::singleton_value(NodeId v) const {
 
 std::unique_ptr<SubproblemScorer> SaturatedCoverageKernel::make_scorer() const {
   return std::make_unique<SaturatedCoverageScorer>(*ground_set_, params_);
+}
+
+std::unique_ptr<KernelIncrementalState>
+SaturatedCoverageKernel::make_incremental_state(SubproblemArena& arena) const {
+  return std::make_unique<SaturatedCoverageIncrementalState>(*ground_set_, params_,
+                                                             arena);
 }
 
 }  // namespace subsel::core

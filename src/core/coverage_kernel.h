@@ -11,7 +11,12 @@
 // modular objective (τ = ∞) and a cardinality-like coverage (τ small).
 //
 // Like facility location, the saturation makes marginal gains non-linear in
-// the selected neighborhood, so solvers use the lazy marginal-gain path.
+// the selected neighborhood, so there is no closed-form decrease-key;
+// instead the kernel provides incremental state: a flat residual-capacity
+// view (accumulated mass per element, residual = tau - mass) updated in
+// O(deg(selected)) per pick. A candidate's gain is an O(deg) flat scan that
+// skips already-saturated neighbors (residual 0 contributes exactly nothing),
+// instead of the O(deg^2) exact oracle.
 #pragma once
 
 #include "core/objective_kernel.h"
@@ -40,7 +45,8 @@ class SaturatedCoverageKernel final : public ObjectiveKernel {
   std::string_view name() const noexcept override { return "saturated-coverage"; }
   ObjectiveKernelCaps caps() const noexcept override {
     return {/*linear_priority_updates=*/false, /*utility_bounds=*/false,
-            /*distributed_scoring=*/false, /*monotone=*/true};
+            /*distributed_scoring=*/false, /*monotone=*/true,
+            /*incremental_state=*/true};
   }
   const graph::GroundSet& ground_set() const noexcept override {
     return *ground_set_;
@@ -63,6 +69,8 @@ class SaturatedCoverageKernel final : public ObjectiveKernel {
   }
 
   std::unique_ptr<SubproblemScorer> make_scorer() const override;
+  std::unique_ptr<KernelIncrementalState> make_incremental_state(
+      SubproblemArena& arena) const override;
 
   const SaturatedCoverageParams& params() const noexcept { return params_; }
 

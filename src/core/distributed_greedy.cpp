@@ -6,6 +6,7 @@
 #include <filesystem>
 #include <stdexcept>
 
+#include "common/atomic_util.h"
 #include "common/log.h"
 #include "common/rng.h"
 #include "common/serialize.h"
@@ -244,20 +245,19 @@ DistributedGreedyResult distributed_greedy(const GroundSet& ground_set, std::siz
 
       std::vector<std::vector<NodeId>> partition_results(partitions.size());
       std::atomic<std::size_t> peak_bytes{0};
+      std::atomic<std::size_t> peak_state_bytes{0};
       workers.parallel_for(partitions.size(), [&](std::size_t p) {
         SubproblemArenaPool::Lease arena(arena_pool);
-        std::size_t sub_bytes = 0;
         GreedyResult local = solve_partition(
             ground_set, partitions[p], per_partition_target, kernel, initial,
             *arena, config.partition_solver, config.stochastic_epsilon,
-            hash_combine(config.seed, 0x9e37ULL * round + p), &sub_bytes);
-        std::size_t expected = peak_bytes.load();
-        while (sub_bytes > expected &&
-               !peak_bytes.compare_exchange_weak(expected, sub_bytes)) {
-        }
+            hash_combine(config.seed, 0x9e37ULL * round + p));
+        atomic_fetch_max(peak_bytes, local.materialized_bytes);
+        atomic_fetch_max(peak_state_bytes, local.kernel_state_bytes);
         partition_results[p] = std::move(local.selected);
       });
       stats.peak_partition_bytes = peak_bytes.load();
+      stats.peak_state_bytes = peak_state_bytes.load();
 
       survivors.clear();
       for (auto& part : partition_results) {

@@ -94,6 +94,9 @@ struct RoundStats {
   std::size_t num_partitions = 0;   // m_round
   std::size_t output_size = 0;      // |V_round| after the union
   std::size_t peak_partition_bytes = 0;  // largest materialized subproblem
+  /// Largest flat kernel incremental state behind one partition (0 for the
+  /// closed-form pairwise path, which keeps no per-element kernel state).
+  std::size_t peak_state_bytes = 0;
 };
 
 struct DistributedGreedyResult {

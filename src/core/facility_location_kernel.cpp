@@ -77,6 +77,116 @@ class FacilityLocationScorer final : public SubproblemScorer {
   std::vector<double> weight_;
 };
 
+/// Flat-state twin of FacilityLocationScorer: best/second-best cover plus
+/// weight per member, all in reusable arena buffers. gain() mirrors the
+/// scorer's arithmetic operation-for-operation (max-based coverage is
+/// order-independent and exact in floating point, so the two paths produce
+/// bit-identical gains and therefore identical selections); select() raises
+/// the cover of the picked point and its local neighbors in O(deg).
+class FacilityLocationIncrementalState final : public KernelIncrementalState {
+ public:
+  FacilityLocationIncrementalState(const graph::GroundSet& ground_set,
+                                   FacilityLocationParams params,
+                                   SubproblemArena& arena)
+      : ground_set_(&ground_set),
+        params_(params),
+        arena_(&arena),
+        cover_(arena.kernel_state_buffer(0)),
+        cover2_(arena.kernel_state_buffer(1)),
+        weight_(arena.kernel_state_buffer(2)) {}
+
+  void reset(Subproblem& sub, const SelectionState* state,
+             bool init_priorities) override {
+    sub_ = &sub;
+    const std::size_t n = sub.size();
+    cover_.assign(n, 0.0);
+    cover2_.assign(n, 0.0);
+    weight_.resize(n);
+    std::vector<graph::Edge>& scratch = arena_->edge_scratch();
+    for (std::size_t i = 0; i < n; ++i) {
+      const NodeId v = sub.global_ids[i];
+      weight_[i] = params_.utility_weighted ? ground_set_->utility(v) : 1.0;
+      if (state != nullptr) {
+        double best = 0.0;
+        double second = 0.0;
+        for (const graph::Edge& e : ground_set_->neighbors_span(v, scratch)) {
+          if (!state->is_selected(e.neighbor)) continue;
+          const auto w = static_cast<double>(e.weight);
+          if (w > best) {
+            second = best;
+            best = w;
+          } else if (w > second) {
+            second = w;
+          }
+        }
+        cover_[i] = best;
+        cover2_[i] = second;
+      }
+    }
+    if (init_priorities) {
+      sub.priorities.resize(n);
+      for (std::uint32_t i = 0; i < n; ++i) sub.priorities[i] = gain_of(i);
+    }
+  }
+
+  double gain(std::uint32_t v) const override { return gain_of(v); }
+
+  void gains_batch(std::span<const std::uint32_t> candidates,
+                   std::span<double> out) const override {
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      out[i] = gain_of(candidates[i]);
+    }
+  }
+
+  void select(std::uint32_t v) override {
+    raise_cover(v, params_.self_similarity);
+    const auto begin = static_cast<std::size_t>(sub_->offsets[v]);
+    const auto end = static_cast<std::size_t>(sub_->offsets[v + 1]);
+    const Subproblem::LocalEdge* edges = sub_->edges.data();
+    for (std::size_t e = begin; e < end; ++e) {
+      raise_cover(edges[e].neighbor, static_cast<double>(edges[e].weight));
+    }
+  }
+
+  std::size_t state_bytes() const noexcept override {
+    return (cover_.size() + cover2_.size() + weight_.size()) * sizeof(double);
+  }
+
+ private:
+  /// Same expression tree as FacilityLocationScorer::gain, flat arrays.
+  double gain_of(std::uint32_t v) const {
+    const double* cover = cover_.data();
+    const double* weight = weight_.data();
+    double total = weight[v] * std::max(0.0, params_.self_similarity - cover[v]);
+    const auto begin = static_cast<std::size_t>(sub_->offsets[v]);
+    const auto end = static_cast<std::size_t>(sub_->offsets[v + 1]);
+    const Subproblem::LocalEdge* edges = sub_->edges.data();
+    for (std::size_t e = begin; e < end; ++e) {
+      const std::uint32_t u = edges[e].neighbor;
+      total += weight[u] *
+               std::max(0.0, static_cast<double>(edges[e].weight) - cover[u]);
+    }
+    return total;
+  }
+
+  void raise_cover(std::uint32_t u, double value) {
+    if (value > cover_[u]) {
+      cover2_[u] = cover_[u];
+      cover_[u] = value;
+    } else if (value > cover2_[u]) {
+      cover2_[u] = value;
+    }
+  }
+
+  const graph::GroundSet* ground_set_;
+  FacilityLocationParams params_;
+  SubproblemArena* arena_;
+  const Subproblem* sub_ = nullptr;
+  std::vector<double>& cover_;   // best selected similarity per member
+  std::vector<double>& cover2_;  // second best (O(deg) removal/swap support)
+  std::vector<double>& weight_;
+};
+
 }  // namespace
 
 void FacilityLocationParams::validate() const {
@@ -144,8 +254,7 @@ double FacilityLocationKernel::marginal_gain(
                 std::max(0.0, params_.self_similarity -
                                   coverage_of(membership, v, scratch));
   // ...and every neighbor u is now covered at least as well as s(u,v).
-  ground_set_->neighbors(v, scratch);
-  for (const graph::Edge& e : scratch) {
+  for (const graph::Edge& e : ground_set_->neighbors_span(v, scratch)) {
     const double improved = static_cast<double>(e.weight) -
                             coverage_of(membership, e.neighbor, inner_scratch);
     if (improved > 0.0) gain += point_weight(e.neighbor) * improved;
@@ -164,6 +273,12 @@ double FacilityLocationKernel::singleton_value(NodeId v) const {
 
 std::unique_ptr<SubproblemScorer> FacilityLocationKernel::make_scorer() const {
   return std::make_unique<FacilityLocationScorer>(*ground_set_, params_);
+}
+
+std::unique_ptr<KernelIncrementalState>
+FacilityLocationKernel::make_incremental_state(SubproblemArena& arena) const {
+  return std::make_unique<FacilityLocationIncrementalState>(*ground_set_, params_,
+                                                            arena);
 }
 
 }  // namespace subsel::core

@@ -10,9 +10,14 @@
 // submodular cousin). Monotone and submodular for non-negative similarities.
 //
 // Marginal gains are NOT linear in the selected neighborhood (the max
-// saturates), so there is no closed-form decrease-key: solvers fall back to
-// the lazy marginal-gain path, and the bounding pre-pass (pairwise Umin/Umax
-// math) does not apply.
+// saturates), so there is no closed-form decrease-key; instead the kernel
+// provides incremental state: flat best/second-best cover arrays per element,
+// updated in O(deg(selected)) per pick, so a candidate's gain is an O(deg)
+// flat scan instead of the O(deg^2) exact oracle. The second-best array rides
+// along at one extra compare per update; it is what makes a future
+// removal/swap (local-search) step O(deg) instead of a full recompute, and it
+// is counted in state_bytes. The bounding pre-pass (pairwise Umin/Umax math)
+// still does not apply.
 #pragma once
 
 #include "core/objective_kernel.h"
@@ -40,7 +45,8 @@ class FacilityLocationKernel final : public ObjectiveKernel {
   std::string_view name() const noexcept override { return "facility-location"; }
   ObjectiveKernelCaps caps() const noexcept override {
     return {/*linear_priority_updates=*/false, /*utility_bounds=*/false,
-            /*distributed_scoring=*/false, /*monotone=*/true};
+            /*distributed_scoring=*/false, /*monotone=*/true,
+            /*incremental_state=*/true};
   }
   const graph::GroundSet& ground_set() const noexcept override {
     return *ground_set_;
@@ -62,6 +68,8 @@ class FacilityLocationKernel final : public ObjectiveKernel {
   }
 
   std::unique_ptr<SubproblemScorer> make_scorer() const override;
+  std::unique_ptr<KernelIncrementalState> make_incremental_state(
+      SubproblemArena& arena) const override;
 
   const FacilityLocationParams& params() const noexcept { return params_; }
 

@@ -265,31 +265,169 @@ GreedyResult stochastic_greedy_on_subproblem(const Subproblem& subproblem,
   return result;
 }
 
+GreedyResult incremental_greedy_on_subproblem(const Subproblem& subproblem,
+                                              std::size_t k,
+                                              KernelIncrementalState& state,
+                                              SubproblemArena& arena) {
+  const std::size_t n = subproblem.size();
+  k = std::min(k, n);
+  GreedyResult result;
+  result.selected.reserve(k);
+
+  AddressableMaxHeap& heap = arena.heap();
+  heap.assign(subproblem.priorities);
+  // version[v] = |selection| when v's heap priority was last computed — the
+  // same freshness rule as the scorer driver, on arena scratch.
+  std::vector<std::uint32_t>& version = arena.version_scratch();
+  version.assign(n, 0);
+  std::vector<std::uint32_t>& batch = arena.candidate_scratch();
+  std::vector<double>& fresh = arena.gain_scratch();
+  // Refresh batches ramp 1 -> 2 -> 4 ... up to kGainRefreshBatch while the
+  // top keeps coming up stale after an accept, and reset on every accept:
+  // easy accepts pay zero speculative evaluations, deeply stale stretches
+  // amortize toward one virtual call (and one heap restore) per
+  // kGainRefreshBatch candidates.
+  std::size_t batch_limit = 1;
+  while (result.selected.size() < k && !heap.empty()) {
+    const auto top = heap.peek();
+    const auto selection_size = static_cast<std::uint32_t>(result.selected.size());
+    if (version[top] == selection_size) {
+      heap.pop_max();
+      result.objective += heap.priority(top);
+      result.selected.push_back(subproblem.global_ids[top]);
+      state.select(top);
+      batch_limit = 1;
+      continue;
+    }
+    if (batch_limit == 1) {
+      // Single stale top: refresh in place (one sift), exactly like the
+      // scorer driver.
+      version[top] = selection_size;
+      heap.update(top, state.gain(top));
+      batch_limit = 2;
+      continue;
+    }
+    // Pop the run of stale tops (the current best upper bounds), refresh them
+    // all with one batched evaluation, and push them back. Submodularity
+    // makes every fresh gain <= its stale key, so this is a batched decrease;
+    // the (priority, id) pop order is independent of the refresh schedule, so
+    // the accepted element each step matches the one-at-a-time driver.
+    batch.clear();
+    while (batch.size() < batch_limit && !heap.empty() &&
+           version[heap.peek()] != selection_size) {
+      const auto v = heap.pop_max();
+      version[v] = selection_size;
+      batch.push_back(v);
+    }
+    fresh.resize(batch.size());
+    state.gains_batch(batch, fresh);
+    for (std::size_t i = 0; i < batch.size(); ++i) heap.push(batch[i], fresh[i]);
+    batch_limit = std::min(kGainRefreshBatch, batch_limit * 2);
+  }
+  return result;
+}
+
+GreedyResult stochastic_greedy_on_subproblem(const Subproblem& subproblem,
+                                             std::size_t k,
+                                             KernelIncrementalState& state,
+                                             double epsilon, std::uint64_t seed,
+                                             SubproblemArena& arena) {
+  const std::size_t n = subproblem.size();
+  k = std::min(k, n);
+  GreedyResult result;
+  result.selected.reserve(k);
+  if (k == 0) return result;
+  if (epsilon <= 0.0 || epsilon >= 1.0) {
+    throw std::invalid_argument("stochastic_greedy_on_subproblem: epsilon in (0,1)");
+  }
+
+  // Same live-set bookkeeping and Rng stream as the scorer overload; the
+  // sample's gains come from one gains_batch call per step.
+  std::vector<std::uint32_t> live(n);
+  for (std::uint32_t i = 0; i < n; ++i) live[i] = i;
+  const std::size_t sample_size = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::ceil(static_cast<double>(n) /
+                                            static_cast<double>(k) *
+                                            std::log(1.0 / epsilon))));
+  std::vector<double>& gains = arena.gain_scratch();
+  Rng rng(seed);
+  while (result.selected.size() < k) {
+    const std::size_t live_count = live.size();
+    const std::size_t draw = std::min(sample_size, live_count);
+    for (std::size_t i = 0; i < draw; ++i) {
+      const std::size_t j =
+          i + static_cast<std::size_t>(rng.uniform_index(live_count - i));
+      std::swap(live[i], live[j]);
+    }
+    gains.resize(draw);
+    state.gains_batch(std::span<const std::uint32_t>(live.data(), draw), gains);
+    std::size_t best_slot = 0;
+    for (std::size_t i = 1; i < draw; ++i) {
+      if (gains[i] > gains[best_slot] ||
+          (gains[i] == gains[best_slot] && live[i] < live[best_slot])) {
+        best_slot = i;
+      }
+    }
+    const std::uint32_t v1 = live[best_slot];
+    result.objective += gains[best_slot];
+    result.selected.push_back(subproblem.global_ids[v1]);
+    state.select(v1);
+    live[best_slot] = live.back();
+    live.pop_back();
+  }
+  return result;
+}
+
 GreedyResult solve_partition(const GroundSet& ground_set,
                              std::span<const NodeId> members, std::size_t k,
                              const ObjectiveKernel& kernel,
                              const SelectionState* state, SubproblemArena& arena,
                              PartitionSolver partition_solver,
                              double stochastic_epsilon, std::uint64_t seed,
-                             std::size_t* materialized_bytes) {
+                             std::size_t* materialized_bytes,
+                             std::size_t* state_bytes, GainEngine gain_engine) {
+  const auto finish = [&](GreedyResult result, std::size_t sub_bytes,
+                          std::size_t kernel_bytes) {
+    result.materialized_bytes = sub_bytes;
+    result.kernel_state_bytes = kernel_bytes;
+    if (materialized_bytes != nullptr) *materialized_bytes = sub_bytes;
+    if (state_bytes != nullptr) *state_bytes = kernel_bytes;
+    return result;
+  };
+
   if (const ObjectiveParams* params = kernel.pairwise_params()) {
     // Closed-form path — the exact pre-kernel machine code.
     const Subproblem& sub =
         materialize_subproblem(ground_set, members, *params, state, arena);
-    if (materialized_bytes != nullptr) *materialized_bytes = sub.byte_size();
-    return partition_solver == PartitionSolver::kStochastic
-               ? stochastic_greedy_on_subproblem(sub, k, *params,
-                                                 stochastic_epsilon, seed)
-               : greedy_on_subproblem(sub, k, *params, arena);
+    return finish(partition_solver == PartitionSolver::kStochastic
+                      ? stochastic_greedy_on_subproblem(sub, k, *params,
+                                                        stochastic_epsilon, seed)
+                      : greedy_on_subproblem(sub, k, *params, arena),
+                  sub.byte_size(), 0);
   }
   Subproblem& sub = materialize_subproblem_topology(ground_set, members, arena);
-  if (materialized_bytes != nullptr) *materialized_bytes = sub.byte_size();
+  if (gain_engine == GainEngine::kAuto) {
+    if (const std::unique_ptr<KernelIncrementalState> incremental =
+            kernel.make_incremental_state(arena)) {
+      // The sampled driver evaluates strictly through gains_batch, so the
+      // O(n·deg) initial-priority pass is skipped for it.
+      const bool sampled = partition_solver == PartitionSolver::kStochastic;
+      incremental->reset(sub, state, /*init_priorities=*/!sampled);
+      return finish(
+          sampled
+              ? stochastic_greedy_on_subproblem(sub, k, *incremental,
+                                                stochastic_epsilon, seed, arena)
+              : incremental_greedy_on_subproblem(sub, k, *incremental, arena),
+          sub.byte_size(), incremental->state_bytes());
+    }
+  }
   const std::unique_ptr<SubproblemScorer> scorer = kernel.make_scorer();
   scorer->reset(sub, state);
-  return partition_solver == PartitionSolver::kStochastic
-             ? stochastic_greedy_on_subproblem(sub, k, *scorer,
-                                               stochastic_epsilon, seed)
-             : lazy_greedy_on_subproblem(sub, k, *scorer, arena);
+  return finish(partition_solver == PartitionSolver::kStochastic
+                    ? stochastic_greedy_on_subproblem(sub, k, *scorer,
+                                                      stochastic_epsilon, seed)
+                    : lazy_greedy_on_subproblem(sub, k, *scorer, arena),
+                sub.byte_size(), 0);
 }
 
 namespace reference {

@@ -45,6 +45,12 @@ struct GreedyResult {
   /// edges into S′. For the exact global objective re-evaluate with
   /// PairwiseObjective.
   double objective = 0.0;
+  /// Bytes of the materialized subproblem CSR backing the solve (0 for
+  /// pure-oracle paths that never materialize one).
+  std::size_t materialized_bytes = 0;
+  /// Bytes of flat kernel incremental state backing the solve (0 for the
+  /// closed-form pairwise path and oracle paths).
+  std::size_t kernel_state_bytes = 0;
 };
 
 /// Materializes the subproblem induced by `members` (any order; sorted
@@ -121,20 +127,63 @@ GreedyResult stochastic_greedy_on_subproblem(const Subproblem& subproblem,
                                              std::size_t k, SubproblemScorer& scorer,
                                              double epsilon, std::uint64_t seed);
 
+/// Batched lazy greedy over flat incremental kernel state — the hot-path
+/// replacement of the scorer driver. Stale heap tops are popped in runs of up
+/// to kGainRefreshBatch, re-evaluated with ONE gains_batch call (flat loops,
+/// no per-candidate virtual dispatch), and pushed back with their fresh
+/// gains. Because heap pop/peek order is the (priority, id) total order and
+/// fresh gains can only be lower than stale ones (submodularity), the
+/// accepted element each step is identical to the one-at-a-time scorer
+/// driver's — selections and objectives match lazy_greedy_on_subproblem
+/// bit-for-bit when the state mirrors the scorer's arithmetic. `state` must
+/// already be reset() on `subproblem`.
+GreedyResult incremental_greedy_on_subproblem(const Subproblem& subproblem,
+                                              std::size_t k,
+                                              KernelIncrementalState& state,
+                                              SubproblemArena& arena);
+
+/// Candidates the batched lazy driver re-evaluates per gains_batch call.
+inline constexpr std::size_t kGainRefreshBatch = 32;
+
+/// Stochastic greedy over incremental state: the drawn sample is evaluated
+/// with one gains_batch call per step. Same Rng stream and tie-breaking as
+/// the scorer overload, so selections coincide when the state mirrors the
+/// scorer's arithmetic.
+GreedyResult stochastic_greedy_on_subproblem(const Subproblem& subproblem,
+                                             std::size_t k,
+                                             KernelIncrementalState& state,
+                                             double epsilon, std::uint64_t seed,
+                                             SubproblemArena& arena);
+
+/// Which gain machinery solve_partition runs for kernels without closed-form
+/// priority updates. kAuto prefers the kernel's flat incremental state
+/// (batched gains, O(deg) delta updates) and falls back to the virtual
+/// scorer; kScorerReference forces the scorer — the equivalence oracle the
+/// parity tests and the --kernel-hotpath bench hold the fast path against.
+enum class GainEngine : std::uint8_t {
+  kAuto = 0,
+  kScorerReference = 1,
+};
+
 /// The one partition-solve entry point the round loops (distributed greedy,
 /// GreeDi, beam) call: materializes `members` and selects min(k, size) points
 /// under `kernel`. Pairwise-family kernels (pairwise_params() != nullptr)
 /// take the exact pre-kernel arena fast path — bit-identical selections and
-/// objectives, zero added hot-path work; other kernels run the lazy (or
-/// sampled) driver over a fresh scorer. `materialized_bytes`, when non-null,
-/// receives the subproblem's byte size (the round-stats memory number).
+/// objectives, zero added hot-path work; other kernels run the batched
+/// incremental-state driver (or the lazy/sampled scorer fallback, see
+/// GainEngine). `materialized_bytes`/`state_bytes`, when non-null, receive
+/// the subproblem's byte size and the flat kernel-state byte size (the
+/// round-stats memory numbers; both are also set on the returned
+/// GreedyResult).
 GreedyResult solve_partition(const GroundSet& ground_set,
                              std::span<const NodeId> members, std::size_t k,
                              const ObjectiveKernel& kernel,
                              const SelectionState* state, SubproblemArena& arena,
                              PartitionSolver partition_solver,
                              double stochastic_epsilon, std::uint64_t seed,
-                             std::size_t* materialized_bytes = nullptr);
+                             std::size_t* materialized_bytes = nullptr,
+                             std::size_t* state_bytes = nullptr,
+                             GainEngine gain_engine = GainEngine::kAuto);
 
 /// Algorithm 2 on a full materialized dataset (fast path, no id translation).
 GreedyResult centralized_greedy(const graph::SimilarityGraph& graph,

@@ -66,6 +66,72 @@ class PairwiseScorer final : public SubproblemScorer {
   std::vector<double> gains_;
 };
 
+/// Flat-state twin of PairwiseScorer: identical arithmetic (alpha*u - beta*s
+/// accumulation), gains held in an arena buffer, batch reads with no
+/// per-element dispatch. Pairwise marginal gains are linear in the selected
+/// neighborhood, so the maintained array IS always fresh — gains_batch is a
+/// gather.
+class PairwiseIncrementalState final : public KernelIncrementalState {
+ public:
+  PairwiseIncrementalState(const graph::GroundSet& ground_set,
+                           ObjectiveParams params, SubproblemArena& arena)
+      : ground_set_(&ground_set),
+        params_(params),
+        arena_(&arena),
+        gains_(arena.kernel_state_buffer(0)) {}
+
+  void reset(Subproblem& sub, const SelectionState* state,
+             bool init_priorities) override {
+    sub_ = &sub;
+    const std::size_t n = sub.size();
+    gains_.resize(n);
+    std::vector<graph::Edge>& scratch = arena_->edge_scratch();
+    for (std::size_t i = 0; i < n; ++i) {
+      const NodeId v = sub.global_ids[i];
+      double gain = params_.alpha * ground_set_->utility(v);
+      if (state != nullptr) {
+        for (const graph::Edge& e : ground_set_->neighbors_span(v, scratch)) {
+          if (state->is_selected(e.neighbor)) gain -= params_.beta * e.weight;
+        }
+      }
+      gains_[i] = gain;
+    }
+    if (init_priorities) {
+      sub.priorities.assign(gains_.begin(), gains_.end());
+    }
+  }
+
+  double gain(std::uint32_t v) const override { return gains_[v]; }
+
+  void gains_batch(std::span<const std::uint32_t> candidates,
+                   std::span<double> out) const override {
+    const double* gains = gains_.data();
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      out[i] = gains[candidates[i]];
+    }
+  }
+
+  void select(std::uint32_t v) override {
+    const auto begin = static_cast<std::size_t>(sub_->offsets[v]);
+    const auto end = static_cast<std::size_t>(sub_->offsets[v + 1]);
+    const Subproblem::LocalEdge* edges = sub_->edges.data();
+    for (std::size_t e = begin; e < end; ++e) {
+      gains_[edges[e].neighbor] -= params_.beta * edges[e].weight;
+    }
+  }
+
+  std::size_t state_bytes() const noexcept override {
+    return gains_.size() * sizeof(double);
+  }
+
+ private:
+  const graph::GroundSet* ground_set_;
+  ObjectiveParams params_;
+  SubproblemArena* arena_;
+  const Subproblem* sub_ = nullptr;
+  std::vector<double>& gains_;
+};
+
 }  // namespace
 
 PairwiseKernel::PairwiseKernel(const graph::GroundSet& ground_set,
@@ -81,6 +147,11 @@ std::uint64_t PairwiseKernel::config_fingerprint() const noexcept {
 
 std::unique_ptr<SubproblemScorer> PairwiseKernel::make_scorer() const {
   return std::make_unique<PairwiseScorer>(*ground_set_, params_);
+}
+
+std::unique_ptr<KernelIncrementalState> PairwiseKernel::make_incremental_state(
+    SubproblemArena& arena) const {
+  return std::make_unique<PairwiseIncrementalState>(*ground_set_, params_, arena);
 }
 
 const ObjectiveKernel& resolve_kernel(const ObjectiveKernel* kernel,

@@ -15,10 +15,16 @@
 //    α·(u(v) − (β/α)·Σ_{j∈S∩N(v)} s(v,j)) — expose their ObjectiveParams via
 //    `pairwise_params()`, and the round loops run the exact same
 //    materialize + batched-decrease-key machine code as before (bit-identical
-//    selections, zero hot-path overhead). Every other kernel supplies a
-//    SubproblemScorer, and the round loops fall back to lazy marginal-gain
-//    evaluation (correct for any submodular kernel: stale priorities only
-//    overestimate, so re-checking the heap top suffices).
+//    selections, zero hot-path overhead). Every other kernel supplies flat,
+//    arena-backed *incremental state* (make_incremental_state): per-element
+//    cover/residual arrays updated in O(deg(selected)) per pick, with a
+//    gains_batch bulk evaluator the batched lazy solve loop feeds candidate
+//    runs through — one virtual call per batch, flat loops inside, instead of
+//    one virtual SubproblemScorer call per candidate. The virtual
+//    SubproblemScorer remains as the equivalence oracle (and the fallback for
+//    external kernels that implement neither hook); both fallbacks are exact
+//    for any submodular kernel: stale priorities only overestimate, so
+//    re-checking the heap top suffices.
 //
 // Capability flags tell the API layer which solver×objective combinations are
 // valid (e.g. the bounding pre-pass needs the pairwise Umin/Umax bounds), so
@@ -54,6 +60,10 @@ struct ObjectiveKernelCaps {
   bool distributed_scoring = false;
   /// Monotone non-decreasing without any offset (gain_offset() == 0).
   bool monotone = false;
+  /// make_incremental_state() returns flat arena-backed per-element state, so
+  /// solvers run O(deg) incremental gains + batched evaluation instead of the
+  /// O(deg^2) exact oracle / per-candidate virtual scorer.
+  bool incremental_state = false;
 };
 
 /// FNV-1a step over a 64-bit value (or a double's bit pattern) — stable
@@ -81,6 +91,53 @@ class SubproblemScorer {
 
   /// Commits the selection of local id `v`.
   virtual void select(std::uint32_t v) = 0;
+};
+
+/// Incremental, arena-backed kernel state — the devirtualized hot-path
+/// successor of SubproblemScorer. All per-element state (cover/residual
+/// masses, weights, gains) lives in flat SubproblemArena buffers reused
+/// across partitions and rounds, selections apply O(deg(selected)) delta
+/// updates, and gains_batch evaluates whole candidate runs behind ONE virtual
+/// call with tight flat loops inside (SIMD-friendly, no per-element
+/// dispatch). Implementations MUST mirror their SubproblemScorer's
+/// floating-point arithmetic operation-for-operation so the two paths pick
+/// identical subsets — the scorer stays as the equivalence oracle the parity
+/// suite holds this state against.
+///
+/// Like the scorer: one state serves one subproblem at a time, `reset`
+/// rebinds it, and it is not thread-safe (one per arena, and arenas are
+/// checked out per worker). gains_batch is const and safe to call
+/// concurrently between mutations.
+class KernelIncrementalState {
+ public:
+  virtual ~KernelIncrementalState() = default;
+
+  /// Binds the state to a materialized subproblem topology and, when
+  /// `init_priorities` is set, writes the initial marginal gains
+  /// (conditioned on the globally selected points of `state` when given)
+  /// into `sub.priorities`. Callers that never read the priority vector —
+  /// the sampled drivers and the full-ground-set baseline engine evaluate
+  /// strictly through gain()/gains_batch() — pass false and skip that whole
+  /// O(n·deg) pass.
+  virtual void reset(Subproblem& sub, const SelectionState* state,
+                     bool init_priorities = true) = 0;
+
+  /// Exact marginal gain of local id `v` given everything select()ed since
+  /// the last reset. O(deg(v)).
+  virtual double gain(std::uint32_t v) const = 0;
+
+  /// Bulk gains: out[i] = gain(candidates[i]) for every i, flat loops, no
+  /// per-element virtual dispatch. `out.size() >= candidates.size()`.
+  virtual void gains_batch(std::span<const std::uint32_t> candidates,
+                           std::span<double> out) const = 0;
+
+  /// Commits the selection of local id `v` with O(deg(v)) delta updates to
+  /// the flat state.
+  virtual void select(std::uint32_t v) = 0;
+
+  /// Bytes of flat per-element state behind this subproblem (the report's
+  /// peak_kernel_state_bytes).
+  virtual std::size_t state_bytes() const noexcept = 0;
 };
 
 class ObjectiveKernel {
@@ -131,8 +188,20 @@ class ObjectiveKernel {
 
   /// Fresh scorer for the lazy fallback path. Every kernel must provide one
   /// (linear kernels included — tests use it to validate the lazy driver
-  /// against the closed-form path).
+  /// against the closed-form path). With incremental state available this is
+  /// the *reference* implementation: the parity suite asserts the incremental
+  /// state reproduces it selection-for-selection.
   virtual std::unique_ptr<SubproblemScorer> make_scorer() const = 0;
+
+  /// Fresh incremental state whose flat buffers live in `arena` (reused
+  /// across every partition/round the arena serves), or nullptr when the
+  /// kernel only implements the scorer — solvers then fall back to the
+  /// per-candidate scorer path. Non-null iff caps().incremental_state.
+  virtual std::unique_ptr<KernelIncrementalState> make_incremental_state(
+      SubproblemArena& arena) const {
+    (void)arena;
+    return nullptr;
+  }
 };
 
 /// The paper's pairwise objective as the first kernel: a thin adapter over
@@ -147,7 +216,8 @@ class PairwiseKernel final : public ObjectiveKernel {
   std::string_view name() const noexcept override { return "pairwise"; }
   ObjectiveKernelCaps caps() const noexcept override {
     return {/*linear_priority_updates=*/true, /*utility_bounds=*/true,
-            /*distributed_scoring=*/true, /*monotone=*/false};
+            /*distributed_scoring=*/true, /*monotone=*/false,
+            /*incremental_state=*/true};
   }
   const graph::GroundSet& ground_set() const noexcept override {
     return *ground_set_;
@@ -180,6 +250,11 @@ class PairwiseKernel final : public ObjectiveKernel {
   std::uint64_t config_fingerprint() const noexcept override;
 
   std::unique_ptr<SubproblemScorer> make_scorer() const override;
+  /// Maintained pairwise gains as flat state. The round loops never use it
+  /// (pairwise_params() wins), but the parity suite and generic gain engines
+  /// do.
+  std::unique_ptr<KernelIncrementalState> make_incremental_state(
+      SubproblemArena& arena) const override;
 
   const PairwiseObjective& objective() const noexcept { return objective_; }
 

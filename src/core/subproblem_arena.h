@@ -25,6 +25,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <deque>
 #include <limits>
 #include <memory>
 #include <mutex>
@@ -85,6 +86,33 @@ class SubproblemArena {
     return update_scratch_;
   }
 
+  /// Reusable flat per-element buffer for ObjectiveKernel incremental state
+  /// (best/second-best cover arrays, residual-mass arrays, weights, gains).
+  /// Kernels index slots however they like; the deque keeps references to
+  /// already-handed-out buffers stable when a later slot grows the set.
+  /// Like the subproblem storage, the buffers are reused across every
+  /// partition and round the arena serves — steady-state allocation is zero.
+  std::vector<double>& kernel_state_buffer(std::size_t slot) {
+    while (kernel_state_.size() <= slot) kernel_state_.emplace_back();
+    return kernel_state_[slot];
+  }
+
+  /// Bytes currently held by the kernel-state buffers (the report's
+  /// peak_kernel_state_bytes input).
+  std::size_t kernel_state_bytes() const noexcept {
+    std::size_t total = 0;
+    for (const auto& buffer : kernel_state_) total += buffer.size() * sizeof(double);
+    return total;
+  }
+
+  /// Scratch for the batched lazy solve loop (per-element freshness stamps,
+  /// the stale-candidate batch, and its freshly evaluated gains).
+  std::vector<std::uint32_t>& version_scratch() noexcept { return version_scratch_; }
+  std::vector<std::uint32_t>& candidate_scratch() noexcept {
+    return candidate_scratch_;
+  }
+  std::vector<double>& gain_scratch() noexcept { return gain_scratch_; }
+
   /// Starts a fresh membership epoch over global ids [0, num_points).
   /// Returns true when the dense scatter map is engaged (num_points within
   /// kDenseMembershipLimit); false tells the caller to use its fallback.
@@ -119,6 +147,10 @@ class SubproblemArena {
   AddressableMaxHeap heap_;
   std::vector<graph::Edge> edge_scratch_;
   std::vector<std::pair<AddressableMaxHeap::LocalId, double>> update_scratch_;
+  std::deque<std::vector<double>> kernel_state_;
+  std::vector<std::uint32_t> version_scratch_;
+  std::vector<std::uint32_t> candidate_scratch_;
+  std::vector<double> gain_scratch_;
   std::vector<std::uint64_t> stamps_;  // (epoch << 32) | local id
   std::uint32_t epoch_ = 0;
 };

@@ -24,6 +24,7 @@
 #include <string>
 
 #include "common/rng.h"
+#include "common/atomic_util.h"
 #include "common/thread_pool.h"
 
 namespace subsel::dataflow {
@@ -89,10 +90,7 @@ class Pipeline {
   /// Called by every shard task with its working-set size. Tracks the peak
   /// and enforces the per-worker budget.
   void charge_shard_bytes(std::size_t bytes) {
-    std::size_t expected = peak_shard_bytes_.load(std::memory_order_relaxed);
-    while (bytes > expected && !peak_shard_bytes_.compare_exchange_weak(
-                                   expected, bytes, std::memory_order_relaxed)) {
-    }
+    atomic_fetch_max(peak_shard_bytes_, bytes);
     if (options_.worker_memory_bytes != 0 && bytes > options_.worker_memory_bytes) {
       throw PipelineMemoryError(bytes, options_.worker_memory_bytes);
     }

@@ -1,0 +1,412 @@
+// Parity suite for the incremental kernel state and the batched solve loop:
+// the flat arena-backed state (make_incremental_state) must reproduce the
+// virtual SubproblemScorer — the equivalence oracle — selection-for-selection
+// and gain-for-gain, and stay within tolerance of the kernel's brute-force
+// exact oracle, across randomized instances, adversarial ties, duplicate
+// weights, conditioning on pre-selected state, and empty partitions.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "../testing/test_instances.h"
+#include "baselines/baselines.h"
+#include "baselines/gain_engine.h"
+#include "core/coverage_kernel.h"
+#include "core/facility_location_kernel.h"
+#include "core/greedy.h"
+#include "core/objective_kernel.h"
+
+namespace subsel::core {
+namespace {
+
+using subsel::testing::Instance;
+using subsel::testing::random_instance;
+
+/// All three built-in kernels over one ground set.
+struct KernelSet {
+  PairwiseKernel pairwise;
+  FacilityLocationKernel facility_location;
+  SaturatedCoverageKernel coverage;
+
+  explicit KernelSet(const graph::GroundSet& ground_set)
+      : pairwise(ground_set, ObjectiveParams::from_alpha(0.8)),
+        facility_location(ground_set, {}),
+        coverage(ground_set, [] {
+          SaturatedCoverageParams params;
+          params.saturation = 0.8;
+          return params;
+        }()) {}
+
+  std::vector<const ObjectiveKernel*> all() const {
+    return {&pairwise, &facility_location, &coverage};
+  }
+};
+
+std::vector<NodeId> every_third(std::size_t n) {
+  std::vector<NodeId> members;
+  for (std::size_t i = 0; i < n; i += 3) members.push_back(static_cast<NodeId>(i));
+  return members;
+}
+
+/// Gains from the state (single and batched) must equal the scorer's exactly
+/// after every selection of a shared random play-out.
+void expect_state_mirrors_scorer(const ObjectiveKernel& kernel,
+                                 std::span<const NodeId> members,
+                                 const SelectionState* conditioning,
+                                 std::uint64_t seed) {
+  SubproblemArena scorer_arena;
+  Subproblem& scorer_sub = materialize_subproblem_topology(
+      kernel.ground_set(), members, scorer_arena);
+  const std::unique_ptr<SubproblemScorer> scorer = kernel.make_scorer();
+  scorer->reset(scorer_sub, conditioning);
+  const std::vector<double> scorer_priorities = scorer_sub.priorities;
+
+  SubproblemArena state_arena;
+  Subproblem& state_sub = materialize_subproblem_topology(
+      kernel.ground_set(), members, state_arena);
+  const std::unique_ptr<KernelIncrementalState> state =
+      kernel.make_incremental_state(state_arena);
+  ASSERT_NE(state, nullptr) << kernel.name();
+  state->reset(state_sub, conditioning);
+
+  const std::size_t n = state_sub.size();
+  ASSERT_EQ(state_sub.priorities.size(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(state_sub.priorities[i], scorer_priorities[i])
+        << kernel.name() << " initial gain of local " << i;
+  }
+  EXPECT_GT(state->state_bytes(), 0u);
+
+  Rng rng(seed);
+  std::vector<std::uint32_t> all(n);
+  for (std::uint32_t i = 0; i < n; ++i) all[i] = i;
+  std::vector<std::uint32_t> picks(all);
+  rng.shuffle(std::span<std::uint32_t>(picks));
+  picks.resize(std::min<std::size_t>(n, 12));
+
+  std::vector<double> batched(n);
+  for (const std::uint32_t pick : picks) {
+    state->gains_batch(all, batched);
+    for (std::uint32_t v = 0; v < n; ++v) {
+      const double expected = scorer->gain(v);
+      EXPECT_EQ(state->gain(v), expected)
+          << kernel.name() << " gain of local " << v;
+      EXPECT_EQ(batched[v], expected)
+          << kernel.name() << " batched gain of local " << v;
+    }
+    scorer->select(pick);
+    state->select(pick);
+  }
+}
+
+TEST(IncrementalStateParity, MirrorsScorerOnRandomSubproblems) {
+  for (std::uint64_t seed : {41001ULL, 41002ULL, 41003ULL}) {
+    const Instance instance = random_instance(90, 5, seed);
+    const auto ground_set = instance.ground_set();
+    const KernelSet kernels(ground_set);
+    const std::vector<NodeId> members = every_third(90);
+    for (const ObjectiveKernel* kernel : kernels.all()) {
+      expect_state_mirrors_scorer(*kernel, members, nullptr, seed ^ 0xfeed);
+    }
+  }
+}
+
+TEST(IncrementalStateParity, MirrorsScorerConditionedOnSelectionState) {
+  const Instance instance = random_instance(80, 6, 41010);
+  const auto ground_set = instance.ground_set();
+  const KernelSet kernels(ground_set);
+
+  SelectionState conditioning(80);
+  conditioning.select(2);
+  conditioning.select(35);
+  conditioning.select(71);
+  conditioning.discard(7);
+  const std::vector<NodeId> members = conditioning.unassigned_ids();
+  for (const ObjectiveKernel* kernel : kernels.all()) {
+    expect_state_mirrors_scorer(*kernel, members, &conditioning, 99);
+  }
+}
+
+TEST(IncrementalStateParity, GainsTrackBruteForceOracle) {
+  // Over the full ground set (no dropped edges) the subproblem-scoped state
+  // must agree with the kernel's exact marginal-gain oracle.
+  const Instance instance = random_instance(60, 5, 41020);
+  const auto ground_set = instance.ground_set();
+  const KernelSet kernels(ground_set);
+  const std::size_t n = 60;
+  std::vector<NodeId> members(n);
+  for (std::size_t i = 0; i < n; ++i) members[i] = static_cast<NodeId>(i);
+
+  for (const ObjectiveKernel* kernel : kernels.all()) {
+    SubproblemArena arena;
+    Subproblem& sub =
+        materialize_subproblem_topology(ground_set, members, arena);
+    const std::unique_ptr<KernelIncrementalState> state =
+        kernel->make_incremental_state(arena);
+    state->reset(sub, nullptr);
+
+    std::vector<std::uint8_t> membership(n, 0);
+    const std::vector<std::uint32_t> picks = {3, 17, 42, 8, 55};
+    for (const std::uint32_t pick : picks) {
+      for (std::uint32_t v = 0; v < n; ++v) {
+        if (membership[v] != 0) continue;
+        const double oracle = kernel->marginal_gain(membership, static_cast<NodeId>(v));
+        EXPECT_NEAR(state->gain(v), oracle, 1e-9 * (1.0 + std::abs(oracle)))
+            << kernel->name() << " vs oracle at local " << v;
+      }
+      membership[pick] = 1;
+      state->select(pick);
+    }
+  }
+}
+
+void expect_drivers_agree(const ObjectiveKernel& kernel,
+                          std::span<const NodeId> members, std::size_t k) {
+  SubproblemArena scorer_arena;
+  Subproblem& scorer_sub = materialize_subproblem_topology(
+      kernel.ground_set(), members, scorer_arena);
+  const std::unique_ptr<SubproblemScorer> scorer = kernel.make_scorer();
+  scorer->reset(scorer_sub, nullptr);
+  const GreedyResult lazy =
+      lazy_greedy_on_subproblem(scorer_sub, k, *scorer, scorer_arena);
+
+  SubproblemArena state_arena;
+  Subproblem& state_sub = materialize_subproblem_topology(
+      kernel.ground_set(), members, state_arena);
+  const std::unique_ptr<KernelIncrementalState> state =
+      kernel.make_incremental_state(state_arena);
+  state->reset(state_sub, nullptr);
+  const GreedyResult batched =
+      incremental_greedy_on_subproblem(state_sub, k, *state, state_arena);
+
+  EXPECT_EQ(batched.selected, lazy.selected) << kernel.name();
+  EXPECT_EQ(batched.objective, lazy.objective) << kernel.name();
+}
+
+TEST(BatchedLazyDriver, MatchesScorerDriverOnRandomInstances) {
+  for (std::uint64_t seed : {41101ULL, 41102ULL}) {
+    const Instance instance = random_instance(150, 6, seed);
+    const auto ground_set = instance.ground_set();
+    const KernelSet kernels(ground_set);
+    const std::vector<NodeId> members = every_third(150);
+    for (const ObjectiveKernel* kernel : kernels.all()) {
+      // k spanning less than, around, and beyond one refresh batch.
+      for (const std::size_t k : {std::size_t{5}, kGainRefreshBatch + 3,
+                                  members.size()}) {
+        expect_drivers_agree(*kernel, members, k);
+      }
+    }
+  }
+}
+
+TEST(BatchedLazyDriver, MatchesScorerDriverUnderAdversarialTies) {
+  // Every weight and utility identical: every candidate ties with every
+  // other, so any divergence in tie-breaking (or any last-ulp gain drift)
+  // would reorder selections.
+  const std::size_t n = 120;
+  Instance instance = random_instance(n, 5, 41200, /*max_weight=*/1.0,
+                                      /*max_utility=*/2.0);
+  std::vector<graph::NeighborList> lists(n);
+  {
+    std::vector<graph::Edge> scratch;
+    for (std::size_t v = 0; v < n; ++v) {
+      for (const graph::Edge& e : instance.graph.neighbors(static_cast<NodeId>(v))) {
+        lists[v].edges.push_back(graph::Edge{e.neighbor, 0.5f});
+      }
+    }
+  }
+  instance.graph = graph::SimilarityGraph::from_lists(lists).symmetrized();
+  std::fill(instance.utilities.begin(), instance.utilities.end(), 1.0);
+  const auto ground_set = instance.ground_set();
+  const KernelSet kernels(ground_set);
+
+  std::vector<NodeId> members(n);
+  for (std::size_t i = 0; i < n; ++i) members[i] = static_cast<NodeId>(i);
+  for (const ObjectiveKernel* kernel : kernels.all()) {
+    expect_drivers_agree(*kernel, members, n / 3);
+  }
+}
+
+TEST(BatchedLazyDriver, MatchesScorerDriverWithDuplicateWeights) {
+  // Two distinct weight values only: heavy duplication without full
+  // degeneracy.
+  const std::size_t n = 100;
+  Instance instance = random_instance(n, 6, 41210);
+  std::vector<graph::NeighborList> lists(n);
+  Rng rng(7);
+  for (std::size_t v = 0; v < n; ++v) {
+    for (const graph::Edge& e : instance.graph.neighbors(static_cast<NodeId>(v))) {
+      lists[v].edges.push_back(
+          graph::Edge{e.neighbor, rng.uniform() < 0.5 ? 0.25f : 0.75f});
+    }
+  }
+  instance.graph = graph::SimilarityGraph::from_lists(lists).symmetrized();
+  for (double& u : instance.utilities) u = rng.uniform() < 0.5 ? 1.0 : 1.5;
+  const auto ground_set = instance.ground_set();
+  const KernelSet kernels(ground_set);
+
+  std::vector<NodeId> members(n);
+  for (std::size_t i = 0; i < n; ++i) members[i] = static_cast<NodeId>(i);
+  for (const ObjectiveKernel* kernel : kernels.all()) {
+    expect_drivers_agree(*kernel, members, n / 2);
+  }
+}
+
+TEST(BatchedLazyDriver, HandlesEmptyAndDegeneratePartitions) {
+  const Instance instance = random_instance(40, 4, 41220);
+  const auto ground_set = instance.ground_set();
+  const KernelSet kernels(ground_set);
+  for (const ObjectiveKernel* kernel : kernels.all()) {
+    SubproblemArena arena;
+    // Empty member list.
+    const GreedyResult empty = solve_partition(
+        ground_set, std::span<const NodeId>{}, 5, *kernel, nullptr, arena,
+        PartitionSolver::kPriorityQueue, 0.1, 1);
+    EXPECT_TRUE(empty.selected.empty()) << kernel->name();
+    EXPECT_EQ(empty.objective, 0.0) << kernel->name();
+
+    // k = 0 on a non-empty partition.
+    std::vector<NodeId> members = {1, 5, 9};
+    const GreedyResult zero = solve_partition(
+        ground_set, members, 0, *kernel, nullptr, arena,
+        PartitionSolver::kPriorityQueue, 0.1, 1);
+    EXPECT_TRUE(zero.selected.empty()) << kernel->name();
+
+    // k beyond the partition size selects everything.
+    const GreedyResult all = solve_partition(
+        ground_set, members, 64, *kernel, nullptr, arena,
+        PartitionSolver::kPriorityQueue, 0.1, 1);
+    EXPECT_EQ(all.selected.size(), members.size()) << kernel->name();
+
+    // Duplicate members are rejected on both gain paths.
+    std::vector<NodeId> duplicates = {1, 5, 5};
+    EXPECT_THROW(solve_partition(ground_set, duplicates, 2, *kernel, nullptr,
+                                 arena, PartitionSolver::kPriorityQueue, 0.1, 1),
+                 std::invalid_argument)
+        << kernel->name();
+  }
+}
+
+TEST(SolvePartitionGainEngine, AutoMatchesScorerReference) {
+  const Instance instance = random_instance(200, 6, 41300);
+  const auto ground_set = instance.ground_set();
+  const KernelSet kernels(ground_set);
+  const std::vector<NodeId> members = every_third(200);
+  const std::size_t k = members.size() / 2;
+
+  for (const ObjectiveKernel* kernel : kernels.all()) {
+    SubproblemArena auto_arena;
+    std::size_t auto_state_bytes = 0;
+    const GreedyResult with_state = solve_partition(
+        ground_set, members, k, *kernel, nullptr, auto_arena,
+        PartitionSolver::kPriorityQueue, 0.1, 3, nullptr, &auto_state_bytes,
+        GainEngine::kAuto);
+
+    SubproblemArena scorer_arena;
+    std::size_t scorer_state_bytes = 0;
+    const GreedyResult with_scorer = solve_partition(
+        ground_set, members, k, *kernel, nullptr, scorer_arena,
+        PartitionSolver::kPriorityQueue, 0.1, 3, nullptr, &scorer_state_bytes,
+        GainEngine::kScorerReference);
+
+    EXPECT_EQ(with_state.selected, with_scorer.selected) << kernel->name();
+    EXPECT_EQ(with_state.objective, with_scorer.objective) << kernel->name();
+    EXPECT_EQ(scorer_state_bytes, 0u) << kernel->name();
+    if (kernel->pairwise_params() == nullptr) {
+      // The coverage-family kernels actually allocated flat state.
+      EXPECT_GT(auto_state_bytes, 0u) << kernel->name();
+      EXPECT_EQ(with_state.kernel_state_bytes, auto_state_bytes);
+      EXPECT_GT(with_state.materialized_bytes, 0u);
+    }
+  }
+}
+
+TEST(SolvePartitionGainEngine, StochasticAutoMatchesScorerReference) {
+  const Instance instance = random_instance(180, 5, 41310);
+  const auto ground_set = instance.ground_set();
+  const KernelSet kernels(ground_set);
+  std::vector<NodeId> members(180);
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    members[i] = static_cast<NodeId>(i);
+  }
+
+  for (const ObjectiveKernel* kernel : kernels.all()) {
+    SubproblemArena auto_arena;
+    const GreedyResult with_state = solve_partition(
+        ground_set, members, 30, *kernel, nullptr, auto_arena,
+        PartitionSolver::kStochastic, 0.2, 777, nullptr, nullptr,
+        GainEngine::kAuto);
+    SubproblemArena scorer_arena;
+    const GreedyResult with_scorer = solve_partition(
+        ground_set, members, 30, *kernel, nullptr, scorer_arena,
+        PartitionSolver::kStochastic, 0.2, 777, nullptr, nullptr,
+        GainEngine::kScorerReference);
+    EXPECT_EQ(with_state.selected, with_scorer.selected) << kernel->name();
+    EXPECT_EQ(with_state.objective, with_scorer.objective) << kernel->name();
+  }
+}
+
+TEST(MarginalGainEngine, IncrementalBaselinesMatchOracleReference) {
+  // The full-ground-set engine behind the centralized baselines: lazy greedy
+  // through it must select exactly what the pre-engine oracle implementation
+  // selects, for every kernel.
+  const Instance instance = random_instance(140, 6, 41400);
+  const auto ground_set = instance.ground_set();
+  const KernelSet kernels(ground_set);
+  for (const ObjectiveKernel* kernel : kernels.all()) {
+    const GreedyResult oracle = baselines::reference::lazy_greedy(*kernel, 25);
+    const GreedyResult engine = baselines::lazy_greedy(*kernel, 25);
+    EXPECT_EQ(engine.selected, oracle.selected) << kernel->name();
+    EXPECT_NEAR(engine.objective, oracle.objective,
+                1e-9 * (1.0 + std::abs(oracle.objective)))
+        << kernel->name();
+    if (kernel->pairwise_params() == nullptr) {
+      EXPECT_GT(engine.kernel_state_bytes, 0u) << kernel->name();
+      EXPECT_GT(engine.materialized_bytes, 0u) << kernel->name();
+    } else {
+      // Pairwise keeps the exact oracle: no engine state, bit-identical sums.
+      EXPECT_EQ(engine.kernel_state_bytes, 0u);
+      EXPECT_EQ(engine.objective, oracle.objective);
+    }
+  }
+}
+
+TEST(MarginalGainEngine, GainAndBatchMatchOraclePerStep) {
+  const Instance instance = random_instance(70, 5, 41410);
+  const auto ground_set = instance.ground_set();
+  const KernelSet kernels(ground_set);
+  const std::size_t n = 70;
+  for (const ObjectiveKernel* kernel : kernels.all()) {
+    baselines::MarginalGainEngine engine(*kernel);
+    EXPECT_EQ(engine.incremental(), kernel->pairwise_params() == nullptr)
+        << kernel->name();
+    std::vector<std::uint8_t> membership(n, 0);
+    std::vector<NodeId> candidates;
+    std::vector<double> gains;
+    for (const NodeId pick : {NodeId{4}, NodeId{31}, NodeId{66}}) {
+      candidates.clear();
+      for (std::size_t v = 0; v < n; ++v) {
+        if (membership[v] == 0) candidates.push_back(static_cast<NodeId>(v));
+      }
+      gains.resize(candidates.size());
+      engine.gains_batch(candidates, gains);
+      for (std::size_t i = 0; i < candidates.size(); ++i) {
+        const double oracle = kernel->marginal_gain(membership, candidates[i]);
+        EXPECT_NEAR(engine.gain(candidates[i]), oracle,
+                    1e-9 * (1.0 + std::abs(oracle)))
+            << kernel->name();
+        EXPECT_EQ(gains[i], engine.gain(candidates[i])) << kernel->name();
+      }
+      membership[static_cast<std::size_t>(pick)] = 1;
+      engine.select(pick);
+      EXPECT_TRUE(engine.is_selected(pick));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace subsel::core
