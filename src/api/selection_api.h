@@ -54,6 +54,10 @@ struct DistributedOptions {
   std::string checkpoint_file;
   /// Graceful preemption after this many rounds of this invocation (0 = off).
   std::size_t stop_after_round = 0;
+  /// Out-of-core pipelining: partitions of each round's plan handed to
+  /// GroundSet::prefetch ahead of the solve loop (0 disables; no-op for
+  /// resident ground sets). Never affects selections.
+  std::size_t prefetch_depth = 2;
 };
 
 /// Bounding pre-pass options (solvers "pipeline" and "dataflow").
@@ -61,6 +65,9 @@ struct BoundingOptions {
   bool enabled = true;
   core::BoundingSampling sampling = core::BoundingSampling::kUniform;
   double sample_fraction = 0.3;
+  /// Leading worker chunks of each bounding pass handed to
+  /// GroundSet::prefetch (0 disables; no-op for resident ground sets).
+  std::size_t prefetch_depth = 2;
 };
 
 /// Dataflow substrate options (solver "dataflow").
@@ -158,6 +165,22 @@ struct BoundingSummary {
   std::size_t shrink_rounds = 0;
 };
 
+/// Out-of-core cache behavior of the run, filled when the request's ground
+/// set is a graph::DiskGroundSet (counter deltas over this run; the
+/// high-water mark and budget are absolute).
+struct DiskCacheSummary {
+  std::size_t num_shards = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t prefetch_issued = 0;
+  std::uint64_t prefetch_loaded = 0;
+  /// Peak blocks resident at once (absolute, never exceeds the budget).
+  std::size_t resident_blocks_high_water = 0;
+  std::size_t max_cached_blocks = 0;
+  /// DRAM the disk-backed set keeps resident (scalars + cache at capacity).
+  std::size_t resident_bytes = 0;
+};
+
 struct SelectionReport {
   std::string solver;
   /// Which registered objective the run maximized.
@@ -185,6 +208,8 @@ struct SelectionReport {
   /// Round statistics for the multi-round solvers (empty otherwise).
   std::vector<core::RoundStats> rounds;
   std::optional<BoundingSummary> bounding;
+  /// Present iff the run was out-of-core (graph::DiskGroundSet-backed).
+  std::optional<DiskCacheSummary> disk_cache;
   /// Largest materialized per-partition subproblem (multi-round solvers) or
   /// the engine's materialized working set (centralized baselines).
   std::size_t peak_partition_bytes = 0;

@@ -85,6 +85,20 @@ std::string SelectionReport::to_json() const {
   json.key("peak_kernel_state_bytes").value(peak_kernel_state_bytes);
   json.end_object();
 
+  if (disk_cache.has_value()) {
+    json.key("disk_cache").begin_object();
+    json.key("num_shards").value(disk_cache->num_shards);
+    json.key("hits").value(disk_cache->hits);
+    json.key("misses").value(disk_cache->misses);
+    json.key("prefetch_issued").value(disk_cache->prefetch_issued);
+    json.key("prefetch_loaded").value(disk_cache->prefetch_loaded);
+    json.key("resident_blocks_high_water")
+        .value(disk_cache->resident_blocks_high_water);
+    json.key("max_cached_blocks").value(disk_cache->max_cached_blocks);
+    json.key("resident_bytes").value(disk_cache->resident_bytes);
+    json.end_object();
+  }
+
   json.key("extra").begin_object();
   for (const auto& [name, value] : extra) json.key(name).value(value);
   json.end_object();
@@ -100,11 +114,13 @@ std::string SelectionReport::to_json() const {
   json.key("stochastic_epsilon").value(distributed_echo.stochastic_epsilon);
   json.key("checkpoint_file").value(distributed_echo.checkpoint_file);
   json.key("stop_after_round").value(distributed_echo.stop_after_round);
+  json.key("prefetch_depth").value(distributed_echo.prefetch_depth);
   json.end_object();
   json.key("bounding").begin_object();
   json.key("enabled").value(bounding_echo.enabled);
   json.key("sampling").value(sampling_name(bounding_echo.sampling));
   json.key("sample_fraction").value(bounding_echo.sample_fraction);
+  json.key("prefetch_depth").value(bounding_echo.prefetch_depth);
   json.end_object();
   json.key("dataflow").begin_object();
   json.key("num_shards").value(dataflow_echo.num_shards);

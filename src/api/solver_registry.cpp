@@ -11,6 +11,7 @@
 #include "common/timer.h"
 #include "core/selection_pipeline.h"
 #include "dataflow/pipeline.h"
+#include "graph/disk_ground_set.h"
 
 namespace subsel::api {
 namespace {
@@ -31,6 +32,7 @@ core::DistributedGreedyConfig greedy_config(const SelectionRequest& request,
   config.stochastic_epsilon = request.distributed.stochastic_epsilon;
   config.checkpoint_file = request.distributed.checkpoint_file;
   config.stop_after_round = request.distributed.stop_after_round;
+  config.prefetch_depth = request.distributed.prefetch_depth;
   config.seed = request.seed;
   config.pool = context.pool();
   config.arena_pool = &context.arenas();
@@ -48,6 +50,7 @@ core::SelectionPipelineConfig pipeline_config(const SelectionRequest& request,
   config.use_bounding = request.bounding.enabled;
   config.bounding.sampling = request.bounding.sampling;
   config.bounding.sample_fraction = request.bounding.sample_fraction;
+  config.bounding.prefetch_depth = request.bounding.prefetch_depth;
   config.bounding.seed = request.seed;
   config.bounding.pool = context.pool();
   config.greedy = greedy_config(request, context, kernel);
@@ -395,9 +398,39 @@ SelectionReport SolverRegistry::run(const SelectionRequest& request,
                                 request.objective_name + "\": " + reason);
   }
 
+  // Out-of-core runs report the cache's behavior over exactly this run:
+  // snapshot the monotonic counters before and diff after.
+  const auto* disk_set =
+      dynamic_cast<const graph::DiskGroundSet*>(request.ground_set);
+  graph::DiskCacheStats disk_before;
+  if (disk_set != nullptr) disk_before = disk_set->stats();
+
   Timer total;
   SelectionReport report = it->second.fn(request, context, *kernel);
   const double solve_seconds = total.elapsed_seconds();
+
+  if (disk_set != nullptr) {
+    disk_set->drain_prefetch();  // count stragglers before snapshotting
+    const graph::DiskCacheStats after = disk_set->stats();
+    // Saturating deltas: hit counts can dip transiently when another
+    // instance takes over a thread's deferred tally mid-run, and an
+    // unsigned wrap would report ~1.8e19 hits.
+    const auto delta = [](std::uint64_t now, std::uint64_t before) {
+      return now >= before ? now - before : 0;
+    };
+    DiskCacheSummary summary;
+    summary.num_shards = disk_set->num_shards();
+    summary.hits = delta(after.hits, disk_before.hits);
+    summary.misses = delta(after.misses, disk_before.misses);
+    summary.prefetch_issued =
+        delta(after.prefetch_issued, disk_before.prefetch_issued);
+    summary.prefetch_loaded =
+        delta(after.prefetch_loaded, disk_before.prefetch_loaded);
+    summary.resident_blocks_high_water = after.resident_blocks_high_water;
+    summary.max_cached_blocks = disk_set->max_cached_blocks();
+    summary.resident_bytes = disk_set->resident_bytes();
+    report.disk_cache = summary;
+  }
 
   report.solver = request.solver;
   report.objective_name = request.objective_name;

@@ -72,6 +72,24 @@ void compute_utility_bounds(const GroundSet& ground_set, const SelectionState& s
   ThreadPool& workers = pool_or_global(config.pool);
   const std::size_t num_chunks = std::max<std::size_t>(1, workers.size() * 4);
   const std::size_t chunk = (n + num_chunks - 1) / num_chunks;
+
+  // Hand the pass's leading chunks to the ground set as async page-in hints
+  // (no-op for resident sets): the hint tasks precede the pass chunks in the
+  // pool queue, so an out-of-core backend does its leading block I/O batched
+  // and in file order.
+  if (config.prefetch_depth > 0) {
+    const std::size_t hint_end =
+        std::min(n, chunk * std::min(config.prefetch_depth, num_chunks));
+    std::vector<NodeId> upcoming;
+    upcoming.reserve(hint_end);
+    for (std::size_t i = 0; i < hint_end; ++i) {
+      if (state.is_unassigned(static_cast<NodeId>(i))) {
+        upcoming.push_back(static_cast<NodeId>(i));
+      }
+    }
+    ground_set.prefetch(std::span<const NodeId>(upcoming), &workers);
+  }
+
   workers.parallel_for(num_chunks, [&](std::size_t c) {
     const std::size_t begin = c * chunk;
     const std::size_t end = std::min(n, begin + chunk);

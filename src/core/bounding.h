@@ -47,6 +47,12 @@ struct BoundingConfig {
   /// Safety cap on the total number of grow+shrink rounds.
   std::size_t max_rounds = 10'000;
   std::uint64_t seed = 17;
+  /// Out-of-core pipelining: every bounding pass hands its first
+  /// `prefetch_depth` worker chunks to GroundSet::prefetch as asynchronous
+  /// page-in hints before the parallel pass starts, so a disk-backed ground
+  /// set batches the pass's leading block I/O. No-op for resident ground
+  /// sets; 0 disables. Never affects decisions.
+  std::size_t prefetch_depth = 2;
   ThreadPool* pool = nullptr;
 };
 

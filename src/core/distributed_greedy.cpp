@@ -243,6 +243,31 @@ DistributedGreedyResult distributed_greedy(const GroundSet& ground_set, std::siz
       const std::size_t per_partition_target =
           (n_round + partitions.size() - 1) / partitions.size();
 
+      // Page the front of the round's partition plan in ahead of the solves:
+      // the prefetch tasks enter the pool queue before the solve tasks, so an
+      // out-of-core ground set performs its block I/O batched and in file
+      // order. One combined call, so the backend deduplicates and
+      // budget-caps across the whole head instead of letting partition p+1's
+      // prefetch evict partition p's freshly paged blocks. Purely a cache
+      // hint — selections are unaffected.
+      const std::size_t prefetch_parts =
+          std::min(config.prefetch_depth, partitions.size());
+      if (prefetch_parts == 1) {
+        ground_set.prefetch(std::span<const NodeId>(partitions[0]), &workers);
+      } else if (prefetch_parts > 1) {
+        std::size_t head_size = 0;
+        for (std::size_t p = 0; p < prefetch_parts; ++p) {
+          head_size += partitions[p].size();
+        }
+        std::vector<NodeId> plan_head;
+        plan_head.reserve(head_size);
+        for (std::size_t p = 0; p < prefetch_parts; ++p) {
+          plan_head.insert(plan_head.end(), partitions[p].begin(),
+                           partitions[p].end());
+        }
+        ground_set.prefetch(std::span<const NodeId>(plan_head), &workers);
+      }
+
       std::vector<std::vector<NodeId>> partition_results(partitions.size());
       std::atomic<std::size_t> peak_bytes{0};
       std::atomic<std::size_t> peak_state_bytes{0};

@@ -58,6 +58,13 @@ struct DistributedGreedyConfig {
   PartitionSolver partition_solver = PartitionSolver::kPriorityQueue;
   /// Sampling parameter for PartitionSolver::kStochastic.
   double stochastic_epsilon = 0.1;
+  /// Out-of-core pipelining: at the start of every round, the first
+  /// `prefetch_depth` partitions of the round's plan are handed to
+  /// GroundSet::prefetch as asynchronous page-in hints on the worker pool,
+  /// so a disk-backed ground set batches its block I/O (sorted, deduplicated)
+  /// ahead of the solve loop instead of demand-missing one block at a time.
+  /// No-op for resident ground sets; 0 disables. Never affects selections.
+  std::size_t prefetch_depth = 2;
   /// Round checkpointing for long runs (the paper's jobs run 10-48 h on a
   /// shared cluster, Appendix D): after every round the surviving ids and
   /// round statistics are persisted to this file; a later call with an

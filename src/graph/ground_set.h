@@ -20,6 +20,10 @@
 
 #include "graph/similarity_graph.h"
 
+namespace subsel {
+class ThreadPool;
+}
+
 namespace subsel::graph {
 
 class GroundSet {
@@ -29,6 +33,16 @@ class GroundSet {
   virtual std::size_t num_points() const = 0;
 
   virtual double utility(NodeId v) const = 0;
+
+  /// Hint that `nodes`' neighborhoods will be read soon. Out-of-core
+  /// implementations page the backing blocks in — asynchronously when a pool
+  /// is given (fire-and-forget; the implementation owns task lifetime) —
+  /// so the solver round loops can walk the upcoming partition plan ahead
+  /// of the solve. Resident implementations ignore it.
+  virtual void prefetch(std::span<const NodeId> nodes, ThreadPool* pool) const {
+    (void)nodes;
+    (void)pool;
+  }
 
   /// Replaces `out` with the neighbors of v. Implementations should reuse
   /// `out`'s capacity; callers reuse one buffer across calls.

@@ -1,0 +1,150 @@
+#include "graph/reference_disk_ground_set.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <stdexcept>
+
+namespace subsel::graph::reference {
+namespace {
+
+// Mirrors SimilarityGraph::save (similarity_graph.cpp).
+constexpr std::uint64_t kGraphMagic = 0x5355424752415048ULL;  // "SUBGRAPH"
+constexpr std::uint32_t kGraphVersion = 1;
+
+void pread_exact(int fd, void* buffer, std::size_t size, std::uint64_t offset,
+                 const char* what) {
+  auto* cursor = static_cast<char*>(buffer);
+  std::size_t remaining = size;
+  while (remaining > 0) {
+    const ssize_t got = ::pread(fd, cursor, remaining,
+                                static_cast<off_t>(offset + (size - remaining)));
+    if (got <= 0) {
+      throw std::runtime_error(std::string("MutexDiskGroundSet: short read of ") +
+                               what);
+    }
+    cursor += got;
+    remaining -= static_cast<std::size_t>(got);
+  }
+}
+
+}  // namespace
+
+MutexDiskGroundSet::MutexDiskGroundSet(const std::string& graph_path,
+                                       std::vector<double> utilities,
+                                       const MutexDiskGroundSetConfig& config)
+    : config_(config), utilities_(std::move(utilities)) {
+  if (config_.block_edges == 0 || config_.max_cached_blocks == 0) {
+    throw std::invalid_argument(
+        "MutexDiskGroundSet: block_edges and max_cached_blocks must be >= 1");
+  }
+  fd_ = ::open(graph_path.c_str(), O_RDONLY);
+  if (fd_ < 0) {
+    throw std::runtime_error("MutexDiskGroundSet: cannot open " + graph_path);
+  }
+
+  // Header: magic(8) version(4) | offsets: len(8) data | edges: len(8) data.
+  std::uint64_t magic = 0;
+  std::uint32_t version = 0;
+  std::uint64_t cursor = 0;
+  pread_exact(fd_, &magic, sizeof(magic), cursor, "magic");
+  cursor += sizeof(magic);
+  pread_exact(fd_, &version, sizeof(version), cursor, "version");
+  cursor += sizeof(version);
+  if (magic != kGraphMagic || version != kGraphVersion) {
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("MutexDiskGroundSet: " + graph_path +
+                             " is not a SimilarityGraph file");
+  }
+
+  std::uint64_t offsets_len = 0;
+  pread_exact(fd_, &offsets_len, sizeof(offsets_len), cursor, "offsets length");
+  cursor += sizeof(offsets_len);
+  offsets_.resize(offsets_len);
+  if (offsets_len > 0) {
+    pread_exact(fd_, offsets_.data(), offsets_len * sizeof(std::int64_t), cursor,
+                "offsets");
+  }
+  cursor += offsets_len * sizeof(std::int64_t);
+
+  std::uint64_t edges_len = 0;
+  pread_exact(fd_, &edges_len, sizeof(edges_len), cursor, "edges length");
+  cursor += sizeof(edges_len);
+  edge_base_offset_ = cursor;
+
+  const std::size_t nodes = offsets_.empty() ? 0 : offsets_.size() - 1;
+  if (utilities_.size() != nodes) {
+    ::close(fd_);
+    fd_ = -1;
+    throw std::invalid_argument("MutexDiskGroundSet: utilities size (" +
+                                std::to_string(utilities_.size()) +
+                                ") != node count (" + std::to_string(nodes) + ")");
+  }
+  if (!offsets_.empty() &&
+      static_cast<std::uint64_t>(offsets_.back()) != edges_len) {
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("MutexDiskGroundSet: offsets/edges mismatch in " +
+                             graph_path);
+  }
+}
+
+MutexDiskGroundSet::~MutexDiskGroundSet() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+const std::vector<Edge>& MutexDiskGroundSet::block(std::size_t index) const {
+  // Caller holds mutex_.
+  const auto it = cache_.find(index);
+  if (it != cache_.end()) {
+    ++hits_;
+    lru_.erase(it->second.lru_position);
+    lru_.push_front(index);
+    it->second.lru_position = lru_.begin();
+    return it->second.edges;
+  }
+  ++misses_;
+
+  const std::size_t first = index * config_.block_edges;
+  const std::size_t total = num_edges();
+  const std::size_t count = std::min(config_.block_edges, total - first);
+  std::vector<Edge> edges(count);
+  pread_exact(fd_, edges.data(), count * sizeof(Edge),
+              edge_base_offset_ + first * sizeof(Edge), "edge block");
+
+  if (cache_.size() >= config_.max_cached_blocks) {
+    const std::size_t victim = lru_.back();
+    lru_.pop_back();
+    cache_.erase(victim);
+  }
+  lru_.push_front(index);
+  auto [inserted, ok] =
+      cache_.emplace(index, CacheEntry{std::move(edges), lru_.begin()});
+  (void)ok;
+  return inserted->second.edges;
+}
+
+void MutexDiskGroundSet::neighbors(NodeId v, std::vector<Edge>& out) const {
+  const auto i = static_cast<std::size_t>(v);
+  const auto first = static_cast<std::size_t>(offsets_[i]);
+  const auto last = static_cast<std::size_t>(offsets_[i + 1]);
+  out.clear();
+  out.reserve(last - first);
+
+  std::lock_guard lock(mutex_);
+  std::size_t cursor = first;
+  while (cursor < last) {
+    const std::size_t block_index = cursor / config_.block_edges;
+    const std::size_t block_begin = block_index * config_.block_edges;
+    const std::vector<Edge>& edges = block(block_index);
+    const std::size_t from = cursor - block_begin;
+    const std::size_t to = std::min(last - block_begin, edges.size());
+    out.insert(out.end(), edges.begin() + static_cast<std::ptrdiff_t>(from),
+               edges.begin() + static_cast<std::ptrdiff_t>(to));
+    cursor = block_begin + to;
+  }
+}
+
+}  // namespace subsel::graph::reference

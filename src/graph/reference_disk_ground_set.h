@@ -1,0 +1,76 @@
+// The seed (pre-sharding) disk-backed ground set, kept verbatim as the
+// equivalence oracle for the sharded engine and as the perf baseline the
+// `micro_core --disk-hotpath` bench measures the sharded cache against: one
+// process-wide LRU under a single mutex, held across the pread and both edge
+// copies — every worker thread serializes on it.
+//
+// Do not use outside tests and benches; graph/disk_ground_set.h is the
+// production engine.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/ground_set.h"
+
+namespace subsel::graph::reference {
+
+struct MutexDiskGroundSetConfig {
+  std::size_t block_edges = 4096;
+  std::size_t max_cached_blocks = 64;
+};
+
+/// GroundSet over a SimilarityGraph::save file + in-memory utilities, served
+/// through a single-mutex LRU block cache (the seed implementation).
+class MutexDiskGroundSet final : public GroundSet {
+ public:
+  MutexDiskGroundSet(const std::string& graph_path,
+                     std::vector<double> utilities,
+                     const MutexDiskGroundSetConfig& config = {});
+  ~MutexDiskGroundSet() override;
+
+  MutexDiskGroundSet(const MutexDiskGroundSet&) = delete;
+  MutexDiskGroundSet& operator=(const MutexDiskGroundSet&) = delete;
+
+  std::size_t num_points() const override { return utilities_.size(); }
+  double utility(NodeId v) const override {
+    return utilities_[static_cast<std::size_t>(v)];
+  }
+  void neighbors(NodeId v, std::vector<Edge>& out) const override;
+  std::size_t degree(NodeId v) const override {
+    const auto i = static_cast<std::size_t>(v);
+    return static_cast<std::size_t>(offsets_[i + 1] - offsets_[i]);
+  }
+
+  std::size_t num_edges() const noexcept {
+    return offsets_.empty() ? 0 : static_cast<std::size_t>(offsets_.back());
+  }
+
+  std::uint64_t cache_hits() const noexcept { return hits_; }
+  std::uint64_t cache_misses() const noexcept { return misses_; }
+
+ private:
+  const std::vector<Edge>& block(std::size_t index) const;
+
+  MutexDiskGroundSetConfig config_;
+  int fd_ = -1;
+  std::uint64_t edge_base_offset_ = 0;  // file offset of edges_[0]
+  std::vector<std::int64_t> offsets_;
+  std::vector<double> utilities_;
+
+  mutable std::mutex mutex_;
+  mutable std::list<std::size_t> lru_;  // most recent first
+  struct CacheEntry {
+    std::vector<Edge> edges;
+    std::list<std::size_t>::iterator lru_position;
+  };
+  mutable std::unordered_map<std::size_t, CacheEntry> cache_;
+  mutable std::uint64_t hits_ = 0;
+  mutable std::uint64_t misses_ = 0;
+};
+
+}  // namespace subsel::graph::reference

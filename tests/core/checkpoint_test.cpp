@@ -1,7 +1,9 @@
 // Checkpoint/resume of the multi-round distributed greedy: a preempted run
 // plus a resumed run must be indistinguishable from an uninterrupted one,
 // mismatched configurations must not resume, and corrupt checkpoints must
-// fall back to a clean restart.
+// fall back to a clean restart — including on the out-of-core path, where a
+// cooperative cancel mid-solve on a DiskGroundSet followed by a resume must
+// be bit-identical to an uninterrupted in-memory run.
 #include <gtest/gtest.h>
 
 #include <filesystem>
@@ -9,6 +11,7 @@
 
 #include "../testing/test_instances.h"
 #include "core/distributed_greedy.h"
+#include "graph/disk_ground_set.h"
 
 namespace subsel::core {
 namespace {
@@ -131,6 +134,74 @@ TEST_F(CheckpointTest, CheckpointingDoesNotChangeTheResult) {
   const auto checkpointed = distributed_greedy(ground_set, 25, config);
   EXPECT_EQ(checkpointed.selected, plain.selected);
   EXPECT_EQ(checkpointed.objective, plain.objective);
+}
+
+TEST_F(CheckpointTest, DiskGroundSetCancelMidSolveThenResumeIsBitIdentical) {
+  // The out-of-core mirror of PreemptThenResumeMatchesUninterruptedRun, with
+  // the preemption fired cooperatively from the progress callback (what a
+  // SIGTERM handler does) instead of a scheduled stop. The adjacency stays
+  // on disk behind a deliberately tiny sharded cache with prefetch on, so
+  // cancellation interleaves with paging and in-flight prefetch tasks.
+  const Instance instance = random_instance(400, 5, 970);
+  const auto memory_ground_set = instance.ground_set();
+  const std::string graph_path = path("disk_cancel.graph");
+  instance.graph.save(graph_path);
+
+  graph::DiskGroundSetConfig cache;
+  cache.block_edges = 64;
+  cache.max_cached_blocks = 6;
+  cache.num_shards = 3;
+  const graph::DiskGroundSet disk(graph_path, instance.utilities, cache);
+
+  const auto uninterrupted =
+      distributed_greedy(memory_ground_set, 40, make_config(81));
+
+  auto config = make_config(81);
+  config.prefetch_depth = 2;
+  config.checkpoint_file = path("disk_cancel.ckpt");
+  config.progress = [&config](const ProgressEvent& event) {
+    if (event.step >= 2) config.cancel.request_stop();
+  };
+  const auto cancelled = distributed_greedy(disk, 40, config);
+  EXPECT_TRUE(cancelled.preempted);
+  EXPECT_TRUE(cancelled.selected.empty());
+  EXPECT_EQ(cancelled.rounds.size(), 2u);
+  ASSERT_TRUE(std::filesystem::exists(config.checkpoint_file));
+
+  // Re-arm the shared token and resume to completion on the same disk set.
+  config.cancel.reset();
+  config.progress = nullptr;
+  const auto resumed = distributed_greedy(disk, 40, config);
+  EXPECT_EQ(resumed.resumed_rounds, 2u);
+  EXPECT_FALSE(resumed.preempted);
+  EXPECT_EQ(resumed.selected, uninterrupted.selected);
+  EXPECT_EQ(resumed.objective, uninterrupted.objective);
+  EXPECT_FALSE(std::filesystem::exists(config.checkpoint_file));
+  EXPECT_GT(disk.stats().misses + disk.stats().prefetch_loaded, 0u)
+      << "the run must actually have paged from disk";
+}
+
+TEST_F(CheckpointTest, DiskAndMemoryCheckpointsAreInterchangeable) {
+  // A checkpoint written by an out-of-core run must resume an in-memory run
+  // (and vice versa): the fingerprint covers the run configuration, not the
+  // ground-set backend, because the data is identical.
+  const Instance instance = random_instance(300, 4, 971);
+  const auto memory_ground_set = instance.ground_set();
+  const std::string graph_path = path("disk_swap.graph");
+  instance.graph.save(graph_path);
+  const graph::DiskGroundSet disk(graph_path, instance.utilities);
+
+  const auto uninterrupted =
+      distributed_greedy(memory_ground_set, 30, make_config(82));
+
+  auto config = make_config(82);
+  config.checkpoint_file = path("disk_swap.ckpt");
+  config.stop_after_round = 3;
+  (void)distributed_greedy(disk, 30, config);  // disk run writes rounds 1-3
+  config.stop_after_round = 0;
+  const auto resumed = distributed_greedy(memory_ground_set, 30, config);
+  EXPECT_EQ(resumed.resumed_rounds, 3u);
+  EXPECT_EQ(resumed.selected, uninterrupted.selected);
 }
 
 TEST_F(CheckpointTest, WorksTogetherWithStochasticSolver) {

@@ -1,11 +1,14 @@
 // End-to-end integration: datasets -> graph -> bounding -> distributed greedy
-// -> scoring, plus the larger-than-memory virtual dataset path.
+// -> scoring, plus the larger-than-memory virtual dataset path and the
+// committed golden out-of-core fixture (tests/golden/).
 #include <gtest/gtest.h>
 
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <set>
 
+#include "api/solver_registry.h"
 #include "baselines/baselines.h"
 #include "beam/beam_scoring.h"
 #include "core/normalization.h"
@@ -168,6 +171,52 @@ TEST_F(EndToEndTest, AlphaSweepChangesSelectionCharacter) {
 
   EXPECT_GE(overlap_with_topk(0.99), overlap_with_topk(0.1));
 }
+
+#ifdef SUBSEL_GOLDEN_DIR
+TEST_F(EndToEndTest, GoldenOutOfCoreFixtureHasNotDrifted) {
+  // The committed fixture (tests/golden/toy600[.graph], written by
+  // SimilarityGraph::save / save_dataset at fixture-generation time) is
+  // selected out-of-core with pinned parameters; ids AND objective must
+  // match the committed expectations exactly. A failure here means the
+  // on-disk format, the sharded cache, or the solver's selections silently
+  // drifted — version the format (and regenerate the expectations
+  // deliberately) instead of shrugging.
+  const std::string golden = SUBSEL_GOLDEN_DIR;
+  auto scalars = data::load_dataset_scalars(golden + "/toy600");
+  graph::DiskGroundSetConfig cache;
+  cache.block_edges = 256;
+  cache.max_cached_blocks = 8;
+  cache.num_shards = 4;
+  const graph::DiskGroundSet ground_set(golden + "/toy600.graph",
+                                        std::move(scalars.utilities), cache);
+
+  api::SelectionRequest request;
+  request.ground_set = &ground_set;
+  request.k = 60;
+  request.objective = core::ObjectiveParams::from_alpha(0.9);
+  request.seed = 23;
+  request.solver = "distributed-greedy";
+  request.distributed.num_machines = 6;
+  request.distributed.num_rounds = 4;
+  request.distributed.prefetch_depth = 2;
+  const api::SelectionReport report = api::select(request);
+
+  const auto expected_ids = data::load_subset(golden + "/expected_subset.ids");
+  EXPECT_EQ(report.selected, expected_ids);
+
+  double expected_objective = 0.0;
+  std::ifstream objective_file(golden + "/expected_objective.txt");
+  ASSERT_TRUE(objective_file >> expected_objective);
+  EXPECT_NEAR(report.objective, expected_objective,
+              1e-9 * (1.0 + std::abs(expected_objective)));
+
+  ASSERT_TRUE(report.disk_cache.has_value());
+  EXPECT_GT(report.disk_cache->misses + report.disk_cache->prefetch_loaded, 0u)
+      << "the golden run must actually page from disk";
+  EXPECT_LE(report.disk_cache->resident_blocks_high_water,
+            cache.max_cached_blocks);
+}
+#endif  // SUBSEL_GOLDEN_DIR
 
 TEST_F(EndToEndTest, DiskCheckpointFaultToleranceCompose) {
   // All the operational features at once: a disk-resident adjacency, a

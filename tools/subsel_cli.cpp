@@ -124,7 +124,10 @@ int usage() {
                " [--no-adaptive]\n"
                "             [--bounding=none|exact|uniform|weighted]"
                " [--sample=F]\n"
-               "             [--epsilon=F] [--shards=N] [--disk]\n"
+               "             [--epsilon=F] [--shards=N] [--disk]"
+               " [--cache-blocks=N]\n"
+               "             [--block-edges=N] [--disk-shards=N]"
+               " [--prefetch-depth=N]\n"
                "             [--worker-memory-kb=N] [--seed=N] [--report=FILE]\n"
                "             --out=FILE\n"
                "  score      --data=PREFIX --subset=FILE [--objective=NAME]"
@@ -249,8 +252,11 @@ int cmd_select(const CliArgs& args) {
   const std::string data_path = args.require("data");
   const std::string out = args.require("out");
 
-  // --disk keeps the adjacency on disk behind an LRU block cache; only the
-  // per-point scalars are loaded. Default materializes the whole dataset.
+  // --disk keeps the adjacency on disk behind a sharded LRU block cache;
+  // only the per-point scalars are loaded. Default materializes the whole
+  // dataset. --disk-shards stripes the cache locks (1 = the old single
+  // mutex); --prefetch-depth controls how far ahead of the solve loop the
+  // round plans are paged in.
   const bool disk = args.has_flag("disk");
   data::Dataset dataset;
   std::unique_ptr<graph::GroundSet> disk_ground_set;
@@ -258,6 +264,8 @@ int cmd_select(const CliArgs& args) {
     auto scalars = data::load_dataset_scalars(data_path);
     graph::DiskGroundSetConfig cache;
     cache.max_cached_blocks = args.get_size("cache-blocks", 64);
+    cache.block_edges = args.get_size("block-edges", cache.block_edges);
+    cache.num_shards = args.get_size("disk-shards", cache.num_shards);
     disk_ground_set = std::make_unique<graph::DiskGroundSet>(
         data_path + ".graph", std::move(scalars.utilities), cache);
   } else {
@@ -298,6 +306,8 @@ int cmd_select(const CliArgs& args) {
   request.distributed.num_rounds = args.get_size("rounds", 8);
   request.distributed.adaptive_partitioning = !args.has_flag("no-adaptive");
   request.distributed.stochastic_epsilon = args.get_double("epsilon", 0.1);
+  request.distributed.prefetch_depth = args.get_size("prefetch-depth", 2);
+  request.bounding.prefetch_depth = request.distributed.prefetch_depth;
   request.streaming.epsilon = args.get_double("epsilon", 0.1);
 
   const std::string bounding = args.get("bounding").value_or("uniform");
@@ -336,6 +346,21 @@ int cmd_select(const CliArgs& args) {
     std::printf("greedy rounds: %zu (peak partition %.2f MB)\n",
                 report.rounds.size(),
                 static_cast<double>(report.peak_partition_bytes) / 1e6);
+  }
+  if (report.disk_cache.has_value()) {
+    const auto& cache = *report.disk_cache;
+    const double accesses = static_cast<double>(cache.hits + cache.misses);
+    std::printf("disk cache: %zu shards, %.1f%% hit rate (%llu hits, %llu"
+                " misses), %llu/%llu blocks prefetched, peak %zu/%zu blocks"
+                " resident\n",
+                cache.num_shards,
+                accesses > 0.0 ? 100.0 * static_cast<double>(cache.hits) / accesses
+                               : 0.0,
+                static_cast<unsigned long long>(cache.hits),
+                static_cast<unsigned long long>(cache.misses),
+                static_cast<unsigned long long>(cache.prefetch_loaded),
+                static_cast<unsigned long long>(cache.prefetch_issued),
+                cache.resident_blocks_high_water, cache.max_cached_blocks);
   }
   if (report.preempted) std::printf("run preempted before completion\n");
 
