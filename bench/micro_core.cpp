@@ -70,6 +70,14 @@
 //   --disk-shards=N    sharded-engine cache shards (default 16)
 //   --disk-cache-blocks=N
 //                      cache budget in blocks (default: 1/4 of the blocks)
+//   --failpoint-overhead
+//                      also measure the disarmed-failpoint-check cost on a
+//                      neighborhood-scan hot loop (the robustness layer's
+//                      zero-cost-when-disabled claim)
+//   --max-failpoint-overhead=F
+//                      exit 3 when the disarmed check costs more than F
+//                      (fraction; default 0.01 = the PR's <1% claim; 0 turns
+//                      the gate off); implies --failpoint-overhead
 //   --min-disk-speedup=X
 //                      exit 3 unless the sharded read speedup >= X
 //   --solver-matrix    also run every registered solver on a fixed instance
@@ -91,6 +99,7 @@
 #include "api/objective_registry.h"
 #include "api/solver_registry.h"
 #include "baselines/baselines.h"
+#include "common/failpoint.h"
 #include "common/json.h"
 #include "common/timer.h"
 #include "core/addressable_heap.h"
@@ -915,10 +924,94 @@ int run_disk_hot_path(DiskHotPathConfig config, DiskHotPathReport& report) {
   return identical ? 0 : 2;
 }
 
+// ---------------------------------------------------------------------------
+// Failpoint-overhead self-check: the disabled path must be free.
+// ---------------------------------------------------------------------------
+
+/// The robustness layer's cost claim, measured: a failpoint check per unit of
+/// hot-path work (here one 64-edge neighborhood scan — ~60x LESS work per
+/// check than the production sites, which check once per 4096-edge block load
+/// or per pool dispatch, so this measurement is strictly conservative).
+struct FailpointOverheadReport {
+  std::size_t checks = 0;
+  std::size_t edges_per_check = 0;
+  std::size_t iterations = 0;
+  double baseline_ms = 0.0;         // scan loop with no failpoint check
+  double disabled_ms = 0.0;         // + SUBSEL_FAILPOINT_TRIGGERED, disarmed
+  double armed_other_site_ms = 0.0; // registry armed, but on another site
+  double overhead_disabled() const {
+    return baseline_ms > 0.0 ? disabled_ms / baseline_ms - 1.0 : 0.0;
+  }
+  double overhead_armed_other_site() const {
+    return baseline_ms > 0.0 ? armed_other_site_ms / baseline_ms - 1.0 : 0.0;
+  }
+};
+
+int run_failpoint_overhead(FailpointOverheadReport& report) {
+  report.checks = 2'000'000;
+  report.edges_per_check = 64;
+  report.iterations = 5;
+  std::printf("\n=== failpoint overhead: %zu checks x %zu-edge scans,"
+              " best of %zu ===\n",
+              report.checks, report.edges_per_check, report.iterations);
+
+  Rng rng(4242);
+  std::vector<graph::Edge> edges(report.edges_per_check);
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    edges[e] = graph::Edge{static_cast<graph::NodeId>(rng.uniform_index(1 << 20)),
+                           static_cast<float>(rng.uniform(0.01, 1.0))};
+  }
+  // The sink defeats dead-code elimination without perturbing the loop body.
+  std::atomic<double> sink{0.0};
+  const auto scan = [&edges] {
+    double acc = 0.0;
+    for (const graph::Edge& edge : edges) {
+      acc += static_cast<double>(edge.weight) * static_cast<double>(edge.neighbor & 0xFF);
+    }
+    return acc;
+  };
+
+  const auto best_of = [&](auto&& body) {
+    double best = 0.0;
+    for (std::size_t iter = 0; iter < report.iterations; ++iter) {
+      Timer timer;
+      double acc = 0.0;
+      for (std::size_t i = 0; i < report.checks; ++i) acc += body();
+      const double ms = timer.elapsed_seconds() * 1e3;
+      sink.store(acc, std::memory_order_relaxed);
+      if (best == 0.0 || ms < best) best = ms;
+    }
+    return best;
+  };
+
+  failpoint::disarm_all();
+  report.baseline_ms = best_of([&] { return scan(); });
+  report.disabled_ms = best_of([&] {
+    if (SUBSEL_FAILPOINT_TRIGGERED("bench.overhead")) return 0.0;
+    return scan();
+  });
+  // Armed registry, different site: the check takes the slow lookup path —
+  // what a targeted fault campaign costs the sites it is NOT aimed at.
+  failpoint::arm_from_spec("bench.some-other-site=nth(1)");
+  report.armed_other_site_ms = best_of([&] {
+    if (SUBSEL_FAILPOINT_TRIGGERED("bench.overhead")) return 0.0;
+    return scan();
+  });
+  failpoint::disarm_all();
+
+  std::printf("baseline %.1f ms | disabled-check %.1f ms (%+.2f%%) |"
+              " armed-other-site %.1f ms (%+.2f%%)\n",
+              report.baseline_ms, report.disabled_ms,
+              100.0 * report.overhead_disabled(), report.armed_other_site_ms,
+              100.0 * report.overhead_armed_other_site());
+  return 0;
+}
+
 int write_micro_core_json(const std::string& path, const HotPathReport& hot,
                           const std::vector<KernelHotPathResult>& kernel_results,
                           const KernelHotPathConfig& kernel_config,
-                          std::size_t kernel_k, const DiskHotPathReport* disk) {
+                          std::size_t kernel_k, const DiskHotPathReport* disk,
+                          const FailpointOverheadReport* failpoints) {
   JsonWriter json;
   json.begin_object();
   json.key("bench").value("micro_core_hot_path");
@@ -1026,6 +1119,24 @@ int write_micro_core_json(const std::string& path, const HotPathReport& hot,
         .value(disk->sharded_stats.resident_blocks_high_water);
     json.end_object();
     json.key("selections_identical").value(disk->selections_identical);
+    json.end_object();
+  }
+
+  if (failpoints != nullptr) {
+    json.key("failpoint_overhead").begin_object();
+    json.key("workload")
+        .value("one disarmed SUBSEL_FAILPOINT_TRIGGERED check per 64-edge "
+               "neighborhood scan (conservative: production sites check once "
+               "per 4096-edge block load or pool dispatch)");
+    json.key("checks").value(failpoints->checks);
+    json.key("edges_per_check").value(failpoints->edges_per_check);
+    json.key("iterations").value(failpoints->iterations);
+    json.key("baseline_ms").value(failpoints->baseline_ms);
+    json.key("disabled_check_ms").value(failpoints->disabled_ms);
+    json.key("armed_other_site_ms").value(failpoints->armed_other_site_ms);
+    json.key("overhead_disabled").value(failpoints->overhead_disabled());
+    json.key("overhead_armed_other_site")
+        .value(failpoints->overhead_armed_other_site());
     json.end_object();
   }
   json.end_object();
@@ -1249,8 +1360,10 @@ int main(int argc, char** argv) {
   bool run_kernel = false;
   bool run_disk = false;
   bool run_gbench = true;
+  bool run_failpoints = false;
   double min_speedup = 0.0;
   double min_disk_speedup = 0.0;
+  double max_failpoint_overhead = 0.01;  // the PR's <1% disabled-path claim
   std::vector<char*> gbench_args;
   gbench_args.push_back(argv[0]);
   for (int i = 1; i < argc; ++i) {
@@ -1292,6 +1405,11 @@ int main(int argc, char** argv) {
       disk.cache_blocks = static_cast<std::size_t>(std::atoll(value().c_str()));
     } else if (arg.rfind("--min-disk-speedup=", 0) == 0) {
       min_disk_speedup = std::atof(value().c_str());
+    } else if (arg == "--failpoint-overhead") {
+      run_failpoints = true;
+    } else if (arg.rfind("--max-failpoint-overhead=", 0) == 0) {
+      run_failpoints = true;
+      max_failpoint_overhead = std::atof(value().c_str());
     } else if (arg == "--solver-matrix") {
       run_matrix = true;
     } else if (arg == "--objective-matrix") {
@@ -1327,9 +1445,13 @@ int main(int argc, char** argv) {
   int disk_status = 0;
   if (run_disk) disk_status = run_disk_hot_path(disk, disk_report);
 
+  FailpointOverheadReport failpoint_report;
+  if (run_failpoints) (void)run_failpoint_overhead(failpoint_report);
+
   const int write_status = write_micro_core_json(
       hot_report.config.json_path, hot_report, kernel_results, kernel, kernel_k,
-      run_disk ? &disk_report : nullptr);
+      run_disk ? &disk_report : nullptr,
+      run_failpoints ? &failpoint_report : nullptr);
   if (write_status != 0) return write_status;
 
   for (const KernelHotPathResult& result : kernel_results) {
@@ -1347,6 +1469,15 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "FAIL: disk read speedup %.2fx below --min-disk-speedup=%.2f\n",
                  disk_report.speedup(), min_disk_speedup);
+    hot_status = 3;
+  }
+  if (run_failpoints && max_failpoint_overhead > 0.0 &&
+      failpoint_report.overhead_disabled() > max_failpoint_overhead) {
+    std::fprintf(stderr,
+                 "FAIL: disarmed failpoint check costs %.2f%%, above"
+                 " --max-failpoint-overhead=%.2f%%\n",
+                 100.0 * failpoint_report.overhead_disabled(),
+                 100.0 * max_failpoint_overhead);
     hot_status = 3;
   }
 

@@ -51,7 +51,17 @@ struct DistributedOptions {
   core::PartitionSolver partition_solver = core::PartitionSolver::kPriorityQueue;
   double stochastic_epsilon = 0.1;
   /// Round checkpoint/resume file (empty disables); see distributed_greedy.h.
+  /// Checkpoints are crash-consistent: written to a temp file, fsynced, then
+  /// atomically renamed, so a kill mid-write leaves the previous one intact.
   std::string checkpoint_file;
+  /// Save the checkpoint only every Nth round (1 = every round). Resume picks
+  /// up from the last *saved* round; rounds after it are re-run.
+  std::size_t checkpoint_every = 1;
+  /// Checkpoint to resume from. An alias for `checkpoint_file` for callers
+  /// that only restart: when `checkpoint_file` is empty this path is used for
+  /// both resume and subsequent saves; setting both to different paths is
+  /// rejected (the round loop reads and writes one file).
+  std::string resume_from;
   /// Graceful preemption after this many rounds of this invocation (0 = off).
   std::size_t stop_after_round = 0;
   /// Out-of-core pipelining: partitions of each round's plan handed to
@@ -121,6 +131,12 @@ struct SelectionRequest {
   FacilityLocationOptions facility_location;
   CoverageOptions coverage;
   std::uint64_t seed = 23;
+  /// Wall-clock budget in milliseconds (0 = unlimited), measured from solver
+  /// dispatch. Solvers that support graceful degradation return their best
+  /// valid selection so far with `SelectionReport.degraded` set instead of
+  /// running past the budget; the checkpoint (if any) is kept so a later run
+  /// can resume to full quality. Overrides any context-level deadline.
+  std::uint64_t deadline_ms = 0;
   /// Registry key; `SolverRegistry::list()` / `subsel solvers` enumerate.
   std::string solver = "pipeline";
   /// Per-solver options; each solver reads only the blocks relevant to it.
@@ -174,6 +190,11 @@ struct DiskCacheSummary {
   std::uint64_t misses = 0;
   std::uint64_t prefetch_issued = 0;
   std::uint64_t prefetch_loaded = 0;
+  /// Transient read faults absorbed by the retry/backoff loop over this run.
+  std::uint64_t read_retries = 0;
+  /// Prefetch blocks abandoned after an I/O fault (degraded into demand
+  /// misses; never affects results).
+  std::uint64_t prefetch_degraded = 0;
   /// Peak blocks resident at once (absolute, never exceeds the budget).
   std::size_t resident_blocks_high_water = 0;
   std::size_t max_cached_blocks = 0;
@@ -201,6 +222,12 @@ struct SelectionReport {
   double solver_objective = 0.0;
   /// The run was cancelled or stopped before completing.
   bool preempted = false;
+  /// The deadline expired mid-run and the solver degraded gracefully:
+  /// `selected` still holds a valid selection (possibly smaller or less
+  /// optimized than a full run's), unlike `preempted` which returns nothing.
+  bool degraded = false;
+  /// Human-readable cause when `degraded` (which stage, how far it got).
+  std::string degraded_reason;
 
   std::vector<StageTiming> timings;
   double total_seconds = 0.0;
@@ -255,11 +282,19 @@ class SolverContext {
   void set_progress(ProgressFn fn) { progress_ = std::move(fn); }
   const ProgressFn& progress() const noexcept { return progress_; }
 
+  /// Wall-clock budget threaded into every solver run on this context.
+  /// A deadline is an absolute point in time — set it right before the run
+  /// it should govern (a reused context keeps ticking across runs).
+  /// `SelectionRequest.deadline_ms` takes precedence when non-zero.
+  void set_deadline(Deadline deadline) noexcept { deadline_ = deadline; }
+  const Deadline& deadline() const noexcept { return deadline_; }
+
  private:
   ThreadPool* pool_ = nullptr;
   core::SubproblemArenaPool arenas_;
   CancellationToken cancel_;
   ProgressFn progress_;
+  Deadline deadline_;
 };
 
 }  // namespace subsel::api

@@ -38,6 +38,8 @@ std::string SelectionReport::to_json() const {
   json.end_object();
   json.key("seed").value(seed);
   json.key("preempted").value(preempted);
+  json.key("degraded").value(degraded);
+  json.key("degraded_reason").value(degraded_reason);
 
   json.key("objective").value(objective);
   json.key("solver_objective").value(solver_objective);
@@ -92,6 +94,8 @@ std::string SelectionReport::to_json() const {
     json.key("misses").value(disk_cache->misses);
     json.key("prefetch_issued").value(disk_cache->prefetch_issued);
     json.key("prefetch_loaded").value(disk_cache->prefetch_loaded);
+    json.key("read_retries").value(disk_cache->read_retries);
+    json.key("prefetch_degraded").value(disk_cache->prefetch_degraded);
     json.key("resident_blocks_high_water")
         .value(disk_cache->resident_blocks_high_water);
     json.key("max_cached_blocks").value(disk_cache->max_cached_blocks);
@@ -113,6 +117,8 @@ std::string SelectionReport::to_json() const {
       .value(partition_solver_name(distributed_echo.partition_solver));
   json.key("stochastic_epsilon").value(distributed_echo.stochastic_epsilon);
   json.key("checkpoint_file").value(distributed_echo.checkpoint_file);
+  json.key("checkpoint_every").value(distributed_echo.checkpoint_every);
+  json.key("resume_from").value(distributed_echo.resume_from);
   json.key("stop_after_round").value(distributed_echo.stop_after_round);
   json.key("prefetch_depth").value(distributed_echo.prefetch_depth);
   json.end_object();

@@ -16,6 +16,27 @@
 namespace subsel::api {
 namespace {
 
+/// The wall-clock budget governing this run: the request's (clock started at
+/// solver dispatch) when set, else whatever the caller armed on the context.
+Deadline effective_deadline(const SelectionRequest& request,
+                            const SolverContext& context) {
+  return request.deadline_ms > 0 ? Deadline::after_ms(request.deadline_ms)
+                                 : context.deadline();
+}
+
+/// Resolves checkpoint_file vs resume_from (the latter is an alias; two
+/// different paths are a contradiction the round loop cannot honor).
+std::string effective_checkpoint_file(const DistributedOptions& options) {
+  if (!options.resume_from.empty() && !options.checkpoint_file.empty() &&
+      options.resume_from != options.checkpoint_file) {
+    throw std::invalid_argument(
+        "checkpoint_file and resume_from name different files; the round loop"
+        " resumes from and saves to one checkpoint — set just one of them");
+  }
+  return options.checkpoint_file.empty() ? options.resume_from
+                                         : options.checkpoint_file;
+}
+
 /// Maps the request's option blocks onto the core round-loop config and wires
 /// in the context's shared state (pool, arenas, cancellation, progress) plus
 /// the objective kernel.
@@ -30,7 +51,8 @@ core::DistributedGreedyConfig greedy_config(const SelectionRequest& request,
   config.adaptive_partitioning = request.distributed.adaptive_partitioning;
   config.partition_solver = request.distributed.partition_solver;
   config.stochastic_epsilon = request.distributed.stochastic_epsilon;
-  config.checkpoint_file = request.distributed.checkpoint_file;
+  config.checkpoint_file = effective_checkpoint_file(request.distributed);
+  config.checkpoint_every = request.distributed.checkpoint_every;
   config.stop_after_round = request.distributed.stop_after_round;
   config.prefetch_depth = request.distributed.prefetch_depth;
   config.seed = request.seed;
@@ -38,6 +60,7 @@ core::DistributedGreedyConfig greedy_config(const SelectionRequest& request,
   config.arena_pool = &context.arenas();
   config.cancel = context.cancel();
   config.progress = context.progress();
+  config.deadline = effective_deadline(request, context);
   return config;
 }
 
@@ -53,6 +76,7 @@ core::SelectionPipelineConfig pipeline_config(const SelectionRequest& request,
   config.bounding.prefetch_depth = request.bounding.prefetch_depth;
   config.bounding.seed = request.seed;
   config.bounding.pool = context.pool();
+  config.bounding.deadline = effective_deadline(request, context);
   config.greedy = greedy_config(request, context, kernel);
   return config;
 }
@@ -62,6 +86,8 @@ void absorb_pipeline_result(core::SelectionPipelineResult&& result,
   report.selected = std::move(result.selected);
   report.solver_objective = result.objective;
   report.preempted = result.preempted;
+  report.degraded = result.degraded;
+  report.degraded_reason = std::move(result.degraded_reason);
   report.rounds = std::move(result.greedy_rounds);
   if (result.bounding.has_value()) {
     report.bounding = BoundingSummary{
@@ -93,6 +119,8 @@ SelectionReport run_distributed_greedy(const SelectionRequest& request,
   report.selected = std::move(result.selected);
   report.solver_objective = result.objective;
   report.preempted = result.preempted;
+  report.degraded = result.degraded;
+  report.degraded_reason = std::move(result.degraded_reason);
   report.rounds = std::move(result.rounds);
   if (result.resumed_rounds > 0) {
     report.extra.emplace_back("resumed_rounds",
@@ -149,6 +177,12 @@ SelectionReport run_greedi(const SelectionRequest& request, SolverContext& conte
 SelectionReport from_greedy_result(core::GreedyResult&& result,
                                    std::size_t resident_elements = 0) {
   SelectionReport report;
+  report.degraded = result.degraded;
+  if (result.degraded) {
+    report.degraded_reason = "deadline expired after " +
+                             std::to_string(result.selected.size()) +
+                             " selections; returning the greedy prefix";
+  }
   report.selected = std::move(result.selected);
   report.solver_objective = result.objective;
   report.peak_partition_bytes = result.materialized_bytes;
@@ -157,7 +191,7 @@ SelectionReport from_greedy_result(core::GreedyResult&& result,
   return report;
 }
 
-SelectionReport run_sieve(const SelectionRequest& request, SolverContext&,
+SelectionReport run_sieve(const SelectionRequest& request, SolverContext& context,
                           const core::ObjectiveKernel& kernel) {
   baselines::SieveStreamingConfig config;
   config.objective = request.objective;
@@ -165,18 +199,25 @@ SelectionReport run_sieve(const SelectionRequest& request, SolverContext&,
   config.epsilon = request.streaming.epsilon;
   config.apply_monotonicity_offset = request.streaming.monotonicity_offset;
   config.seed = request.seed;
+  config.deadline = effective_deadline(request, context);
   auto result =
       baselines::sieve_streaming(*request.ground_set, request.resolved_k(), config);
   SelectionReport report;
   report.selected = std::move(result.selected);
   report.solver_objective = result.objective;
   report.peak_resident_elements = result.peak_resident_elements;
+  report.degraded = result.degraded;
+  if (result.degraded) {
+    report.degraded_reason =
+        "deadline expired mid-stream; returning the best sieve over the"
+        " prefix seen";
+  }
   report.extra.emplace_back("num_sieves", static_cast<double>(result.num_sieves));
   return report;
 }
 
 SelectionReport run_sample_and_prune(const SelectionRequest& request,
-                                     SolverContext&,
+                                     SolverContext& context,
                                      const core::ObjectiveKernel& kernel) {
   baselines::SamplePruneConfig config;
   config.objective = request.objective;
@@ -184,6 +225,7 @@ SelectionReport run_sample_and_prune(const SelectionRequest& request,
   config.machine_capacity = request.sample_prune.machine_capacity;
   config.max_rounds = request.sample_prune.max_rounds;
   config.seed = request.seed;
+  config.deadline = effective_deadline(request, context);
   auto result =
       baselines::sample_and_prune(*request.ground_set, request.resolved_k(), config);
   SelectionReport report;
@@ -192,6 +234,13 @@ SelectionReport run_sample_and_prune(const SelectionRequest& request,
   report.peak_resident_elements = result.peak_resident_elements;
   report.peak_partition_bytes = result.materialized_bytes;
   report.peak_kernel_state_bytes = result.kernel_state_bytes;
+  report.degraded = result.degraded;
+  if (result.degraded) {
+    report.degraded_reason = "deadline expired after " +
+                             std::to_string(result.rounds) +
+                             " sample-and-prune rounds; returning the partial"
+                             " solution";
+  }
   report.extra.emplace_back("rounds", static_cast<double>(result.rounds));
   return report;
 }
@@ -258,10 +307,11 @@ void register_builtins(SolverRegistry& registry) {
        "Lazy greedy (Minoux): centralized Algorithm 2 with stale-gain"
        " re-evaluation; the gold-standard output",
        "1-1/e", "O(n) one machine", SolverCapabilities{}},
-      [](const SelectionRequest& request, SolverContext&,
+      [](const SelectionRequest& request, SolverContext& context,
          const core::ObjectiveKernel& kernel) {
         return from_greedy_result(
-            baselines::lazy_greedy(kernel, request.resolved_k()),
+            baselines::lazy_greedy(kernel, request.resolved_k(),
+                                   effective_deadline(request, context)),
             request.ground_set->num_points());
       });
 
@@ -270,12 +320,13 @@ void register_builtins(SolverRegistry& registry) {
        "Stochastic greedy (lazier-than-lazy): each step scans a random"
        " (n/k)ln(1/eps) sample",
        "1-1/e-eps in expectation", "O(n) one machine", SolverCapabilities{}},
-      [](const SelectionRequest& request, SolverContext&,
+      [](const SelectionRequest& request, SolverContext& context,
          const core::ObjectiveKernel& kernel) {
         return from_greedy_result(
             baselines::stochastic_greedy(kernel, request.resolved_k(),
                                          request.distributed.stochastic_epsilon,
-                                         request.seed),
+                                         request.seed,
+                                         effective_deadline(request, context)),
             request.ground_set->num_points());
       });
 
@@ -284,11 +335,12 @@ void register_builtins(SolverRegistry& registry) {
        "Threshold greedy (Badanidiyuru & Vondrak): descending geometric"
        " threshold sweep",
        "1-1/e-eps", "O(n) one machine", SolverCapabilities{}},
-      [](const SelectionRequest& request, SolverContext&,
+      [](const SelectionRequest& request, SolverContext& context,
          const core::ObjectiveKernel& kernel) {
         return from_greedy_result(
             baselines::threshold_greedy(kernel, request.resolved_k(),
-                                        request.streaming.epsilon),
+                                        request.streaming.epsilon,
+                                        effective_deadline(request, context)),
             request.ground_set->num_points());
       });
 
@@ -426,6 +478,9 @@ SelectionReport SolverRegistry::run(const SelectionRequest& request,
         delta(after.prefetch_issued, disk_before.prefetch_issued);
     summary.prefetch_loaded =
         delta(after.prefetch_loaded, disk_before.prefetch_loaded);
+    summary.read_retries = delta(after.read_retries, disk_before.read_retries);
+    summary.prefetch_degraded =
+        delta(after.prefetch_degraded, disk_before.prefetch_degraded);
     summary.resident_blocks_high_water = after.resident_blocks_high_water;
     summary.max_cached_blocks = disk_set->max_cached_blocks();
     summary.resident_bytes = disk_set->resident_bytes();

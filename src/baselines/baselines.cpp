@@ -169,10 +169,14 @@ namespace {
 
 /// The lazy-greedy loop over any gain callable: (stale gain, id, |S| when the
 /// gain was computed); outranking = higher gain, smaller id on ties —
-/// consistent with the other implementations.
+/// consistent with the other implementations. The deadline is checked once
+/// per accepted element (not per re-evaluation): every prefix of the greedy
+/// sequence is itself the exact answer for its own budget, so stopping there
+/// degrades gracefully.
 template <typename GainFn, typename SelectFn>
 GreedyResult lazy_greedy_loop(const ObjectiveKernel& kernel, std::size_t k,
-                              GainFn&& fresh_gain, SelectFn&& commit) {
+                              GainFn&& fresh_gain, SelectFn&& commit,
+                              Deadline deadline = {}) {
   const std::size_t n = kernel.ground_set().num_points();
   k = std::min(k, n);
   GreedyResult result;
@@ -197,6 +201,10 @@ GreedyResult lazy_greedy_loop(const ObjectiveKernel& kernel, std::size_t k,
     Entry top = queue.top();
     queue.pop();
     if (top.version == result.selected.size()) {  // gain is fresh: take it
+      if (deadline.expired()) {
+        result.degraded = true;
+        break;
+      }
       commit(top.id);
       result.selected.push_back(top.id);
       total += top.gain;
@@ -212,11 +220,12 @@ GreedyResult lazy_greedy_loop(const ObjectiveKernel& kernel, std::size_t k,
 
 }  // namespace
 
-GreedyResult lazy_greedy(const ObjectiveKernel& kernel, std::size_t k) {
+GreedyResult lazy_greedy(const ObjectiveKernel& kernel, std::size_t k,
+                         Deadline deadline) {
   MarginalGainEngine engine(kernel);
   GreedyResult result = lazy_greedy_loop(
       kernel, k, [&engine](NodeId v) { return engine.gain(v); },
-      [&engine](NodeId v) { engine.select(v); });
+      [&engine](NodeId v) { engine.select(v); }, deadline);
   result.materialized_bytes = engine.materialized_bytes();
   result.kernel_state_bytes = engine.kernel_state_bytes();
   return result;
@@ -287,7 +296,8 @@ GreedyResult stochastic_greedy(const GroundSet& ground_set, ObjectiveParams para
 }
 
 GreedyResult stochastic_greedy(const ObjectiveKernel& kernel, std::size_t k,
-                               double epsilon, std::uint64_t seed) {
+                               double epsilon, std::uint64_t seed,
+                               Deadline deadline) {
   const std::size_t n = kernel.ground_set().num_points();
   k = std::min(k, n);
   GreedyResult result;
@@ -306,6 +316,10 @@ GreedyResult stochastic_greedy(const ObjectiveKernel& kernel, std::size_t k,
 
   double total = 0.0;
   for (std::size_t step = 0; step < k; ++step) {
+    if (deadline.expired()) {
+      result.degraded = true;
+      break;
+    }
     const std::size_t draw = std::min(sample_size, remaining.size());
     // Partial Fisher-Yates: the first `draw` slots become the random sample.
     for (std::size_t i = 0; i < draw; ++i) {

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/run_control.h"
 #include "common/thread_pool.h"
 #include "core/greedy.h"
 #include "core/objective_kernel.h"
@@ -83,9 +84,13 @@ GreeDiResult greedi(const GroundSet& ground_set, std::size_t k,
 /// MarginalGainEngine: the exact O(deg) oracle for pairwise kernels
 /// (bit-identical to the historical implementation), flat incremental state
 /// for the coverage-family kernels (O(deg) instead of the O(deg^2) oracle).
+/// `deadline` is checked once per accepted element: an expired run returns
+/// the valid greedy prefix picked so far with `degraded` set (each prefix is
+/// itself the exact lazy-greedy answer for its own size).
 GreedyResult lazy_greedy(const GroundSet& ground_set, ObjectiveParams params,
                          std::size_t k);
-GreedyResult lazy_greedy(const ObjectiveKernel& kernel, std::size_t k);
+GreedyResult lazy_greedy(const ObjectiveKernel& kernel, std::size_t k,
+                         Deadline deadline = {});
 
 namespace reference {
 
@@ -101,11 +106,14 @@ GreedyResult stochastic_greedy(const ObjectiveKernel& kernel, std::size_t k,
 
 /// Stochastic greedy (lazier-than-lazy): each step evaluates a random sample
 /// of size (n/k)·ln(1/epsilon) and takes its best element.
+/// `deadline` is checked once per step; an expired run returns the prefix
+/// picked so far with `degraded` set.
 GreedyResult stochastic_greedy(const GroundSet& ground_set, ObjectiveParams params,
                                std::size_t k, double epsilon = 0.1,
                                std::uint64_t seed = 31);
 GreedyResult stochastic_greedy(const ObjectiveKernel& kernel, std::size_t k,
-                               double epsilon = 0.1, std::uint64_t seed = 31);
+                               double epsilon = 0.1, std::uint64_t seed = 31,
+                               Deadline deadline = {});
 
 /// Greedy k-center (Gonzalez): repeatedly take the point farthest (in
 /// embedding space) from the current centers — the clustering-side baseline

@@ -73,7 +73,7 @@ GreedyResult threshold_greedy(const GroundSet& ground_set, ObjectiveParams param
 }
 
 GreedyResult threshold_greedy(const ObjectiveKernel& kernel, std::size_t k,
-                              double epsilon) {
+                              double epsilon, Deadline deadline) {
   const std::size_t n = kernel.ground_set().num_points();
   k = std::min(k, n);
   GreedyResult result;
@@ -104,6 +104,10 @@ GreedyResult threshold_greedy(const ObjectiveKernel& kernel, std::size_t k,
   const double floor_threshold = epsilon * d / static_cast<double>(n);
   for (double w = d; w >= floor_threshold && result.selected.size() < k;
        w *= (1.0 - epsilon)) {
+    if (deadline.expired()) {
+      result.degraded = true;
+      break;
+    }
     for (std::size_t i = 0; i < n && result.selected.size() < k; ++i) {
       const auto v = static_cast<NodeId>(i);
       if (engine.is_selected(v)) continue;
@@ -118,8 +122,13 @@ GreedyResult threshold_greedy(const ObjectiveKernel& kernel, std::size_t k,
 
   // Elements whose residual gain sits below εd/n never pass the sweep; fill
   // the budget with the best of them (greedy tail) so the result has exactly
-  // k elements like every other selector in this repo.
-  while (result.selected.size() < k) {
+  // k elements like every other selector in this repo. A degraded run skips
+  // the fill — its contract is "best effort within the deadline".
+  while (result.selected.size() < k && !result.degraded) {
+    if (deadline.expired()) {
+      result.degraded = true;
+      break;
+    }
     double best_gain = -std::numeric_limits<double>::infinity();
     std::size_t best = n;
     for (std::size_t i = 0; i < n; ++i) {
@@ -174,6 +183,12 @@ SieveStreamingResult sieve_streaming(const GroundSet& ground_set, std::size_t k,
   double m = 0.0;  // max singleton value seen so far
   std::size_t resident = 0;
   for (core::NodeId v : order) {
+    if (config.deadline.expired()) {
+      // Stop consuming the stream; the sieves are consistent for the prefix
+      // processed so far, so the pick below is still valid.
+      result.degraded = true;
+      break;
+    }
     const double singleton = shift.singleton(v);
     if (singleton > m) {
       m = singleton;
@@ -255,6 +270,10 @@ SamplePruneResult sample_and_prune(const GroundSet& ground_set, std::size_t k,
 
   while (solution.size() < k && !survivors.empty() &&
          result.rounds < config.max_rounds) {
+    if (config.deadline.expired()) {
+      result.degraded = true;
+      break;
+    }
     ++result.rounds;
 
     // Sample a machine-sized set onto the coordinator (partial Fisher-Yates).
@@ -321,8 +340,9 @@ SamplePruneResult sample_and_prune(const GroundSet& ground_set, std::size_t k,
   }
 
   // Budget not filled from pruned ground set (rare: tiny capacity and
-  // aggressive pruning) — top up with the best remaining survivors.
-  while (solution.size() < k && !survivors.empty()) {
+  // aggressive pruning) — top up with the best remaining survivors. Degraded
+  // runs skip the top-up: the deadline already passed.
+  while (solution.size() < k && !survivors.empty() && !result.degraded) {
     gains.resize(survivors.size());
     engine.gains_batch(survivors, gains);
     std::size_t best_slot = 0;

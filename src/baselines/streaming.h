@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/run_control.h"
 #include "core/greedy.h"
 #include "core/objective.h"
 #include "core/objective_kernel.h"
@@ -44,10 +45,12 @@ using graph::GroundSet;
 /// Threshold greedy: for w = d, d(1−ε), d(1−ε)², …, εd/n (d = the maximum
 /// singleton value), add every element whose marginal gain is ≥ w until k
 /// elements are chosen.
+/// `deadline` is checked between sweep thresholds and between tail fills: an
+/// expired run returns the elements accepted so far with `degraded` set.
 GreedyResult threshold_greedy(const GroundSet& ground_set, ObjectiveParams params,
                               std::size_t k, double epsilon = 0.1);
 GreedyResult threshold_greedy(const ObjectiveKernel& kernel, std::size_t k,
-                              double epsilon = 0.1);
+                              double epsilon = 0.1, Deadline deadline = {});
 
 struct SieveStreamingConfig {
   ObjectiveParams objective;
@@ -61,6 +64,10 @@ struct SieveStreamingConfig {
   /// Stream order seed (the ground set is streamed in a random permutation;
   /// sieve quality is order-dependent).
   std::uint64_t seed = 41;
+  /// Wall-clock budget, checked per streamed element. An expired run stops
+  /// consuming the stream and returns the best sieve over the prefix seen so
+  /// far, flagged `degraded` — still a valid (1/2−ε) answer for that prefix.
+  Deadline deadline;
 };
 
 struct SieveStreamingResult {
@@ -71,6 +78,8 @@ struct SieveStreamingResult {
   /// Peak elements resident across all sieves — the O(k log(k)/ε) memory
   /// footprint of the algorithm (the quantity that still scales with k).
   std::size_t peak_resident_elements = 0;
+  /// True when the deadline stopped the pass before the stream was exhausted.
+  bool degraded = false;
 };
 
 /// One pass of SieveStreaming over a random permutation of the ground set.
@@ -87,6 +96,10 @@ struct SamplePruneConfig {
   std::size_t machine_capacity = 0;  // 0 -> 4·k
   std::size_t max_rounds = 64;
   std::uint64_t seed = 43;
+  /// Wall-clock budget, checked at round boundaries. An expired run returns
+  /// the solution extended so far (every round's extension is a valid greedy
+  /// prefix), flagged `degraded`, and skips the top-up fill.
+  Deadline deadline;
 };
 
 struct SamplePruneResult {
@@ -102,6 +115,8 @@ struct SamplePruneResult {
   /// state (0 on the pairwise oracle path).
   std::size_t materialized_bytes = 0;
   std::size_t kernel_state_bytes = 0;
+  /// True when the deadline ended the round loop before the budget filled.
+  bool degraded = false;
 };
 
 /// SAMPLE&PRUNE: per round, draw a uniform sample of the surviving elements

@@ -203,6 +203,14 @@ BoundingResult beam_bound(dataflow::Pipeline& pipeline, const GroundSet& ground_
   std::size_t total_rounds = 0;
   bool first_pass = true;
 
+  // Same pass-boundary deadline rule as core::bound: every decision is
+  // monotone, so stopping between passes leaves a valid partial state.
+  auto out_of_time = [&result, &config]() {
+    if (!config.deadline.expired()) return false;
+    result.degraded = true;
+    return true;
+  };
+
   // Same tight-completion rule as core::bound: once the survivors exactly
   // fill the open budget, they are the subset (see the comment there).
   auto complete_if_tight = [&result, &pipeline]() {
@@ -220,6 +228,7 @@ BoundingResult beam_bound(dataflow::Pipeline& pipeline, const GroundSet& ground_
   for (;;) {
     std::size_t shrink_changes = 0;
     for (;;) {
+      if (out_of_time()) break;
       ++result.shrink_rounds;
       const std::size_t changed = beam_shrink_step(
           pipeline, ground_set, result.state, result.k_remaining, config, ++salt);
@@ -227,11 +236,13 @@ BoundingResult beam_bound(dataflow::Pipeline& pipeline, const GroundSet& ground_
       if (changed == 0 || ++total_rounds >= config.max_rounds) break;
     }
     if (complete_if_tight()) break;
+    if (result.degraded) break;
     if (!first_pass && shrink_changes == 0) break;
     if (result.k_remaining == 0 || total_rounds >= config.max_rounds) break;
 
     std::size_t grow_changes = 0;
     for (;;) {
+      if (out_of_time()) break;
       ++result.grow_rounds;
       const std::size_t changed = beam_grow_step(
           pipeline, ground_set, result.state, result.k_remaining, config, ++salt);
@@ -242,6 +253,7 @@ BoundingResult beam_bound(dataflow::Pipeline& pipeline, const GroundSet& ground_
       }
     }
     if (complete_if_tight()) break;
+    if (result.degraded) break;
     if (grow_changes == 0 || result.k_remaining == 0 ||
         total_rounds >= config.max_rounds) {
       break;

@@ -93,6 +93,18 @@ core::DistributedGreedyResult beam_distributed_greedy(
         LOG_INFO("beam_distributed_greedy: cancelled before round %zu", round);
         return result;
       }
+      if (config.deadline.expired()) {
+        // Same degradation contract as core::distributed_greedy: fall
+        // through to the distributed subsample so the caller still gets a
+        // valid size-k selection from the current survivors.
+        result.degraded = true;
+        result.degraded_reason = "deadline expired before round " +
+                                 std::to_string(round) + " of " +
+                                 std::to_string(config.num_rounds);
+        LOG_INFO("beam_distributed_greedy: %s; returning best-so-far selection",
+                 result.degraded_reason.c_str());
+        break;
+      }
       core::RoundStats stats;
       stats.round = round;
       stats.input_size = dataflow::count(survivors);

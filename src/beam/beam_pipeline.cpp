@@ -55,6 +55,12 @@ SelectionPipelineResult beam_select_subset(dataflow::Pipeline& pipeline,
     result.bounding = beam_bound(pipeline, ground_set, k, config.bounding);
     result.bounding_seconds = timer.elapsed_seconds();
     initial = &result.bounding->state;
+    if (result.bounding->degraded) {
+      result.degraded = true;
+      result.degraded_reason =
+          "deadline expired during the bounding pre-pass; greedy ran on the"
+          " partially tightened state";
+    }
   }
 
   if (initial != nullptr && result.bounding->complete()) {
@@ -70,6 +76,10 @@ SelectionPipelineResult beam_select_subset(dataflow::Pipeline& pipeline,
   result.selected = std::move(greedy.selected);
   result.greedy_rounds = std::move(greedy.rounds);
   result.preempted = greedy.preempted;
+  if (greedy.degraded) {
+    result.degraded = true;
+    result.degraded_reason = greedy.degraded_reason;
+  }
   result.objective = score(result.selected);
   return result;
 }

@@ -1,0 +1,86 @@
+#include "common/atomic_file.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/failpoint.h"
+
+namespace subsel {
+namespace {
+
+void set_error(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message + ": " + std::strerror(errno);
+}
+
+bool write_all(int fd, const char* data, std::size_t size) {
+  std::size_t written = 0;
+  while (written < size) {
+    const ssize_t got = ::write(fd, data + written, size - written);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    written += static_cast<std::size_t>(got);
+  }
+  return true;
+}
+
+/// fsync the directory containing `path`, so the rename itself is durable.
+void sync_parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int fd = ::open(dir.empty() ? "/" : dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;  // best effort: the data rename already happened
+  ::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace
+
+bool write_file_durable(const std::string& path, const void* data,
+                        std::size_t size, std::string* error) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    set_error(error, "cannot create " + tmp);
+    return false;
+  }
+
+  // Simulated crash mid-flush: leave a TRUNCATED temp file behind and bail
+  // before the atomic rename — `path` still holds the previous complete
+  // contents, which is the recovery guarantee under test.
+  if (SUBSEL_FAILPOINT_TRIGGERED("checkpoint.write")) {
+    const std::size_t torn = size / 2;
+    (void)write_all(fd, static_cast<const char*>(data), torn);
+    ::close(fd);
+    if (error != nullptr) *error = "injected crash at failpoint 'checkpoint.write'";
+    return false;
+  }
+
+  if (!write_all(fd, static_cast<const char*>(data), size)) {
+    set_error(error, "short write to " + tmp);
+    ::close(fd);
+    return false;
+  }
+  if (::fsync(fd) != 0) {
+    set_error(error, "fsync of " + tmp + " failed");
+    ::close(fd);
+    return false;
+  }
+  if (::close(fd) != 0) {
+    set_error(error, "close of " + tmp + " failed");
+    return false;
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    set_error(error, "rename " + tmp + " -> " + path + " failed");
+    return false;
+  }
+  sync_parent_dir(path);
+  return true;
+}
+
+}  // namespace subsel

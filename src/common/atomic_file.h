@@ -1,0 +1,24 @@
+// Crash-consistent file publication: write-temp → fsync → atomic rename →
+// fsync parent directory. A reader of `path` sees either the previous
+// complete file or the new complete file — never a torn intermediate — and
+// the rename survives power loss once the call returns. This is the
+// persistence primitive behind solver checkpoints (core/distributed_greedy).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace subsel {
+
+/// Atomically and durably replaces `path` with `size` bytes of `data`.
+/// Returns true on success; on failure returns false with a description in
+/// `*error` (when non-null) and leaves any previous `path` contents intact
+/// (a stale `path + ".tmp"` may remain; it is overwritten by the next call).
+///
+/// The "checkpoint.write" failpoint simulates a crash mid-flush: a truncated
+/// temp file is written and the function returns false WITHOUT renaming —
+/// exactly the torn state a power loss before the rename would leave.
+bool write_file_durable(const std::string& path, const void* data,
+                        std::size_t size, std::string* error = nullptr);
+
+}  // namespace subsel

@@ -1,0 +1,231 @@
+#include "common/failpoint.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "common/rng.h"
+
+namespace subsel::failpoint {
+namespace detail {
+std::atomic<bool> g_armed{false};
+}  // namespace detail
+
+namespace {
+
+struct Site {
+  enum class Mode { kOff, kNth, kEvery, kProb, kDelay };
+  Mode mode = Mode::kOff;
+  std::uint64_t n = 0;         // nth target / every period / delay period
+  double probability = 0.0;    // prob
+  std::uint64_t seed = 0;      // prob stream seed
+  std::uint64_t delay_ms = 0;  // delay duration
+  std::uint64_t hits = 0;
+  std::uint64_t fires = 0;
+};
+
+/// Guards the registry. Armed paths only exist under fault testing, so a
+/// single mutex (never touched when disarmed) is deliberate simplicity.
+std::mutex& registry_mutex() {
+  static auto* mutex = new std::mutex;  // immortal: sites fire in pool
+  return *mutex;                        // threads that may outlive statics
+}
+std::unordered_map<std::string, Site>& registry() {
+  static auto* sites = new std::unordered_map<std::string, Site>();
+  return *sites;
+}
+
+/// Parses "name(arg[,arg])" into the name and raw argument strings.
+void split_call(const std::string& text, std::string& name,
+                std::vector<std::string>& arguments) {
+  const std::size_t open = text.find('(');
+  if (open == std::string::npos) {
+    name = text;
+    return;
+  }
+  if (text.back() != ')') {
+    throw std::invalid_argument("failpoint: unbalanced parentheses in '" +
+                                text + "'");
+  }
+  name = text.substr(0, open);
+  std::string body = text.substr(open + 1, text.size() - open - 2);
+  std::size_t begin = 0;
+  while (begin <= body.size() && !body.empty()) {
+    const std::size_t comma = body.find(',', begin);
+    const std::size_t end = comma == std::string::npos ? body.size() : comma;
+    arguments.push_back(body.substr(begin, end - begin));
+    if (comma == std::string::npos) break;
+    begin = comma + 1;
+  }
+}
+
+std::uint64_t parse_u64(const std::string& text, const char* what) {
+  try {
+    std::size_t used = 0;
+    const unsigned long long value = std::stoull(text, &used);
+    if (used != text.size()) throw std::invalid_argument(text);
+    return static_cast<std::uint64_t>(value);
+  } catch (const std::exception&) {
+    throw std::invalid_argument(std::string("failpoint: bad ") + what +
+                                " '" + text + "'");
+  }
+}
+
+double parse_probability(const std::string& text) {
+  try {
+    std::size_t used = 0;
+    const double value = std::stod(text, &used);
+    if (used != text.size() || value < 0.0 || value > 1.0) {
+      throw std::invalid_argument(text);
+    }
+    return value;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("failpoint: bad probability '" + text + "'");
+  }
+}
+
+Site parse_mode(const std::string& text) {
+  std::string name;
+  std::vector<std::string> arguments;
+  split_call(text, name, arguments);
+
+  Site site;
+  if (name == "off") {
+    if (!arguments.empty()) {
+      throw std::invalid_argument("failpoint: 'off' takes no arguments");
+    }
+  } else if (name == "nth" || name == "every") {
+    if (arguments.size() != 1) {
+      throw std::invalid_argument("failpoint: '" + name + "' takes exactly one"
+                                  " argument, got '" + text + "'");
+    }
+    site.mode = name == "nth" ? Site::Mode::kNth : Site::Mode::kEvery;
+    site.n = parse_u64(arguments[0], "count");
+    if (site.n == 0) {
+      throw std::invalid_argument("failpoint: '" + name + "' count must be"
+                                  " >= 1");
+    }
+  } else if (name == "prob") {
+    if (arguments.empty() || arguments.size() > 2) {
+      throw std::invalid_argument("failpoint: 'prob' takes P[,SEED], got '" +
+                                  text + "'");
+    }
+    site.mode = Site::Mode::kProb;
+    site.probability = parse_probability(arguments[0]);
+    site.seed = arguments.size() == 2 ? parse_u64(arguments[1], "seed") : 0;
+  } else if (name == "delay") {
+    if (arguments.empty() || arguments.size() > 2) {
+      throw std::invalid_argument("failpoint: 'delay' takes MS[,EVERY], got '" +
+                                  text + "'");
+    }
+    site.mode = Site::Mode::kDelay;
+    site.delay_ms = parse_u64(arguments[0], "delay");
+    site.n = arguments.size() == 2 ? parse_u64(arguments[1], "period") : 1;
+    if (site.n == 0) {
+      throw std::invalid_argument("failpoint: 'delay' period must be >= 1");
+    }
+  } else {
+    throw std::invalid_argument("failpoint: unknown mode '" + text + "'");
+  }
+  return site;
+}
+
+}  // namespace
+
+bool fail_now(const char* site_name) noexcept {
+  std::uint64_t sleep_ms = 0;
+  bool fire = false;
+  {
+    std::lock_guard lock(registry_mutex());
+    const auto it = registry().find(site_name);
+    if (it == registry().end()) return false;
+    Site& site = it->second;
+    const std::uint64_t hit = ++site.hits;
+    switch (site.mode) {
+      case Site::Mode::kOff:
+        break;
+      case Site::Mode::kNth:
+        fire = hit == site.n;
+        break;
+      case Site::Mode::kEvery:
+        fire = hit % site.n == 0;
+        break;
+      case Site::Mode::kProb:
+        // Deterministic per-hit draw: the schedule is a pure function of
+        // (seed, hit index), so a rerun replays the identical fault pattern.
+        fire = hash_to_unit(hash_combine(splitmix64(site.seed), hit)) <
+               site.probability;
+        break;
+      case Site::Mode::kDelay:
+        if (hit % site.n == 0) sleep_ms = site.delay_ms;
+        break;
+    }
+    if (fire) ++site.fires;
+  }
+  if (sleep_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+  }
+  return fire;
+}
+
+void maybe_fail(const char* site) {
+  if (fail_now(site)) {
+    throw FailpointError(site, std::string("injected fault at failpoint '") +
+                                   site + "'");
+  }
+}
+
+void arm_from_spec(const std::string& spec) {
+  // Parse the whole spec before touching the registry, so a malformed tail
+  // never leaves a half-armed state.
+  std::vector<std::pair<std::string, Site>> parsed;
+  std::size_t begin = 0;
+  while (begin < spec.size()) {
+    const std::size_t semi = spec.find(';', begin);
+    const std::size_t end = semi == std::string::npos ? spec.size() : semi;
+    const std::string entry = spec.substr(begin, end - begin);
+    begin = end + 1;
+    if (entry.empty()) continue;
+    const std::size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      throw std::invalid_argument("failpoint: expected 'site=mode', got '" +
+                                  entry + "'");
+    }
+    parsed.emplace_back(entry.substr(0, eq), parse_mode(entry.substr(eq + 1)));
+  }
+
+  std::lock_guard lock(registry_mutex());
+  for (auto& [site, mode] : parsed) {
+    registry()[site] = std::move(mode);
+  }
+  bool any_armed = false;
+  for (const auto& [site, state] : registry()) {
+    if (state.mode != Site::Mode::kOff) any_armed = true;
+  }
+  detail::g_armed.store(any_armed, std::memory_order_relaxed);
+}
+
+void arm_from_env() {
+  const char* spec = std::getenv("SUBSEL_FAILPOINTS");
+  if (spec != nullptr && *spec != '\0') arm_from_spec(spec);
+}
+
+void disarm_all() {
+  std::lock_guard lock(registry_mutex());
+  registry().clear();
+  detail::g_armed.store(false, std::memory_order_relaxed);
+}
+
+std::vector<SiteStats> stats() {
+  std::lock_guard lock(registry_mutex());
+  std::vector<SiteStats> out;
+  out.reserve(registry().size());
+  for (const auto& [site, state] : registry()) {
+    out.push_back(SiteStats{site, state.hits, state.fires});
+  }
+  return out;
+}
+
+}  // namespace subsel::failpoint

@@ -1,0 +1,109 @@
+// Deterministic fault injection: named failpoint sites compiled into the hot
+// seams (disk preads, prefetch tasks, pool dispatch, checkpoint flushes,
+// arena acquisition) and armed at runtime from a spec string.
+//
+// Design constraints, in order:
+//   1. Zero cost when disabled. Every site guards itself behind `armed()`,
+//      a single relaxed atomic load of a process-global flag — no string
+//      lookup, no lock, no allocation on the disabled path. The perf CI job
+//      holds this to < 1% on the micro_core hot path
+//      (`micro_core --failpoint-overhead`).
+//   2. Deterministic, replayable schedules. A fault pattern is a pure
+//      function of (spec, hit index): `nth(N)` fires exactly the Nth hit,
+//      `every(N)` each Nth, `prob(P,SEED)` hashes the hit index through a
+//      seeded splitmix64 stream, `delay(MS,EVERY)` injects latency instead
+//      of failure. Re-running with the same spec reproduces the same
+//      schedule — the CK-style replayable-chaos contract, not ad-hoc
+//      randomness.
+//   3. Two flavors per site. `maybe_fail` throws FailpointError — for seams
+//      whose callers already propagate typed errors (pool tasks, arena
+//      acquisition, checkpoint flushes). `fail_now` just reports "this hit
+//      fails" — for seams that feed the verdict into their own error model
+//      (the disk read path turns it into a simulated transient EAGAIN so the
+//      retry/backoff machinery is what gets exercised).
+//
+// Spec grammar (CLI `--failpoints=SPEC`, env `SUBSEL_FAILPOINTS`):
+//   spec  := site '=' mode (';' site '=' mode)*
+//   mode  := 'off' | 'nth(' N ')' | 'every(' N ')'
+//          | 'prob(' P [',' SEED] ')' | 'delay(' MS [',' EVERY] ')'
+// e.g. --failpoints='disk.pread=prob(0.2,42);checkpoint.write=nth(3)'
+//
+// Sites are plain strings; the canonical ones are listed in README
+// ("Robustness"). Arming an unknown site is allowed (it simply never gets
+// hit) so specs survive refactors without version skew.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace subsel::failpoint {
+
+/// Thrown by `maybe_fail` when a site fires. Derives from std::runtime_error
+/// so generic catch sites keep working; site() identifies the seam.
+class FailpointError : public std::runtime_error {
+ public:
+  FailpointError(std::string site, const std::string& message)
+      : std::runtime_error(message), site_(std::move(site)) {}
+
+  const std::string& site() const noexcept { return site_; }
+
+ private:
+  std::string site_;
+};
+
+namespace detail {
+extern std::atomic<bool> g_armed;
+}  // namespace detail
+
+/// True iff any failpoint is armed. This relaxed load is the ENTIRE cost of
+/// a disabled site; call sites must check it before fail_now/maybe_fail
+/// (the SUBSEL_FAILPOINT macros below do).
+inline bool armed() noexcept {
+  return detail::g_armed.load(std::memory_order_relaxed);
+}
+
+/// Counts a hit at `site` and returns true when the armed schedule says this
+/// hit fails. Applies `delay` modes (sleeps, returns false). Unarmed sites
+/// return false. Thread-safe.
+bool fail_now(const char* site) noexcept;
+
+/// Throwing flavor of fail_now: throws FailpointError when the site fires.
+void maybe_fail(const char* site);
+
+/// Arms sites from a spec string (grammar above); later specs override
+/// earlier ones per site. Throws std::invalid_argument on malformed input.
+void arm_from_spec(const std::string& spec);
+
+/// Arms from the SUBSEL_FAILPOINTS environment variable when set and
+/// non-empty (entry points call this once at startup so library code never
+/// reads the environment on a hot path).
+void arm_from_env();
+
+/// Disarms every site and clears all counters.
+void disarm_all();
+
+/// Per-site counters, for tests and post-run diagnostics.
+struct SiteStats {
+  std::string site;
+  std::uint64_t hits = 0;   // times the armed site was reached
+  std::uint64_t fires = 0;  // of those, times it failed
+};
+std::vector<SiteStats> stats();
+
+}  // namespace subsel::failpoint
+
+/// Throwing site: no-op (one relaxed load) unless armed.
+#define SUBSEL_FAILPOINT(site)                         \
+  do {                                                 \
+    if (::subsel::failpoint::armed()) {                \
+      ::subsel::failpoint::maybe_fail(site);           \
+    }                                                  \
+  } while (0)
+
+/// Boolean site for callers with their own error model: evaluates to true
+/// when the site fires this hit.
+#define SUBSEL_FAILPOINT_TRIGGERED(site) \
+  (::subsel::failpoint::armed() && ::subsel::failpoint::fail_now(site))

@@ -10,12 +10,58 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <string_view>
 
 namespace subsel {
+
+/// A wall-clock budget for a run, checked at the same coarse cooperative
+/// points as CancellationToken (round/pass boundaries, driver step loops).
+/// Unlike cancellation — which preempts a run and leaves resumption to the
+/// checkpoint — an expired deadline makes the solver RETURN what it has: the
+/// best-so-far selection, flagged `degraded` in the result/report, so a
+/// serving path can trade quality for latency instead of failing the
+/// request. Default-constructed deadlines are unlimited and cost one branch
+/// to check. Copies share the same fixed expiry instant.
+class Deadline {
+ public:
+  /// Unlimited: never expires.
+  Deadline() = default;
+
+  /// Expires `ms` milliseconds from now (0 = already expired).
+  static Deadline after_ms(std::uint64_t ms) {
+    Deadline deadline;
+    deadline.limited_ = true;
+    deadline.when_ = std::chrono::steady_clock::now() +
+                     std::chrono::milliseconds(ms);
+    return deadline;
+  }
+
+  static Deadline unlimited() { return Deadline(); }
+
+  bool is_limited() const noexcept { return limited_; }
+
+  bool expired() const noexcept {
+    return limited_ && std::chrono::steady_clock::now() >= when_;
+  }
+
+  /// Seconds until expiry; +infinity when unlimited, clamped at 0 after.
+  double remaining_seconds() const noexcept {
+    if (!limited_) return std::numeric_limits<double>::infinity();
+    const auto left = when_ - std::chrono::steady_clock::now();
+    const double seconds =
+        std::chrono::duration_cast<std::chrono::duration<double>>(left).count();
+    return seconds > 0.0 ? seconds : 0.0;
+  }
+
+ private:
+  std::chrono::steady_clock::time_point when_{};
+  bool limited_ = false;
+};
 
 /// Copyable handle to a shared stop flag. Copies share state, so a token
 /// embedded into several solver configs (or captured by a progress callback)

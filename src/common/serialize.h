@@ -41,6 +41,32 @@ class BinaryWriter {
   std::ofstream out_;
 };
 
+/// BinaryWriter's in-memory sibling: accumulates the same little-endian
+/// layout into a buffer, for callers that publish atomically via
+/// write_file_durable (common/atomic_file.h) instead of streaming to disk.
+class BufferWriter {
+ public:
+  template <typename T>
+  void write_pod(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto* raw = reinterpret_cast<const char*>(&value);
+    buffer_.insert(buffer_.end(), raw, raw + sizeof(T));
+  }
+
+  template <typename T>
+  void write_vector(const std::vector<T>& values) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    write_pod<std::uint64_t>(values.size());
+    const auto* raw = reinterpret_cast<const char*>(values.data());
+    buffer_.insert(buffer_.end(), raw, raw + values.size() * sizeof(T));
+  }
+
+  const std::vector<char>& bytes() const noexcept { return buffer_; }
+
+ private:
+  std::vector<char> buffer_;
+};
+
 class BinaryReader {
  public:
   explicit BinaryReader(const std::string& path) : in_(path, std::ios::binary) {

@@ -35,7 +35,13 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    // packaged_task routes task exceptions into the future; this last-resort
+    // catch covers anything else (e.g. a broken promise) so a worker thread
+    // can never take the process down via std::terminate.
+    try {
+      task();
+    } catch (...) {
+    }
   }
 }
 
@@ -69,8 +75,21 @@ void ThreadPool::parallel_for(std::size_t count,
   futures.reserve(size());
   for (std::size_t w = 0; w < size(); ++w) futures.push_back(submit(drain));
   drain();  // caller participates too
-  for (auto& f : futures) f.get();
+  // Wait for every helper BEFORE collecting results: queued tasks reference
+  // the local `drain`, so bailing on the first error would leave workers
+  // racing a dead stack frame. Iteration errors (first_error) outrank
+  // dispatch errors and are rethrown with their original type.
+  for (auto& f : futures) f.wait();
+  std::exception_ptr dispatch_error;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!dispatch_error) dispatch_error = std::current_exception();
+    }
+  }
   if (first_error) std::rethrow_exception(first_error);
+  if (dispatch_error) std::rethrow_exception(dispatch_error);
 }
 
 void ThreadPool::run_per_worker(const std::function<void(std::size_t)>& fn) {
@@ -79,7 +98,30 @@ void ThreadPool::run_per_worker(const std::function<void(std::size_t)>& fn) {
   for (std::size_t w = 0; w < size(); ++w) {
     futures.push_back(submit([&fn, w] { fn(w); }));
   }
-  for (auto& f : futures) f.get();
+  // Same wait-all discipline as parallel_for: every queued task borrows
+  // `fn`, so no early exit on failure. The first escaping exception is then
+  // surfaced as a typed TaskError at this join point.
+  for (auto& f : futures) f.wait();
+  std::exception_ptr first_error;
+  std::string message;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (const std::exception& e) {
+      if (!first_error) {
+        first_error = std::current_exception();
+        message = e.what();
+      }
+    } catch (...) {
+      if (!first_error) {
+        first_error = std::current_exception();
+        message = "non-standard exception";
+      }
+    }
+  }
+  if (first_error) {
+    throw TaskError("ThreadPool: worker task failed: " + message, first_error);
+  }
 }
 
 ThreadPool& global_thread_pool() {

@@ -10,6 +10,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <future>
 #include <mutex>
@@ -17,7 +18,31 @@
 #include <thread>
 #include <vector>
 
+#include "common/failpoint.h"
+
 namespace subsel {
+
+/// Typed wrapper for an exception that escaped a pool task and surfaced at a
+/// join/wait point (run_per_worker, or a future returned by submit when the
+/// dispatch failpoint fires). The original exception is preserved in
+/// cause(); what() carries its message. Derives from std::runtime_error so
+/// pre-existing catch sites keep working — a worker failure is reported as a
+/// typed error, never std::terminate.
+class TaskError : public std::runtime_error {
+ public:
+  TaskError(const std::string& message, std::exception_ptr cause)
+      : std::runtime_error(message), cause_(std::move(cause)) {}
+
+  const std::exception_ptr& cause() const noexcept { return cause_; }
+
+  [[noreturn]] void rethrow_cause() const {
+    if (cause_) std::rethrow_exception(cause_);
+    throw *this;
+  }
+
+ private:
+  std::exception_ptr cause_;
+};
 
 class ThreadPool {
  public:
@@ -31,11 +56,17 @@ class ThreadPool {
 
   std::size_t size() const noexcept { return workers_.size(); }
 
-  /// Enqueues a task and returns a future for its completion.
+  /// Enqueues a task and returns a future for its completion. An exception
+  /// thrown by the task (including the "pool.task" dispatch failpoint) lands
+  /// in the future and rethrows at get() — it never escapes a worker thread.
   template <typename F>
   auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
     using Result = std::invoke_result_t<F>;
-    auto task = std::make_shared<std::packaged_task<Result()>>(std::forward<F>(fn));
+    auto task = std::make_shared<std::packaged_task<Result()>>(
+        [fn = std::forward<F>(fn)]() mutable -> Result {
+          SUBSEL_FAILPOINT("pool.task");
+          return fn();
+        });
     std::future<Result> future = task->get_future();
     {
       std::lock_guard lock(mutex_);
@@ -48,11 +79,14 @@ class ThreadPool {
 
   /// Runs fn(i) for i in [0, count) across the pool and blocks until all
   /// iterations finish. Iterations are chunked to reduce dispatch overhead.
-  /// Exceptions from iterations are rethrown (first one wins).
+  /// Exceptions from iterations are rethrown (first one wins) with their
+  /// original type, so callers' typed-error contracts survive parallelism.
   void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
 
-  /// Runs fn(worker_index) once per pool thread and blocks; used when a task
-  /// needs a stable per-worker identity (e.g. per-machine memory budgets).
+  /// Runs fn(worker_index) once per pool thread and blocks until EVERY
+  /// worker task finished (even after a failure — fn stays borrowed until
+  /// the last task returns). The first escaping exception is rethrown as a
+  /// TaskError wrapping it.
   void run_per_worker(const std::function<void(std::size_t)>& fn);
 
  private:

@@ -228,9 +228,19 @@ BoundingResult bound(const GroundSet& ground_set, std::size_t k,
   // loop already certified; and when a later shrink loop changes nothing, the
   // preceding grow loop's final no-change pass still holds. This matches the
   // round counts reported in Table 2.
+  // Deadline between passes: every grow/shrink decision is monotone and
+  // individually sound, so stopping at any pass boundary leaves a valid
+  // (merely less-tightened) state for the solver to finish from.
+  auto out_of_time = [&result, &config]() {
+    if (!config.deadline.expired()) return false;
+    result.degraded = true;
+    return true;
+  };
+
   for (;;) {
     std::size_t shrink_changes = 0;
     for (;;) {
+      if (out_of_time()) break;
       ++result.shrink_rounds;
       const std::size_t changed =
           shrink_step(ground_set, result.state, result.k_remaining, config, ++salt);
@@ -238,11 +248,13 @@ BoundingResult bound(const GroundSet& ground_set, std::size_t k,
       if (changed == 0 || ++total_rounds >= config.max_rounds) break;
     }
     if (complete_if_tight()) break;
+    if (result.degraded) break;
     if (!first_pass && shrink_changes == 0) break;
     if (result.k_remaining == 0 || total_rounds >= config.max_rounds) break;
 
     std::size_t grow_changes = 0;
     for (;;) {
+      if (out_of_time()) break;
       ++result.grow_rounds;
       const std::size_t changed =
           grow_step(ground_set, result.state, result.k_remaining, config, ++salt);
@@ -253,6 +265,7 @@ BoundingResult bound(const GroundSet& ground_set, std::size_t k,
       }
     }
     if (complete_if_tight()) break;
+    if (result.degraded) break;
     if (grow_changes == 0 || result.k_remaining == 0 ||
         total_rounds >= config.max_rounds) {
       break;

@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/run_control.h"
 #include "common/thread_pool.h"
 #include "core/objective.h"
 #include "core/selection_state.h"
@@ -54,6 +55,11 @@ struct BoundingConfig {
   /// sets; 0 disables. Never affects decisions.
   std::size_t prefetch_depth = 2;
   ThreadPool* pool = nullptr;
+  /// Wall-clock budget, checked between passes. Bounding decisions are
+  /// monotone (selected stays selected, discarded stays discarded), so
+  /// stopping early just leaves a smaller pre-pass for the solver — the
+  /// result is still valid, flagged `degraded`.
+  Deadline deadline;
 };
 
 struct BoundingResult {
@@ -68,6 +74,8 @@ struct BoundingResult {
   std::size_t shrink_rounds = 0;
   /// Budget still open after bounding: k − |included|.
   std::size_t k_remaining = 0;
+  /// True when the deadline cut the alternation short of its fixed point.
+  bool degraded = false;
 
   bool complete() const noexcept { return k_remaining == 0; }
 };

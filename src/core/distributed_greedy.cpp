@@ -6,6 +6,7 @@
 #include <filesystem>
 #include <stdexcept>
 
+#include "common/atomic_file.h"
 #include "common/atomic_util.h"
 #include "common/log.h"
 #include "common/rng.h"
@@ -15,6 +16,11 @@ namespace subsel::core {
 namespace {
 
 constexpr std::uint64_t kCheckpointMagic = 0x53554253454C4350ULL;  // "SUBSELCP"
+/// Layout version after the magic. v2 added this field (the unversioned
+/// original layout is retroactively v1; its files are rejected by the
+/// version check and fall back to a clean restart, which is always safe —
+/// checkpoints are ephemeral and removed on completion).
+constexpr std::uint32_t kCheckpointVersion = 2;
 
 ThreadPool& pool_or_global(ThreadPool* pool) {
   return pool != nullptr ? *pool : global_thread_pool();
@@ -73,23 +79,22 @@ std::uint64_t run_fingerprint(std::size_t n, std::size_t v0, std::size_t k_open,
 void save_checkpoint(const std::string& path, std::uint64_t fingerprint,
                      std::size_t completed_round,
                      const std::vector<NodeId>& survivors) {
-  try {
-    const std::string tmp = path + ".tmp";
-    {
-      BinaryWriter writer(tmp);
-      writer.write_pod(kCheckpointMagic);
-      writer.write_pod(fingerprint);
-      writer.write_pod<std::uint64_t>(completed_round);
-      writer.write_vector(survivors);
-      if (!writer.ok()) {
-        LOG_WARN("checkpoint write failed (%s); continuing without", tmp.c_str());
-        return;
-      }
-    }
-    // Atomic publish so a crash mid-write never leaves a torn checkpoint.
-    std::filesystem::rename(tmp, path);
-  } catch (const std::exception& e) {
-    LOG_WARN("checkpoint write failed (%s); continuing without", e.what());
+  // Serialize fully in memory, then publish crash-consistently: write-temp,
+  // fsync, atomic rename, fsync the directory. A kill at any instant leaves
+  // either the previous complete checkpoint or this one — never a torn file.
+  // A failed write (including the injected "checkpoint.write" crash) keeps
+  // the run going on the previous checkpoint; persistence is best-effort,
+  // correctness of what IS on disk is not.
+  BufferWriter writer;
+  writer.write_pod(kCheckpointMagic);
+  writer.write_pod(kCheckpointVersion);
+  writer.write_pod(fingerprint);
+  writer.write_pod<std::uint64_t>(completed_round);
+  writer.write_vector(survivors);
+  std::string error;
+  if (!write_file_durable(path, writer.bytes().data(), writer.bytes().size(),
+                          &error)) {
+    LOG_WARN("checkpoint write failed (%s); continuing without", error.c_str());
   }
 }
 
@@ -101,6 +106,11 @@ std::size_t load_checkpoint(const std::string& path, std::uint64_t fingerprint,
   try {
     BinaryReader reader(path);
     if (reader.read_pod<std::uint64_t>() != kCheckpointMagic) return 0;
+    if (reader.read_pod<std::uint32_t>() != kCheckpointVersion) {
+      LOG_WARN("checkpoint %s has an unsupported layout version; ignoring",
+               path.c_str());
+      return 0;
+    }
     if (reader.read_pod<std::uint64_t>() != fingerprint) {
       LOG_WARN("checkpoint %s belongs to a different run configuration; ignoring",
                path.c_str());
@@ -199,6 +209,19 @@ DistributedGreedyResult distributed_greedy(const GroundSet& ground_set, std::siz
         LOG_INFO("distributed_greedy: cancelled before round %zu", round);
         return result;
       }
+      if (config.deadline.expired()) {
+        // Graceful degradation, not preemption: fall through to the final
+        // subsample so the caller still gets a VALID size-k selection from
+        // the current survivors. The checkpoint is kept — an unhurried later
+        // invocation can resume and finish the remaining rounds properly.
+        result.degraded = true;
+        result.degraded_reason = "deadline expired before round " +
+                                 std::to_string(round) + " of " +
+                                 std::to_string(config.num_rounds);
+        LOG_INFO("distributed_greedy: %s; returning best-so-far selection",
+                 result.degraded_reason.c_str());
+        break;
+      }
       RoundStats stats;
       stats.round = round;
       stats.input_size = survivors.size();
@@ -293,7 +316,10 @@ DistributedGreedyResult distributed_greedy(const GroundSet& ground_set, std::siz
       LOG_DEBUG("distributed_greedy round %zu: %zu -> %zu (m=%zu, target %zu)", round,
                 stats.input_size, stats.output_size, m_round, n_round);
 
-      if (!config.checkpoint_file.empty() && round < config.num_rounds) {
+      const std::size_t checkpoint_every =
+          std::max<std::size_t>(1, config.checkpoint_every);
+      if (!config.checkpoint_file.empty() && round < config.num_rounds &&
+          round % checkpoint_every == 0) {
         save_checkpoint(config.checkpoint_file, fingerprint, round, survivors);
       }
       if (config.progress) {
@@ -320,7 +346,9 @@ DistributedGreedyResult distributed_greedy(const GroundSet& ground_set, std::siz
     survivors.clear();
   }
 
-  if (!config.checkpoint_file.empty()) {
+  // A degraded (deadline-cut) run keeps its checkpoint: the best-so-far
+  // answer was served, but the run itself is resumable to full quality.
+  if (!config.checkpoint_file.empty() && !result.degraded) {
     std::error_code error;
     std::filesystem::remove(config.checkpoint_file, error);
   }

@@ -70,7 +70,14 @@ struct DistributedGreedyConfig {
   /// round statistics are persisted to this file; a later call with an
   /// equivalent config resumes from the last completed round instead of
   /// restarting. Empty disables. The checkpoint is removed on completion.
+  /// Writes are crash-consistent (write-temp, fsync, atomic rename): a kill
+  /// at ANY instant leaves either the previous complete checkpoint or the
+  /// new one, never a torn file.
   std::string checkpoint_file;
+  /// Persist the checkpoint every N completed rounds (1 = every round, the
+  /// default; 0 behaves as 1). Larger values trade recovery granularity for
+  /// fewer fsyncs on fast rounds.
+  std::size_t checkpoint_every = 1;
   /// Graceful-preemption hook: stop after this many completed rounds of
   /// THIS invocation (0 = run to the end). With a checkpoint_file, the next
   /// invocation picks up where this one stopped. The partial result has
@@ -89,6 +96,12 @@ struct DistributedGreedyConfig {
   /// Per-round heartbeat (stage "round"); runs on the driver thread after
   /// each round completes and may call cancel.request_stop().
   ProgressFn progress;
+  /// Wall-clock budget, checked at the same round boundaries as `cancel`.
+  /// Expiry does NOT preempt: the run stops early and returns a VALID
+  /// best-so-far selection (the current survivors subsampled to the budget)
+  /// with `degraded` set — and keeps the checkpoint, so a later unhurried
+  /// invocation can still resume and finish properly.
+  Deadline deadline;
   /// Worst-case partitioning ablation (Section 6.4): if set, round 1 places
   /// exactly these points into one partition and splits the rest randomly.
   std::optional<std::vector<NodeId>> forced_first_partition;
@@ -119,6 +132,12 @@ struct DistributedGreedyResult {
   /// True when stop_after_round or the cancellation token preempted the run
   /// before completion.
   bool preempted = false;
+  /// True when the deadline expired mid-run: `selected` holds the best-so-
+  /// far selection (still exactly min(k, survivors + pre-selected) ids,
+  /// still objective-evaluated) instead of the full-quality result.
+  bool degraded = false;
+  /// Human-readable cause when degraded (e.g. which round the deadline hit).
+  std::string degraded_reason;
 };
 
 /// Runs Algorithm 6 to select k points. If `initial` is given (the state left

@@ -51,6 +51,9 @@ struct GreedyResult {
   /// Bytes of flat kernel incremental state backing the solve (0 for the
   /// closed-form pairwise path and oracle paths).
   std::size_t kernel_state_bytes = 0;
+  /// True when a deadline cut the solve short; `selected` then holds the
+  /// valid (merely smaller) prefix chosen before time ran out.
+  bool degraded = false;
 };
 
 /// Materializes the subproblem induced by `members` (any order; sorted

@@ -36,6 +36,12 @@ SelectionPipelineResult select_subset(const GroundSet& ground_set, std::size_t k
     result.bounding = bound(ground_set, k, config.bounding);
     result.bounding_seconds = timer.elapsed_seconds();
     initial = &result.bounding->state;
+    if (result.bounding->degraded) {
+      result.degraded = true;
+      result.degraded_reason =
+          "deadline expired during the bounding pre-pass; greedy ran on the"
+          " partially tightened state";
+    }
   }
 
   if (initial != nullptr && result.bounding->complete()) {
@@ -59,6 +65,10 @@ SelectionPipelineResult select_subset(const GroundSet& ground_set, std::size_t k
   result.objective = greedy.objective;
   result.greedy_rounds = std::move(greedy.rounds);
   result.preempted = greedy.preempted;
+  if (greedy.degraded) {
+    result.degraded = true;
+    result.degraded_reason = greedy.degraded_reason;
+  }
   return result;
 }
 

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <optional>
+#include <string>
 
 #include "core/bounding.h"
 #include "core/distributed_greedy.h"
@@ -36,6 +37,11 @@ struct SelectionPipelineResult {
   /// True when the greedy stage was preempted (stop_after_round or the
   /// cancellation token); `selected` is then empty.
   bool preempted = false;
+  /// True when a deadline cut either stage short (bounding stopped before its
+  /// fixed point, or greedy skipped rounds). Unlike `preempted`, `selected`
+  /// still holds a valid size-k selection — just a less-optimized one.
+  bool degraded = false;
+  std::string degraded_reason;
 };
 
 /// Selects k points from the ground set. The objective params in

@@ -32,6 +32,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "core/addressable_heap.h"
 #include "graph/similarity_graph.h"
 
@@ -161,6 +162,10 @@ class SubproblemArena {
 class SubproblemArenaPool {
  public:
   SubproblemArena* acquire() {
+    // The per-partition allocation seam: "arena.alloc" stands in for an
+    // allocation failure inside a worker task. The FailpointError propagates
+    // through parallel_for's typed-rethrow contract to the driver.
+    SUBSEL_FAILPOINT("arena.alloc");
     std::lock_guard lock(mutex_);
     if (!free_.empty()) {
       SubproblemArena* arena = free_.back();

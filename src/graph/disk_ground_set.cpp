@@ -9,7 +9,10 @@
 #include <chrono>
 #include <cstring>
 #include <stdexcept>
+#include <thread>
 
+#include "common/failpoint.h"
+#include "common/rng.h"
 #include "common/thread_pool.h"
 
 namespace subsel::graph {
@@ -24,15 +27,60 @@ constexpr std::uint32_t kGraphVersion = 1;
 /// dispatch.
 constexpr std::size_t kPrefetchBlocksPerTask = 16;
 
+/// Transient-read retry budget: errno-class failures (EAGAIN & friends, or
+/// the "disk.pread" failpoint standing in for them) back off and retry this
+/// many times before being promoted to the permanent DiskFormatError::kIo.
+constexpr int kMaxReadAttempts = 6;
+constexpr std::uint64_t kBackoffBaseMicros = 50;
+
+/// pread() the exact range, classifying failures:
+///   - EINTR: a signal, not an error — retried immediately, never counted
+///     against the attempt budget.
+///   - EOF (got == 0): the file shrank under a live reader — permanent,
+///     throws `kind` (the caller's corruption classification).
+///   - any other errno (and the "disk.pread" failpoint): transient — counted
+///     into `retries`, retried under exponential backoff with deterministic
+///     jitter (a pure function of offset and attempt, so fault schedules
+///     replay bit-identically), and promoted to kIo once the budget is
+///     exhausted.
 void pread_exact(int fd, void* buffer, std::size_t size, std::uint64_t offset,
-                 const char* what, DiskFormatError::Kind kind) {
+                 const char* what, DiskFormatError::Kind kind,
+                 std::atomic<std::uint64_t>* retries) {
   auto* cursor = static_cast<char*>(buffer);
   std::size_t remaining = size;
+  int failures = 0;
+  const auto transient_failure = [&] {
+    if (retries != nullptr) retries->fetch_add(1, std::memory_order_relaxed);
+    ++failures;
+    if (failures >= kMaxReadAttempts) {
+      throw DiskFormatError(
+          DiskFormatError::Kind::kIo,
+          std::string("DiskGroundSet: transient I/O errors reading ") + what +
+              " persisted past " + std::to_string(kMaxReadAttempts) +
+              " attempts");
+    }
+    const std::uint64_t ceiling = kBackoffBaseMicros
+                                  << static_cast<unsigned>(failures);
+    const std::uint64_t jitter =
+        hash_combine(offset, static_cast<std::uint64_t>(failures)) % ceiling;
+    std::this_thread::sleep_for(std::chrono::microseconds(ceiling + jitter));
+  };
   while (remaining > 0) {
+    if (SUBSEL_FAILPOINT_TRIGGERED("disk.pread")) {
+      transient_failure();  // simulated EAGAIN: exercises the real retry path
+      continue;
+    }
     const ssize_t got = ::pread(fd, cursor, remaining,
                                 static_cast<off_t>(offset + (size - remaining)));
-    if (got < 0 && errno == EINTR) continue;  // signal, not corruption
-    if (got <= 0) {
+    if (got < 0) {
+      if (errno == EINTR) {
+        if (retries != nullptr) retries->fetch_add(1, std::memory_order_relaxed);
+        continue;  // signal, not corruption: retry without burning an attempt
+      }
+      transient_failure();
+      continue;
+    }
+    if (got == 0) {
       throw DiskFormatError(kind,
                             std::string("DiskGroundSet: short read of ") + what);
     }
@@ -162,6 +210,13 @@ DiskGroundSet::DiskGroundSet(const std::string& graph_path,
         "DiskGroundSet: block_edges, max_cached_blocks, and num_shards must"
         " be >= 1");
   }
+  // The "disk.open" failpoint simulates the file being unreachable (mount
+  // flap, permission race) through the same typed error a real failure takes.
+  if (SUBSEL_FAILPOINT_TRIGGERED("disk.open")) {
+    throw DiskFormatError(DiskFormatError::Kind::kOpen,
+                          "DiskGroundSet: cannot open " + graph_path +
+                              " (injected fault at 'disk.open')");
+  }
   fd_ = ::open(graph_path.c_str(), O_RDONLY);
   if (fd_ < 0) {
     throw DiskFormatError(DiskFormatError::Kind::kOpen,
@@ -186,10 +241,10 @@ DiskGroundSet::DiskGroundSet(const std::string& graph_path,
                                 " is shorter than a SimilarityGraph header");
     }
     pread_exact(fd_, &magic, sizeof(magic), cursor, "magic",
-                DiskFormatError::Kind::kTruncated);
+                DiskFormatError::Kind::kTruncated, &read_retries_);
     cursor += sizeof(magic);
     pread_exact(fd_, &version, sizeof(version), cursor, "version",
-                DiskFormatError::Kind::kTruncated);
+                DiskFormatError::Kind::kTruncated, &read_retries_);
     cursor += sizeof(version);
     if (magic != kGraphMagic) {
       throw DiskFormatError(DiskFormatError::Kind::kBadMagic,
@@ -210,7 +265,7 @@ DiskGroundSet::DiskGroundSet(const std::string& graph_path,
                                 " is truncated before the offsets length");
     }
     pread_exact(fd_, &offsets_len, sizeof(offsets_len), cursor, "offsets length",
-                DiskFormatError::Kind::kTruncated);
+                DiskFormatError::Kind::kTruncated, &read_retries_);
     cursor += sizeof(offsets_len);
     if (file_size - cursor < offsets_len * sizeof(std::int64_t) ||
         offsets_len > file_size) {  // second clause guards the multiply
@@ -221,7 +276,8 @@ DiskGroundSet::DiskGroundSet(const std::string& graph_path,
     offsets_.resize(offsets_len);
     if (offsets_len > 0) {
       pread_exact(fd_, offsets_.data(), offsets_len * sizeof(std::int64_t),
-                  cursor, "offsets", DiskFormatError::Kind::kTruncated);
+                  cursor, "offsets", DiskFormatError::Kind::kTruncated,
+                  &read_retries_);
     }
     cursor += offsets_len * sizeof(std::int64_t);
 
@@ -232,7 +288,7 @@ DiskGroundSet::DiskGroundSet(const std::string& graph_path,
                                 " is truncated before the edges length");
     }
     pread_exact(fd_, &edges_len, sizeof(edges_len), cursor, "edges length",
-                DiskFormatError::Kind::kTruncated);
+                DiskFormatError::Kind::kTruncated, &read_retries_);
     cursor += sizeof(edges_len);
     edge_base_offset_ = cursor;
     if (file_size - cursor < edges_len * sizeof(Edge) ||
@@ -328,7 +384,7 @@ DiskGroundSet::BlockData DiskGroundSet::load_block(std::size_t index) const {
   auto edges = std::make_shared<std::vector<Edge>>(count);
   pread_exact(fd_, edges->data(), count * sizeof(Edge),
               edge_base_offset_ + first * sizeof(Edge), "edge block",
-              DiskFormatError::Kind::kShortRead);
+              DiskFormatError::Kind::kShortRead, &read_retries_);
   return edges;
 }
 
@@ -605,10 +661,21 @@ void DiskGroundSet::prefetch(std::span<const NodeId> nodes,
 
   if (pool == nullptr) {
     // Best-effort like the pool path: a hint never throws — the demand read
-    // is the loud failure point for a file gone bad.
-    try {
-      for (const std::size_t index : blocks) block(index, /*demand=*/false);
-    } catch (const DiskFormatError&) {
+    // is the loud failure point for a file gone bad. Abandoned blocks are
+    // counted so operators can see the hint pipeline degrading.
+    for (std::size_t i = 0; i < blocks.size(); ++i) {
+      if (SUBSEL_FAILPOINT_TRIGGERED("disk.prefetch")) {
+        prefetch_degraded_.fetch_add(blocks.size() - i,
+                                     std::memory_order_relaxed);
+        return;
+      }
+      try {
+        block(blocks[i], /*demand=*/false);
+      } catch (const DiskFormatError&) {
+        prefetch_degraded_.fetch_add(blocks.size() - i,
+                                     std::memory_order_relaxed);
+        return;
+      }
     }
     return;
   }
@@ -627,12 +694,21 @@ void DiskGroundSet::prefetch(std::span<const NodeId> nodes,
     std::vector<std::size_t> chunk(blocks.begin() + static_cast<std::ptrdiff_t>(begin),
                                    blocks.begin() + static_cast<std::ptrdiff_t>(end));
     prefetch_inflight_.push_back(pool->submit([this, chunk = std::move(chunk)] {
-      for (const std::size_t index : chunk) {
+      for (std::size_t i = 0; i < chunk.size(); ++i) {
+        if (SUBSEL_FAILPOINT_TRIGGERED("disk.prefetch")) {
+          // Injected async-I/O failure: the hint task degrades silently and
+          // the abandoned blocks become ordinary demand misses later.
+          prefetch_degraded_.fetch_add(chunk.size() - i,
+                                       std::memory_order_relaxed);
+          return;
+        }
         try {
-          block(index, /*demand=*/false);
+          block(chunk[i], /*demand=*/false);
         } catch (const DiskFormatError&) {
           // A shrunken file fails loudly on the demand path; the prefetch
-          // hint stays best-effort.
+          // hint stays best-effort, but the degradation is counted.
+          prefetch_degraded_.fetch_add(chunk.size() - i,
+                                       std::memory_order_relaxed);
           return;
         }
       }
@@ -668,6 +744,8 @@ DiskCacheStats DiskGroundSet::stats() const noexcept {
     }
   }
   stats.prefetch_issued = prefetch_issued_.load(std::memory_order_relaxed);
+  stats.read_retries = read_retries_.load(std::memory_order_relaxed);
+  stats.prefetch_degraded = prefetch_degraded_.load(std::memory_order_relaxed);
   stats.resident_blocks = resident_blocks_.load(std::memory_order_relaxed);
   stats.resident_blocks_high_water =
       resident_high_water_.load(std::memory_order_relaxed);

@@ -87,7 +87,8 @@ class DiskFormatError : public std::runtime_error {
     kBadVersion,      // recognized file, unsupported version
     kTruncated,       // payload extends past the end of the file
     kCorruptOffsets,  // offsets not monotone from 0, or mismatch edge count
-    kShortRead,       // pread returned less than requested (post-open)
+    kShortRead,       // pread hit EOF under a live reader (file shrank)
+    kIo,              // transient I/O errors persisted past the retry budget
   };
 
   DiskFormatError(Kind kind, const std::string& message)
@@ -106,6 +107,12 @@ struct DiskCacheStats {
   std::uint64_t misses = 0;           // demand reads that paged a block in
   std::uint64_t prefetch_issued = 0;  // blocks requested by prefetch()
   std::uint64_t prefetch_loaded = 0;  // of those, blocks actually paged in
+  /// Transient pread failures (EINTR/EAGAIN/injected) absorbed by the
+  /// bounded-backoff retry loop instead of surfacing as errors.
+  std::uint64_t read_retries = 0;
+  /// Prefetch hint blocks abandoned after an I/O failure; the blocks degrade
+  /// into ordinary demand misses later instead of failing the solve.
+  std::uint64_t prefetch_degraded = 0;
   std::size_t resident_blocks = 0;            // blocks cached right now
   std::size_t resident_blocks_high_water = 0; // max blocks ever resident
 };
@@ -234,6 +241,8 @@ class DiskGroundSet final : public GroundSet {
   mutable std::atomic<std::size_t> resident_blocks_{0};
   mutable std::atomic<std::size_t> resident_high_water_{0};
   mutable std::atomic<std::uint64_t> prefetch_issued_{0};
+  mutable std::atomic<std::uint64_t> read_retries_{0};
+  mutable std::atomic<std::uint64_t> prefetch_degraded_{0};
   /// Hits served from threads' pinned blocks, flushed on pin transitions;
   /// stats() additionally sums the per-thread deferred tails through a
   /// registry, so snapshots are accurate (at worst transiently low during a

@@ -1,0 +1,115 @@
+// Deadline plumbing through the one-call API: an expired budget on the
+// SolverContext degrades every deadline-aware solver into a valid
+// best-so-far selection (never an error), request.deadline_ms overrides the
+// context's budget, and the degradation is visible in the JSON report.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "../testing/test_instances.h"
+#include "api/solver_registry.h"
+
+namespace subsel::api {
+namespace {
+
+using subsel::testing::Instance;
+using subsel::testing::random_instance;
+
+SelectionRequest make_request(const graph::InMemoryGroundSet& ground_set,
+                              const std::string& solver, std::size_t k) {
+  SelectionRequest request;
+  request.ground_set = &ground_set;
+  request.k = k;
+  request.objective = core::ObjectiveParams::from_alpha(0.9);
+  request.seed = 11;
+  request.solver = solver;
+  request.distributed.num_machines = 4;
+  request.distributed.num_rounds = 3;
+  return request;
+}
+
+TEST(ApiDeadline, ExpiredContextDeadlineDegradesEveryDeadlineAwareSolver) {
+  const Instance instance = random_instance(200, 5, 1501);
+  const auto ground_set = instance.ground_set();
+  for (const char* solver :
+       {"pipeline", "distributed-greedy", "lazy-greedy", "stochastic-greedy",
+        "threshold-greedy", "sieve-streaming", "sample-and-prune"}) {
+    SolverContext context;
+    context.set_deadline(Deadline::after_ms(0));
+    const auto request = make_request(ground_set, solver, 20);
+    const SelectionReport report = select(request, context);
+
+    EXPECT_TRUE(report.degraded) << solver;
+    EXPECT_FALSE(report.degraded_reason.empty()) << solver;
+    EXPECT_FALSE(report.preempted) << solver;  // degraded, not preempted
+    // Whatever came back is a valid selection: ascending unique ids in
+    // range, within budget.
+    EXPECT_LE(report.selected.size(), 20u) << solver;
+    EXPECT_TRUE(std::is_sorted(report.selected.begin(), report.selected.end()))
+        << solver;
+    EXPECT_TRUE(std::adjacent_find(report.selected.begin(),
+                                   report.selected.end()) ==
+                report.selected.end())
+        << solver;
+    for (const NodeId id : report.selected) {
+      EXPECT_LT(static_cast<std::size_t>(id), ground_set.num_points()) << solver;
+    }
+  }
+}
+
+TEST(ApiDeadline, RoundSolversStillReturnFullBudgetWhenDegraded) {
+  // The round-based solvers hold the whole ground set as survivors, so even
+  // an immediately-expired deadline yields a full size-k (random-quality)
+  // selection — the serving-path contract: valid answer, lower quality.
+  const Instance instance = random_instance(200, 5, 1502);
+  const auto ground_set = instance.ground_set();
+  for (const char* solver : {"pipeline", "distributed-greedy"}) {
+    SolverContext context;
+    context.set_deadline(Deadline::after_ms(0));
+    const SelectionReport report =
+        select(make_request(ground_set, solver, 20), context);
+    EXPECT_TRUE(report.degraded) << solver;
+    EXPECT_EQ(report.selected.size(), 20u) << solver;
+  }
+}
+
+TEST(ApiDeadline, RequestDeadlineOverridesContextDeadline) {
+  const Instance instance = random_instance(150, 4, 1503);
+  const auto ground_set = instance.ground_set();
+  SolverContext context;
+  context.set_deadline(Deadline::after_ms(0));  // would degrade on its own
+  auto request = make_request(ground_set, "lazy-greedy", 15);
+  request.deadline_ms = 60'000;  // generous per-request budget wins
+  const SelectionReport report = select(request, context);
+  EXPECT_FALSE(report.degraded);
+  EXPECT_EQ(report.selected.size(), 15u);
+}
+
+TEST(ApiDeadline, UnlimitedContextDoesNotDegrade) {
+  const Instance instance = random_instance(150, 4, 1504);
+  const auto ground_set = instance.ground_set();
+  SolverContext context;
+  EXPECT_FALSE(context.deadline().is_limited());
+  const SelectionReport report =
+      select(make_request(ground_set, "distributed-greedy", 15), context);
+  EXPECT_FALSE(report.degraded);
+  EXPECT_TRUE(report.degraded_reason.empty());
+  EXPECT_EQ(report.selected.size(), 15u);
+}
+
+TEST(ApiDeadline, DegradationIsVisibleInTheJsonReport) {
+  const Instance instance = random_instance(150, 4, 1505);
+  const auto ground_set = instance.ground_set();
+  SolverContext context;
+  context.set_deadline(Deadline::after_ms(0));
+  const SelectionReport report =
+      select(make_request(ground_set, "distributed-greedy", 15), context);
+  ASSERT_TRUE(report.degraded);
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("\"degraded\":true"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"degraded_reason\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace subsel::api

@@ -101,6 +101,24 @@ TEST(BeamPipeline, DisabledBoundingRunsGreedyOnly) {
   EXPECT_EQ(result.selected.size(), 15u);
 }
 
+TEST(BeamPipeline, ExpiredDeadlineDegradesButStillSelectsK) {
+  // Same contract as the in-memory pipeline: the bounding pre-pass stops at
+  // a pass boundary, the greedy falls through to the final subsample, and
+  // the caller still gets a valid size-k selection flagged degraded.
+  const Instance instance = random_instance(200, 5, 945);
+  const auto ground_set = instance.ground_set();
+  dataflow::Pipeline pipeline;
+  auto config = make_config();
+  config.bounding.deadline = Deadline::after_ms(0);
+  config.greedy.deadline = Deadline::after_ms(0);
+  const auto result = beam_select_subset(pipeline, ground_set, 20, config);
+  EXPECT_TRUE(result.degraded);
+  EXPECT_FALSE(result.degraded_reason.empty());
+  EXPECT_EQ(result.selected.size(), 20u);
+  std::set<NodeId> unique(result.selected.begin(), result.selected.end());
+  EXPECT_EQ(unique.size(), 20u);
+}
+
 TEST(BeamPipeline, RunsUnderWorkerMemoryBudget) {
   const Instance instance = random_instance(1500, 6, 944);
   const auto ground_set = instance.ground_set();

@@ -1,0 +1,154 @@
+// Failpoint framework: spec parsing, deterministic schedules, the two site
+// flavors, stats accounting, and the disabled-path contract.
+#include "common/failpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace subsel::failpoint {
+namespace {
+
+/// Every test leaves the process disarmed — other suites in this binary run
+/// with the zero-cost path.
+class FailpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override { disarm_all(); }
+  void TearDown() override { disarm_all(); }
+
+  static std::uint64_t fires_of(const char* site, int hits) {
+    std::uint64_t fires = 0;
+    for (int i = 0; i < hits; ++i) {
+      if (SUBSEL_FAILPOINT_TRIGGERED(site)) ++fires;
+    }
+    return fires;
+  }
+};
+
+TEST_F(FailpointTest, DisarmedByDefault) {
+  EXPECT_FALSE(armed());
+  EXPECT_FALSE(SUBSEL_FAILPOINT_TRIGGERED("test.any"));
+  EXPECT_NO_THROW(SUBSEL_FAILPOINT("test.any"));
+}
+
+TEST_F(FailpointTest, NthFiresExactlyOnce) {
+  arm_from_spec("test.site=nth(3)");
+  EXPECT_TRUE(armed());
+  EXPECT_FALSE(SUBSEL_FAILPOINT_TRIGGERED("test.site"));  // hit 1
+  EXPECT_FALSE(SUBSEL_FAILPOINT_TRIGGERED("test.site"));  // hit 2
+  EXPECT_TRUE(SUBSEL_FAILPOINT_TRIGGERED("test.site"));   // hit 3: fires
+  EXPECT_FALSE(SUBSEL_FAILPOINT_TRIGGERED("test.site"));  // hit 4
+  EXPECT_FALSE(SUBSEL_FAILPOINT_TRIGGERED("test.site"));  // never again
+}
+
+TEST_F(FailpointTest, EveryFiresPeriodically) {
+  arm_from_spec("test.site=every(4)");
+  EXPECT_EQ(fires_of("test.site", 12), 3u);  // hits 4, 8, 12
+}
+
+TEST_F(FailpointTest, ThrowingFlavorCarriesSiteName) {
+  arm_from_spec("test.throw=nth(1)");
+  try {
+    SUBSEL_FAILPOINT("test.throw");
+    FAIL() << "expected FailpointError";
+  } catch (const FailpointError& e) {
+    EXPECT_EQ(e.site(), "test.throw");
+  }
+}
+
+TEST_F(FailpointTest, ProbScheduleIsDeterministicAcrossReplays) {
+  arm_from_spec("test.prob=prob(0.3,99)");
+  std::vector<bool> first;
+  for (int i = 0; i < 200; ++i) {
+    first.push_back(SUBSEL_FAILPOINT_TRIGGERED("test.prob"));
+  }
+  // Re-arming the same spec resets the hit counter: identical schedule.
+  arm_from_spec("test.prob=prob(0.3,99)");
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(SUBSEL_FAILPOINT_TRIGGERED("test.prob"), first[i]) << "hit " << i;
+  }
+}
+
+TEST_F(FailpointTest, ProbRateIsRoughlyHonored) {
+  arm_from_spec("test.prob=prob(0.5,7)");
+  const std::uint64_t fires = fires_of("test.prob", 1000);
+  EXPECT_GT(fires, 400u);
+  EXPECT_LT(fires, 600u);
+}
+
+TEST_F(FailpointTest, DifferentSeedsGiveDifferentSchedules) {
+  arm_from_spec("test.prob=prob(0.5,1)");
+  const std::uint64_t a = fires_of("test.prob", 64);
+  std::vector<bool> schedule_a;
+  arm_from_spec("test.prob=prob(0.5,1)");
+  for (int i = 0; i < 64; ++i) {
+    schedule_a.push_back(SUBSEL_FAILPOINT_TRIGGERED("test.prob"));
+  }
+  arm_from_spec("test.prob=prob(0.5,2)");
+  bool any_difference = false;
+  for (int i = 0; i < 64; ++i) {
+    if (SUBSEL_FAILPOINT_TRIGGERED("test.prob") != schedule_a[i]) {
+      any_difference = true;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+  (void)a;
+}
+
+TEST_F(FailpointTest, OffModeAndDisarmStopFiring) {
+  arm_from_spec("test.site=every(1)");
+  EXPECT_TRUE(SUBSEL_FAILPOINT_TRIGGERED("test.site"));
+  arm_from_spec("test.site=off");
+  EXPECT_FALSE(armed());  // the only site is off again
+  EXPECT_FALSE(SUBSEL_FAILPOINT_TRIGGERED("test.site"));
+
+  arm_from_spec("test.site=every(1)");
+  disarm_all();
+  EXPECT_FALSE(armed());
+}
+
+TEST_F(FailpointTest, MultiSiteSpecArmsIndependentSchedules) {
+  arm_from_spec("a=nth(1);b=every(2)");
+  EXPECT_TRUE(SUBSEL_FAILPOINT_TRIGGERED("a"));
+  EXPECT_FALSE(SUBSEL_FAILPOINT_TRIGGERED("a"));
+  EXPECT_FALSE(SUBSEL_FAILPOINT_TRIGGERED("b"));
+  EXPECT_TRUE(SUBSEL_FAILPOINT_TRIGGERED("b"));
+}
+
+TEST_F(FailpointTest, StatsCountHitsAndFires) {
+  arm_from_spec("test.site=every(2)");
+  fires_of("test.site", 10);
+  bool found = false;
+  for (const SiteStats& s : stats()) {
+    if (s.site != "test.site") continue;
+    found = true;
+    EXPECT_EQ(s.hits, 10u);
+    EXPECT_EQ(s.fires, 5u);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(FailpointTest, DelayModeSleepsButNeverFails) {
+  arm_from_spec("test.delay=delay(1)");
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FALSE(SUBSEL_FAILPOINT_TRIGGERED("test.delay"));
+  }
+}
+
+TEST_F(FailpointTest, MalformedSpecsAreRejectedWithoutArming) {
+  EXPECT_THROW(arm_from_spec("test.site"), std::invalid_argument);
+  EXPECT_THROW(arm_from_spec("test.site=bogus(1)"), std::invalid_argument);
+  EXPECT_THROW(arm_from_spec("test.site=nth()"), std::invalid_argument);
+  EXPECT_THROW(arm_from_spec("test.site=nth(0)"), std::invalid_argument);
+  EXPECT_THROW(arm_from_spec("test.site=prob(1.5)"), std::invalid_argument);
+  EXPECT_THROW(arm_from_spec("=nth(1)"), std::invalid_argument);
+  // A malformed tail must not half-arm the valid head.
+  EXPECT_THROW(arm_from_spec("good=nth(1);bad=wat"), std::invalid_argument);
+  EXPECT_FALSE(armed());
+  EXPECT_FALSE(SUBSEL_FAILPOINT_TRIGGERED("good"));
+}
+
+}  // namespace
+}  // namespace subsel::failpoint

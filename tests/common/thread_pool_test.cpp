@@ -7,6 +7,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "common/failpoint.h"
+
 namespace subsel {
 namespace {
 
@@ -76,6 +78,63 @@ TEST(ThreadPool, NestedSubmissionDoesNotDeadlock) {
     return c.load();
   });
   EXPECT_EQ(outer.get(), 0);
+}
+
+TEST(ThreadPool, RunPerWorkerWrapsFailuresInTaskError) {
+  ThreadPool pool(4);
+  std::atomic<int> completed{0};
+  try {
+    pool.run_per_worker([&](std::size_t w) {
+      if (w == 1) throw std::logic_error("worker 1 exploded");
+      completed.fetch_add(1);
+    });
+    FAIL() << "expected TaskError";
+  } catch (const TaskError& e) {
+    EXPECT_NE(std::string(e.what()).find("worker 1 exploded"), std::string::npos);
+    EXPECT_THROW(e.rethrow_cause(), std::logic_error);
+  }
+  // The failure must not have torn down the other workers' tasks: all three
+  // healthy slots ran to completion before the join rethrew.
+  EXPECT_EQ(completed.load(), 3);
+  // ...and the pool is still alive for later work.
+  std::atomic<int> counter{0};
+  pool.parallel_for(64, [&](std::size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 64);
+}
+
+TEST(ThreadPool, SubmitDispatchFaultLandsInFutureNotTerminate) {
+  failpoint::disarm_all();
+  failpoint::arm_from_spec("pool.task=nth(1)");
+  ThreadPool pool(2);
+  auto poisoned = pool.submit([] { return 7; });
+  EXPECT_THROW(poisoned.get(), failpoint::FailpointError);
+  // Only the first dispatch was poisoned; the pool keeps serving.
+  auto healthy = pool.submit([] { return 8; });
+  EXPECT_EQ(healthy.get(), 8);
+  failpoint::disarm_all();
+}
+
+TEST(ThreadPool, ParallelForSurvivesInjectedDispatchFaults) {
+  // Dispatch faults on every 3rd pool task: parallel_for must neither hang
+  // nor terminate, and must surface a typed error while every in-flight
+  // chunk drains (the wait-all contract keeps the chunk callable borrowed
+  // until the last task returns).
+  failpoint::disarm_all();
+  failpoint::arm_from_spec("pool.task=every(3)");
+  ThreadPool pool(4);
+  bool threw = false;
+  try {
+    std::atomic<int> visits{0};
+    pool.parallel_for(1000, [&](std::size_t) { visits.fetch_add(1); });
+  } catch (const std::exception&) {
+    threw = true;
+  }
+  EXPECT_TRUE(threw);
+  failpoint::disarm_all();
+  // Pool intact afterwards.
+  std::atomic<int> counter{0};
+  pool.parallel_for(100, [&](std::size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 100);
 }
 
 }  // namespace

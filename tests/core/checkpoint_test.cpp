@@ -1,15 +1,18 @@
 // Checkpoint/resume of the multi-round distributed greedy: a preempted run
 // plus a resumed run must be indistinguishable from an uninterrupted one,
-// mismatched configurations must not resume, and corrupt checkpoints must
-// fall back to a clean restart — including on the out-of-core path, where a
+// mismatched configurations must not resume, corrupt checkpoints must fall
+// back to a clean restart — including on the out-of-core path, where a
 // cooperative cancel mid-solve on a DiskGroundSet followed by a resume must
-// be bit-identical to an uninterrupted in-memory run.
+// be bit-identical to an uninterrupted in-memory run — and a crash injected
+// mid-flush must leave the previous complete checkpoint byte-identical.
 #include <gtest/gtest.h>
 
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 
 #include "../testing/test_instances.h"
+#include "common/failpoint.h"
 #include "core/distributed_greedy.h"
 #include "graph/disk_ground_set.h"
 
@@ -28,6 +31,13 @@ class CheckpointTest : public ::testing::Test {
   void TearDown() override { std::filesystem::remove_all(dir_); }
 
   std::string path(const std::string& name) const { return (dir_ / name).string(); }
+
+  static std::string read_bytes(const std::string& file) {
+    std::ifstream in(file, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+  }
 
   DistributedGreedyConfig make_config(std::uint64_t seed = 71) const {
     DistributedGreedyConfig config;
@@ -202,6 +212,103 @@ TEST_F(CheckpointTest, DiskAndMemoryCheckpointsAreInterchangeable) {
   const auto resumed = distributed_greedy(memory_ground_set, 30, config);
   EXPECT_EQ(resumed.resumed_rounds, 3u);
   EXPECT_EQ(resumed.selected, uninterrupted.selected);
+}
+
+TEST_F(CheckpointTest, TornCheckpointWriteKeepsPreviousCheckpointIntact) {
+  // A crash injected mid-flush (half the bytes written, no rename) must
+  // leave the previously published checkpoint byte-identical, and a resume
+  // from it must still converge to the uninterrupted answer.
+  failpoint::disarm_all();
+  const Instance instance = random_instance(400, 5, 972);
+  const auto ground_set = instance.ground_set();
+  const auto uninterrupted = distributed_greedy(ground_set, 40, make_config(83));
+
+  auto config = make_config(83);
+  config.checkpoint_file = path("torn.ckpt");
+  config.stop_after_round = 2;
+  (void)distributed_greedy(ground_set, 40, config);  // publishes round 2
+  ASSERT_TRUE(std::filesystem::exists(config.checkpoint_file));
+  const std::string before_crash = read_bytes(config.checkpoint_file);
+  ASSERT_FALSE(before_crash.empty());
+
+  // Round 3 executes, but its checkpoint flush crashes halfway through.
+  failpoint::arm_from_spec("checkpoint.write=nth(1)");
+  config.stop_after_round = 1;
+  const auto crashed = distributed_greedy(ground_set, 40, config);
+  failpoint::disarm_all();
+  EXPECT_TRUE(crashed.preempted);
+  EXPECT_EQ(crashed.resumed_rounds, 2u);
+
+  // The published file is untouched; the torn half landed in the .tmp side.
+  EXPECT_EQ(read_bytes(config.checkpoint_file), before_crash);
+  const std::string tmp = config.checkpoint_file + ".tmp";
+  ASSERT_TRUE(std::filesystem::exists(tmp));
+  EXPECT_LT(std::filesystem::file_size(tmp), before_crash.size());
+
+  // Resume: round 3's save was lost, so the run re-executes from round 3
+  // and still lands exactly on the uninterrupted selection.
+  config.stop_after_round = 0;
+  const auto resumed = distributed_greedy(ground_set, 40, config);
+  EXPECT_EQ(resumed.resumed_rounds, 2u);
+  EXPECT_EQ(resumed.selected, uninterrupted.selected);
+  EXPECT_EQ(resumed.objective, uninterrupted.objective);
+}
+
+TEST_F(CheckpointTest, CheckpointEveryGatesSaves) {
+  const Instance instance = random_instance(300, 4, 973);
+  const auto ground_set = instance.ground_set();
+  const auto uninterrupted = distributed_greedy(ground_set, 30, make_config(84));
+
+  auto config = make_config(84);
+  config.checkpoint_file = path("gated.ckpt");
+  config.checkpoint_every = 3;  // only rounds 3 and (if not final) 6 persist
+
+  // Rounds 1-2 complete but neither is a multiple of 3: nothing on disk.
+  config.stop_after_round = 2;
+  (void)distributed_greedy(ground_set, 30, config);
+  EXPECT_FALSE(std::filesystem::exists(config.checkpoint_file));
+
+  // A fresh run through round 3 publishes the first gated checkpoint.
+  config.stop_after_round = 3;
+  (void)distributed_greedy(ground_set, 30, config);
+  ASSERT_TRUE(std::filesystem::exists(config.checkpoint_file));
+
+  config.stop_after_round = 0;
+  const auto resumed = distributed_greedy(ground_set, 30, config);
+  EXPECT_EQ(resumed.resumed_rounds, 3u);
+  EXPECT_EQ(resumed.selected, uninterrupted.selected);
+}
+
+TEST_F(CheckpointTest, DegradedRunKeepsCheckpointAndStillReturnsValidSelection) {
+  const Instance instance = random_instance(400, 5, 974);
+  const auto ground_set = instance.ground_set();
+  const auto uninterrupted = distributed_greedy(ground_set, 40, make_config(85));
+
+  auto config = make_config(85);
+  config.checkpoint_file = path("degraded.ckpt");
+  config.stop_after_round = 2;
+  (void)distributed_greedy(ground_set, 40, config);  // checkpoint after round 2
+  ASSERT_TRUE(std::filesystem::exists(config.checkpoint_file));
+
+  // Resume under an already-expired deadline: the run must degrade — a VALID
+  // size-k selection from the round-2 survivors — and keep the checkpoint so
+  // an unhurried retry can still finish properly.
+  config.stop_after_round = 0;
+  config.deadline = Deadline::after_ms(0);
+  const auto degraded = distributed_greedy(ground_set, 40, config);
+  EXPECT_TRUE(degraded.degraded);
+  EXPECT_FALSE(degraded.degraded_reason.empty());
+  EXPECT_FALSE(degraded.preempted);
+  EXPECT_EQ(degraded.selected.size(), 40u);
+  EXPECT_TRUE(std::filesystem::exists(config.checkpoint_file));
+
+  // The unhurried retry resumes from the kept checkpoint and converges.
+  config.deadline = Deadline::unlimited();
+  const auto finished = distributed_greedy(ground_set, 40, config);
+  EXPECT_FALSE(finished.degraded);
+  EXPECT_EQ(finished.resumed_rounds, 2u);
+  EXPECT_EQ(finished.selected, uninterrupted.selected);
+  EXPECT_FALSE(std::filesystem::exists(config.checkpoint_file));
 }
 
 TEST_F(CheckpointTest, WorksTogetherWithStochasticSolver) {

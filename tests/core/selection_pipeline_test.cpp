@@ -76,6 +76,23 @@ TEST(SelectionPipeline, ObjectiveParamsPropagateToStages) {
   EXPECT_NEAR(result.objective, objective.evaluate(result.selected), 1e-9);
 }
 
+TEST(SelectionPipeline, ExpiredDeadlineDegradesBothStagesButStillSelectsK) {
+  // Bounding stops at a pass boundary (its decisions are monotone, so
+  // whatever it fixed stays sound) and the greedy falls through to the
+  // final subsample: the caller gets a valid size-k selection, flagged.
+  const Instance instance = random_instance(200, 5, 320);
+  const auto ground_set = instance.ground_set();
+  auto config = make_config(0.9, true);
+  config.bounding.deadline = Deadline::after_ms(0);
+  config.greedy.deadline = Deadline::after_ms(0);
+  const auto result = select_subset(ground_set, 20, config);
+  EXPECT_TRUE(result.degraded);
+  EXPECT_FALSE(result.degraded_reason.empty());
+  EXPECT_EQ(result.selected.size(), 20u);
+  PairwiseObjective objective(ground_set, ObjectiveParams::from_alpha(0.9));
+  EXPECT_NEAR(result.objective, objective.evaluate(result.selected), 1e-9);
+}
+
 TEST(SelectionPipeline, BoundingImprovesOrMatchesPureGreedyQuality) {
   // Statistical check over seeds; bounding should not systematically hurt.
   double with_bounding = 0.0, without = 0.0;

@@ -17,8 +17,26 @@
 // SelectionRequest/SelectionReport schema, under any registered objective
 // (see `subsel objectives` for the solver×objective support rules);
 // --report writes the full JSON report. Datasets are the binary format of
-// data/dataset_io.h; subsets are plain one-id-per-line text files. Exit code
-// 0 on success, 1 on bad usage, 2 on runtime failure.
+// data/dataset_io.h; subsets are plain one-id-per-line text files.
+//
+// Robustness controls (see README "Robustness"):
+//   --deadline-ms=N       wall-clock budget; expired runs return the best
+//                         valid selection so far, flagged "degraded"
+//   --checkpoint-file=F   crash-consistent round checkpoints (+ resume)
+//   --checkpoint-every=N  save every Nth round (default 1)
+//   --resume-from=F       resume from F (alias for --checkpoint-file)
+//   --failpoints=SPEC     arm deterministic fault injection, e.g.
+//                         "disk.pread=prob(0.01,7);pool.task=nth(3)"
+//                         (SUBSEL_FAILPOINTS env var works too)
+//
+// Exit codes (each failure class is distinguishable by scripts):
+//   0  success
+//   1  usage or validation error (bad flags, bad request, bad failpoint spec)
+//   2  generic runtime failure
+//   3  disk/data format or I/O error (graph::DiskFormatError)
+//   4  deadline expired with no feasible selection (degraded run, empty S)
+//   5  worker task failure surfaced at a join point (TaskError / injected
+//      fault that exhausted its handling path)
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -32,6 +50,8 @@
 #include "api/objective_registry.h"
 #include "api/solver_registry.h"
 #include "beam/beam_scoring.h"
+#include "common/failpoint.h"
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "data/dataset_io.h"
 #include "data/datasets.h"
@@ -129,6 +149,9 @@ int usage() {
                "             [--block-edges=N] [--disk-shards=N]"
                " [--prefetch-depth=N]\n"
                "             [--worker-memory-kb=N] [--seed=N] [--report=FILE]\n"
+               "             [--deadline-ms=N] [--checkpoint-file=F]"
+               " [--checkpoint-every=N]\n"
+               "             [--resume-from=F] [--failpoints=SPEC]\n"
                "             --out=FILE\n"
                "  score      --data=PREFIX --subset=FILE [--objective=NAME]"
                " [--alpha=F]\n"
@@ -302,11 +325,16 @@ int cmd_select(const CliArgs& args) {
     }
   }
 
+  request.deadline_ms =
+      static_cast<std::uint64_t>(args.get_size("deadline-ms", 0));
   request.distributed.num_machines = args.get_size("machines", 8);
   request.distributed.num_rounds = args.get_size("rounds", 8);
   request.distributed.adaptive_partitioning = !args.has_flag("no-adaptive");
   request.distributed.stochastic_epsilon = args.get_double("epsilon", 0.1);
   request.distributed.prefetch_depth = args.get_size("prefetch-depth", 2);
+  request.distributed.checkpoint_file = args.get("checkpoint-file").value_or("");
+  request.distributed.checkpoint_every = args.get_size("checkpoint-every", 1);
+  request.distributed.resume_from = args.get("resume-from").value_or("");
   request.bounding.prefetch_depth = request.distributed.prefetch_depth;
   request.streaming.epsilon = args.get_double("epsilon", 0.1);
 
@@ -361,8 +389,17 @@ int cmd_select(const CliArgs& args) {
                 static_cast<unsigned long long>(cache.prefetch_loaded),
                 static_cast<unsigned long long>(cache.prefetch_issued),
                 cache.resident_blocks_high_water, cache.max_cached_blocks);
+    if (cache.read_retries > 0 || cache.prefetch_degraded > 0) {
+      std::printf("disk faults: %llu transient read retries, %llu prefetch"
+                  " blocks degraded to demand misses\n",
+                  static_cast<unsigned long long>(cache.read_retries),
+                  static_cast<unsigned long long>(cache.prefetch_degraded));
+    }
   }
   if (report.preempted) std::printf("run preempted before completion\n");
+  if (report.degraded) {
+    std::printf("run degraded: %s\n", report.degraded_reason.c_str());
+  }
 
   if (const auto report_path = args.get("report"); report_path.has_value()) {
     std::ofstream report_file(*report_path, std::ios::trunc);
@@ -373,6 +410,13 @@ int cmd_select(const CliArgs& args) {
       return 2;
     }
     std::printf("report written to %s\n", report_path->c_str());
+  }
+  // A degraded run that still produced a selection is a (qualified) success;
+  // one that produced nothing within the deadline is its own failure class.
+  if (report.degraded && report.selected.empty() && report.k_requested > 0) {
+    std::fprintf(stderr,
+                 "deadline expired before any selection was feasible\n");
+    return 4;
   }
   return 0;
 }
@@ -423,6 +467,13 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   const CliArgs args(argc, argv);
   try {
+    // Fault injection arms before anything can hit a site: the env var
+    // first (covers every path, including dataset loading), then the
+    // explicit flag, which wins over the environment.
+    failpoint::arm_from_env();
+    if (const auto spec = args.get("failpoints"); spec.has_value()) {
+      failpoint::arm_from_spec(*spec);
+    }
     if (command == "generate") return cmd_generate(args);
     if (command == "info") return cmd_info(args);
     if (command == "solvers") return cmd_solvers();
@@ -433,6 +484,17 @@ int main(int argc, char** argv) {
   } catch (const std::invalid_argument& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return usage();
+  } catch (const graph::DiskFormatError& e) {
+    std::fprintf(stderr, "disk error: %s\n", e.what());
+    return 3;
+  } catch (const TaskError& e) {
+    std::fprintf(stderr, "worker error: %s\n", e.what());
+    return 5;
+  } catch (const failpoint::FailpointError& e) {
+    // An injected fault that no layer absorbed is reported like the worker
+    // failure it stands in for.
+    std::fprintf(stderr, "injected fault: %s\n", e.what());
+    return 5;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;
