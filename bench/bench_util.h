@@ -49,6 +49,15 @@ class Args {
         get_double(name, static_cast<double>(fallback)));
   }
 
+  std::string get_string(const std::string& name,
+                         const std::string& fallback) const {
+    const std::string prefix = "--" + name + "=";
+    for (const auto& arg : values_) {
+      if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+    }
+    return fallback;
+  }
+
   bool has_flag(const std::string& name) const {
     const std::string flag = "--" + name;
     for (const auto& arg : values_) {

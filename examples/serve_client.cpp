@@ -1,0 +1,99 @@
+// Serving: a client session against the selection daemon, end to end.
+//
+// This example is self-contained: it starts the daemon stack in-process
+// (resident toy dataset -> SelectionServer -> Unix-socket transport), then
+// talks to it exactly like an external client of `subsel serve` would —
+// newline-delimited JSON over the socket, responses matched by id:
+//
+//   1. an interactive request with a comfortable deadline -> "complete"
+//   2. a batch request with a ~zero deadline -> "degraded": still a VALID
+//      selection (best so far when the budget ran out), flagged with a
+//      machine-readable reason — the deadline contract of README "Serving"
+//   3. a "stats" request -> server counters + resident datasets
+//
+// Against a real daemon, skip the setup block and point ServeClient at the
+// daemon's --socket path.
+//
+// Run:  ./build/examples/serve_client
+#include <cstdio>
+#include <filesystem>
+#include <thread>
+
+#include "data/datasets.h"
+#include "graph/ground_set.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "serve/socket_server.h"
+
+int main() {
+  using namespace subsel;
+
+  // --- daemon setup (what `subsel serve --data=toy=...` does) ---
+  const data::Dataset dataset = data::toy_dataset(/*num_points=*/2000,
+                                                  /*num_classes=*/8,
+                                                  /*seed=*/42);
+  const graph::InMemoryGroundSet ground_set(dataset.graph, dataset.utilities);
+
+  serve::ServerConfig config;
+  config.max_concurrent = 2;
+  serve::SelectionServer server(config);
+  server.register_ground_set("toy", &ground_set);
+
+  const std::string socket_path =
+      (std::filesystem::temp_directory_path() / "subsel_example.sock").string();
+  serve::SocketServer transport(server, socket_path);
+  std::thread accept_thread([&transport] { transport.run(); });
+  std::printf("daemon: toy dataset resident (%zu points), listening on %s\n",
+              dataset.size(), socket_path.c_str());
+
+  {
+    // --- the client session ---
+    serve::ServeClient client(socket_path);
+
+    // 1. Interactive request, 2 s budget: plenty for 2000 points.
+    serve::ServeRequest fast;
+    fast.id = "interactive-1";
+    fast.priority = serve::Priority::kInteractive;
+    fast.deadline_ms = 2000;
+    fast.dataset = "toy";
+    fast.k = 200;
+    const auto fast_response = client.call(fast);
+    std::printf("[%s] status=%s: %zu ids, f(S)=%.4f (queue %.1f ms,"
+                " solve %.1f ms)\n",
+                fast_response.id.c_str(), fast_response.status.c_str(),
+                fast_response.selected_count, fast_response.objective,
+                fast_response.latency.queue_seconds * 1e3,
+                fast_response.latency.solve_seconds * 1e3);
+
+    // 2. Batch request with a 1 ms budget: the deadline expires mid-solve,
+    //    and the daemon returns the best VALID selection it had — degraded,
+    //    never an error, never a broken subset.
+    serve::ServeRequest tight = fast;
+    tight.id = "batch-tight";
+    tight.priority = serve::Priority::kBatch;
+    tight.deadline_ms = 1;
+    const auto tight_response = client.call(tight);
+    std::printf("[%s] status=%s reason=%s: %zu ids still valid\n",
+                tight_response.id.c_str(), tight_response.status.c_str(),
+                tight_response.reason.c_str(), tight_response.selected_count);
+
+    // 3. Server-side counters: every response carries them, and a stats
+    //    request returns them on demand.
+    serve::ServeRequest stats;
+    stats.kind = serve::ServeRequest::Kind::kStats;
+    stats.id = "stats-1";
+    const auto stats_response = client.call(stats);
+    const serve::JsonValue* counters = stats_response.document.find("server");
+    std::printf("[%s] status=%s: accepted=%.0f completed=%.0f degraded=%.0f\n",
+                stats_response.id.c_str(), stats_response.status.c_str(),
+                counters->find("accepted")->as_number(),
+                counters->find("completed")->as_number(),
+                counters->find("degraded")->as_number());
+  }  // client disconnects here
+
+  // --- graceful drain (what SIGTERM does to `subsel serve`) ---
+  transport.stop();
+  accept_thread.join();
+  std::printf("daemon drained cleanly\n");
+  return 0;
+}

@@ -28,6 +28,8 @@ std::string SelectionReport::to_json() const {
   JsonWriter json;
   json.begin_object();
   json.key("schema").value("subsel.selection_report.v1");
+  // Bumped when an existing field changes meaning; additions keep it.
+  json.key("schema_version").value(1);
   json.key("solver").value(solver);
   json.key("objective_name").value(objective_name);
   json.key("num_points").value(num_points);

@@ -5,8 +5,22 @@
 #include <cmath>
 #include <cstdint>
 #include <limits>
+#include <vector>
 
 namespace subsel {
+
+/// Nearest-rank percentile (p in [0, 100]) of `values`; sorts its argument
+/// in place. Returns 0 for an empty sample. p99 of 100 samples is the 99th
+/// smallest — the convention latency SLOs use, never interpolating between
+/// two observed latencies.
+inline double percentile(std::vector<double>& values, double p) noexcept {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  const std::size_t rank = static_cast<std::size_t>(
+      std::ceil(clamped / 100.0 * static_cast<double>(values.size())));
+  return values[rank == 0 ? 0 : rank - 1];
+}
 
 class RunningStats {
  public:

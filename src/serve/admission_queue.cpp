@@ -1,0 +1,67 @@
+#include "serve/admission_queue.h"
+
+#include <algorithm>
+
+namespace subsel::serve {
+
+AdmissionQueue::AdmissionQueue(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(1, capacity)) {}
+
+std::string AdmissionQueue::try_push(std::unique_ptr<PendingRequest>& item) {
+  {
+    std::lock_guard lock(mutex_);
+    if (draining_) return "draining";
+    if (depth_ >= capacity_) return "queue_full";
+    const auto klass = static_cast<std::size_t>(item->request.priority);
+    queues_[klass].push_back(std::move(item));
+    ++depth_;
+    high_water_ = std::max(high_water_, depth_);
+  }
+  ready_.notify_one();
+  return "";
+}
+
+std::unique_ptr<PendingRequest> AdmissionQueue::pop() {
+  std::unique_lock lock(mutex_);
+  ready_.wait(lock, [this] { return depth_ > 0 || draining_; });
+  if (depth_ == 0) return nullptr;  // draining and dry
+  for (auto& queue : queues_) {     // highest priority class first
+    if (queue.empty()) continue;
+    auto item = std::move(queue.front());
+    queue.pop_front();
+    --depth_;
+    return item;
+  }
+  return nullptr;  // unreachable: depth_ > 0 implies a non-empty class
+}
+
+void AdmissionQueue::begin_drain() {
+  {
+    std::lock_guard lock(mutex_);
+    draining_ = true;
+  }
+  // Wake every blocked dispatcher so it can run the backlog dry and exit.
+  ready_.notify_all();
+}
+
+bool AdmissionQueue::draining() const {
+  std::lock_guard lock(mutex_);
+  return draining_;
+}
+
+std::size_t AdmissionQueue::depth() const {
+  std::lock_guard lock(mutex_);
+  return depth_;
+}
+
+std::size_t AdmissionQueue::depth_of(Priority priority) const {
+  std::lock_guard lock(mutex_);
+  return queues_[static_cast<std::size_t>(priority)].size();
+}
+
+std::size_t AdmissionQueue::high_water() const {
+  std::lock_guard lock(mutex_);
+  return high_water_;
+}
+
+}  // namespace subsel::serve

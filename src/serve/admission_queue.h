@@ -1,0 +1,86 @@
+// Bounded admission queue with priority classes and explicit load shedding.
+//
+// Admission control is the daemon's memory-safety story: the queue holds at
+// most `capacity` pending requests across both classes, and a push beyond
+// that is REJECTED with a machine-readable reason instead of growing without
+// bound — under overload the server sheds load, it never OOMs. Interactive
+// requests are always dequeued before batch requests (strict priority; a
+// saturating interactive stream can starve batch — that is the documented
+// contract, not an accident: batch work carries deadlines and degrades,
+// which is the intended overload behavior for the low class). Within one
+// class the order is FIFO.
+//
+// The queue is also where graceful drain pivots: begin_drain() makes every
+// subsequent push reject with "draining" while pops continue until the
+// backlog is empty, after which pop() returns nullptr and the dispatcher
+// threads exit. In-flight and already-queued requests therefore finish (or
+// degrade at their deadline); only NEW work is turned away.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/run_control.h"
+#include "common/timer.h"
+#include "serve/wire.h"
+
+namespace subsel::serve {
+
+/// One admitted request waiting for (or holding) a solver slot. `deadline`
+/// starts ticking at admission; `queued` measures the wait for the latency
+/// breakdown; `done` delivers the response (exactly once) to the transport.
+struct PendingRequest {
+  ServeRequest request;
+  /// Resolved at admission so the dispatcher never re-resolves the name
+  /// (dataset registration is startup-only and unlocked).
+  const graph::GroundSet* ground_set = nullptr;
+  Deadline deadline;
+  Timer queued;
+  std::function<void(ServeResponse)> done;
+};
+
+class AdmissionQueue {
+ public:
+  /// `capacity` bounds the total backlog across both priority classes
+  /// (clamped to >= 1).
+  explicit AdmissionQueue(std::size_t capacity);
+
+  AdmissionQueue(const AdmissionQueue&) = delete;
+  AdmissionQueue& operator=(const AdmissionQueue&) = delete;
+
+  /// Admits `item` or returns the reject reason ("queue_full" | "draining");
+  /// empty string means admitted. Never blocks; on reject, `item` is left
+  /// untouched for the caller to respond with.
+  std::string try_push(std::unique_ptr<PendingRequest>& item);
+
+  /// Blocks until an item is available and returns it (interactive before
+  /// batch, FIFO within a class). Returns nullptr when draining and empty —
+  /// the dispatcher's exit signal.
+  std::unique_ptr<PendingRequest> pop();
+
+  /// Flips the queue into drain mode: pushes reject, pops run dry. One-way.
+  void begin_drain();
+
+  bool draining() const;
+  std::size_t depth() const;
+  std::size_t depth_of(Priority priority) const;
+  /// Deepest the combined backlog has ever been.
+  std::size_t high_water() const;
+  std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::deque<std::unique_ptr<PendingRequest>> queues_[kNumPriorities];
+  std::size_t depth_ = 0;
+  std::size_t high_water_ = 0;
+  bool draining_ = false;
+};
+
+}  // namespace subsel::serve

@@ -1,0 +1,215 @@
+#include "serve/client.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace subsel::serve {
+
+namespace {
+
+double number_or(const JsonValue* value, double fallback) {
+  return (value != nullptr && value->is_number()) ? value->as_number()
+                                                  : fallback;
+}
+
+std::string string_or(const JsonValue* value, std::string fallback) {
+  return (value != nullptr && value->is_string()) ? value->as_string()
+                                                  : std::move(fallback);
+}
+
+}  // namespace
+
+ParsedResponse parse_response(const std::string& line) {
+  ParsedResponse response;
+  response.document = JsonValue::parse(line);
+  if (!response.document.is_object()) {
+    throw std::runtime_error("response is not a JSON object");
+  }
+  const JsonValue& root = response.document;
+  response.id = string_or(root.find("id"), "");
+  response.status = string_or(root.find("status"), "");
+  if (response.status.empty()) {
+    throw std::runtime_error("response has no \"status\"");
+  }
+  response.reason = string_or(root.find("reason"), "");
+  response.detail = string_or(root.find("detail"), "");
+  response.schema_version =
+      static_cast<int>(number_or(root.find("schema_version"), 0.0));
+  response.selected_count = static_cast<std::size_t>(
+      number_or(root.find("selected_count"), 0.0));
+  response.objective = number_or(root.find("objective"), 0.0);
+  if (const JsonValue* selected = root.find("selected");
+      selected != nullptr && selected->is_array()) {
+    response.selected.reserve(selected->items().size());
+    for (const JsonValue& item : selected->items()) {
+      if (item.is_number()) {
+        response.selected.push_back(
+            static_cast<std::uint64_t>(item.as_number()));
+      }
+    }
+  }
+  if (const JsonValue* latency = root.find("latency");
+      latency != nullptr && latency->is_object()) {
+    response.latency.queue_seconds =
+        number_or(latency->find("queue_seconds"), 0.0);
+    response.latency.solve_seconds =
+        number_or(latency->find("solve_seconds"), 0.0);
+    response.latency.report_seconds =
+        number_or(latency->find("report_seconds"), 0.0);
+    response.latency.total_seconds =
+        number_or(latency->find("total_seconds"), 0.0);
+  }
+  return response;
+}
+
+ServeClient::ServeClient(const std::string& socket_path) {
+  if (socket_path.empty() ||
+      socket_path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+    throw std::runtime_error("ServeClient: bad socket path: \"" + socket_path +
+                             "\"");
+  }
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    throw std::runtime_error(std::string("ServeClient: socket(): ") +
+                             std::strerror(errno));
+  }
+  sockaddr_un address{};
+  address.sun_family = AF_UNIX;
+  std::strncpy(address.sun_path, socket_path.c_str(),
+               sizeof(address.sun_path) - 1);
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&address),
+                sizeof(address)) != 0) {
+    const int saved = errno;
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("ServeClient: connect(" + socket_path +
+                             "): " + std::strerror(saved));
+  }
+  reader_ = std::thread([this] { reader_loop(); });
+}
+
+ServeClient::~ServeClient() {
+  // Half-close the write side so the server's reader sees EOF; the reader
+  // thread then drains whatever responses are still in flight before the
+  // server (or peer close) ends the stream.
+  ::shutdown(fd_, SHUT_WR);
+  if (reader_.joinable()) reader_.join();
+  ::close(fd_);
+}
+
+std::future<ParsedResponse> ServeClient::submit(const ServeRequest& request) {
+  if (request.id.empty()) {
+    throw std::invalid_argument("ServeClient::submit: request needs an id");
+  }
+  auto future = register_id(request.id);
+  send_line(request.to_json());
+  return future;
+}
+
+std::future<ParsedResponse> ServeClient::submit_raw(const std::string& id,
+                                                    const std::string& line) {
+  std::future<ParsedResponse> future;
+  if (!id.empty()) future = register_id(id);
+  send_line(line);
+  return future;
+}
+
+ParsedResponse ServeClient::call(const ServeRequest& request) {
+  return submit(request).get();
+}
+
+std::vector<ParsedResponse> ServeClient::take_unmatched() {
+  std::lock_guard lock(mutex_);
+  std::vector<ParsedResponse> out(std::make_move_iterator(unmatched_.begin()),
+                                  std::make_move_iterator(unmatched_.end()));
+  unmatched_.clear();
+  return out;
+}
+
+std::future<ParsedResponse> ServeClient::register_id(const std::string& id) {
+  std::lock_guard lock(mutex_);
+  if (closed_) {
+    throw std::runtime_error("ServeClient: connection already closed");
+  }
+  auto [it, inserted] = pending_.try_emplace(id);
+  if (!inserted) {
+    throw std::invalid_argument("ServeClient: id already in flight: " + id);
+  }
+  return it->second.get_future();
+}
+
+void ServeClient::send_line(const std::string& line) {
+  const std::string payload = line + "\n";
+  std::lock_guard lock(mutex_);
+  std::size_t written = 0;
+  while (written < payload.size()) {
+    const ssize_t n = ::send(fd_, payload.data() + written,
+                             payload.size() - written, MSG_NOSIGNAL);
+    if (n > 0) {
+      written += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    throw std::runtime_error(std::string("ServeClient: send(): ") +
+                             (n < 0 ? std::strerror(errno) : "closed"));
+  }
+}
+
+void ServeClient::reader_loop() {
+  std::string pending;
+  char buffer[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd_, buffer, sizeof(buffer), 0);
+    if (n == 0) break;
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    pending.append(buffer, static_cast<std::size_t>(n));
+    for (;;) {
+      const std::size_t newline = pending.find('\n');
+      if (newline == std::string::npos) break;
+      std::string line = pending.substr(0, newline);
+      pending.erase(0, newline + 1);
+      if (!line.empty()) deliver(line);
+    }
+  }
+  fail_pending("connection closed before the response arrived");
+}
+
+void ServeClient::deliver(const std::string& line) {
+  ParsedResponse response;
+  try {
+    response = parse_response(line);
+  } catch (const std::exception& e) {
+    response.status = "unparseable";
+    response.detail = std::string(e.what()) + ": " + line;
+  }
+  std::lock_guard lock(mutex_);
+  const auto it = pending_.find(response.id);
+  if (response.id.empty() || it == pending_.end()) {
+    unmatched_.push_back(std::move(response));
+    return;
+  }
+  auto promise = std::move(it->second);
+  pending_.erase(it);
+  promise.set_value(std::move(response));
+}
+
+void ServeClient::fail_pending(const std::string& why) {
+  std::lock_guard lock(mutex_);
+  closed_ = true;
+  for (auto& [id, promise] : pending_) {
+    promise.set_exception(std::make_exception_ptr(
+        std::runtime_error("ServeClient: " + id + ": " + why)));
+  }
+  pending_.clear();
+}
+
+}  // namespace subsel::serve

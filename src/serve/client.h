@@ -1,0 +1,96 @@
+// Client side of the daemon's socket protocol, used by the example client,
+// the socket mode of bench/serving_load, and the CI smoke job.
+//
+// One background reader thread parses response lines and matches them to
+// outstanding requests by "id" — responses arrive in COMPLETION order, not
+// submission order (an interactive request overtakes a queued batch one), so
+// positional matching would be wrong. Responses that carry no known id
+// (e.g. the typed reject for an oversized line, which has no id to echo) are
+// collected on an unmatched list the caller can inspect.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/json_parse.h"
+#include "serve/wire.h"
+
+namespace subsel::serve {
+
+/// A response line decoded back into struct form (the subset of
+/// ServeResponse a client acts on, plus the raw parsed document for
+/// anything else).
+struct ParsedResponse {
+  std::string id;
+  std::string status;  // complete|degraded|rejected|error|ok
+  std::string reason;
+  std::string detail;
+  int schema_version = 0;
+  std::size_t selected_count = 0;
+  std::vector<std::uint64_t> selected;
+  double objective = 0.0;
+  LatencyBreakdown latency;
+  /// Full document for fields not lifted above ("server", "datasets", ...).
+  JsonValue document;
+
+  bool complete() const noexcept { return status == "complete"; }
+  bool degraded() const noexcept { return status == "degraded"; }
+  /// Complete or degraded: carries a valid (possibly empty) selection.
+  bool has_selection() const noexcept { return complete() || degraded(); }
+};
+
+/// Decodes one response line. Throws JsonParseError / std::runtime_error on
+/// a line that is not a valid response document.
+ParsedResponse parse_response(const std::string& line);
+
+class ServeClient {
+ public:
+  /// Connects to the daemon's Unix socket; throws std::runtime_error when
+  /// the daemon is not there.
+  explicit ServeClient(const std::string& socket_path);
+  ~ServeClient();
+
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+
+  /// Sends `request` (its id must be non-empty and not already in flight)
+  /// and returns a future for the matching response. The future carries an
+  /// exception if the connection dies before the response arrives.
+  std::future<ParsedResponse> submit(const ServeRequest& request);
+
+  /// Sends a raw line and registers `id` for the response match — the
+  /// malformed-input path for tests (the line need not be valid JSON, but
+  /// the server's reject must echo `id` for the future to resolve; pass an
+  /// empty id to fire-and-forget and fish the reply out of unmatched()).
+  std::future<ParsedResponse> submit_raw(const std::string& id,
+                                         const std::string& line);
+
+  /// Blocking convenience: submit + wait.
+  ParsedResponse call(const ServeRequest& request);
+
+  /// Responses that matched no outstanding id (idless rejects, duplicates).
+  std::vector<ParsedResponse> take_unmatched();
+
+ private:
+  void reader_loop();
+  void deliver(const std::string& line);
+  void send_line(const std::string& line);
+  std::future<ParsedResponse> register_id(const std::string& id);
+  void fail_pending(const std::string& why);
+
+  int fd_ = -1;
+  std::thread reader_;
+  std::mutex mutex_;  // guards pending_, unmatched_, and writes to fd_
+  std::map<std::string, std::promise<ParsedResponse>> pending_;
+  std::deque<ParsedResponse> unmatched_;
+  bool closed_ = false;
+};
+
+}  // namespace subsel::serve

@@ -1,0 +1,300 @@
+#include "serve/json_parse.h"
+
+#include <cerrno>
+#include <cstdlib>
+
+namespace subsel::serve {
+
+bool JsonValue::as_bool() const {
+  if (type_ != Type::kBool) throw std::logic_error("JsonValue: not a bool");
+  return bool_;
+}
+
+double JsonValue::as_number() const {
+  if (type_ != Type::kNumber) throw std::logic_error("JsonValue: not a number");
+  return number_;
+}
+
+const std::string& JsonValue::as_string() const {
+  if (type_ != Type::kString) throw std::logic_error("JsonValue: not a string");
+  return string_;
+}
+
+const std::vector<JsonValue>& JsonValue::items() const {
+  if (type_ != Type::kArray) throw std::logic_error("JsonValue: not an array");
+  return items_;
+}
+
+const std::vector<std::pair<std::string, JsonValue>>& JsonValue::members() const {
+  if (type_ != Type::kObject) throw std::logic_error("JsonValue: not an object");
+  return members_;
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (type_ != Type::kObject) return nullptr;
+  for (const auto& [name, value] : members_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+/// Recursive-descent parser over a string_view. Named (rather than a lambda
+/// nest) so JsonValue can befriend it.
+class JsonParser {
+ public:
+  JsonParser(std::string_view text, std::size_t max_depth)
+      : text_(text), max_depth_(max_depth) {}
+
+  JsonValue run() {
+    skip_whitespace();
+    JsonValue value = parse_value(0);
+    skip_whitespace();
+    if (pos_ != text_.size()) fail("trailing content after JSON document");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) const {
+    throw JsonParseError(message, pos_);
+  }
+
+  bool at_end() const noexcept { return pos_ >= text_.size(); }
+  char peek() const noexcept { return text_[pos_]; }
+
+  void skip_whitespace() {
+    while (!at_end()) {
+      const char c = peek();
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') return;
+      ++pos_;
+    }
+  }
+
+  void expect(char c) {
+    if (at_end() || peek() != c) {
+      fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  JsonValue parse_value(std::size_t depth) {
+    if (depth > max_depth_) fail("nesting too deep");
+    if (at_end()) fail("unexpected end of input");
+    switch (peek()) {
+      case '{': return parse_object(depth);
+      case '[': return parse_array(depth);
+      case '"': {
+        JsonValue value;
+        value.type_ = JsonValue::Type::kString;
+        value.string_ = parse_string();
+        return value;
+      }
+      case 't':
+      case 'f': {
+        JsonValue value;
+        value.type_ = JsonValue::Type::kBool;
+        if (consume_literal("true")) {
+          value.bool_ = true;
+        } else if (consume_literal("false")) {
+          value.bool_ = false;
+        } else {
+          fail("invalid literal");
+        }
+        return value;
+      }
+      case 'n': {
+        if (!consume_literal("null")) fail("invalid literal");
+        return JsonValue();
+      }
+      default: return parse_number();
+    }
+  }
+
+  JsonValue parse_object(std::size_t depth) {
+    expect('{');
+    JsonValue value;
+    value.type_ = JsonValue::Type::kObject;
+    skip_whitespace();
+    if (!at_end() && peek() == '}') {
+      ++pos_;
+      return value;
+    }
+    for (;;) {
+      skip_whitespace();
+      std::string key = parse_string();
+      // Strict: a duplicated key means the document's meaning is ambiguous.
+      for (const auto& [existing, unused] : value.members_) {
+        if (existing == key) fail("duplicate object key \"" + key + "\"");
+      }
+      skip_whitespace();
+      expect(':');
+      skip_whitespace();
+      value.members_.emplace_back(std::move(key), parse_value(depth + 1));
+      skip_whitespace();
+      if (at_end()) fail("unterminated object");
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return value;
+    }
+  }
+
+  JsonValue parse_array(std::size_t depth) {
+    expect('[');
+    JsonValue value;
+    value.type_ = JsonValue::Type::kArray;
+    skip_whitespace();
+    if (!at_end() && peek() == ']') {
+      ++pos_;
+      return value;
+    }
+    for (;;) {
+      skip_whitespace();
+      value.items_.push_back(parse_value(depth + 1));
+      skip_whitespace();
+      if (at_end()) fail("unterminated array");
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return value;
+    }
+  }
+
+  std::string parse_string() {
+    if (at_end() || peek() != '"') fail("expected string");
+    ++pos_;
+    std::string out;
+    for (;;) {
+      if (at_end()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        --pos_;
+        fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (at_end()) fail("unterminated escape");
+      const char escape = text_[pos_++];
+      switch (escape) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': append_unicode_escape(out); break;
+        default:
+          pos_ -= 1;
+          fail("invalid escape");
+      }
+    }
+  }
+
+  std::uint32_t parse_hex4() {
+    if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+    std::uint32_t code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      code <<= 4;
+      if (c >= '0' && c <= '9') code |= static_cast<std::uint32_t>(c - '0');
+      else if (c >= 'a' && c <= 'f') code |= static_cast<std::uint32_t>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') code |= static_cast<std::uint32_t>(c - 'A' + 10);
+      else fail("invalid \\u escape");
+    }
+    return code;
+  }
+
+  void append_unicode_escape(std::string& out) {
+    std::uint32_t code = parse_hex4();
+    if (code >= 0xD800 && code <= 0xDBFF) {
+      // High surrogate: must pair with a following \uDC00-\uDFFF escape.
+      if (pos_ + 2 > text_.size() || text_[pos_] != '\\' || text_[pos_ + 1] != 'u') {
+        fail("lone high surrogate");
+      }
+      pos_ += 2;
+      const std::uint32_t low = parse_hex4();
+      if (low < 0xDC00 || low > 0xDFFF) fail("invalid low surrogate");
+      code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+    } else if (code >= 0xDC00 && code <= 0xDFFF) {
+      fail("lone low surrogate");
+    }
+    // UTF-8 encode.
+    if (code < 0x80) {
+      out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      out += static_cast<char>(0xC0 | (code >> 6));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else if (code < 0x10000) {
+      out += static_cast<char>(0xE0 | (code >> 12));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (code >> 18));
+      out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    }
+  }
+
+  JsonValue parse_number() {
+    // Validate the exact JSON number grammar before handing to strtod —
+    // strtod alone also accepts "inf", "nan", hex floats, and leading '+'.
+    const std::size_t start = pos_;
+    if (!at_end() && peek() == '-') ++pos_;
+    if (at_end()) fail("invalid number");
+    if (peek() == '0') {
+      ++pos_;
+    } else if (peek() >= '1' && peek() <= '9') {
+      while (!at_end() && peek() >= '0' && peek() <= '9') ++pos_;
+    } else {
+      fail("invalid number");
+    }
+    if (!at_end() && peek() == '.') {
+      ++pos_;
+      if (at_end() || peek() < '0' || peek() > '9') fail("invalid number");
+      while (!at_end() && peek() >= '0' && peek() <= '9') ++pos_;
+    }
+    if (!at_end() && (peek() == 'e' || peek() == 'E')) {
+      ++pos_;
+      if (!at_end() && (peek() == '+' || peek() == '-')) ++pos_;
+      if (at_end() || peek() < '0' || peek() > '9') fail("invalid number");
+      while (!at_end() && peek() >= '0' && peek() <= '9') ++pos_;
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    errno = 0;
+    char* end = nullptr;
+    const double parsed = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) fail("invalid number");
+    if (errno == ERANGE && (parsed > 1.0 || parsed < -1.0)) {
+      fail("number out of range");
+    }
+    JsonValue value;
+    value.type_ = JsonValue::Type::kNumber;
+    value.number_ = parsed;
+    return value;
+  }
+
+  std::string_view text_;
+  std::size_t max_depth_;
+  std::size_t pos_ = 0;
+};
+
+JsonValue JsonValue::parse(std::string_view text, std::size_t max_depth) {
+  return JsonParser(text, max_depth).run();
+}
+
+}  // namespace subsel::serve

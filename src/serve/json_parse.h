@@ -1,0 +1,83 @@
+// Strict JSON parser for the serving wire protocol — the read-side companion
+// of common/json.h (which is write-only by design; see its header).
+//
+// Serving is the one place the repo consumes JSON it did not produce, from
+// clients it does not control, so the parser is deliberately strict where
+// lenient parsers invite protocol drift:
+//   - exactly one top-level value, no trailing bytes;
+//   - duplicate object keys rejected (a request with two "deadline_ms"
+//     fields means the client is confused — fail it, don't pick one);
+//   - numbers must match the JSON grammar (no "inf", "nan", hex, or
+//     leading '+' that strtod would happily accept);
+//   - nesting depth is bounded so a hostile request cannot overflow the
+//     parser's stack.
+// Anything else throws JsonParseError with a byte offset, which the wire
+// layer turns into a typed "malformed_json" reject — never a crash, never a
+// silently defaulted field.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace subsel::serve {
+
+class JsonParseError : public std::runtime_error {
+ public:
+  JsonParseError(const std::string& message, std::size_t offset)
+      : std::runtime_error(message + " at byte " + std::to_string(offset)),
+        offset_(offset) {}
+
+  /// Byte offset into the input where parsing failed.
+  std::size_t offset() const noexcept { return offset_; }
+
+ private:
+  std::size_t offset_;
+};
+
+/// Immutable parsed JSON value. Small by design: the wire layer reads a
+/// handful of scalar fields out of flat request objects, so objects are
+/// stored as insertion-ordered key/value vectors (lookup is a linear scan —
+/// requests have ~a dozen keys).
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Parses exactly one JSON document from `text` (throws JsonParseError).
+  /// `max_depth` bounds array/object nesting.
+  static JsonValue parse(std::string_view text, std::size_t max_depth = 64);
+
+  Type type() const noexcept { return type_; }
+  bool is_null() const noexcept { return type_ == Type::kNull; }
+  bool is_bool() const noexcept { return type_ == Type::kBool; }
+  bool is_number() const noexcept { return type_ == Type::kNumber; }
+  bool is_string() const noexcept { return type_ == Type::kString; }
+  bool is_array() const noexcept { return type_ == Type::kArray; }
+  bool is_object() const noexcept { return type_ == Type::kObject; }
+
+  /// Typed accessors; throw std::logic_error on a type mismatch (callers in
+  /// the wire layer check type() first and map mismatches to typed rejects).
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const std::vector<JsonValue>& items() const;
+  const std::vector<std::pair<std::string, JsonValue>>& members() const;
+
+  /// Object member lookup; nullptr when absent (or not an object).
+  const JsonValue* find(std::string_view key) const;
+
+ private:
+  friend class JsonParser;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+}  // namespace subsel::serve

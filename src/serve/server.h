@@ -1,0 +1,145 @@
+// The long-lived, multi-tenant selection daemon core (`subsel serve`).
+//
+// Everything below the API layer is batch: one SelectionRequest, one solve,
+// exit. This class composes the repo's parts into a server: named ground
+// sets loaded ONCE and kept resident across requests (in-memory, or the
+// sharded out-of-core DiskGroundSet whose block cache then stays warm
+// between requests), a bounded admission queue with two priority classes
+// and explicit load shedding, and `max_concurrent` dispatcher threads that
+// each lease a SolverContext (reusable SubproblemArenaPool) over one shared
+// ThreadPool — capping concurrent solves while queueing the rest.
+//
+// Deadlines are end-to-end: the budget starts at ADMISSION, so time spent
+// waiting for a solver slot counts against it. A request whose budget
+// expires in the queue is answered immediately as degraded with reason
+// "queued_past_deadline" (it never wastes a slot); one that expires
+// mid-solve rides the PR-6 Deadline machinery and returns the solver's best
+// valid selection so far, flagged degraded. Errors after admission
+// (worker faults, disk faults, injected faults at the serve.* failpoints)
+// become typed error responses — the daemon keeps serving.
+//
+// Transport-agnostic: submit() takes a parsed request and a completion
+// callback (invoked exactly once, on a dispatcher thread for selects, on
+// the caller's thread for stats and rejects). The socket front end
+// (socket_server.h) and the in-process bench/tests sit on the same entry
+// point, so every admission/scheduling/shedding behavior is identical and
+// testable without a socket.
+//
+// Failpoint sites: "serve.accept" (request admission entry), "serve.enqueue"
+// (admission-queue push), "serve.respond" (response delivery).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/solver_registry.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "data/datasets.h"
+#include "graph/disk_ground_set.h"
+#include "serve/admission_queue.h"
+#include "serve/server_config.h"
+#include "serve/wire.h"
+
+namespace subsel::serve {
+
+class SelectionServer {
+ public:
+  /// Loads every dataset in the manifest (throws on a missing/corrupt file
+  /// or a duplicate name) and starts the dispatcher threads. The server is
+  /// accepting requests when the constructor returns.
+  explicit SelectionServer(const ServerConfig& config);
+
+  /// Drains and joins (equivalent to shutdown()).
+  ~SelectionServer();
+
+  SelectionServer(const SelectionServer&) = delete;
+  SelectionServer& operator=(const SelectionServer&) = delete;
+
+  /// Registers an externally owned resident ground set under `name` (the
+  /// in-process embedding path: tests and benches hand their instance over
+  /// without a round-trip through the on-disk format). `ground_set` must
+  /// outlive the server. NOT thread-safe against concurrent submits —
+  /// register before traffic starts, like config datasets.
+  void register_ground_set(const std::string& name,
+                           const graph::GroundSet* ground_set);
+
+  using ResponseCallback = std::function<void(ServeResponse)>;
+
+  /// Admits `request` and eventually invokes `done` exactly once with the
+  /// response. Stats requests and admission rejects answer synchronously on
+  /// the caller's thread; admitted selects answer on a dispatcher thread.
+  void submit(ServeRequest request, ResponseCallback done);
+
+  /// Future-flavored submit for in-process callers.
+  std::future<ServeResponse> submit(ServeRequest request);
+
+  /// Graceful-drain pivot (SIGTERM): new submissions reject with
+  /// "draining"; queued and in-flight requests still finish or degrade.
+  void begin_drain();
+
+  /// begin_drain() + blocks until the backlog and all in-flight requests
+  /// have been answered, then stops the dispatchers. Idempotent.
+  void shutdown();
+
+  bool draining() const { return queue_.draining(); }
+
+  ServerCounters counters() const;
+  std::vector<DatasetInfo> dataset_infos() const;
+  /// Resident ground set registered under `name`, or nullptr.
+  const graph::GroundSet* ground_set(const std::string& name) const;
+  double uptime_seconds() const { return uptime_.elapsed_seconds(); }
+  ThreadPool& pool() noexcept { return pool_; }
+  /// Wire-level request limits transports must enforce before parsing.
+  const ParseLimits& limits() const noexcept { return config_.limits; }
+
+ private:
+  /// One manifest entry held resident for the life of the server. Exactly
+  /// one of {memory, disk, external} backs `ground_set`.
+  struct ResidentDataset {
+    DatasetSpec spec;
+    std::unique_ptr<data::Dataset> dataset;  // owns what `memory` references
+    std::unique_ptr<graph::InMemoryGroundSet> memory;
+    std::unique_ptr<graph::DiskGroundSet> disk;
+    const graph::GroundSet* ground_set = nullptr;
+  };
+
+  void dispatch_loop(std::size_t slot);
+  ServeResponse serve_select(api::SolverContext& context, PendingRequest& item,
+                             const graph::GroundSet& ground_set);
+  /// Single exit for every response: applies the serve.respond failpoint,
+  /// bumps the outcome counter for the FINAL status, snapshots the counters
+  /// into the response, stamps total latency, and invokes `done`.
+  void finish(const ResponseCallback& done, ServeResponse response,
+              const Timer* admitted);
+  ServeResponse make_stats_response(const ServeRequest& request) const;
+
+  ServerConfig config_;
+  ThreadPool pool_;
+  AdmissionQueue queue_;
+  std::map<std::string, ResidentDataset> datasets_;
+  /// Slot-indexed contexts: dispatcher i exclusively leases contexts_[i],
+  /// so arenas are reused across that slot's sequential requests with zero
+  /// cross-request locking.
+  std::vector<std::unique_ptr<api::SolverContext>> contexts_;
+  std::vector<std::thread> dispatchers_;
+
+  Timer uptime_;
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> degraded_{0};
+  std::atomic<std::uint64_t> errors_{0};
+  std::atomic<std::uint64_t> expired_in_queue_{0};
+  std::atomic<std::uint64_t> completed_by_class_[kNumPriorities] = {};
+  std::atomic<std::size_t> inflight_{0};
+  std::atomic<bool> stopped_{false};
+};
+
+}  // namespace subsel::serve

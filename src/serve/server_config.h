@@ -1,0 +1,53 @@
+// Configuration of the long-lived selection daemon: which datasets to keep
+// resident, how much concurrency to run, and how aggressively to shed load.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/disk_ground_set.h"
+#include "serve/wire.h"
+
+namespace subsel::serve {
+
+/// One entry of the dataset manifest. The server loads every entry at
+/// startup and keeps it resident for the life of the process — requests
+/// reference datasets by `name` and never pay a load.
+struct DatasetSpec {
+  /// Manifest key requests use ("dataset" field).
+  std::string name;
+  /// Dataset prefix in the data/dataset_io.h format (PATH + PATH.graph).
+  std::string path;
+  /// Keep only the per-point scalars in DRAM and serve the adjacency through
+  /// the sharded block cache (graph::DiskGroundSet); default materializes
+  /// everything.
+  bool disk = false;
+  /// Block-cache geometry for the disk path.
+  graph::DiskGroundSetConfig cache;
+};
+
+struct ServerConfig {
+  std::vector<DatasetSpec> datasets;
+
+  /// Bounded admission backlog across both priority classes; a push beyond
+  /// this rejects with "queue_full" (load shedding, never OOM).
+  std::size_t queue_capacity = 128;
+
+  /// Solver slots: requests solved concurrently. Each slot leases its own
+  /// SolverContext (arena reuse across sequential requests) over the one
+  /// shared ThreadPool.
+  std::size_t max_concurrent = 2;
+
+  /// Worker threads in the shared solver pool (0 = hardware concurrency).
+  std::size_t pool_threads = 0;
+
+  /// Deadline applied to requests that do not carry their own deadline_ms
+  /// (0 = unlimited). The clock starts at admission either way.
+  std::uint64_t default_deadline_ms = 0;
+
+  /// Wire-level request limits (max bytes per request line).
+  ParseLimits limits;
+};
+
+}  // namespace subsel::serve

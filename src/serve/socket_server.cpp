@@ -1,0 +1,187 @@
+#include "serve/socket_server.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace subsel::serve {
+
+namespace {
+
+int make_listener(const std::string& path) {
+  if (path.empty() || path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+    throw std::runtime_error("SocketServer: socket path empty or too long: \"" +
+                             path + "\"");
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw std::runtime_error(std::string("SocketServer: socket(): ") +
+                             std::strerror(errno));
+  }
+  sockaddr_un address{};
+  address.sun_family = AF_UNIX;
+  std::strncpy(address.sun_path, path.c_str(), sizeof(address.sun_path) - 1);
+  // A stale socket file from a crashed daemon blocks bind(); replace it.
+  ::unlink(path.c_str());
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&address), sizeof(address)) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    throw std::runtime_error("SocketServer: bind(" + path +
+                             "): " + std::strerror(saved));
+  }
+  if (::listen(fd, 64) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    ::unlink(path.c_str());
+    throw std::runtime_error("SocketServer: listen(" + path +
+                             "): " + std::strerror(saved));
+  }
+  return fd;
+}
+
+}  // namespace
+
+SocketServer::Connection::~Connection() { ::close(fd); }
+
+void SocketServer::Connection::write_line(const std::string& line) {
+  std::lock_guard lock(write_mutex);
+  std::size_t written = 0;
+  const std::string payload = line + "\n";
+  while (written < payload.size()) {
+    // MSG_NOSIGNAL: a vanished peer must surface as EPIPE here, not as a
+    // process-killing SIGPIPE on a dispatcher thread.
+    const ssize_t n = ::send(fd, payload.data() + written,
+                             payload.size() - written, MSG_NOSIGNAL);
+    if (n > 0) {
+      written += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return;  // peer gone; the response has no recipient
+  }
+}
+
+SocketServer::SocketServer(SelectionServer& server, std::string socket_path)
+    : server_(server),
+      socket_path_(std::move(socket_path)),
+      listen_fd_(make_listener(socket_path_)) {}
+
+SocketServer::~SocketServer() {
+  stop();
+  for (std::thread& reader : readers_) {
+    if (reader.joinable()) reader.join();
+  }
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  ::unlink(socket_path_.c_str());
+}
+
+void SocketServer::run(const std::atomic<bool>* stop_flag) {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    if (stop_flag != nullptr && stop_flag->load(std::memory_order_relaxed)) {
+      break;
+    }
+    // Poll with a timeout so a signal-raised stop flag is honored promptly
+    // even when no connection ever arrives.
+    pollfd waiter{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&waiter, 1, 100);
+    if (ready < 0 && errno != EINTR) break;
+    if (ready <= 0) continue;
+
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      break;  // listener closed or unrecoverable
+    }
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    auto connection = std::make_shared<Connection>(fd);
+    {
+      std::lock_guard lock(connections_mutex_);
+      connections_.push_back(connection);
+      readers_.emplace_back(
+          [this, connection] { handle_connection(connection); });
+    }
+  }
+
+  // Graceful drain: refuse new work, let queued + in-flight requests answer,
+  // then sever the read side so every client sees a clean EOF.
+  server_.begin_drain();
+  server_.shutdown();
+  {
+    std::lock_guard lock(connections_mutex_);
+    for (const auto& weak : connections_) {
+      if (const auto connection = weak.lock()) {
+        ::shutdown(connection->fd, SHUT_RD);
+      }
+    }
+  }
+}
+
+void SocketServer::stop() { stopping_.store(true, std::memory_order_relaxed); }
+
+void SocketServer::handle_connection(const std::shared_ptr<Connection>& connection) {
+  std::string pending;
+  char buffer[4096];
+  // When a line overruns the request byte limit we reject once, then discard
+  // until the next newline so the connection can resync.
+  bool discarding = false;
+
+  for (;;) {
+    const ssize_t n = ::recv(connection->fd, buffer, sizeof(buffer), 0);
+    if (n == 0) break;  // client closed (or drain half-closed us)
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    pending.append(buffer, static_cast<std::size_t>(n));
+    for (;;) {
+      const std::size_t newline = pending.find('\n');
+      if (newline == std::string::npos) break;
+      std::string line = pending.substr(0, newline);
+      pending.erase(0, newline + 1);
+      if (discarding) {
+        discarding = false;  // the tail of the oversized line; drop it
+        continue;
+      }
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      handle_line(connection, line);
+    }
+    if (pending.size() > server_.limits().max_request_bytes) {
+      ServeResponse reject;
+      reject.status = ServeResponse::Status::kRejected;
+      reject.reason = request_error_code_name(RequestError::Code::kOversized);
+      reject.detail = "request line exceeds " +
+                      std::to_string(server_.limits().max_request_bytes) +
+                      " bytes";
+      connection->write_line(reject.to_json());
+      pending.clear();
+      discarding = true;
+    }
+  }
+}
+
+void SocketServer::handle_line(const std::shared_ptr<Connection>& connection,
+                               const std::string& line) {
+  ServeRequest request;
+  try {
+    request = parse_request(line, server_.limits());
+  } catch (const RequestError& e) {
+    ServeResponse reject;
+    reject.id = e.id();
+    reject.status = ServeResponse::Status::kRejected;
+    reject.reason = request_error_code_name(e.code());
+    reject.detail = e.what();
+    connection->write_line(reject.to_json());
+    return;
+  }
+  server_.submit(std::move(request), [connection](ServeResponse response) {
+    connection->write_line(response.to_json());
+  });
+}
+
+}  // namespace subsel::serve

@@ -1,0 +1,82 @@
+// Local-socket transport for the selection daemon: a Unix-domain stream
+// listener speaking the newline-delimited-JSON protocol of wire.h.
+//
+// One reader thread per connection parses request lines and hands them to
+// SelectionServer::submit; responses are written back on whatever thread
+// completes them (a connection-level mutex serializes the writes, and since
+// solves finish out of order, responses are matched to requests by "id",
+// never by position). Parse failures answer with a typed reject on the same
+// connection and never tear it down — except an oversized line, where the
+// remainder of the line is discarded before resuming at the next newline.
+//
+// Graceful drain: stop() (the SIGTERM path) closes the listener, flips the
+// server into drain mode (new requests reject with "draining"), half-closes
+// every live connection for reading so clients see EOF after their pending
+// responses arrive, and returns once the backlog is answered.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/server.h"
+
+namespace subsel::serve {
+
+class SocketServer {
+ public:
+  /// Binds and listens on `socket_path` (a stale socket file from a dead
+  /// process is replaced). Throws std::runtime_error on bind/listen failure.
+  SocketServer(SelectionServer& server, std::string socket_path);
+  ~SocketServer();
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  /// Accept loop; returns after stop(). `stop_flag` (optional) is polled so
+  /// a signal handler can request shutdown without calling into the object.
+  void run(const std::atomic<bool>* stop_flag = nullptr);
+
+  /// Requests a graceful drain from any thread (idempotent).
+  void stop();
+
+  const std::string& socket_path() const noexcept { return socket_path_; }
+  std::size_t connections_accepted() const noexcept {
+    return connections_accepted_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// Per-connection state shared between the reader thread and in-flight
+  /// response callbacks; the fd closes when the last holder lets go, so a
+  /// response completing after the reader exited still has a valid fd (the
+  /// write may fail harmlessly if the peer vanished).
+  struct Connection {
+    explicit Connection(int fd) : fd(fd) {}
+    ~Connection();
+    /// Serialized write of one response line (drops the response when the
+    /// peer is gone — there is nobody left to tell).
+    void write_line(const std::string& line);
+
+    const int fd;
+    std::mutex write_mutex;
+  };
+
+  void handle_connection(const std::shared_ptr<Connection>& connection);
+  void handle_line(const std::shared_ptr<Connection>& connection,
+                   const std::string& line);
+
+  SelectionServer& server_;
+  std::string socket_path_;
+  int listen_fd_ = -1;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::size_t> connections_accepted_{0};
+  std::mutex connections_mutex_;
+  std::vector<std::weak_ptr<Connection>> connections_;
+  std::vector<std::thread> readers_;
+};
+
+}  // namespace subsel::serve

@@ -1,0 +1,200 @@
+// Wire protocol of the selection daemon: newline-delimited JSON, one request
+// or response object per line, over a local stream socket (or handed to
+// SelectionServer::submit directly for in-process callers).
+//
+// Requests (parse_request; every violation is a typed RequestError, never a
+// crash or a silently defaulted field):
+//
+//   {"type":"select","id":"r1","dataset":"cifar","k":500,
+//    "solver":"distributed-greedy","objective":"pairwise","alpha":0.9,
+//    "deadline_ms":250,"priority":"interactive","seed":23}
+//   {"type":"stats","id":"s1"}
+//
+// Responses (ServeResponse::to_json; schema "subsel.serve_response.v1",
+// documented field-by-field in README "Serving"):
+//
+//   status "complete"  — full-quality selection within the deadline
+//   status "degraded"  — valid best-so-far selection, `reason` says why
+//                        (deadline mid-solve, or "queued_past_deadline" when
+//                        the budget expired before a solver slot freed up)
+//   status "rejected"  — admission control refused the request up front
+//                        (`reason`: "queue_full", "draining",
+//                        "unknown_dataset", or a parse-reject code)
+//   status "error"     — the request was accepted but failed mid-flight
+//                        (`reason`: "worker_fault", "disk_error",
+//                        "injected_fault", "invalid_request",
+//                        "internal_error"); the daemon keeps serving
+//   status "ok"        — stats response
+//
+// The deadline clock starts at ADMISSION, not at solver dispatch: queue wait
+// counts against the budget, which is what a latency SLO means.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "api/selection_api.h"
+
+namespace subsel::serve {
+
+/// Emitted in every response and in BENCH_serving.json; bump when a field
+/// changes meaning (additions are backward-compatible and don't bump it).
+inline constexpr int kServeSchemaVersion = 1;
+inline constexpr std::string_view kResponseSchema = "subsel.serve_response.v1";
+
+/// Admission priority classes, highest first. Interactive requests are always
+/// dequeued before batch requests; within a class the queue is FIFO.
+enum class Priority : std::uint8_t { kInteractive = 0, kBatch = 1 };
+inline constexpr std::size_t kNumPriorities = 2;
+
+const char* priority_name(Priority priority) noexcept;
+
+/// Typed request rejection. code() is the machine-readable reject reason the
+/// response carries; id() is the request id when the document got far enough
+/// to yield one (empty for malformed JSON).
+class RequestError : public std::runtime_error {
+ public:
+  enum class Code {
+    kMalformedJson,     // not parseable as one JSON object
+    kOversized,         // request line exceeds the server's byte limit
+    kMissingField,      // a required field is absent
+    kBadField,          // a field has the wrong type or an invalid value
+    kUnknownField,      // strict schema: an unrecognized key
+    kUnknownType,       // "type" is not select|stats
+    kUnknownSolver,     // solver not in the SolverRegistry
+    kUnknownObjective,  // objective not in the ObjectiveRegistry
+  };
+
+  RequestError(Code code, const std::string& message, std::string id = "")
+      : std::runtime_error(message), code_(code), id_(std::move(id)) {}
+
+  Code code() const noexcept { return code_; }
+  const std::string& id() const noexcept { return id_; }
+
+ private:
+  Code code_;
+  std::string id_;
+};
+
+/// The machine-readable reject-reason string for a parse failure
+/// ("malformed_json", "oversized_request", ...).
+const char* request_error_code_name(RequestError::Code code) noexcept;
+
+/// A parsed wire request. Selection fields mirror the api::SelectionRequest
+/// knobs the daemon exposes; fields a request omits keep these defaults.
+struct ServeRequest {
+  enum class Kind { kSelect, kStats };
+
+  Kind kind = Kind::kSelect;
+  std::string id;
+  Priority priority = Priority::kBatch;
+  /// Wall-clock budget measured from ADMISSION (0 = server default; the
+  /// server maps 0-after-default to unlimited).
+  std::uint64_t deadline_ms = 0;
+
+  // --- select fields ---
+  std::string dataset;
+  std::size_t k = 0;
+  double fraction = 0.0;
+  std::string solver = "distributed-greedy";
+  std::string objective = "pairwise";
+  double alpha = 0.9;
+  double saturation = 1.0;
+  double self_similarity = 1.0;
+  bool utility_weighted = true;
+  std::uint64_t seed = 23;
+  std::size_t machines = 8;
+  std::size_t rounds = 8;
+  double epsilon = 0.1;
+  /// "none" | "exact" | "uniform" | "weighted" (the CLI --bounding values).
+  std::string bounding = "uniform";
+  /// Echo the selected ids in the response (a client sweeping for latency
+  /// can turn the id payload off).
+  bool return_selection = true;
+
+  /// One request line (no trailing newline) that parse_request round-trips.
+  std::string to_json() const;
+};
+
+struct ParseLimits {
+  /// Hard byte ceiling per request line; longer requests are rejected
+  /// (kOversized) before the JSON parser ever runs.
+  std::size_t max_request_bytes = 64 * 1024;
+};
+
+/// Parses and validates one request line. Solver/objective names are checked
+/// against the live registries so an unknown name rejects at admission, not
+/// mid-solve. Throws RequestError; never throws anything else for untrusted
+/// input.
+ServeRequest parse_request(std::string_view line, const ParseLimits& limits);
+
+/// Per-request latency breakdown, all in seconds.
+struct LatencyBreakdown {
+  double queue_seconds = 0.0;   // admission -> solver-slot dispatch
+  double solve_seconds = 0.0;   // solver dispatch -> report ready
+  double report_seconds = 0.0;  // response build + serialization
+  double total_seconds = 0.0;   // admission -> response handed to transport
+};
+
+/// Monotonic per-server counters, snapshot into every response ("server"
+/// object) and returned by stats requests.
+struct ServerCounters {
+  std::uint64_t accepted = 0;   // admitted into the queue
+  std::uint64_t rejected = 0;   // refused at admission (all reasons)
+  std::uint64_t completed = 0;  // full-quality responses
+  std::uint64_t degraded = 0;   // valid-but-degraded responses
+  std::uint64_t errors = 0;     // error responses after admission
+  std::uint64_t expired_in_queue = 0;  // of degraded: never reached a solver
+  std::uint64_t completed_by_class[kNumPriorities] = {0, 0};
+  std::size_t queue_depth = 0;
+  std::size_t queue_depth_high_water = 0;
+  std::size_t inflight = 0;  // requests currently holding a solver slot
+};
+
+/// One dataset the server keeps resident (stats responses list them).
+struct DatasetInfo {
+  std::string name;
+  std::size_t num_points = 0;
+  bool disk = false;
+};
+
+struct ServeResponse {
+  enum class Status { kComplete, kDegraded, kRejected, kError, kStats };
+
+  std::string id;
+  Status status = Status::kError;
+  /// Machine-readable cause for degraded/rejected/error statuses.
+  std::string reason;
+  /// Human-readable elaboration (exception message, queue state, ...).
+  std::string detail;
+
+  // --- select payload ---
+  std::string dataset;
+  std::string solver;
+  std::string objective_name;
+  Priority priority = Priority::kBatch;
+  std::vector<core::NodeId> selected;
+  std::size_t selected_count = 0;  // kept even when ids are not echoed
+  double objective = 0.0;
+  /// Out-of-core cache delta for this request (resident datasets omit it).
+  std::optional<api::DiskCacheSummary> disk_cache;
+
+  LatencyBreakdown latency;
+  ServerCounters counters;
+
+  // --- stats payload ---
+  std::vector<DatasetInfo> datasets;
+  double uptime_seconds = 0.0;
+
+  const char* status_name() const noexcept;
+
+  /// One response line (no trailing newline), schema
+  /// "subsel.serve_response.v1".
+  std::string to_json() const;
+};
+
+}  // namespace subsel::serve

@@ -12,6 +12,18 @@
 //                     [--report=FILE] --out=subset.ids
 //   subsel score      --data=data/cifar --subset=subset.ids --alpha=0.9
 //                     [--objective=NAME] [--distributed]
+//   subsel serve      --socket=PATH --data=[NAME=]PREFIX [--data=... ...]
+//                     [--disk] [--cache-blocks=N] [--block-edges=N]
+//                     [--disk-shards=N] [--queue-capacity=N]
+//                     [--max-concurrent=N] [--threads=N]
+//                     [--default-deadline-ms=N] [--max-request-bytes=N]
+//
+// `serve` runs the long-lived selection daemon: every --data dataset is
+// loaded once and stays resident (in memory, or behind the out-of-core
+// block cache with --disk) while concurrent clients send newline-delimited
+// JSON selection requests over the Unix socket (protocol: src/serve/wire.h,
+// README "Serving"). SIGTERM/SIGINT drain gracefully: in-flight requests
+// finish or degrade, new ones are rejected with reason "draining".
 //
 // Every solver in the registry (see `subsel solvers`) runs through the same
 // SelectionRequest/SelectionReport schema, under any registered objective
@@ -37,6 +49,9 @@
 //   4  deadline expired with no feasible selection (degraded run, empty S)
 //   5  worker task failure surfaced at a join point (TaskError / injected
 //      fault that exhausted its handling path)
+#include <csignal>
+
+#include <atomic>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -46,6 +61,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "api/objective_registry.h"
 #include "api/solver_registry.h"
@@ -56,6 +72,8 @@
 #include "data/dataset_io.h"
 #include "data/datasets.h"
 #include "graph/disk_ground_set.h"
+#include "serve/server.h"
+#include "serve/socket_server.h"
 
 namespace {
 
@@ -115,6 +133,19 @@ class CliArgs {
     return static_cast<std::size_t>(parsed);
   }
 
+  /// Every occurrence of --name=value, in argv order (for repeatable flags
+  /// like serve's --data).
+  std::vector<std::string> get_all(const std::string& name) const {
+    const std::string prefix = "--" + name + "=";
+    std::vector<std::string> values;
+    for (int i = 2; i < argc_; ++i) {
+      if (std::strncmp(argv_[i], prefix.c_str(), prefix.size()) == 0) {
+        values.emplace_back(argv_[i] + prefix.size());
+      }
+    }
+    return values;
+  }
+
   bool has_flag(const std::string& name) const {
     const std::string flag = "--" + name;
     for (int i = 2; i < argc_; ++i) {
@@ -155,7 +186,15 @@ int usage() {
                "             --out=FILE\n"
                "  score      --data=PREFIX --subset=FILE [--objective=NAME]"
                " [--alpha=F]\n"
-               "             [--distributed]\n");
+               "             [--distributed]\n"
+               "  serve      --socket=PATH --data=[NAME=]PREFIX [--data=...]"
+               " [--disk]\n"
+               "             [--cache-blocks=N] [--block-edges=N]"
+               " [--disk-shards=N]\n"
+               "             [--queue-capacity=N] [--max-concurrent=N]"
+               " [--threads=N]\n"
+               "             [--default-deadline-ms=N]"
+               " [--max-request-bytes=N]\n");
   return 1;
 }
 
@@ -460,6 +499,81 @@ int cmd_score(const CliArgs& args) {
   return 0;
 }
 
+// Signal handlers may only touch lock-free state; the accept loop polls
+// this flag (poll() also returns EINTR on the signal, so the reaction is
+// prompt even on an idle listener).
+std::atomic<bool> g_serve_stop{false};
+
+void request_serve_stop(int) { g_serve_stop.store(true); }
+
+int cmd_serve(const CliArgs& args) {
+  const std::string socket_path = args.require("socket");
+  const auto data_flags = args.get_all("data");
+  if (data_flags.empty()) {
+    throw std::invalid_argument("serve needs at least one --data=[NAME=]PREFIX");
+  }
+
+  serve::ServerConfig config;
+  config.queue_capacity = args.get_size("queue-capacity", 128);
+  config.max_concurrent = args.get_size("max-concurrent", 2);
+  config.pool_threads = args.get_size("threads", 0);
+  config.default_deadline_ms = static_cast<std::uint64_t>(
+      args.get_size("default-deadline-ms", 0));
+  config.limits.max_request_bytes =
+      args.get_size("max-request-bytes", config.limits.max_request_bytes);
+
+  const bool disk = args.has_flag("disk");
+  for (const std::string& entry : data_flags) {
+    serve::DatasetSpec spec;
+    // "--data=NAME=PREFIX" serves the dataset under NAME; a bare prefix is
+    // served under its basename ("data/cifar" -> "cifar").
+    const std::size_t equals = entry.find('=');
+    if (equals != std::string::npos) {
+      spec.name = entry.substr(0, equals);
+      spec.path = entry.substr(equals + 1);
+    } else {
+      spec.path = entry;
+      const std::size_t slash = entry.find_last_of('/');
+      spec.name = slash == std::string::npos ? entry : entry.substr(slash + 1);
+    }
+    spec.disk = disk;
+    spec.cache.max_cached_blocks = args.get_size("cache-blocks", 64);
+    spec.cache.block_edges = args.get_size("block-edges", spec.cache.block_edges);
+    spec.cache.num_shards = args.get_size("disk-shards", spec.cache.num_shards);
+    config.datasets.push_back(std::move(spec));
+  }
+
+  serve::SelectionServer server(config);
+  serve::SocketServer transport(server, socket_path);
+
+  struct sigaction action {};
+  action.sa_handler = request_serve_stop;
+  ::sigaction(SIGTERM, &action, nullptr);
+  ::sigaction(SIGINT, &action, nullptr);
+
+  for (const auto& info : server.dataset_infos()) {
+    std::printf("dataset %s: %zu points (%s)\n", info.name.c_str(),
+                info.num_points, info.disk ? "disk-resident" : "in-memory");
+  }
+  // The CI smoke job (and any supervisor) waits for this line before
+  // sending traffic; flush so it is visible through a pipe immediately.
+  std::printf("listening on %s\n", socket_path.c_str());
+  std::fflush(stdout);
+
+  transport.run(&g_serve_stop);
+
+  const auto counters = server.counters();
+  std::printf("drained: %llu accepted, %llu completed, %llu degraded,"
+              " %llu rejected, %llu errors (queue high-water %zu)\n",
+              static_cast<unsigned long long>(counters.accepted),
+              static_cast<unsigned long long>(counters.completed),
+              static_cast<unsigned long long>(counters.degraded),
+              static_cast<unsigned long long>(counters.rejected),
+              static_cast<unsigned long long>(counters.errors),
+              counters.queue_depth_high_water);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -480,6 +594,7 @@ int main(int argc, char** argv) {
     if (command == "objectives") return cmd_objectives();
     if (command == "select") return cmd_select(args);
     if (command == "score") return cmd_score(args);
+    if (command == "serve") return cmd_serve(args);
     return usage();
   } catch (const std::invalid_argument& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
