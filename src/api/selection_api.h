@@ -206,6 +206,11 @@ struct SelectionReport {
   std::string solver;
   /// Which registered objective the run maximized.
   std::string objective_name = "pairwise";
+  /// Which vectorized gain-kernel backend the run's solves dispatched to
+  /// ("scalar", "avx2", "neon" — the widest one the CPU supports unless
+  /// SUBSEL_FORCE_SCALAR pinned it down). Diagnostics only: every backend
+  /// produces bit-identical selections and objectives.
+  std::string kernel_backend = "scalar";
   std::size_t num_points = 0;
   std::size_t k_requested = 0;
   core::ObjectiveParams objective_params;

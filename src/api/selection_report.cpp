@@ -32,6 +32,7 @@ std::string SelectionReport::to_json() const {
   json.key("schema_version").value(1);
   json.key("solver").value(solver);
   json.key("objective_name").value(objective_name);
+  json.key("kernel_backend").value(kernel_backend);
   json.key("num_points").value(num_points);
   json.key("k_requested").value(k_requested);
   json.key("objective_params").begin_object();

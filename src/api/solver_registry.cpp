@@ -8,6 +8,7 @@
 #include "baselines/baselines.h"
 #include "baselines/streaming.h"
 #include "beam/beam_pipeline.h"
+#include "common/simd.h"
 #include "common/timer.h"
 #include "core/selection_pipeline.h"
 #include "dataflow/pipeline.h"
@@ -489,6 +490,7 @@ SelectionReport SolverRegistry::run(const SelectionRequest& request,
 
   report.solver = request.solver;
   report.objective_name = request.objective_name;
+  report.kernel_backend = simd::active_backend_name();
   report.num_points = request.ground_set->num_points();
   report.k_requested = k;
   report.objective_params = request.objective;

@@ -1,0 +1,95 @@
+#include "common/simd.h"
+
+#include <atomic>
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+
+namespace subsel::simd {
+namespace {
+
+Backend detect() noexcept {
+#if defined(__aarch64__)
+  return Backend::kNeon;
+#elif defined(__x86_64__) || defined(__i386__)
+  __builtin_cpu_init();
+  if (__builtin_cpu_supports("avx2")) return Backend::kAvx2;
+  return Backend::kScalar;
+#else
+  return Backend::kScalar;
+#endif
+}
+
+/// -1 = no override; otherwise the Backend value forced by a
+/// ScopedBackendOverride. Atomic so concurrent active_backend() reads are
+/// race-free; overrides themselves are test/bench-only and single-threaded.
+std::atomic<int> g_override{-1};
+
+Backend env_adjusted_backend() noexcept {
+  static const Backend chosen = env_flag_enabled("SUBSEL_FORCE_SCALAR")
+                                    ? Backend::kScalar
+                                    : detected_backend();
+  return chosen;
+}
+
+}  // namespace
+
+const char* backend_name(Backend backend) noexcept {
+  switch (backend) {
+    case Backend::kAvx2:
+      return "avx2";
+    case Backend::kNeon:
+      return "neon";
+    case Backend::kScalar:
+      return "scalar";
+  }
+  return "scalar";
+}
+
+Backend detected_backend() noexcept {
+  static const Backend detected = detect();
+  return detected;
+}
+
+Backend active_backend() noexcept {
+  const int forced = g_override.load(std::memory_order_relaxed);
+  if (forced >= 0) return static_cast<Backend>(forced);
+  return env_adjusted_backend();
+}
+
+const char* active_backend_name() noexcept {
+  return backend_name(active_backend());
+}
+
+bool env_flag_enabled(const char* name) noexcept {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return false;
+  char lowered[8] = {};
+  const std::size_t len = std::strlen(value);
+  if (len == 0 || len >= sizeof(lowered)) return false;
+  for (std::size_t i = 0; i < len; ++i) {
+    lowered[i] = static_cast<char>(
+        std::tolower(static_cast<unsigned char>(value[i])));
+  }
+  return std::strcmp(lowered, "1") == 0 || std::strcmp(lowered, "true") == 0 ||
+         std::strcmp(lowered, "yes") == 0 || std::strcmp(lowered, "on") == 0;
+}
+
+ScopedBackendOverride::ScopedBackendOverride(Backend backend) noexcept {
+  // Never promise a backend the hardware does not have: any non-scalar
+  // request resolves to the detected backend (tests only ever force scalar or
+  // "whatever this machine natively runs").
+  const Backend target =
+      backend == Backend::kScalar ? Backend::kScalar : detected_backend();
+  const int previous = g_override.exchange(static_cast<int>(target),
+                                           std::memory_order_relaxed);
+  had_previous_ = previous >= 0;
+  previous_ = had_previous_ ? static_cast<Backend>(previous) : Backend::kScalar;
+}
+
+ScopedBackendOverride::~ScopedBackendOverride() noexcept {
+  g_override.store(had_previous_ ? static_cast<int>(previous_) : -1,
+                   std::memory_order_relaxed);
+}
+
+}  // namespace subsel::simd

@@ -113,6 +113,27 @@ class AddressableMaxHeap {
     for (const std::uint32_t slot : touched_slots_) sift_down(slot);
   }
 
+  /// Fused CSR-edge decrease: for every edge in [edges, edges + count),
+  /// priorities[edge.neighbor] -= scale · edge.weight when the neighbor is
+  /// still queued, restoring heap order per edge. Exactly the operations, in
+  /// exactly the order, of the seed greedy's per-edge decrease_weight_by loop
+  /// — selections and objectives stay bit-identical to it — but reading the
+  /// CSR slice directly, with no staging vector and no sort. This replaced
+  /// decrease_many in the round loop's pop path: on the low-degree
+  /// subproblems the paper's graphs produce, decrease_many's update staging
+  /// and touched-slot sort cost more than the per-edge sift-downs it saved
+  /// (the 0.91× solve regression in BENCH_micro_core.json).
+  template <typename Edge>
+  void decrease_edges(const Edge* edges, std::size_t count,
+                      double scale) noexcept {
+    for (std::size_t e = 0; e < count; ++e) {
+      const auto id = static_cast<LocalId>(edges[e].neighbor);
+      if (!contains(id)) continue;
+      priorities_[id] -= scale * static_cast<double>(edges[e].weight);
+      sift_down(position_[id]);
+    }
+  }
+
   /// Re-inserts a previously popped element with a new priority. The batched
   /// lazy greedy pops a run of stale tops, re-evaluates them in one
   /// gains_batch call, and pushes them back; pop/peek order stays the

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/kernel_simd.h"
+
 namespace subsel::core {
 namespace {
 
@@ -11,7 +13,23 @@ ThreadPool& pool_or_global(ThreadPool* pool) {
   return pool != nullptr ? *pool : global_thread_pool();
 }
 
-/// Maintains each member's accumulated coverage mass C_v; gain(v) sums the
+// Both the scorer and the incremental state work in PREMULTIPLIED RESIDUAL
+// space: per member u they track resid[u], initialized to fl(weight[u]·τ) and
+// decremented by fl(weight[u]·s) for every selected contribution s, and a
+// candidate's gain is
+//
+//   min(pself_v, max(resid[v], 0)) + Σ_e min(fl(w_u·s_e), max(resid[u], 0))
+//
+// with the edge sum in the lane-split order of core/kernel_simd.h. For w ≥ 0
+// this is the same algebra as w·(min(τ, m+s) − min(τ, m)) — the residual
+// form just replaces a multiply, two minima and a subtraction per edge with
+// one min and one max over precomputed values, which is also exactly the
+// shape vmaxpd/vminpd want. Saturated members need no skip branch: their
+// residual is ≤ 0 and the max clamps the term to exactly +0.0. The scorer
+// below is the reference: the incremental state and every vectorized backend
+// must reproduce its gains bit-for-bit.
+
+/// Maintains each member's premultiplied residual capacity; gain(v) sums the
 /// saturated increments v would contribute to itself and its local
 /// neighbors.
 class SaturatedCoverageScorer final : public SubproblemScorer {
@@ -23,47 +41,51 @@ class SaturatedCoverageScorer final : public SubproblemScorer {
   void reset(Subproblem& sub, const SelectionState* state) override {
     sub_ = &sub;
     const std::size_t n = sub.size();
-    mass_.assign(n, 0.0);
+    resid_.resize(n);
     weight_.resize(n);
     std::vector<graph::Edge> scratch;
     for (std::size_t i = 0; i < n; ++i) {
       const NodeId v = sub.global_ids[i];
-      weight_[i] = params_.utility_weighted ? ground_set_->utility(v) : 1.0;
+      const double w = params_.utility_weighted ? ground_set_->utility(v) : 1.0;
+      weight_[i] = w;
+      double resid = w * params_.saturation;
       if (state != nullptr) {
-        double mass = 0.0;
         for (const graph::Edge& e : ground_set_->neighbors_span(v, scratch)) {
-          if (state->is_selected(e.neighbor)) mass += e.weight;
+          if (state->is_selected(e.neighbor)) {
+            resid -= w * static_cast<double>(e.weight);
+          }
         }
-        mass_[i] = mass;
       }
+      resid_[i] = resid;
     }
     sub.priorities.resize(n);
     for (std::uint32_t i = 0; i < n; ++i) sub.priorities[i] = gain(i);
   }
 
   double gain(std::uint32_t v) const override {
-    const double tau = params_.saturation;
-    double total = weight_[v] * (std::min(tau, mass_[v] + params_.self_similarity) -
-                                 std::min(tau, mass_[v]));
+    const double self_term = std::min(weight_[v] * params_.self_similarity,
+                                      std::max(resid_[v], 0.0));
     const auto begin = static_cast<std::size_t>(sub_->offsets[v]);
     const auto end = static_cast<std::size_t>(sub_->offsets[v + 1]);
-    for (std::size_t e = begin; e < end; ++e) {
+    double lanes[ksimd::kLanes] = {0.0, 0.0, 0.0, 0.0};
+    std::size_t lane = 0;
+    for (std::size_t e = begin; e < end; ++e, ++lane) {
       const auto& edge = sub_->edges[e];
-      const double mass = mass_[edge.neighbor];
-      total += weight_[edge.neighbor] *
-               (std::min(tau, mass + static_cast<double>(edge.weight)) -
-                std::min(tau, mass));
+      lanes[lane & 3] +=
+          std::min(weight_[edge.neighbor] * static_cast<double>(edge.weight),
+                   std::max(resid_[edge.neighbor], 0.0));
     }
-    return total;
+    return self_term + ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3]));
   }
 
   void select(std::uint32_t v) override {
-    mass_[v] += params_.self_similarity;
+    resid_[v] -= weight_[v] * params_.self_similarity;
     const auto begin = static_cast<std::size_t>(sub_->offsets[v]);
     const auto end = static_cast<std::size_t>(sub_->offsets[v + 1]);
     for (std::size_t e = begin; e < end; ++e) {
       const auto& edge = sub_->edges[e];
-      mass_[edge.neighbor] += static_cast<double>(edge.weight);
+      resid_[edge.neighbor] -=
+          weight_[edge.neighbor] * static_cast<double>(edge.weight);
     }
   }
 
@@ -71,17 +93,19 @@ class SaturatedCoverageScorer final : public SubproblemScorer {
   const graph::GroundSet* ground_set_;
   SaturatedCoverageParams params_;
   const Subproblem* sub_ = nullptr;
-  std::vector<double> mass_;  // per-member C_v
+  std::vector<double> resid_;  // premultiplied residual capacity per member
   std::vector<double> weight_;
 };
 
-/// Flat-state twin of SaturatedCoverageScorer: accumulated mass (the
-/// residual-capacity view: residual = tau - mass) plus weight per member, in
-/// reusable arena buffers. gain() keeps the scorer's exact expression
-/// min(tau, m+w) - min(tau, m) — mirrored operation-for-operation so the two
-/// paths select identically — but skips saturated neighbors outright: with
-/// m >= tau both minima are tau and the term is exactly +0.0, so the branch
-/// changes nothing except the work done.
+/// Flat-state twin of SaturatedCoverageScorer in structure-of-arrays form:
+/// premultiplied residual capacity and self terms per member, plus — per edge
+/// of the subproblem CSR — a neighbor column and a premultiplied edge-weight
+/// column (pw[e] = fl(weight[u]·s_e), built once per reset), all in reusable
+/// arena buffers. gain() is one call into the kernel_simd residual-gain
+/// primitive (scalar/AVX2/NEON, bit-identical to the scorer's lane-split
+/// loop); select() decrements the residuals of the picked point and its local
+/// neighbors in O(deg). The backend is captured at construction from
+/// simd::active_backend().
 class SaturatedCoverageIncrementalState final : public KernelIncrementalState {
  public:
   SaturatedCoverageIncrementalState(const graph::GroundSet& ground_set,
@@ -90,25 +114,61 @@ class SaturatedCoverageIncrementalState final : public KernelIncrementalState {
       : ground_set_(&ground_set),
         params_(params),
         arena_(&arena),
-        mass_(arena.kernel_state_buffer(0)),
-        weight_(arena.kernel_state_buffer(1)) {}
+        ops_(&ksimd::active_ops()),
+        resid_(arena.kernel_state_buffer(0)),
+        pself_(arena.kernel_state_buffer(1)),
+        weight_(arena.kernel_state_buffer(2)),
+        pw_(arena.kernel_state_buffer(3)),
+        nbr_(arena.kernel_index_buffer(0)) {}
 
   void reset(Subproblem& sub, const SelectionState* state,
              bool init_priorities) override {
+    // Weights, premultiplied self terms, and the SoA columns depend only on
+    // the topology and ground-set utilities; repeated resets against the same
+    // materialization skip the O(edges) rebuild (see the facility-location
+    // state for the caching contract).
+    const bool layout_cached =
+        sub_ == &sub && cached_epoch_ == sub.topology_epoch;
     sub_ = &sub;
+    cached_epoch_ = sub.topology_epoch;
     const std::size_t n = sub.size();
-    mass_.assign(n, 0.0);
-    weight_.resize(n);
+    resid_.resize(n);
+    if (!layout_cached) {
+      pself_.resize(n);
+      weight_.resize(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        const double w = params_.utility_weighted
+                             ? ground_set_->utility(sub.global_ids[i])
+                             : 1.0;
+        weight_[i] = w;
+        pself_[i] = w * params_.self_similarity;
+      }
+    }
     std::vector<graph::Edge>& scratch = arena_->edge_scratch();
     for (std::size_t i = 0; i < n; ++i) {
-      const NodeId v = sub.global_ids[i];
-      weight_[i] = params_.utility_weighted ? ground_set_->utility(v) : 1.0;
+      const double w = weight_[i];
+      double resid = w * params_.saturation;
       if (state != nullptr) {
-        double mass = 0.0;
+        const NodeId v = sub.global_ids[i];
         for (const graph::Edge& e : ground_set_->neighbors_span(v, scratch)) {
-          if (state->is_selected(e.neighbor)) mass += e.weight;
+          if (state->is_selected(e.neighbor)) {
+            resid -= w * static_cast<double>(e.weight);
+          }
         }
-        mass_[i] = mass;
+      }
+      resid_[i] = resid;
+    }
+    if (!layout_cached) {
+      // SoA edge pass (see FacilityLocationIncrementalState): neighbor column
+      // + premultiplied-weight column for the vectorized gain loops.
+      const std::size_t num_edges = sub.edges.size();
+      nbr_.resize(num_edges);
+      pw_.resize(num_edges);
+      const Subproblem::LocalEdge* edges = sub.edges.data();
+      for (std::size_t e = 0; e < num_edges; ++e) {
+        const std::uint32_t u = edges[e].neighbor;
+        nbr_[e] = u;
+        pw_[e] = weight_[u] * static_cast<double>(edges[e].weight);
       }
     }
     if (init_priorities) {
@@ -121,51 +181,57 @@ class SaturatedCoverageIncrementalState final : public KernelIncrementalState {
 
   void gains_batch(std::span<const std::uint32_t> candidates,
                    std::span<double> out) const override {
+    constexpr std::size_t kLookahead = 2;
     for (std::size_t i = 0; i < candidates.size(); ++i) {
+      if (i + kLookahead < candidates.size()) {
+        prefetch_slice(candidates[i + kLookahead]);
+      }
       out[i] = gain_of(candidates[i]);
     }
   }
 
   void select(std::uint32_t v) override {
-    mass_[v] += params_.self_similarity;
+    resid_[v] -= pself_[v];
     const auto begin = static_cast<std::size_t>(sub_->offsets[v]);
     const auto end = static_cast<std::size_t>(sub_->offsets[v + 1]);
-    const Subproblem::LocalEdge* edges = sub_->edges.data();
-    for (std::size_t e = begin; e < end; ++e) {
-      mass_[edges[e].neighbor] += static_cast<double>(edges[e].weight);
-    }
+    for (std::size_t e = begin; e < end; ++e) resid_[nbr_[e]] -= pw_[e];
   }
 
   std::size_t state_bytes() const noexcept override {
-    return (mass_.size() + weight_.size()) * sizeof(double);
+    return (resid_.size() + pself_.size() + weight_.size() + pw_.size()) *
+               sizeof(double) +
+           nbr_.size() * sizeof(std::uint32_t);
   }
+
+  const char* backend() const noexcept override { return ops_->name; }
 
  private:
   double gain_of(std::uint32_t v) const {
-    const double tau = params_.saturation;
-    const double* mass = mass_.data();
-    const double* weight = weight_.data();
-    double total = weight[v] * (std::min(tau, mass[v] + params_.self_similarity) -
-                                std::min(tau, mass[v]));
+    const double self_term = std::min(pself_[v], std::max(resid_[v], 0.0));
     const auto begin = static_cast<std::size_t>(sub_->offsets[v]);
     const auto end = static_cast<std::size_t>(sub_->offsets[v + 1]);
-    const Subproblem::LocalEdge* edges = sub_->edges.data();
-    for (std::size_t e = begin; e < end; ++e) {
-      const std::uint32_t u = edges[e].neighbor;
-      const double m = mass[u];
-      if (m >= tau) continue;  // no residual capacity: the term is exactly 0
-      total += weight[u] * (std::min(tau, m + static_cast<double>(edges[e].weight)) -
-                            std::min(tau, m));
-    }
-    return total;
+    return ops_->resid_gain(nbr_.data() + begin, pw_.data() + begin, end - begin,
+                            resid_.data(), self_term);
+  }
+
+  void prefetch_slice(std::uint32_t v) const {
+    const auto begin = static_cast<std::size_t>(sub_->offsets[v]);
+    const auto end = static_cast<std::size_t>(sub_->offsets[v + 1]);
+    ksimd::prefetch_edge_slice(nbr_.data() + begin, pw_.data() + begin,
+                               end - begin);
   }
 
   const graph::GroundSet* ground_set_;
   SaturatedCoverageParams params_;
   SubproblemArena* arena_;
+  const ksimd::KernelSimdOps* ops_;
   const Subproblem* sub_ = nullptr;
-  std::vector<double>& mass_;  // per-member C_v; residual capacity = tau - C_v
+  std::uint64_t cached_epoch_ = 0;  // topology_epoch the layouts were built at
+  std::vector<double>& resid_;   // premultiplied residual capacity per member
+  std::vector<double>& pself_;   // fl(weight · self_similarity) per member
   std::vector<double>& weight_;
+  std::vector<double>& pw_;          // premultiplied edge weights (SoA)
+  std::vector<std::uint32_t>& nbr_;  // edge neighbor column (SoA)
 };
 
 }  // namespace

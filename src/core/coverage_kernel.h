@@ -46,7 +46,8 @@ class SaturatedCoverageKernel final : public ObjectiveKernel {
   ObjectiveKernelCaps caps() const noexcept override {
     return {/*linear_priority_updates=*/false, /*utility_bounds=*/false,
             /*distributed_scoring=*/false, /*monotone=*/true,
-            /*incremental_state=*/true};
+            /*incremental_state=*/true,
+            /*simd_backend=*/simd::active_backend_name()};
   }
   const graph::GroundSet& ground_set() const noexcept override {
     return *ground_set_;

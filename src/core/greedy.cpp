@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <optional>
 #include <stdexcept>
 
 #include "common/rng.h"
+#include "common/simd.h"
 
 #include "core/addressable_heap.h"
 
@@ -66,6 +68,7 @@ const Subproblem& materialize_subproblem(const GroundSet& ground_set,
     sub.priorities[i] = priority;
     sub.offsets[i + 1] = static_cast<std::int64_t>(sub.edges.size());
   }
+  ++sub.topology_epoch;
   return sub;
 }
 
@@ -113,6 +116,7 @@ Subproblem& materialize_subproblem_topology(const GroundSet& ground_set,
     }
     sub.offsets[i + 1] = static_cast<std::int64_t>(sub.edges.size());
   }
+  ++sub.topology_epoch;
   return sub;
 }
 
@@ -164,7 +168,6 @@ GreedyResult greedy_on_subproblem(const Subproblem& subproblem, std::size_t k,
 
   AddressableMaxHeap& heap = arena.heap();
   heap.assign(subproblem.priorities);
-  auto& updates = arena.update_scratch();
   const double pair_scale = params.pair_scale();
   double priority_sum = 0.0;
   while (result.selected.size() < k) {
@@ -173,12 +176,9 @@ GreedyResult greedy_on_subproblem(const Subproblem& subproblem, std::size_t k,
     result.selected.push_back(subproblem.global_ids[v1]);
     const auto begin = static_cast<std::size_t>(subproblem.offsets[v1]);
     const auto end = static_cast<std::size_t>(subproblem.offsets[v1 + 1]);
-    updates.clear();
-    for (std::size_t e = begin; e < end; ++e) {
-      const auto& edge = subproblem.edges[e];
-      updates.emplace_back(edge.neighbor, pair_scale * edge.weight);
-    }
-    heap.decrease_many(updates);  // popped neighbors are skipped inside
+    // Fused per-edge decrease straight off the CSR slice (popped neighbors
+    // are skipped inside) — bit-identical to the seed per-edge loop.
+    heap.decrease_edges(subproblem.edges.data() + begin, end - begin, pair_scale);
   }
   result.objective = params.alpha * priority_sum;
   return result;
@@ -406,7 +406,14 @@ GreedyResult solve_partition(const GroundSet& ground_set,
                   sub.byte_size(), 0);
   }
   Subproblem& sub = materialize_subproblem_topology(ground_set, members, arena);
-  if (gain_engine == GainEngine::kAuto) {
+  if (gain_engine != GainEngine::kScorerReference) {
+    // Incremental states bind their vectorized backend at construction, so a
+    // scoped scalar override here pins this whole solve to the portable
+    // fallback (the kIncrementalScalar forcing seam).
+    std::optional<simd::ScopedBackendOverride> force_scalar;
+    if (gain_engine == GainEngine::kIncrementalScalar) {
+      force_scalar.emplace(simd::Backend::kScalar);
+    }
     if (const std::unique_ptr<KernelIncrementalState> incremental =
             kernel.make_incremental_state(arena)) {
       // The sampled driver evaluates strictly through gains_batch, so the

@@ -162,10 +162,16 @@ GreedyResult stochastic_greedy_on_subproblem(const Subproblem& subproblem,
 /// priority updates. kAuto prefers the kernel's flat incremental state
 /// (batched gains, O(deg) delta updates) and falls back to the virtual
 /// scorer; kScorerReference forces the scorer — the equivalence oracle the
-/// parity tests and the --kernel-hotpath bench hold the fast path against.
+/// parity tests and the --kernel-hotpath bench hold the fast path against;
+/// kIncrementalScalar runs the incremental state but pins its vectorized
+/// inner loops to the portable scalar backend (the same effect as
+/// SUBSEL_FORCE_SCALAR=1, scoped to one solve) — the forcing seam the
+/// SIMD-vs-scalar parity suite and the --simd-matrix bench are built on.
+/// All three engines produce bit-identical selections and objectives.
 enum class GainEngine : std::uint8_t {
   kAuto = 0,
   kScorerReference = 1,
+  kIncrementalScalar = 2,
 };
 
 /// The one partition-solve entry point the round loops (distributed greedy,

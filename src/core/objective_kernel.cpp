@@ -2,6 +2,8 @@
 
 #include <bit>
 
+#include "core/kernel_simd.h"
+
 namespace subsel::core {
 
 std::uint64_t fingerprint_mix(std::uint64_t hash, std::uint64_t value) {
@@ -70,7 +72,8 @@ class PairwiseScorer final : public SubproblemScorer {
 /// accumulation), gains held in an arena buffer, batch reads with no
 /// per-element dispatch. Pairwise marginal gains are linear in the selected
 /// neighborhood, so the maintained array IS always fresh — gains_batch is a
-/// gather.
+/// pure gather, dispatched to the vectorized backend bound at construction
+/// (loads only, so every backend is trivially bit-identical).
 class PairwiseIncrementalState final : public KernelIncrementalState {
  public:
   PairwiseIncrementalState(const graph::GroundSet& ground_set,
@@ -78,6 +81,7 @@ class PairwiseIncrementalState final : public KernelIncrementalState {
       : ground_set_(&ground_set),
         params_(params),
         arena_(&arena),
+        ops_(&ksimd::active_ops()),
         gains_(arena.kernel_state_buffer(0)) {}
 
   void reset(Subproblem& sub, const SelectionState* state,
@@ -105,10 +109,8 @@ class PairwiseIncrementalState final : public KernelIncrementalState {
 
   void gains_batch(std::span<const std::uint32_t> candidates,
                    std::span<double> out) const override {
-    const double* gains = gains_.data();
-    for (std::size_t i = 0; i < candidates.size(); ++i) {
-      out[i] = gains[candidates[i]];
-    }
+    ops_->gather(gains_.data(), candidates.data(), candidates.size(),
+                 out.data());
   }
 
   void select(std::uint32_t v) override {
@@ -124,10 +126,13 @@ class PairwiseIncrementalState final : public KernelIncrementalState {
     return gains_.size() * sizeof(double);
   }
 
+  const char* backend() const noexcept override { return ops_->name; }
+
  private:
   const graph::GroundSet* ground_set_;
   ObjectiveParams params_;
   SubproblemArena* arena_;
+  const ksimd::KernelSimdOps* ops_;
   const Subproblem* sub_ = nullptr;
   std::vector<double>& gains_;
 };

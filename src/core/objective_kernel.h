@@ -37,6 +37,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/simd.h"
 #include "common/thread_pool.h"
 #include "core/objective.h"
 #include "core/selection_state.h"
@@ -64,6 +65,13 @@ struct ObjectiveKernelCaps {
   /// solvers run O(deg) incremental gains + batched evaluation instead of the
   /// O(deg^2) exact oracle / per-candidate virtual scorer.
   bool incremental_state = false;
+  /// The vectorized backend the kernel's incremental-state inner loops will
+  /// dispatch to right now ("scalar", "avx2", "neon") — i.e.
+  /// simd::active_backend_name() at the time caps() is called. All exact
+  /// backends are bit-identical, so this is diagnostics, not semantics; it is
+  /// echoed into SelectionReport JSON and `subsel objectives` so bench
+  /// numbers are self-describing across machines.
+  const char* simd_backend = "scalar";
 };
 
 /// FNV-1a step over a 64-bit value (or a double's bit pattern) — stable
@@ -138,6 +146,12 @@ class KernelIncrementalState {
   /// Bytes of flat per-element state behind this subproblem (the report's
   /// peak_kernel_state_bytes).
   virtual std::size_t state_bytes() const noexcept = 0;
+
+  /// Name of the vectorized backend this state bound at construction
+  /// ("scalar", "avx2", "neon"). States capture simd::active_backend() when
+  /// created, so a ScopedBackendOverride active at make_incremental_state
+  /// time pins the state's arithmetic path for its whole lifetime.
+  virtual const char* backend() const noexcept { return "scalar"; }
 };
 
 class ObjectiveKernel {
@@ -217,7 +231,8 @@ class PairwiseKernel final : public ObjectiveKernel {
   ObjectiveKernelCaps caps() const noexcept override {
     return {/*linear_priority_updates=*/true, /*utility_bounds=*/true,
             /*distributed_scoring=*/true, /*monotone=*/false,
-            /*incremental_state=*/true};
+            /*incremental_state=*/true,
+            /*simd_backend=*/simd::active_backend_name()};
   }
   const graph::GroundSet& ground_set() const noexcept override {
     return *ground_set_;

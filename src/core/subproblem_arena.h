@@ -52,6 +52,12 @@ struct Subproblem {
     float weight;
   };
   std::vector<LocalEdge> edges;
+  /// Bumped whenever global_ids/offsets/edges are rebuilt (materialize does
+  /// this). Incremental states key their cached derived layouts (SoA columns,
+  /// premultiplied weights) on (subproblem address, epoch), so repeated
+  /// resets against the same materialization skip the O(edges) rebuild.
+  /// Callers that mutate the topology by hand must bump it themselves.
+  std::uint64_t topology_epoch = 0;
 
   std::size_t size() const noexcept { return global_ids.size(); }
   std::size_t byte_size() const noexcept {
@@ -98,11 +104,22 @@ class SubproblemArena {
     return kernel_state_[slot];
   }
 
+  /// Reusable index buffers for the structure-of-arrays kernel layouts
+  /// (per-edge neighbor columns consumed by the vectorized gain loops).
+  /// Same slot/stability/reuse contract as kernel_state_buffer.
+  std::vector<std::uint32_t>& kernel_index_buffer(std::size_t slot) {
+    while (kernel_index_.size() <= slot) kernel_index_.emplace_back();
+    return kernel_index_[slot];
+  }
+
   /// Bytes currently held by the kernel-state buffers (the report's
   /// peak_kernel_state_bytes input).
   std::size_t kernel_state_bytes() const noexcept {
     std::size_t total = 0;
     for (const auto& buffer : kernel_state_) total += buffer.size() * sizeof(double);
+    for (const auto& buffer : kernel_index_) {
+      total += buffer.size() * sizeof(std::uint32_t);
+    }
     return total;
   }
 
@@ -149,6 +166,7 @@ class SubproblemArena {
   std::vector<graph::Edge> edge_scratch_;
   std::vector<std::pair<AddressableMaxHeap::LocalId, double>> update_scratch_;
   std::deque<std::vector<double>> kernel_state_;
+  std::deque<std::vector<std::uint32_t>> kernel_index_;
   std::vector<std::uint32_t> version_scratch_;
   std::vector<std::uint32_t> candidate_scratch_;
   std::vector<double> gain_scratch_;

@@ -51,56 +51,85 @@ HnswIndex::HnswIndex(const EmbeddingMatrix& embeddings, const HnswConfig& config
   entry_point_ = 0;
   max_level_ = levels_[0];
 
+  const bool quantized = config_.precision != EmbeddingPrecision::kFloat32;
+  if (quantized) {
+    quantized_ = QuantizedMatrix(embeddings, config_.precision);
+  }
+
   for (std::uint32_t node = 1; node < n; ++node) {
-    const std::span<const float> query = embeddings_->row(node);
-    const std::size_t node_level = levels_[node];
-
-    // Phase 1: greedy descent through the levels above the node's level.
-    std::uint32_t entry = entry_point_;
-    for (std::size_t level = max_level_; level > node_level; --level) {
-      entry = greedy_descend(query, entry, level);
+    if (quantized) {
+      // Construction steered by the compact kernels: every similarity the
+      // insert evaluates (descent, beam, prune-back) goes through the
+      // quantized row store. The link structure becomes approximate in the
+      // same bounded sense as the quantized kNN scan; knn_graph rescores the
+      // edges it emits exactly.
+      insert_node(
+          node,
+          [&](std::uint32_t u) { return quantized_.similarity(node, u); },
+          [&](std::uint32_t anchor, std::uint32_t u) {
+            return quantized_.similarity(anchor, u);
+          });
+    } else {
+      const std::span<const float> query = embeddings_->row(node);
+      insert_node(
+          node, [&](std::uint32_t u) { return similarity(query, u); },
+          [&](std::uint32_t anchor, std::uint32_t u) {
+            return similarity(embeddings_->row(anchor), u);
+          });
     }
+  }
+}
 
-    // Phase 2: beam search and connect on every level the node occupies.
-    for (std::size_t level = std::min(node_level, max_level_);; --level) {
-      auto candidates = beam_search(query, entry, level, config_.ef_construction);
-      std::sort(candidates.begin(), candidates.end(),
-                [](const auto& a, const auto& b) {
-                  if (a.second != b.second) return a.second > b.second;
-                  return a.first < b.first;
-                });
-      const std::size_t cap = level == 0 ? 2 * config_.m : config_.m;
-      const std::size_t take = std::min(cap, candidates.size());
+template <typename QuerySim, typename AnchorSim>
+void HnswIndex::insert_node(std::uint32_t node, QuerySim&& query_sim,
+                            AnchorSim&& anchor_sim) {
+  const std::size_t node_level = levels_[node];
 
-      auto& own = links(node, level);
-      own.reserve(take);
-      for (std::size_t i = 0; i < take; ++i) {
-        const std::uint32_t neighbor = candidates[i].first;
-        own.push_back(neighbor);
-        // Bidirectional link; prune the neighbor back to its cap by keeping
-        // its most-similar links.
-        auto& back = links(neighbor, level);
-        back.push_back(node);
-        if (back.size() > cap) {
-          const std::span<const float> anchor = embeddings_->row(neighbor);
-          const std::size_t worst =
-              std::min_element(back.begin(), back.end(),
-                               [&](std::uint32_t a, std::uint32_t b) {
-                                 return similarity(anchor, a) < similarity(anchor, b);
-                               }) -
-              back.begin();
-          back[worst] = back.back();
-          back.pop_back();
-        }
+  // Phase 1: greedy descent through the levels above the node's level.
+  std::uint32_t entry = entry_point_;
+  for (std::size_t level = max_level_; level > node_level; --level) {
+    entry = descend_with(query_sim, entry, level);
+  }
+
+  // Phase 2: beam search and connect on every level the node occupies.
+  for (std::size_t level = std::min(node_level, max_level_);; --level) {
+    auto candidates = beam_with(query_sim, entry, level, config_.ef_construction);
+    std::sort(candidates.begin(), candidates.end(),
+              [](const auto& a, const auto& b) {
+                if (a.second != b.second) return a.second > b.second;
+                return a.first < b.first;
+              });
+    const std::size_t cap = level == 0 ? 2 * config_.m : config_.m;
+    const std::size_t take = std::min(cap, candidates.size());
+
+    auto& own = links(node, level);
+    own.reserve(take);
+    for (std::size_t i = 0; i < take; ++i) {
+      const std::uint32_t neighbor = candidates[i].first;
+      own.push_back(neighbor);
+      // Bidirectional link; prune the neighbor back to its cap by keeping
+      // its most-similar links.
+      auto& back = links(neighbor, level);
+      back.push_back(node);
+      if (back.size() > cap) {
+        const std::size_t worst =
+            std::min_element(back.begin(), back.end(),
+                             [&](std::uint32_t a, std::uint32_t b) {
+                               return anchor_sim(neighbor, a) <
+                                      anchor_sim(neighbor, b);
+                             }) -
+            back.begin();
+        back[worst] = back.back();
+        back.pop_back();
       }
-      if (!candidates.empty()) entry = candidates.front().first;
-      if (level == 0) break;
     }
+    if (!candidates.empty()) entry = candidates.front().first;
+    if (level == 0) break;
+  }
 
-    if (node_level > max_level_) {
-      max_level_ = node_level;
-      entry_point_ = node;
-    }
+  if (node_level > max_level_) {
+    max_level_ = node_level;
+    entry_point_ = node;
   }
 }
 
@@ -111,15 +140,15 @@ float HnswIndex::similarity(std::span<const float> query, std::uint32_t node) co
   return dot;
 }
 
-std::uint32_t HnswIndex::greedy_descend(std::span<const float> query,
-                                        std::uint32_t entry,
-                                        std::size_t level) const {
-  float best = similarity(query, entry);
+template <typename SimFn>
+std::uint32_t HnswIndex::descend_with(SimFn&& sim, std::uint32_t entry,
+                                      std::size_t level) const {
+  float best = sim(entry);
   bool improved = true;
   while (improved) {
     improved = false;
     for (std::uint32_t neighbor : links(entry, level)) {
-      const float s = similarity(query, neighbor);
+      const float s = sim(neighbor);
       if (s > best) {
         best = s;
         entry = neighbor;
@@ -130,12 +159,12 @@ std::uint32_t HnswIndex::greedy_descend(std::span<const float> query,
   return entry;
 }
 
-std::vector<std::pair<std::uint32_t, float>> HnswIndex::beam_search(
-    std::span<const float> query, std::uint32_t entry, std::size_t level,
-    std::size_t ef) const {
+template <typename SimFn>
+std::vector<std::pair<std::uint32_t, float>> HnswIndex::beam_with(
+    SimFn&& sim, std::uint32_t entry, std::size_t level, std::size_t ef) const {
   std::vector<std::uint8_t> visited(size(), 0);
   visited[entry] = 1;
-  const float entry_similarity = similarity(query, entry);
+  const float entry_similarity = sim(entry);
 
   // `frontier`: best-first expansion queue; `result`: worst-first heap of
   // the ef best seen so far.
@@ -151,7 +180,7 @@ std::vector<std::pair<std::uint32_t, float>> HnswIndex::beam_search(
     for (std::uint32_t neighbor : links(current.node, level)) {
       if (visited[neighbor] != 0) continue;
       visited[neighbor] = 1;
-      const float s = similarity(query, neighbor);
+      const float s = sim(neighbor);
       if (result.size() < ef || s > result.top().similarity) {
         frontier.push({s, neighbor});
         result.push({s, neighbor});
@@ -167,6 +196,20 @@ std::vector<std::pair<std::uint32_t, float>> HnswIndex::beam_search(
     result.pop();
   }
   return out;
+}
+
+std::uint32_t HnswIndex::greedy_descend(std::span<const float> query,
+                                        std::uint32_t entry,
+                                        std::size_t level) const {
+  return descend_with([&](std::uint32_t u) { return similarity(query, u); },
+                      entry, level);
+}
+
+std::vector<std::pair<std::uint32_t, float>> HnswIndex::beam_search(
+    std::span<const float> query, std::uint32_t entry, std::size_t level,
+    std::size_t ef) const {
+  return beam_with([&](std::uint32_t u) { return similarity(query, u); }, entry,
+                   level, ef);
 }
 
 std::vector<Edge> HnswIndex::search(std::span<const float> query, std::size_t k,
@@ -193,14 +236,52 @@ std::vector<Edge> HnswIndex::search(std::span<const float> query, std::size_t k,
   return out;
 }
 
+std::vector<Edge> HnswIndex::search_row(std::size_t i, std::size_t k) const {
+  if (config_.precision == EmbeddingPrecision::kFloat32) {
+    return search(embeddings_->row(i), k, static_cast<NodeId>(i));
+  }
+  // Quantized traversal for an indexed row, then exact rescore of the kept
+  // edges with the canonical float32 dot (raw, matching the float search's
+  // semantics — clamping is the kNN layer's business). Using graph::dot keeps
+  // the rescored weights bit-identical to brute-force kNN weights for the
+  // same pair of rows.
+  const auto sim = [&](std::uint32_t u) {
+    return quantized_.similarity(i, u);
+  };
+  std::uint32_t entry = entry_point_;
+  for (std::size_t level = max_level_; level > 0; --level) {
+    entry = descend_with(sim, entry, level);
+  }
+  auto candidates = beam_with(sim, entry, 0, std::max(config_.ef_search, k + 1));
+  std::sort(candidates.begin(), candidates.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first < b.first;
+            });
+  const auto query = embeddings_->row(i);
+  std::vector<Edge> out;
+  out.reserve(k);
+  for (const auto& candidate : candidates) {
+    const std::uint32_t node = candidate.first;
+    if (node == static_cast<std::uint32_t>(i)) continue;
+    out.push_back(
+        Edge{static_cast<NodeId>(node), dot(query, embeddings_->row(node))});
+    if (out.size() == k) break;
+  }
+  std::sort(out.begin(), out.end(), [](const Edge& a, const Edge& b) {
+    if (a.weight != b.weight) return a.weight > b.weight;
+    return a.neighbor < b.neighbor;
+  });
+  return out;
+}
+
 std::vector<NeighborList> HnswIndex::knn_graph(std::size_t k,
                                                ThreadPool* pool) const {
   const std::size_t n = size();
   std::vector<NeighborList> lists(n);
   ThreadPool& workers = pool != nullptr ? *pool : global_thread_pool();
   workers.parallel_for(n, [&](std::size_t i) {
-    lists[i].edges =
-        search(embeddings_->row(i), k, static_cast<NodeId>(i));
+    lists[i].edges = search_row(i, k);
   });
   return lists;
 }

@@ -20,6 +20,7 @@
 
 #include "common/thread_pool.h"
 #include "graph/embedding_matrix.h"
+#include "graph/quantized_embedding.h"
 #include "graph/similarity_graph.h"
 
 namespace subsel::graph {
@@ -32,6 +33,11 @@ struct HnswConfig {
   /// Beam width during queries; raise for higher recall.
   std::size_t ef_search = 64;
   std::uint64_t seed = 2;
+  /// Precision of the similarity evaluations that steer construction and the
+  /// knn_graph traversals (see KnnConfig::precision — same contract: compact
+  /// vectorized ranking, exact float32 rescore of the edges knn_graph keeps).
+  /// The public span-query search() always scores exactly.
+  EmbeddingPrecision precision = EmbeddingPrecision::kFloat32;
 };
 
 class HnswIndex {
@@ -55,14 +61,36 @@ class HnswIndex {
                                       ThreadPool* pool = nullptr) const;
 
  private:
-  /// Greedy 1-best descent on `level` starting from `entry`.
+  /// Greedy 1-best descent on `level` starting from `entry`, scoring nodes
+  /// with an arbitrary similarity functor (exact dot or quantized kernel —
+  /// the traversal logic is identical). Defined in hnsw.cpp; used only there.
+  template <typename SimFn>
+  std::uint32_t descend_with(SimFn&& sim, std::uint32_t entry,
+                             std::size_t level) const;
+  /// Beam search on `level` under a similarity functor; returns up to `ef`
+  /// (id, similarity) pairs, unsorted.
+  template <typename SimFn>
+  std::vector<std::pair<std::uint32_t, float>> beam_with(SimFn&& sim,
+                                                         std::uint32_t entry,
+                                                         std::size_t level,
+                                                         std::size_t ef) const;
+  /// Insert one node during construction: descent above its level, then beam
+  /// + bidirectional link + prune on every level it occupies. `query_sim(u)`
+  /// scores u against the inserting node, `anchor_sim(a, u)` scores u against
+  /// an arbitrary anchor node (the prune-back step).
+  template <typename QuerySim, typename AnchorSim>
+  void insert_node(std::uint32_t node, QuerySim&& query_sim,
+                   AnchorSim&& anchor_sim);
+
+  /// Exact-dot wrappers over the templates (the public search path).
   std::uint32_t greedy_descend(std::span<const float> query, std::uint32_t entry,
                                std::size_t level) const;
-  /// Beam search on `level`; returns up to `ef` (id, similarity) pairs,
-  /// unsorted.
   std::vector<std::pair<std::uint32_t, float>> beam_search(
       std::span<const float> query, std::uint32_t entry, std::size_t level,
       std::size_t ef) const;
+  /// knn_graph's per-row search: quantized traversal + exact rescore when
+  /// config_.precision != kFloat32, otherwise exactly search().
+  std::vector<Edge> search_row(std::size_t i, std::size_t k) const;
 
   float similarity(std::span<const float> query, std::uint32_t node) const;
   std::vector<std::uint32_t>& links(std::uint32_t node, std::size_t level) {
@@ -75,6 +103,7 @@ class HnswIndex {
 
   const EmbeddingMatrix* embeddings_;
   HnswConfig config_;
+  QuantizedMatrix quantized_;  // empty on the float32 path
   std::vector<std::size_t> levels_;                      // level per node
   std::vector<std::vector<std::vector<std::uint32_t>>> links_;  // [node][level]
   std::uint32_t entry_point_ = 0;

@@ -57,12 +57,49 @@ ThreadPool& pool_or_global(ThreadPool* pool) {
 /// graphs only keep nearest neighbors, whose cosine is positive in practice.
 float clamp_similarity(float s) { return s > 0.0f ? s : 0.0f; }
 
+/// Same total order TopKCollector sorts by: weight descending, id ascending.
+bool better_edge(const Edge& a, const Edge& b) {
+  if (a.weight != b.weight) return a.weight > b.weight;
+  return a.neighbor < b.neighbor;
+}
+
+/// The exact-rescore epilogue of every quantized search: replace each kept
+/// edge's quantized score with the exact float32 dot against the query row,
+/// clamp, and restore the (weight desc, id asc) order. After this the edge
+/// weights are indistinguishable from an exact build that happened to rank
+/// the same neighbors.
+void rescore_exact(std::vector<Edge>& edges, const EmbeddingMatrix& embeddings,
+                   std::size_t query_row) {
+  const auto query = embeddings.row(query_row);
+  for (Edge& e : edges) {
+    e.weight = clamp_similarity(
+        dot(query, embeddings.row(static_cast<std::size_t>(e.neighbor))));
+  }
+  std::sort(edges.begin(), edges.end(), better_edge);
+}
+
 }  // namespace
 
 std::vector<NeighborList> brute_force_knn(const EmbeddingMatrix& embeddings,
                                           const KnnConfig& config, ThreadPool* pool) {
   const std::size_t n = embeddings.rows();
   std::vector<NeighborList> lists(n);
+  if (config.precision != EmbeddingPrecision::kFloat32) {
+    // Quantized scan: rank all candidates with the compact vectorized
+    // kernels, then rescore the k winners exactly.
+    const QuantizedMatrix quantized(embeddings, config.precision);
+    pool_or_global(pool).parallel_for(n, [&](std::size_t i) {
+      TopKCollector collector(config.num_neighbors);
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j == i) continue;
+        collector.offer(static_cast<NodeId>(j), quantized.similarity(i, j));
+      }
+      auto edges = collector.take_sorted();
+      rescore_exact(edges, embeddings, i);
+      lists[i].edges = std::move(edges);
+    });
+    return lists;
+  }
   pool_or_global(pool).parallel_for(n, [&](std::size_t i) {
     TopKCollector collector(config.num_neighbors);
     const auto query = embeddings.row(i);
@@ -101,19 +138,41 @@ IvfIndex::IvfIndex(const EmbeddingMatrix& embeddings, const KnnConfig& config,
     std::copy(src.begin(), src.end(), centroids_.row(c).begin());
   }
 
+  const bool quantized = config_.precision != EmbeddingPrecision::kFloat32;
+  if (quantized) {
+    quantized_points_ = QuantizedMatrix(embeddings, config_.precision);
+  }
+
   std::vector<std::uint32_t> assignment(n, 0);
   ThreadPool& workers = pool_or_global(pool);
   for (std::size_t iter = 0; iter < config_.kmeans_iterations; ++iter) {
-    // Assign step (maximize cosine similarity to centroid).
+    // Assign step (maximize cosine similarity to centroid). On the quantized
+    // path the centroids are re-quantized each iteration (they moved in the
+    // float update step) and the n·num_clusters similarity scans run through
+    // the compact kernels; the update step itself stays float32.
+    QuantizedMatrix iter_centroids;
+    if (quantized) {
+      iter_centroids = QuantizedMatrix(centroids_, config_.precision);
+    }
     workers.parallel_for(n, [&](std::size_t i) {
-      const auto point = embeddings.row(i);
       float best_sim = -2.0f;
       std::uint32_t best_cluster = 0;
-      for (std::size_t c = 0; c < num_clusters; ++c) {
-        const float sim = dot(point, centroids_.row(c));
-        if (sim > best_sim) {
-          best_sim = sim;
-          best_cluster = static_cast<std::uint32_t>(c);
+      if (quantized) {
+        for (std::size_t c = 0; c < num_clusters; ++c) {
+          const float sim = quantized_points_.similarity_to(i, iter_centroids, c);
+          if (sim > best_sim) {
+            best_sim = sim;
+            best_cluster = static_cast<std::uint32_t>(c);
+          }
+        }
+      } else {
+        const auto point = embeddings.row(i);
+        for (std::size_t c = 0; c < num_clusters; ++c) {
+          const float sim = dot(point, centroids_.row(c));
+          if (sim > best_sim) {
+            best_sim = sim;
+            best_cluster = static_cast<std::uint32_t>(c);
+          }
         }
       }
       assignment[i] = best_cluster;
@@ -140,6 +199,9 @@ IvfIndex::IvfIndex(const EmbeddingMatrix& embeddings, const KnnConfig& config,
   for (std::size_t i = 0; i < n; ++i) {
     cluster_members_[assignment[i]].push_back(static_cast<NodeId>(i));
   }
+  if (quantized) {
+    quantized_centroids_ = QuantizedMatrix(centroids_, config_.precision);
+  }
 }
 
 std::vector<Edge> IvfIndex::search(std::span<const float> query, std::size_t k,
@@ -162,12 +224,36 @@ std::vector<Edge> IvfIndex::search(std::span<const float> query, std::size_t k,
   return edges;
 }
 
+std::vector<Edge> IvfIndex::search_row(std::size_t i, std::size_t k) const {
+  if (config_.precision == EmbeddingPrecision::kFloat32) {
+    return search(embeddings_.row(i), k, static_cast<NodeId>(i));
+  }
+  // Quantized build path: both the cluster ranking and the member scans run
+  // through the compact kernels; the kept edges are then rescored exactly.
+  const NodeId exclude = static_cast<NodeId>(i);
+  TopKCollector cluster_rank(config_.num_probes);
+  for (std::size_t c = 0; c < quantized_centroids_.rows(); ++c) {
+    cluster_rank.offer(static_cast<NodeId>(c),
+                       quantized_points_.similarity_to(i, quantized_centroids_, c));
+  }
+  TopKCollector collector(k);
+  for (const Edge& cluster : cluster_rank.take_sorted()) {
+    for (NodeId member : cluster_members_[static_cast<std::size_t>(cluster.neighbor)]) {
+      if (member == exclude) continue;
+      collector.offer(member,
+                      quantized_points_.similarity(i, static_cast<std::size_t>(member)));
+    }
+  }
+  auto edges = collector.take_sorted();
+  rescore_exact(edges, embeddings_, i);
+  return edges;
+}
+
 std::vector<NeighborList> IvfIndex::knn_graph(ThreadPool* pool) const {
   const std::size_t n = embeddings_.rows();
   std::vector<NeighborList> lists(n);
   pool_or_global(pool).parallel_for(n, [&](std::size_t i) {
-    lists[i].edges = search(embeddings_.row(i), config_.num_neighbors,
-                            static_cast<NodeId>(i));
+    lists[i].edges = search_row(i, config_.num_neighbors);
   });
   return lists;
 }

@@ -17,6 +17,7 @@
 
 #include "common/thread_pool.h"
 #include "graph/embedding_matrix.h"
+#include "graph/quantized_embedding.h"
 #include "graph/similarity_graph.h"
 
 namespace subsel::graph {
@@ -28,6 +29,13 @@ struct KnnConfig {
   std::size_t num_probes = 8;        // clusters scanned per query
   std::size_t kmeans_iterations = 8;
   std::uint64_t seed = 1;
+  // Precision of the similarity scans that RANK candidates during the build.
+  // kFloat16/kInt8 store a compact copy of the embeddings and score it with
+  // the vectorized kernels in quantized_embedding.h; the final edges each
+  // query keeps are then rescored with the exact float32 dot, so quantization
+  // can only change which neighbors are found (bounded-recall, tested), never
+  // the weight of an edge that is found. kFloat32 is the exact legacy path.
+  EmbeddingPrecision precision = EmbeddingPrecision::kFloat32;
 };
 
 /// Exact kNN by cosine similarity. Self is excluded. Ties broken by lower id.
@@ -54,10 +62,16 @@ class IvfIndex {
   std::size_t num_clusters() const noexcept { return centroids_.rows(); }
 
  private:
+  /// knn_graph's per-row search: quantized candidate ranking + exact rescore
+  /// when config_.precision != kFloat32, otherwise exactly search().
+  std::vector<Edge> search_row(std::size_t i, std::size_t k) const;
+
   const EmbeddingMatrix& embeddings_;
   KnnConfig config_;
   EmbeddingMatrix centroids_;
   std::vector<std::vector<NodeId>> cluster_members_;
+  QuantizedMatrix quantized_points_;     // empty on the float32 path
+  QuantizedMatrix quantized_centroids_;  // final centroids, same precision
 };
 
 /// Convenience: build a symmetrized similarity graph from embeddings with the

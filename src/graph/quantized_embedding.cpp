@@ -1,0 +1,279 @@
+#include "graph/quantized_embedding.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cmath>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#define SUBSEL_QSIMD_HAVE_AVX2 1
+#include <immintrin.h>
+#endif
+
+namespace subsel::graph {
+
+const char* precision_name(EmbeddingPrecision precision) noexcept {
+  switch (precision) {
+    case EmbeddingPrecision::kFloat32: return "float32";
+    case EmbeddingPrecision::kFloat16: return "float16";
+    case EmbeddingPrecision::kInt8: return "int8";
+  }
+  return "unknown";
+}
+
+float half_to_float(std::uint16_t half) noexcept {
+  const std::uint32_t sign = static_cast<std::uint32_t>(half & 0x8000u) << 16;
+  const std::uint32_t exp = (half >> 10) & 0x1Fu;
+  const std::uint32_t man = half & 0x3FFu;
+  std::uint32_t bits;
+  if (exp == 0) {
+    if (man == 0) {
+      bits = sign;  // ±0
+    } else {
+      // Subnormal half: renormalize. The value is man·2^-24; with the top set
+      // bit at position p (shifts = 10 - p to bring it to the implicit-bit
+      // slot 0x400) that is 1.frac · 2^(p-24), so the float exponent is
+      // (10 - shifts) - 24 + 127 = 113 - shifts.
+      std::uint32_t m = man;
+      std::uint32_t shifts = 0;
+      while ((m & 0x400u) == 0) {
+        m <<= 1;
+        ++shifts;
+      }
+      const std::uint32_t exp32 = 113 - shifts;
+      bits = sign | (exp32 << 23) | ((m & 0x3FFu) << 13);
+    }
+  } else if (exp == 31) {
+    bits = sign | 0x7F800000u | (man << 13);  // ±inf / NaN (payload shifted)
+  } else {
+    bits = sign | ((exp - 15 + 127) << 23) | (man << 13);
+  }
+  return std::bit_cast<float>(bits);
+}
+
+std::uint16_t float_to_half(float value) noexcept {
+  const std::uint32_t bits = std::bit_cast<std::uint32_t>(value);
+  const auto sign = static_cast<std::uint16_t>((bits >> 16) & 0x8000u);
+  const std::uint32_t exp = (bits >> 23) & 0xFFu;
+  const std::uint32_t man = bits & 0x7FFFFFu;
+  if (exp == 0xFF) {  // inf / NaN (keep NaN-ness with a quiet payload bit)
+    return static_cast<std::uint16_t>(sign | 0x7C00u | (man != 0 ? 0x200u : 0u));
+  }
+  const int e = static_cast<int>(exp) - 127 + 15;
+  if (e >= 31) return static_cast<std::uint16_t>(sign | 0x7C00u);  // → ±inf
+  if (e <= 0) {
+    // Result is half-subnormal (unit 2^-24) or rounds to zero.
+    if (e < -11) return sign;  // too small even to round up to the min subnormal
+    const std::uint32_t full = man | 0x800000u;  // restore implicit bit
+    const int shift = 14 - e;                    // 14..25 — full >> shift is the
+    std::uint32_t half_man = full >> shift;      // truncated subnormal mantissa
+    const std::uint32_t rem = full & ((1u << shift) - 1);
+    const std::uint32_t halfway = 1u << (shift - 1);
+    if (rem > halfway || (rem == halfway && (half_man & 1u))) ++half_man;
+    // A carry out of bit 9 lands in the exponent field = the min normal: fine.
+    return static_cast<std::uint16_t>(sign | half_man);
+  }
+  std::uint16_t out = static_cast<std::uint16_t>(
+      sign | (static_cast<std::uint32_t>(e) << 10) | (man >> 13));
+  const std::uint32_t rem = man & 0x1FFFu;
+  // Round to nearest, ties to even; a mantissa carry correctly bumps the
+  // exponent (and 0x7BFF + 1 = 0x7C00 = inf, the right overflow behavior).
+  if (rem > 0x1000u || (rem == 0x1000u && (out & 1u))) ++out;
+  return out;
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Backend op tables. int8 dots are exact integer arithmetic (order-free);
+// float16 dots use the 8-lane split accumulation described in the header, so
+// the scalar and AVX2 implementations are bit-identical by construction.
+// ---------------------------------------------------------------------------
+
+struct QuantOps {
+  std::int32_t (*i8_dot)(const std::int8_t* a, const std::int8_t* b,
+                         std::size_t dim);
+  float (*f16_dot)(const std::uint16_t* a, const std::uint16_t* b,
+                   std::size_t dim);
+  const char* name;
+};
+
+std::int32_t i8_dot_scalar(const std::int8_t* a, const std::int8_t* b,
+                           std::size_t dim) {
+  std::int32_t total = 0;
+  for (std::size_t i = 0; i < dim; ++i) {
+    total += static_cast<std::int32_t>(a[i]) * static_cast<std::int32_t>(b[i]);
+  }
+  return total;
+}
+
+float f16_dot_scalar(const std::uint16_t* a, const std::uint16_t* b,
+                     std::size_t dim) {
+  float lanes[8] = {0.0f, 0.0f, 0.0f, 0.0f, 0.0f, 0.0f, 0.0f, 0.0f};
+  std::size_t i = 0;
+  for (; i + 8 <= dim; i += 8) {
+    for (unsigned lane = 0; lane < 8; ++lane) {
+      lanes[lane] += half_to_float(a[i + lane]) * half_to_float(b[i + lane]);
+    }
+  }
+  for (unsigned lane = 0; i < dim; ++i, ++lane) {
+    lanes[lane] += half_to_float(a[i]) * half_to_float(b[i]);
+  }
+  return ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3])) +
+         ((lanes[4] + lanes[5]) + (lanes[6] + lanes[7]));
+}
+
+#if defined(SUBSEL_QSIMD_HAVE_AVX2)
+
+__attribute__((target("avx2")))
+std::int32_t i8_dot_avx2(const std::int8_t* a, const std::int8_t* b,
+                         std::size_t dim) {
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 16 <= dim; i += 16) {
+    const __m128i va =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    const __m128i vb =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i));
+    // Widen to int16 and multiply-accumulate adjacent pairs into int32.
+    // |q| ≤ 127 so each pair sum ≤ 2·127² and the int32 accumulators hold
+    // dims far beyond any embedding width used here.
+    const __m256i wa = _mm256_cvtepi8_epi16(va);
+    const __m256i wb = _mm256_cvtepi8_epi16(vb);
+    acc = _mm256_add_epi32(acc, _mm256_madd_epi16(wa, wb));
+  }
+  alignas(32) std::int32_t lanes[8];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  std::int32_t total = ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3])) +
+                       ((lanes[4] + lanes[5]) + (lanes[6] + lanes[7]));
+  for (; i < dim; ++i) {
+    total += static_cast<std::int32_t>(a[i]) * static_cast<std::int32_t>(b[i]);
+  }
+  return total;
+}
+
+__attribute__((target("avx2,f16c")))
+float f16_dot_avx2(const std::uint16_t* a, const std::uint16_t* b,
+                   std::size_t dim) {
+  __m256 acc = _mm256_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 8 <= dim; i += 8) {
+    const __m128i ha =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    const __m128i hb =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i));
+    // vcvtph2ps is exact (half → float is lossless), matching half_to_float.
+    const __m256 fa = _mm256_cvtph_ps(ha);
+    const __m256 fb = _mm256_cvtph_ps(hb);
+    acc = _mm256_add_ps(acc, _mm256_mul_ps(fa, fb));
+  }
+  alignas(32) float lanes[8];
+  _mm256_store_ps(lanes, acc);
+  // Tail elements continue the lane assignment (i ≡ 0 mod 8 here), exactly
+  // like the scalar kernel.
+  for (unsigned lane = 0; i < dim; ++i, ++lane) {
+    lanes[lane] += half_to_float(a[i]) * half_to_float(b[i]);
+  }
+  return ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3])) +
+         ((lanes[4] + lanes[5]) + (lanes[6] + lanes[7]));
+}
+
+#endif  // SUBSEL_QSIMD_HAVE_AVX2
+
+constexpr QuantOps kScalarQuantOps{i8_dot_scalar, f16_dot_scalar, "scalar"};
+#if defined(SUBSEL_QSIMD_HAVE_AVX2)
+constexpr QuantOps kAvx2QuantOps{i8_dot_avx2, f16_dot_avx2, "avx2"};
+// AVX2 without F16C is vanishingly rare but checkable; keep the int8 speedup
+// and fall back to the (bit-identical) scalar half kernel.
+constexpr QuantOps kAvx2NoF16cQuantOps{i8_dot_avx2, f16_dot_scalar, "avx2"};
+#endif
+
+const QuantOps& quant_ops_for(simd::Backend backend) noexcept {
+#if defined(SUBSEL_QSIMD_HAVE_AVX2)
+  if (backend == simd::Backend::kAvx2) {
+    return __builtin_cpu_supports("f16c") ? kAvx2QuantOps : kAvx2NoF16cQuantOps;
+  }
+#else
+  (void)backend;  // aarch64: NEON quantized kernels not implemented yet —
+                  // scalar is the portable contract on every architecture.
+#endif
+  return kScalarQuantOps;
+}
+
+const QuantOps* as_ops(const void* p) noexcept {
+  return p != nullptr ? static_cast<const QuantOps*>(p) : &kScalarQuantOps;
+}
+
+}  // namespace
+
+QuantizedMatrix::QuantizedMatrix(const EmbeddingMatrix& source,
+                                 EmbeddingPrecision precision)
+    : rows_(source.rows()),
+      dim_(source.dim()),
+      precision_(precision),
+      ops_(&quant_ops_for(simd::active_backend())) {
+  assert(precision != EmbeddingPrecision::kFloat32 &&
+         "kFloat32 means 'use the EmbeddingMatrix directly'");
+  if (precision_ == EmbeddingPrecision::kInt8) {
+    i8_data_.resize(rows_ * dim_);
+    scale_.resize(rows_);
+    for (std::size_t r = 0; r < rows_; ++r) {
+      const std::span<const float> row = source.row(r);
+      float max_abs = 0.0f;
+      for (const float x : row) max_abs = std::max(max_abs, std::fabs(x));
+      const float scale = max_abs > 0.0f ? max_abs / 127.0f : 1.0f;
+      scale_[r] = scale;
+      const float inv = 1.0f / scale;
+      std::int8_t* out = i8_data_.data() + r * dim_;
+      for (std::size_t c = 0; c < dim_; ++c) {
+        const float q = std::nearbyintf(row[c] * inv);
+        out[c] = static_cast<std::int8_t>(
+            std::clamp(q, -127.0f, 127.0f));
+      }
+    }
+  } else {
+    f16_data_.resize(rows_ * dim_);
+    for (std::size_t r = 0; r < rows_; ++r) {
+      const std::span<const float> row = source.row(r);
+      std::uint16_t* out = f16_data_.data() + r * dim_;
+      for (std::size_t c = 0; c < dim_; ++c) out[c] = float_to_half(row[c]);
+    }
+  }
+}
+
+float QuantizedMatrix::similarity_to(std::size_t i, const QuantizedMatrix& other,
+                                     std::size_t j) const noexcept {
+  assert(precision_ == other.precision_ && dim_ == other.dim_);
+  const QuantOps* ops = as_ops(ops_);
+  if (precision_ == EmbeddingPrecision::kInt8) {
+    const std::int32_t idot = ops->i8_dot(i8_data_.data() + i * dim_,
+                                          other.i8_data_.data() + j * dim_, dim_);
+    // One float product of the exact integer dot with fl(scale_i·scale_j):
+    // scalar on every backend, so int8 similarity is backend-independent.
+    return (scale_[i] * other.scale_[j]) * static_cast<float>(idot);
+  }
+  return ops->f16_dot(f16_data_.data() + i * dim_,
+                      other.f16_data_.data() + j * dim_, dim_);
+}
+
+void QuantizedMatrix::dequantize(std::size_t i,
+                                 std::span<float> out) const noexcept {
+  assert(out.size() >= dim_);
+  if (precision_ == EmbeddingPrecision::kInt8) {
+    const std::int8_t* row = i8_data_.data() + i * dim_;
+    const float scale = scale_[i];
+    for (std::size_t c = 0; c < dim_; ++c) {
+      out[c] = scale * static_cast<float>(row[c]);
+    }
+  } else {
+    const std::uint16_t* row = f16_data_.data() + i * dim_;
+    for (std::size_t c = 0; c < dim_; ++c) out[c] = half_to_float(row[c]);
+  }
+}
+
+const char* QuantizedMatrix::backend() const noexcept {
+  return as_ops(ops_)->name;
+}
+
+}  // namespace subsel::graph

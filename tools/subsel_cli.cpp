@@ -67,6 +67,7 @@
 #include "api/solver_registry.h"
 #include "beam/beam_scoring.h"
 #include "common/failpoint.h"
+#include "common/simd.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "data/dataset_io.h"
@@ -246,6 +247,9 @@ int cmd_info(const CliArgs& args) {
 
 int cmd_solvers() {
   const auto solvers = api::SolverRegistry::instance().list();
+  std::printf("kernel backend: %s (detected: %s)\n\n",
+              subsel::simd::active_backend_name(),
+              subsel::simd::backend_name(subsel::simd::detected_backend()));
   std::printf("%zu registered solvers:\n\n", solvers.size());
   for (const auto& info : solvers) {
     std::string flags;
@@ -266,6 +270,7 @@ int cmd_solvers() {
 int cmd_objectives() {
   const auto objectives = api::ObjectiveRegistry::instance().list();
   const auto solvers = api::SolverRegistry::instance().list();
+  std::printf("kernel backend: %s\n\n", subsel::simd::active_backend_name());
   std::printf("%zu registered objectives:\n\n", objectives.size());
   for (const auto& info : objectives) {
     std::string flags;
