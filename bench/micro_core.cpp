@@ -111,6 +111,15 @@
 //   --objective-matrix also run every objective x compatible solver
 //   --objective-matrix-json=PATH
 //                      output path (default BENCH_objective_matrix.json)
+//   --constraint-matrix
+//                      also run every constrained-capable solver under each
+//                      constraint family (knapsack / partition matroid /
+//                      blocked / all three) with budgets sized to bind,
+//                      against its own unconstrained run — quality retention,
+//                      tracker overhead, and per-cell feasibility (exit 2 on
+//                      an infeasible selection) to BENCH_constraints.json
+//   --constraint-matrix-json=PATH
+//                      output path (default BENCH_constraints.json)
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -1378,6 +1387,158 @@ int run_objective_matrix(const ObjectiveMatrixConfig& config) {
 }
 
 // ---------------------------------------------------------------------------
+// Constraint matrix: every constrained-capable solver under each constraint
+// family (knapsack / partition matroid / blocked / all three), against its
+// own unconstrained run — the quality retention and tracker overhead
+// trajectory behind BENCH_constraints.json. Budgets are sized to bind: the
+// point of the matrix is the constrained acceptance path, not a tracker
+// that never says no.
+// ---------------------------------------------------------------------------
+
+struct ConstraintMatrixConfig {
+  std::size_t points = 6000;
+  double fraction = 0.1;
+  std::uint64_t seed = 77;
+  std::string json_path = "BENCH_constraints.json";
+};
+
+int run_constraint_matrix(const ConstraintMatrixConfig& config) {
+  std::printf("\n=== constraint matrix: constrained-capable solvers x"
+              " constraint family at %zu points, k = %.0f%% ===\n",
+              config.points, config.fraction * 100.0);
+  const data::Dataset dataset = data::toy_dataset(config.points, 32, config.seed);
+  const auto ground_set = dataset.ground_set();
+  const std::size_t n = config.points;
+  const std::size_t k =
+      static_cast<std::size_t>(config.fraction * static_cast<double>(n));
+
+  // Deterministic sidecar vectors (fixed rng stream, independent of backend).
+  Rng rng(config.seed ^ 0xc057);
+  std::vector<double> costs(n);
+  double mean_cost = 0.0;
+  for (double& c : costs) {
+    c = rng.uniform(0.05, 1.0);
+    mean_cost += c;
+  }
+  mean_cost /= static_cast<double>(n);
+  constexpr std::size_t kNumGroups = 8;
+  std::vector<std::uint32_t> groups(n);
+  for (auto& g : groups) {
+    g = static_cast<std::uint32_t>(rng.uniform_index(kNumGroups));
+  }
+  std::vector<core::NodeId> blocked;
+  for (std::size_t i = 0; i < n; i += 5) {
+    blocked.push_back(static_cast<core::NodeId>(i));
+  }
+  // Knapsack budget ~40% of what k mean-cost elements would need and a
+  // matroid cap under k / kNumGroups: both families individually bind.
+  const double budget = 0.4 * mean_cost * static_cast<double>(k);
+  const std::size_t cap = std::max<std::size_t>(1, k / (2 * kNumGroups));
+
+  struct Shape {
+    const char* name;
+    bool knapsack, matroid, blocks;
+  };
+  const Shape shapes[] = {
+      {"knapsack", true, false, false},
+      {"partition-matroid", false, true, false},
+      {"blocked", false, false, true},
+      {"all-families", true, true, true},
+  };
+
+  api::SolverContext context;
+  JsonWriter json;
+  json.begin_object();
+  json.key("bench").value("constraint_matrix");
+  json.key("points").value(n);
+  json.key("k").value(k);
+  json.key("seed").value(config.seed);
+  json.key("cost_budget").value(budget);
+  json.key("group_cap").value(cap);
+  json.key("num_blocked").value(blocked.size());
+  json.key("cells").begin_array();
+
+  std::printf("%-20s %-18s %12s %10s %8s %9s\n", "solver", "constraints",
+              "f(S)", "solve ms", "|S|", "overhead");
+  int status = 0;
+  for (const api::SolverInfo& solver : api::SolverRegistry::instance().list()) {
+    if (!solver.caps.constrained) continue;
+
+    const auto run_cell = [&](const api::SelectionRequest& request) {
+      const api::SelectionReport report = api::select(request, context);
+      double seconds = 0.0;
+      for (const api::StageTiming& timing : report.timings) {
+        seconds += timing.seconds;
+      }
+      return std::pair<api::SelectionReport, double>(report, seconds);
+    };
+
+    api::SelectionRequest base;
+    base.ground_set = &ground_set;
+    base.k = k;
+    base.seed = config.seed;
+    base.solver = solver.name;
+    base.bounding.enabled = false;  // bounding x constraints is a typed reject
+    const auto [unconstrained, unconstrained_seconds] = run_cell(base);
+
+    for (const Shape& shape : shapes) {
+      api::SelectionRequest request = base;
+      if (shape.knapsack) {
+        request.constraints.costs = costs;
+        request.constraints.cost_budget = budget;
+      }
+      if (shape.matroid) {
+        request.constraints.groups = groups;
+        request.constraints.group_cap = cap;
+      }
+      if (shape.blocks) request.constraints.blocked = blocked;
+      const auto [report, seconds] = run_cell(request);
+      const double overhead =
+          unconstrained_seconds > 0.0 ? seconds / unconstrained_seconds : 0.0;
+      const bool feasible =
+          report.constraints.has_value() && report.constraints->feasible;
+      if (!feasible) {
+        std::fprintf(stderr, "FAIL: %s x %s returned an infeasible selection\n",
+                     solver.name.c_str(), shape.name);
+        status = 2;
+      }
+      std::printf("%-20s %-18s %12.3f %10.2f %8zu %8.2fx\n",
+                  solver.name.c_str(), shape.name, report.objective,
+                  seconds * 1e3, report.selected.size(), overhead);
+      json.begin_object();
+      json.key("solver").value(solver.name);
+      json.key("constraints").value(shape.name);
+      json.key("objective_value").value(report.objective);
+      json.key("normalized_vs_unconstrained")
+          .value(unconstrained.objective > 0.0
+                     ? report.objective / unconstrained.objective
+                     : 0.0);
+      json.key("solve_seconds").value(seconds);
+      json.key("constrained_overhead").value(overhead);
+      json.key("selected_count").value(report.selected.size());
+      json.key("selected_cost")
+          .value(report.constraints.has_value()
+                     ? report.constraints->selected_cost
+                     : 0.0);
+      json.key("feasible").value(feasible);
+      json.end_object();
+    }
+  }
+  json.end_array();
+  json.end_object();
+
+  std::FILE* out = std::fopen(config.json_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", config.json_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "%s\n", json.str().c_str());
+  std::fclose(out);
+  std::printf("wrote %s\n", config.json_path.c_str());
+  return status;
+}
+
+// ---------------------------------------------------------------------------
 // SIMD matrix: vectorized kernel backends vs forced scalar, and the
 // quantized embedding path vs the exact float32 graph build.
 // ---------------------------------------------------------------------------
@@ -1982,9 +2143,11 @@ int main(int argc, char** argv) {
   DiskHotPathConfig disk;
   MatrixConfig matrix;
   ObjectiveMatrixConfig objective_matrix;
+  ConstraintMatrixConfig constraint_matrix;
   SimdMatrixConfig simd_matrix;
   bool run_matrix = false;
   bool run_obj_matrix = false;
+  bool run_constraints = false;
   bool run_kernel = false;
   bool run_disk = false;
   bool run_simd = false;
@@ -2069,13 +2232,18 @@ int main(int argc, char** argv) {
       run_matrix = true;
     } else if (arg == "--objective-matrix") {
       run_obj_matrix = true;
+    } else if (arg == "--constraint-matrix") {
+      run_constraints = true;
     } else if (arg.rfind("--matrix-points=", 0) == 0) {
       matrix.points = static_cast<std::size_t>(std::atoll(value().c_str()));
       objective_matrix.points = matrix.points;
+      constraint_matrix.points = matrix.points;
     } else if (arg.rfind("--matrix-json=", 0) == 0) {
       matrix.json_path = value();
     } else if (arg.rfind("--objective-matrix-json=", 0) == 0) {
       objective_matrix.json_path = value();
+    } else if (arg.rfind("--constraint-matrix-json=", 0) == 0) {
+      constraint_matrix.json_path = value();
     } else {
       gbench_args.push_back(argv[i]);
     }
@@ -2173,6 +2341,12 @@ int main(int argc, char** argv) {
   if (run_obj_matrix) {
     objective_matrix.points = std::max<std::size_t>(objective_matrix.points, 100);
     const int matrix_status = run_objective_matrix(objective_matrix);
+    if (matrix_status != 0) return matrix_status;
+  }
+  if (run_constraints) {
+    constraint_matrix.points =
+        std::max<std::size_t>(constraint_matrix.points, 100);
+    const int matrix_status = run_constraint_matrix(constraint_matrix);
     if (matrix_status != 0) return matrix_status;
   }
   if (run_simd) {

@@ -32,6 +32,7 @@
 #include "common/run_control.h"
 #include "common/thread_pool.h"
 #include "core/bounding.h"
+#include "core/constraints.h"
 #include "core/distributed_greedy.h"
 #include "core/objective.h"
 #include "core/subproblem_arena.h"
@@ -100,6 +101,31 @@ struct SamplePruneOptions {
   std::size_t max_rounds = 64;
 };
 
+/// Selection constraints beyond the cardinality budget k. All families
+/// compose; an all-default block means "unconstrained" and keeps every
+/// solver on its bit-identical pre-constraint path. The registry validates
+/// the resolved core::ConstraintSet against the ground set before dispatch
+/// and rejects solvers whose capabilities do not include constrained
+/// selection with a typed incompatibility_reason.
+struct ConstraintOptions {
+  /// Knapsack: one cost per ground-set element plus a positive budget.
+  std::vector<double> costs;
+  double cost_budget = 0.0;
+  /// Partition matroid: one group id per element, capped per group either
+  /// explicitly (`group_caps[g]`) or uniformly (`group_cap` for every group
+  /// when `group_caps` is empty).
+  std::vector<std::uint32_t> groups;
+  std::vector<std::size_t> group_caps;
+  std::size_t group_cap = 0;
+  /// Ids that may never be selected. OverlayGroundSet deletions are folded
+  /// in automatically by the registry; listing them here too is harmless.
+  std::vector<NodeId> blocked;
+
+  bool any() const noexcept {
+    return cost_budget > 0.0 || !groups.empty() || !blocked.empty();
+  }
+};
+
 /// Options for the "facility-location" objective (max-based coverage).
 struct FacilityLocationOptions {
   double self_similarity = 1.0;
@@ -145,6 +171,8 @@ struct SelectionRequest {
   DataflowOptions dataflow;
   StreamingOptions streaming;
   SamplePruneOptions sample_prune;
+  /// Selection constraints (knapsack / partition matroid / blocked ids).
+  ConstraintOptions constraints;
 
   /// The absolute budget this request resolves to; throws on an unset or
   /// out-of-range budget or a missing ground set.
@@ -179,6 +207,20 @@ struct BoundingSummary {
   std::size_t excluded = 0;
   std::size_t grow_rounds = 0;
   std::size_t shrink_rounds = 0;
+};
+
+/// Echo of an active constraint configuration plus how the returned
+/// selection sits against it (absent for unconstrained runs).
+struct ConstraintSummary {
+  double cost_budget = 0.0;
+  /// Total cost of `selected` under the request's costs (0 when the
+  /// knapsack family is inactive).
+  double selected_cost = 0.0;
+  std::size_t num_groups = 0;   // distinct capped groups
+  std::size_t num_blocked = 0;  // blocked ids (overlay deletions included)
+  /// Post-hoc feasibility of the returned selection — always true by
+  /// construction; recorded so reports are self-auditing.
+  bool feasible = true;
 };
 
 /// Out-of-core cache behavior of the run, filled when the request's ground
@@ -240,6 +282,9 @@ struct SelectionReport {
   /// Round statistics for the multi-round solvers (empty otherwise).
   std::vector<core::RoundStats> rounds;
   std::optional<BoundingSummary> bounding;
+  /// Present iff the request carried constraints (or the ground set is an
+  /// overlay with deletions, which the registry folds into blocked ids).
+  std::optional<ConstraintSummary> constraints;
   /// Present iff the run was out-of-core (graph::DiskGroundSet-backed).
   std::optional<DiskCacheSummary> disk_cache;
   /// Largest materialized per-partition subproblem (multi-round solvers) or

@@ -84,6 +84,16 @@ std::string SelectionReport::to_json() const {
     json.end_object();
   }
 
+  if (constraints.has_value()) {
+    json.key("constraints").begin_object();
+    json.key("cost_budget").value(constraints->cost_budget);
+    json.key("selected_cost").value(constraints->selected_cost);
+    json.key("num_groups").value(constraints->num_groups);
+    json.key("num_blocked").value(constraints->num_blocked);
+    json.key("feasible").value(constraints->feasible);
+    json.end_object();
+  }
+
   json.key("memory").begin_object();
   json.key("peak_partition_bytes").value(peak_partition_bytes);
   json.key("peak_resident_elements").value(peak_resident_elements);

@@ -13,6 +13,7 @@
 #include "core/selection_pipeline.h"
 #include "dataflow/pipeline.h"
 #include "graph/disk_ground_set.h"
+#include "graph/overlay_ground_set.h"
 
 namespace subsel::api {
 namespace {
@@ -43,8 +44,10 @@ std::string effective_checkpoint_file(const DistributedOptions& options) {
 /// the objective kernel.
 core::DistributedGreedyConfig greedy_config(const SelectionRequest& request,
                                             SolverContext& context,
-                                            const core::ObjectiveKernel& kernel) {
+                                            const core::ObjectiveKernel& kernel,
+                                            const core::ConstraintSet* constraints) {
   core::DistributedGreedyConfig config;
+  config.constraints = constraints;
   config.objective = request.objective;
   config.kernel = &kernel;
   config.num_machines = request.distributed.num_machines;
@@ -67,7 +70,8 @@ core::DistributedGreedyConfig greedy_config(const SelectionRequest& request,
 
 core::SelectionPipelineConfig pipeline_config(const SelectionRequest& request,
                                               SolverContext& context,
-                                              const core::ObjectiveKernel& kernel) {
+                                              const core::ObjectiveKernel& kernel,
+                                              const core::ConstraintSet* constraints) {
   core::SelectionPipelineConfig config;
   config.objective = request.objective;
   config.kernel = &kernel;
@@ -78,7 +82,7 @@ core::SelectionPipelineConfig pipeline_config(const SelectionRequest& request,
   config.bounding.seed = request.seed;
   config.bounding.pool = context.pool();
   config.bounding.deadline = effective_deadline(request, context);
-  config.greedy = greedy_config(request, context, kernel);
+  config.greedy = greedy_config(request, context, kernel, constraints);
   return config;
 }
 
@@ -101,21 +105,23 @@ void absorb_pipeline_result(core::SelectionPipelineResult&& result,
 
 SelectionReport run_pipeline(const SelectionRequest& request,
                              SolverContext& context,
-                             const core::ObjectiveKernel& kernel) {
+                             const core::ObjectiveKernel& kernel,
+                             const core::ConstraintSet* constraints) {
   SelectionReport report;
   absorb_pipeline_result(
       core::select_subset(*request.ground_set, request.resolved_k(),
-                          pipeline_config(request, context, kernel)),
+                          pipeline_config(request, context, kernel, constraints)),
       report);
   return report;
 }
 
 SelectionReport run_distributed_greedy(const SelectionRequest& request,
                                        SolverContext& context,
-                                       const core::ObjectiveKernel& kernel) {
-  auto result =
-      core::distributed_greedy(*request.ground_set, request.resolved_k(),
-                               greedy_config(request, context, kernel));
+                                       const core::ObjectiveKernel& kernel,
+                                       const core::ConstraintSet* constraints) {
+  auto result = core::distributed_greedy(
+      *request.ground_set, request.resolved_k(),
+      greedy_config(request, context, kernel, constraints));
   SelectionReport report;
   report.selected = std::move(result.selected);
   report.solver_objective = result.objective;
@@ -132,7 +138,8 @@ SelectionReport run_distributed_greedy(const SelectionRequest& request,
 
 SelectionReport run_dataflow(const SelectionRequest& request,
                              SolverContext& context,
-                             const core::ObjectiveKernel& kernel) {
+                             const core::ObjectiveKernel& kernel,
+                             const core::ConstraintSet* constraints) {
   dataflow::PipelineOptions options;
   options.num_shards = request.dataflow.num_shards;
   options.worker_memory_bytes = request.dataflow.worker_memory_bytes;
@@ -142,7 +149,8 @@ SelectionReport run_dataflow(const SelectionRequest& request,
   absorb_pipeline_result(
       beam::beam_select_subset(pipeline, *request.ground_set,
                                request.resolved_k(),
-                               pipeline_config(request, context, kernel)),
+                               pipeline_config(request, context, kernel,
+                                               constraints)),
       report);
   report.extra.emplace_back("peak_shard_bytes",
                             static_cast<double>(pipeline.peak_shard_bytes()));
@@ -151,6 +159,7 @@ SelectionReport run_dataflow(const SelectionRequest& request,
 
 SelectionReport run_greedi(const SelectionRequest& request, SolverContext& context,
                            const core::ObjectiveKernel& kernel,
+                           const core::ConstraintSet* constraints,
                            baselines::PartitionScheme scheme) {
   baselines::GreeDiConfig config;
   config.objective = request.objective;
@@ -159,6 +168,7 @@ SelectionReport run_greedi(const SelectionRequest& request, SolverContext& conte
   config.scheme = scheme;
   config.seed = request.seed;
   config.pool = context.pool();
+  config.constraints = constraints;
   auto result = baselines::greedi(*request.ground_set, request.resolved_k(), config);
   SelectionReport report;
   report.selected = std::move(result.selected);
@@ -193,7 +203,8 @@ SelectionReport from_greedy_result(core::GreedyResult&& result,
 }
 
 SelectionReport run_sieve(const SelectionRequest& request, SolverContext& context,
-                          const core::ObjectiveKernel& kernel) {
+                          const core::ObjectiveKernel& kernel,
+                          const core::ConstraintSet* constraints) {
   baselines::SieveStreamingConfig config;
   config.objective = request.objective;
   config.kernel = &kernel;
@@ -201,6 +212,7 @@ SelectionReport run_sieve(const SelectionRequest& request, SolverContext& contex
   config.apply_monotonicity_offset = request.streaming.monotonicity_offset;
   config.seed = request.seed;
   config.deadline = effective_deadline(request, context);
+  config.constraints = constraints;
   auto result =
       baselines::sieve_streaming(*request.ground_set, request.resolved_k(), config);
   SelectionReport report;
@@ -219,7 +231,8 @@ SelectionReport run_sieve(const SelectionRequest& request, SolverContext& contex
 
 SelectionReport run_sample_and_prune(const SelectionRequest& request,
                                      SolverContext& context,
-                                     const core::ObjectiveKernel& kernel) {
+                                     const core::ObjectiveKernel& kernel,
+                                     const core::ConstraintSet* constraints) {
   baselines::SamplePruneConfig config;
   config.objective = request.objective;
   config.kernel = &kernel;
@@ -227,6 +240,7 @@ SelectionReport run_sample_and_prune(const SelectionRequest& request,
   config.max_rounds = request.sample_prune.max_rounds;
   config.seed = request.seed;
   config.deadline = effective_deadline(request, context);
+  config.constraints = constraints;
   auto result =
       baselines::sample_and_prune(*request.ground_set, request.resolved_k(), config);
   SelectionReport report;
@@ -253,6 +267,7 @@ void register_builtins(SolverRegistry& registry) {
   round_based.distributed = true;
   round_based.cancellable = true;
   round_based.checkpointable = true;
+  round_based.constrained = true;
 
   SolverCapabilities pipeline_caps = round_based;
   pipeline_caps.bounding_stage = true;
@@ -274,6 +289,8 @@ void register_builtins(SolverRegistry& registry) {
   dataflow_caps.checkpointable = false;  // beam rounds re-run from scratch
   dataflow_caps.bounding_stage = true;
   dataflow_caps.needs_distributed_scoring = true;
+  // The beam substrate's stage fusion predates the constraint seam.
+  dataflow_caps.constrained = false;
   registry.register_solver(
       {"dataflow",
        "The full pipeline on the Beam-style dataflow substrate with enforced"
@@ -284,14 +301,17 @@ void register_builtins(SolverRegistry& registry) {
 
   SolverCapabilities merge_based;
   merge_based.distributed = true;
+  merge_based.constrained = true;
   registry.register_solver(
       {"greedi",
        "GreeDi (Mirzasoleiman et al.): per-partition greedy over contiguous"
        " partitions, then one centralized merge of m*k candidates",
        "(1-1/e)/min(sqrt(k),m)", "O(m*k) central merge", merge_based},
       [](const SelectionRequest& request, SolverContext& context,
-         const core::ObjectiveKernel& kernel) {
-        return run_greedi(request, context, kernel, PartitionScheme::kContiguous);
+         const core::ObjectiveKernel& kernel,
+         const core::ConstraintSet* constraints) {
+        return run_greedi(request, context, kernel, constraints,
+                          PartitionScheme::kContiguous);
       });
 
   registry.register_solver(
@@ -299,20 +319,26 @@ void register_builtins(SolverRegistry& registry) {
        "RandGreeDi (Barbosa et al.): GreeDi with uniform random partitioning",
        "(1-1/e)/2 in expectation", "O(m*k) central merge", merge_based},
       [](const SelectionRequest& request, SolverContext& context,
-         const core::ObjectiveKernel& kernel) {
-        return run_greedi(request, context, kernel, PartitionScheme::kRandom);
+         const core::ObjectiveKernel& kernel,
+         const core::ConstraintSet* constraints) {
+        return run_greedi(request, context, kernel, constraints,
+                          PartitionScheme::kRandom);
       });
 
+  SolverCapabilities centralized_caps;
+  centralized_caps.constrained = true;
   registry.register_solver(
       {"lazy-greedy",
        "Lazy greedy (Minoux): centralized Algorithm 2 with stale-gain"
        " re-evaluation; the gold-standard output",
-       "1-1/e", "O(n) one machine", SolverCapabilities{}},
+       "1-1/e", "O(n) one machine", centralized_caps},
       [](const SelectionRequest& request, SolverContext& context,
-         const core::ObjectiveKernel& kernel) {
+         const core::ObjectiveKernel& kernel,
+         const core::ConstraintSet* constraints) {
         return from_greedy_result(
             baselines::lazy_greedy(kernel, request.resolved_k(),
-                                   effective_deadline(request, context)),
+                                   effective_deadline(request, context),
+                                   constraints),
             request.ground_set->num_points());
       });
 
@@ -320,14 +346,16 @@ void register_builtins(SolverRegistry& registry) {
       {"stochastic-greedy",
        "Stochastic greedy (lazier-than-lazy): each step scans a random"
        " (n/k)ln(1/eps) sample",
-       "1-1/e-eps in expectation", "O(n) one machine", SolverCapabilities{}},
+       "1-1/e-eps in expectation", "O(n) one machine", centralized_caps},
       [](const SelectionRequest& request, SolverContext& context,
-         const core::ObjectiveKernel& kernel) {
+         const core::ObjectiveKernel& kernel,
+         const core::ConstraintSet* constraints) {
         return from_greedy_result(
             baselines::stochastic_greedy(kernel, request.resolved_k(),
                                          request.distributed.stochastic_epsilon,
                                          request.seed,
-                                         effective_deadline(request, context)),
+                                         effective_deadline(request, context),
+                                         constraints),
             request.ground_set->num_points());
       });
 
@@ -335,19 +363,22 @@ void register_builtins(SolverRegistry& registry) {
       {"threshold-greedy",
        "Threshold greedy (Badanidiyuru & Vondrak): descending geometric"
        " threshold sweep",
-       "1-1/e-eps", "O(n) one machine", SolverCapabilities{}},
+       "1-1/e-eps", "O(n) one machine", centralized_caps},
       [](const SelectionRequest& request, SolverContext& context,
-         const core::ObjectiveKernel& kernel) {
+         const core::ObjectiveKernel& kernel,
+         const core::ConstraintSet* constraints) {
         return from_greedy_result(
             baselines::threshold_greedy(kernel, request.resolved_k(),
                                         request.streaming.epsilon,
-                                        effective_deadline(request, context)),
+                                        effective_deadline(request, context),
+                                        constraints),
             request.ground_set->num_points());
       });
 
   SolverCapabilities streaming_caps;
   streaming_caps.needs_full_graph = false;
   streaming_caps.streaming = true;
+  streaming_caps.constrained = true;
   registry.register_solver(
       {"sieve-streaming",
        "SieveStreaming (Badanidiyuru et al.): one pass over a random"
@@ -357,6 +388,7 @@ void register_builtins(SolverRegistry& registry) {
 
   SolverCapabilities sample_prune_caps;
   sample_prune_caps.distributed = true;
+  sample_prune_caps.constrained = true;
   registry.register_solver(
       {"sample-and-prune",
        "SAMPLE&PRUNE (Kumar et al.): MapReduce rounds of sample, greedy"
@@ -366,15 +398,17 @@ void register_builtins(SolverRegistry& registry) {
 
   SolverCapabilities random_caps;
   random_caps.needs_full_graph = false;
+  random_caps.constrained = true;
   registry.register_solver(
       {"random",
        "Uniform random subset without replacement — the floor every"
        " normalized score is measured against",
        "none", "O(k)", random_caps},
       [](const SelectionRequest& request, SolverContext&,
-         const core::ObjectiveKernel& kernel) {
+         const core::ObjectiveKernel& kernel,
+         const core::ConstraintSet* constraints) {
         return from_greedy_result(baselines::random_selection(
-            kernel, request.resolved_k(), request.seed));
+            kernel, request.resolved_k(), request.seed, constraints));
       });
 }
 
@@ -383,6 +417,13 @@ void register_builtins(SolverRegistry& registry) {
 std::string incompatibility_reason(const SolverCapabilities& solver,
                                    const core::ObjectiveKernelCaps& objective,
                                    bool bounding_enabled) {
+  return incompatibility_reason(solver, objective, bounding_enabled,
+                                /*constrained=*/false);
+}
+
+std::string incompatibility_reason(const SolverCapabilities& solver,
+                                   const core::ObjectiveKernelCaps& objective,
+                                   bool bounding_enabled, bool constrained) {
   if (solver.needs_distributed_scoring && !objective.distributed_scoring) {
     return "the solver scores f(S) with the Section 5 distributed joins,"
            " which need an edge-decomposable objective";
@@ -391,6 +432,16 @@ std::string incompatibility_reason(const SolverCapabilities& solver,
     return "the bounding pre-pass needs utility-bound support"
            " (Section 4.1 Umin/Umax); disable bounding (--bounding=none) or"
            " use the pairwise objective";
+  }
+  if (constrained && !solver.constrained) {
+    return "the solver's acceptance loop does not consult a"
+           " ConstraintTracker, so it would silently ignore the knapsack/"
+           "matroid/blocked budgets; pick a constrained-capable solver";
+  }
+  if (constrained && solver.bounding_stage && bounding_enabled) {
+    return "the bounding pre-pass is unconstrained and can exclude the only"
+           " feasible candidates; disable bounding (--bounding=none) to run"
+           " with selection constraints";
   }
   return "";
 }
@@ -439,12 +490,42 @@ SelectionReport SolverRegistry::run(const SelectionRequest& request,
   }
   const std::size_t k = request.resolved_k();  // validates request up front
 
+  // Resolve the request's constraint block into a validated ConstraintSet.
+  // Overlay deletions fold into the blocked set so every solver skips dead
+  // points; a fully empty result stays nullptr and keeps the solver on its
+  // bit-identical unconstrained path.
+  core::ConstraintSet constraint_set;
+  constraint_set.costs = request.constraints.costs;
+  constraint_set.cost_budget = request.constraints.cost_budget;
+  constraint_set.groups = request.constraints.groups;
+  constraint_set.group_caps = request.constraints.group_caps;
+  constraint_set.blocked = request.constraints.blocked;
+  if (constraint_set.has_matroid() && constraint_set.group_caps.empty() &&
+      request.constraints.group_cap > 0) {
+    const std::uint32_t max_group = *std::max_element(
+        constraint_set.groups.begin(), constraint_set.groups.end());
+    constraint_set.group_caps.assign(max_group + 1,
+                                     request.constraints.group_cap);
+  }
+  if (const auto* overlay = dynamic_cast<const graph::OverlayGroundSet*>(
+          request.ground_set)) {
+    const std::vector<NodeId> dead = overlay->deleted_ids();
+    constraint_set.blocked.insert(constraint_set.blocked.end(), dead.begin(),
+                                  dead.end());
+  }
+  const core::ConstraintSet* constraints = nullptr;
+  if (!constraint_set.empty()) {
+    constraint_set.validate(request.ground_set->num_points());
+    constraints = &constraint_set;
+  }
+
   // Build the objective (throws on an unknown name or bad options), then
   // check the solver can actually run it.
   const std::unique_ptr<core::ObjectiveKernel> kernel =
       ObjectiveRegistry::instance().make(request);
   const std::string reason = incompatibility_reason(
-      it->second.info.caps, kernel->caps(), request.bounding.enabled);
+      it->second.info.caps, kernel->caps(), request.bounding.enabled,
+      constraints != nullptr);
   if (!reason.empty()) {
     throw std::invalid_argument("solver \"" + request.solver +
                                 "\" cannot run objective \"" +
@@ -459,7 +540,7 @@ SelectionReport SolverRegistry::run(const SelectionRequest& request,
   if (disk_set != nullptr) disk_before = disk_set->stats();
 
   Timer total;
-  SelectionReport report = it->second.fn(request, context, *kernel);
+  SelectionReport report = it->second.fn(request, context, *kernel, constraints);
   const double solve_seconds = total.elapsed_seconds();
 
   if (disk_set != nullptr) {
@@ -504,6 +585,17 @@ SelectionReport SolverRegistry::run(const SelectionRequest& request,
   report.coverage_echo = request.coverage;
 
   std::sort(report.selected.begin(), report.selected.end());
+  if (constraints != nullptr) {
+    ConstraintSummary summary;
+    summary.cost_budget = constraints->cost_budget;
+    summary.selected_cost =
+        constraints->cost_of(std::span<const NodeId>(report.selected));
+    summary.num_groups = constraints->group_caps.size();
+    summary.num_blocked = constraints->blocked.size();
+    summary.feasible =
+        constraints->feasible_subset(std::span<const NodeId>(report.selected));
+    report.constraints = summary;
+  }
   if (report.timings.empty()) report.timings.push_back({"solve", solve_seconds});
   for (const core::RoundStats& round : report.rounds) {
     report.peak_partition_bytes =

@@ -43,6 +43,13 @@ struct SolverCapabilities {
   /// Scores f(S) with the Section 5 distributed joins — requires an
   /// edge-decomposable objective (caps().distributed_scoring).
   bool needs_distributed_scoring = false;
+
+  /// Honors a core::ConstraintSet (knapsack / partition matroid / blocked
+  /// ids): the solver's acceptance loop consults a ConstraintTracker and the
+  /// returned selection is feasible. Defaults to false so solvers registered
+  /// by downstream code are rejected up-front on constrained requests instead
+  /// of silently ignoring the budgets.
+  bool constrained = false;
 };
 
 /// Why `solver` cannot run `objective` under `request` — empty string when
@@ -52,6 +59,12 @@ struct SolverCapabilities {
 std::string incompatibility_reason(const SolverCapabilities& solver,
                                    const core::ObjectiveKernelCaps& objective,
                                    bool bounding_enabled);
+/// As above, additionally validating a constrained request (`constrained` =
+/// the request carries a non-empty ConstraintSet). The 3-arg overload is the
+/// unconstrained special case.
+std::string incompatibility_reason(const SolverCapabilities& solver,
+                                   const core::ObjectiveKernelCaps& objective,
+                                   bool bounding_enabled, bool constrained);
 
 struct SolverInfo {
   std::string name;
@@ -65,11 +78,15 @@ struct SolverInfo {
 
 class SolverRegistry {
  public:
-  /// The adapter closure: maps (request, context, kernel) onto one of the
-  /// library's engines. The kernel is the already-built, already-validated
-  /// objective instance for request.objective_name over request.ground_set.
+  /// The adapter closure: maps (request, context, kernel, constraints) onto
+  /// one of the library's engines. The kernel is the already-built,
+  /// already-validated objective instance for request.objective_name over
+  /// request.ground_set; the constraints are the already-validated resolved
+  /// ConstraintSet of the request (nullptr on unconstrained runs — the
+  /// common case — so adapters forward it verbatim).
   using SolverFn = std::function<SelectionReport(
-      const SelectionRequest&, SolverContext&, const core::ObjectiveKernel&)>;
+      const SelectionRequest&, SolverContext&, const core::ObjectiveKernel&,
+      const core::ConstraintSet*)>;
 
   /// The process-wide registry, with all built-in solvers registered.
   static SolverRegistry& instance();

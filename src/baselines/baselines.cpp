@@ -27,15 +27,31 @@ GreedyResult random_selection(const GroundSet& ground_set, ObjectiveParams param
 }
 
 GreedyResult random_selection(const ObjectiveKernel& kernel, std::size_t k,
-                              std::uint64_t seed) {
+                              std::uint64_t seed,
+                              const core::ConstraintSet* constraints) {
   const std::size_t n = kernel.ground_set().num_points();
   k = std::min(k, n);
   Rng rng(seed);
-  const auto picks = rng.sample_without_replacement(n, k);
   GreedyResult result;
   result.selected.reserve(k);
-  for (std::uint64_t index : picks) {
-    result.selected.push_back(static_cast<NodeId>(index));
+  if (constraints == nullptr || constraints->empty()) {
+    const auto picks = rng.sample_without_replacement(n, k);
+    for (std::uint64_t index : picks) {
+      result.selected.push_back(static_cast<NodeId>(index));
+    }
+  } else {
+    // Feasible prefix of a uniform random permutation: each element is
+    // considered in random order and taken iff the budgets still admit it.
+    std::vector<NodeId> order(n);
+    for (std::size_t i = 0; i < n; ++i) order[i] = static_cast<NodeId>(i);
+    rng.shuffle(std::span<NodeId>(order));
+    core::ConstraintTracker tracker(*constraints);
+    for (const NodeId v : order) {
+      if (result.selected.size() >= k) break;
+      if (!tracker.feasible(v)) continue;
+      tracker.accept(v);
+      result.selected.push_back(v);
+    }
   }
   std::sort(result.selected.begin(), result.selected.end());
   result.objective = kernel.evaluate(std::span<const NodeId>(result.selected));
@@ -83,7 +99,8 @@ GreeDiResult greedi(const GroundSet& ground_set, std::size_t k,
     GreedyResult local = core::solve_partition(
         ground_set, partitions[p], k, kernel, nullptr, *arena,
         core::PartitionSolver::kPriorityQueue,
-        /*stochastic_epsilon=*/0.1, config.seed);
+        /*stochastic_epsilon=*/0.1, config.seed, nullptr, nullptr,
+        core::GainEngine::kAuto, config.constraints);
     atomic_fetch_max(peak_bytes, local.materialized_bytes);
     atomic_fetch_max(peak_state_bytes, local.kernel_state_bytes);
     partials[p] = std::move(local.selected);
@@ -98,10 +115,14 @@ GreeDiResult greedi(const GroundSet& ground_set, std::size_t k,
   GreeDiResult result;
   result.merge_candidates = merge_input.size();
   core::SubproblemArenaPool::Lease merge_arena(arena_pool);
+  // The merge solve re-enforces the constraints from scratch over the union,
+  // so per-partition selections that jointly over-commit a global budget are
+  // rounded back down to a feasible final selection.
   GreedyResult merged = core::solve_partition(
       ground_set, merge_input, k, kernel, nullptr, *merge_arena,
       core::PartitionSolver::kPriorityQueue, /*stochastic_epsilon=*/0.1,
-      config.seed, &result.merge_bytes);
+      config.seed, &result.merge_bytes, nullptr, core::GainEngine::kAuto,
+      config.constraints);
   atomic_fetch_max(peak_bytes, merged.materialized_bytes);
   atomic_fetch_max(peak_state_bytes, merged.kernel_state_bytes);
   result.peak_partition_bytes = peak_bytes.load();
@@ -176,7 +197,8 @@ namespace {
 template <typename GainFn, typename SelectFn>
 GreedyResult lazy_greedy_loop(const ObjectiveKernel& kernel, std::size_t k,
                               GainFn&& fresh_gain, SelectFn&& commit,
-                              Deadline deadline = {}) {
+                              Deadline deadline = {},
+                              core::ConstraintTracker* tracker = nullptr) {
   const std::size_t n = kernel.ground_set().num_points();
   k = std::min(k, n);
   GreedyResult result;
@@ -200,12 +222,16 @@ GreedyResult lazy_greedy_loop(const ObjectiveKernel& kernel, std::size_t k,
   while (result.selected.size() < k && !queue.empty()) {
     Entry top = queue.top();
     queue.pop();
+    // Infeasible elements are dropped for good: spent cost and group counts
+    // only grow, so an element the budgets reject now stays rejected.
+    if (tracker != nullptr && !tracker->feasible(top.id)) continue;
     if (top.version == result.selected.size()) {  // gain is fresh: take it
       if (deadline.expired()) {
         result.degraded = true;
         break;
       }
       commit(top.id);
+      if (tracker != nullptr) tracker->accept(top.id);
       result.selected.push_back(top.id);
       total += top.gain;
       continue;
@@ -221,11 +247,17 @@ GreedyResult lazy_greedy_loop(const ObjectiveKernel& kernel, std::size_t k,
 }  // namespace
 
 GreedyResult lazy_greedy(const ObjectiveKernel& kernel, std::size_t k,
-                         Deadline deadline) {
+                         Deadline deadline,
+                         const core::ConstraintSet* constraints) {
   MarginalGainEngine engine(kernel);
+  std::optional<core::ConstraintTracker> tracker;
+  if (constraints != nullptr && !constraints->empty()) {
+    tracker.emplace(*constraints);
+  }
   GreedyResult result = lazy_greedy_loop(
       kernel, k, [&engine](NodeId v) { return engine.gain(v); },
-      [&engine](NodeId v) { engine.select(v); }, deadline);
+      [&engine](NodeId v) { engine.select(v); }, deadline,
+      tracker ? &*tracker : nullptr);
   result.materialized_bytes = engine.materialized_bytes();
   result.kernel_state_bytes = engine.kernel_state_bytes();
   return result;
@@ -297,7 +329,8 @@ GreedyResult stochastic_greedy(const GroundSet& ground_set, ObjectiveParams para
 
 GreedyResult stochastic_greedy(const ObjectiveKernel& kernel, std::size_t k,
                                double epsilon, std::uint64_t seed,
-                               Deadline deadline) {
+                               Deadline deadline,
+                               const core::ConstraintSet* constraints) {
   const std::size_t n = kernel.ground_set().num_points();
   k = std::min(k, n);
   GreedyResult result;
@@ -310,6 +343,10 @@ GreedyResult stochastic_greedy(const ObjectiveKernel& kernel, std::size_t k,
                                             std::log(1.0 / epsilon))));
   Rng rng(seed);
   MarginalGainEngine engine(kernel);
+  std::optional<core::ConstraintTracker> tracker;
+  if (constraints != nullptr && !constraints->empty()) {
+    tracker.emplace(*constraints);
+  }
   std::vector<NodeId> remaining(n);
   for (std::size_t i = 0; i < n; ++i) remaining[i] = static_cast<NodeId>(i);
   std::vector<double> gains;
@@ -319,6 +356,13 @@ GreedyResult stochastic_greedy(const ObjectiveKernel& kernel, std::size_t k,
     if (deadline.expired()) {
       result.degraded = true;
       break;
+    }
+    if (tracker) {
+      // Monotone infeasibility: an element the budgets reject now stays
+      // rejected forever, so compact the candidate pool once per step.
+      std::erase_if(remaining,
+                    [&](NodeId v) { return !tracker->feasible(v); });
+      if (remaining.empty()) break;
     }
     const std::size_t draw = std::min(sample_size, remaining.size());
     // Partial Fisher-Yates: the first `draw` slots become the random sample.
@@ -341,6 +385,7 @@ GreedyResult stochastic_greedy(const ObjectiveKernel& kernel, std::size_t k,
     }
     const NodeId chosen = remaining[best_slot];
     engine.select(chosen);
+    if (tracker) tracker->accept(chosen);
     result.selected.push_back(chosen);
     total += best_gain;
     std::swap(remaining[best_slot], remaining.back());

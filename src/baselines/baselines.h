@@ -38,10 +38,14 @@ using graph::GroundSet;
 // objectives are bit-identical to the pre-kernel implementations.
 
 /// Uniform random subset of size k (without replacement), with its objective.
+/// Constrained runs take the feasible prefix of a random permutation instead
+/// (still uniform over the sampling order; may return fewer than k elements
+/// when the budgets bind). Unconstrained runs are bit-identical to before.
 GreedyResult random_selection(const GroundSet& ground_set, ObjectiveParams params,
                               std::size_t k, std::uint64_t seed);
 GreedyResult random_selection(const ObjectiveKernel& kernel, std::size_t k,
-                              std::uint64_t seed);
+                              std::uint64_t seed,
+                              const core::ConstraintSet* constraints = nullptr);
 
 enum class PartitionScheme : std::uint8_t {
   kContiguous = 0,  // GreeDi: arbitrary (contiguous-range) assignment
@@ -58,6 +62,11 @@ struct GreeDiConfig {
   PartitionScheme scheme = PartitionScheme::kRandom;
   std::uint64_t seed = 29;
   ThreadPool* pool = nullptr;
+  /// Optional selection constraints (global ids, validated; non-owning).
+  /// Partition solves enforce them locally; the centralized merge enforces
+  /// them globally, so the returned selection is always feasible (and may be
+  /// smaller than k when the budgets bind).
+  const core::ConstraintSet* constraints = nullptr;
 };
 
 struct GreeDiResult {
@@ -87,10 +96,13 @@ GreeDiResult greedi(const GroundSet& ground_set, std::size_t k,
 /// `deadline` is checked once per accepted element: an expired run returns
 /// the valid greedy prefix picked so far with `degraded` set (each prefix is
 /// itself the exact lazy-greedy answer for its own size).
+/// With `constraints`, an infeasible heap pop is dropped permanently
+/// (monotone infeasibility) and the run may legally return fewer than k.
 GreedyResult lazy_greedy(const GroundSet& ground_set, ObjectiveParams params,
                          std::size_t k);
 GreedyResult lazy_greedy(const ObjectiveKernel& kernel, std::size_t k,
-                         Deadline deadline = {});
+                         Deadline deadline = {},
+                         const core::ConstraintSet* constraints = nullptr);
 
 namespace reference {
 
@@ -113,7 +125,8 @@ GreedyResult stochastic_greedy(const GroundSet& ground_set, ObjectiveParams para
                                std::uint64_t seed = 31);
 GreedyResult stochastic_greedy(const ObjectiveKernel& kernel, std::size_t k,
                                double epsilon = 0.1, std::uint64_t seed = 31,
-                               Deadline deadline = {});
+                               Deadline deadline = {},
+                               const core::ConstraintSet* constraints = nullptr);
 
 /// Greedy k-center (Gonzalez): repeatedly take the point farthest (in
 /// embedding space) from the current centers — the clustering-side baseline

@@ -73,12 +73,18 @@ GreedyResult threshold_greedy(const GroundSet& ground_set, ObjectiveParams param
 }
 
 GreedyResult threshold_greedy(const ObjectiveKernel& kernel, std::size_t k,
-                              double epsilon, Deadline deadline) {
+                              double epsilon, Deadline deadline,
+                              const core::ConstraintSet* constraints) {
   const std::size_t n = kernel.ground_set().num_points();
   k = std::min(k, n);
   GreedyResult result;
   result.selected.reserve(k);
   if (k == 0 || n == 0) return result;
+
+  std::optional<core::ConstraintTracker> tracker;
+  if (constraints != nullptr && !constraints->empty()) {
+    tracker.emplace(*constraints);
+  }
 
   // Every sweep re-evaluates every remaining candidate — precisely the
   // workload the engine's incremental state turns from O(deg^2) into O(deg)
@@ -92,9 +98,12 @@ GreedyResult threshold_greedy(const ObjectiveKernel& kernel, std::size_t k,
     d = std::max(d, kernel.singleton_value(static_cast<NodeId>(i)));
   }
   if (d <= 0.0) {
-    // Degenerate: no positive singleton; fall back to smallest ids.
-    for (std::size_t i = 0; i < k; ++i) {
-      result.selected.push_back(static_cast<NodeId>(i));
+    // Degenerate: no positive singleton; fall back to smallest (feasible) ids.
+    for (std::size_t i = 0; i < n && result.selected.size() < k; ++i) {
+      const auto v = static_cast<NodeId>(i);
+      if (tracker && !tracker->feasible(v)) continue;
+      if (tracker) tracker->accept(v);
+      result.selected.push_back(v);
     }
     result.objective = kernel.evaluate(std::span<const NodeId>(result.selected));
     return result;
@@ -111,9 +120,11 @@ GreedyResult threshold_greedy(const ObjectiveKernel& kernel, std::size_t k,
     for (std::size_t i = 0; i < n && result.selected.size() < k; ++i) {
       const auto v = static_cast<NodeId>(i);
       if (engine.is_selected(v)) continue;
+      if (tracker && !tracker->feasible(v)) continue;
       const double g = engine.gain(v);
       if (g >= w) {
         engine.select(v);
+        if (tracker) tracker->accept(v);
         result.selected.push_back(v);
         total += g;
       }
@@ -134,6 +145,7 @@ GreedyResult threshold_greedy(const ObjectiveKernel& kernel, std::size_t k,
     for (std::size_t i = 0; i < n; ++i) {
       const auto v = static_cast<NodeId>(i);
       if (engine.is_selected(v)) continue;
+      if (tracker && !tracker->feasible(v)) continue;
       const double g = engine.gain(v);
       if (best == n || g > best_gain) {
         best_gain = g;
@@ -142,6 +154,7 @@ GreedyResult threshold_greedy(const ObjectiveKernel& kernel, std::size_t k,
     }
     if (best == n) break;
     engine.select(static_cast<NodeId>(best));
+    if (tracker) tracker->accept(static_cast<NodeId>(best));
     result.selected.push_back(static_cast<NodeId>(best));
     total += best_gain;
   }
@@ -163,12 +176,19 @@ SieveStreamingResult sieve_streaming(const GroundSet& ground_set, std::size_t k,
       config.kernel, ground_set, config.objective, local_kernel);
   const GainShift shift(kernel, config.apply_monotonicity_offset);
 
+  const core::ConstraintSet* constraints =
+      (config.constraints != nullptr && !config.constraints->empty())
+          ? config.constraints
+          : nullptr;
+
   // One sieve per threshold (1+ε)^i in [m, 2km], instantiated lazily as the
-  // running singleton maximum m grows.
+  // running singleton maximum m grows. Each sieve grows its own candidate
+  // selection, so each carries its own constraint tracker (cheap to copy).
   struct Sieve {
     std::vector<std::uint8_t> membership;
     std::vector<core::NodeId> selected;
     double value = 0.0;  // (shifted) objective of `selected`
+    std::optional<core::ConstraintTracker> tracker;
   };
   std::map<long, Sieve> sieves;  // key i <-> threshold (1+ε)^i
   const double log_base = std::log1p(config.epsilon);
@@ -207,13 +227,17 @@ SieveStreamingResult sieve_streaming(const GroundSet& ground_set, std::size_t k,
       }
       for (long i = lo; i <= hi; ++i) {
         if (sieves.find(i) == sieves.end()) {
-          sieves.emplace(i, Sieve{std::vector<std::uint8_t>(n, 0), {}, 0.0});
+          Sieve sieve;
+          sieve.membership.assign(n, 0);
+          if (constraints != nullptr) sieve.tracker.emplace(*constraints);
+          sieves.emplace(i, std::move(sieve));
         }
       }
     }
 
     for (auto& [i, sieve] : sieves) {
       if (sieve.selected.size() >= k) continue;
+      if (sieve.tracker && !sieve.tracker->feasible(v)) continue;
       const double target = threshold_of(i);
       const double g = shift.gain(sieve.membership, v);
       const double bar = (target / 2.0 - sieve.value) /
@@ -222,6 +246,7 @@ SieveStreamingResult sieve_streaming(const GroundSet& ground_set, std::size_t k,
         sieve.membership[static_cast<std::size_t>(v)] = 1;
         sieve.selected.push_back(v);
         sieve.value += g;
+        if (sieve.tracker) sieve.tracker->accept(v);
         ++resident;
       }
     }
@@ -256,6 +281,10 @@ SamplePruneResult sample_and_prune(const GroundSet& ground_set, std::size_t k,
   const std::size_t capacity =
       config.machine_capacity > 0 ? config.machine_capacity : 4 * k;
   Rng rng(config.seed);
+  std::optional<core::ConstraintTracker> tracker;
+  if (config.constraints != nullptr && !config.constraints->empty()) {
+    tracker.emplace(*config.constraints);
+  }
 
   // Every round evaluates each sampled candidate per greedy step and every
   // survivor once for the prune — the per-candidate-per-round re-evaluation
@@ -293,7 +322,9 @@ SamplePruneResult sample_and_prune(const GroundSet& ground_set, std::size_t k,
     while (solution.size() < k) {
       candidates.clear();
       for (std::size_t i = 0; i < draw; ++i) {
-        if (!engine.is_selected(survivors[i])) candidates.push_back(survivors[i]);
+        if (engine.is_selected(survivors[i])) continue;
+        if (tracker && !tracker->feasible(survivors[i])) continue;
+        candidates.push_back(survivors[i]);
       }
       if (candidates.empty()) break;
       gains.resize(candidates.size());
@@ -307,6 +338,7 @@ SamplePruneResult sample_and_prune(const GroundSet& ground_set, std::size_t k,
         }
       }
       engine.select(candidates[best_slot]);
+      if (tracker) tracker->accept(candidates[best_slot]);
       solution.push_back(candidates[best_slot]);
       smallest_gain = std::min(smallest_gain, gains[best_slot]);
     }
@@ -343,6 +375,13 @@ SamplePruneResult sample_and_prune(const GroundSet& ground_set, std::size_t k,
   // aggressive pruning) — top up with the best remaining survivors. Degraded
   // runs skip the top-up: the deadline already passed.
   while (solution.size() < k && !survivors.empty() && !result.degraded) {
+    if (tracker) {
+      // Monotone infeasibility: once the budgets reject a survivor it can
+      // never re-qualify, so compact the pool before each fill step.
+      std::erase_if(survivors,
+                    [&](core::NodeId v) { return !tracker->feasible(v); });
+      if (survivors.empty()) break;
+    }
     gains.resize(survivors.size());
     engine.gains_batch(survivors, gains);
     std::size_t best_slot = 0;
@@ -351,6 +390,7 @@ SamplePruneResult sample_and_prune(const GroundSet& ground_set, std::size_t k,
     }
     const core::NodeId v = survivors[best_slot];
     engine.select(v);
+    if (tracker) tracker->accept(v);
     solution.push_back(v);
     std::swap(survivors[best_slot], survivors.back());
     survivors.pop_back();

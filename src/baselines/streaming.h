@@ -47,10 +47,13 @@ using graph::GroundSet;
 /// elements are chosen.
 /// `deadline` is checked between sweep thresholds and between tail fills: an
 /// expired run returns the elements accepted so far with `degraded` set.
+/// With `constraints`, infeasible candidates are skipped in the sweep and the
+/// tail fill; the run may legally return fewer than k elements.
 GreedyResult threshold_greedy(const GroundSet& ground_set, ObjectiveParams params,
                               std::size_t k, double epsilon = 0.1);
 GreedyResult threshold_greedy(const ObjectiveKernel& kernel, std::size_t k,
-                              double epsilon = 0.1, Deadline deadline = {});
+                              double epsilon = 0.1, Deadline deadline = {},
+                              const core::ConstraintSet* constraints = nullptr);
 
 struct SieveStreamingConfig {
   ObjectiveParams objective;
@@ -68,6 +71,10 @@ struct SieveStreamingConfig {
   /// consuming the stream and returns the best sieve over the prefix seen so
   /// far, flagged `degraded` — still a valid (1/2−ε) answer for that prefix.
   Deadline deadline;
+  /// Optional selection constraints (global ids, validated; non-owning).
+  /// Each sieve carries its own ConstraintTracker, so every candidate
+  /// selection stays independently feasible as the stream goes by.
+  const core::ConstraintSet* constraints = nullptr;
 };
 
 struct SieveStreamingResult {
@@ -100,6 +107,10 @@ struct SamplePruneConfig {
   /// the solution extended so far (every round's extension is a valid greedy
   /// prefix), flagged `degraded`, and skips the top-up fill.
   Deadline deadline;
+  /// Optional selection constraints (global ids, validated; non-owning).
+  /// Infeasible candidates never enter the greedy extension or the top-up;
+  /// the run may legally return fewer than k elements.
+  const core::ConstraintSet* constraints = nullptr;
 };
 
 struct SamplePruneResult {

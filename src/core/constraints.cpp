@@ -1,0 +1,123 @@
+#include "core/constraints.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "core/objective_kernel.h"  // fingerprint_mix
+
+namespace subsel::core {
+
+void ConstraintSet::validate(std::size_t num_points) {
+  if (cost_budget < 0.0 || !std::isfinite(cost_budget)) {
+    throw std::invalid_argument("constraint: cost_budget must be finite and >= 0");
+  }
+  if (has_knapsack()) {
+    if (costs.size() != num_points) {
+      throw std::invalid_argument(
+          "constraint: costs has " + std::to_string(costs.size()) +
+          " entries but the ground set has " + std::to_string(num_points));
+    }
+    for (const double c : costs) {
+      if (c < 0.0 || !std::isfinite(c)) {
+        throw std::invalid_argument("constraint: element costs must be finite and >= 0");
+      }
+    }
+  } else if (!costs.empty()) {
+    throw std::invalid_argument("constraint: costs given without a positive cost_budget");
+  }
+  if (has_matroid()) {
+    if (groups.size() != num_points) {
+      throw std::invalid_argument(
+          "constraint: groups has " + std::to_string(groups.size()) +
+          " entries but the ground set has " + std::to_string(num_points));
+    }
+    for (const auto g : groups) {
+      if (g >= group_caps.size()) {
+        throw std::invalid_argument("constraint: group id " + std::to_string(g) +
+                                    " has no cap (group_caps has " +
+                                    std::to_string(group_caps.size()) + " entries)");
+      }
+    }
+  } else if (!group_caps.empty()) {
+    throw std::invalid_argument("constraint: group_caps given without per-element groups");
+  }
+  std::sort(blocked.begin(), blocked.end());
+  blocked.erase(std::unique(blocked.begin(), blocked.end()), blocked.end());
+  for (const NodeId v : blocked) {
+    if (v < 0 || static_cast<std::size_t>(v) >= num_points) {
+      throw std::invalid_argument("constraint: blocked id " + std::to_string(v) +
+                                  " out of range");
+    }
+  }
+}
+
+double ConstraintSet::cost_of(std::span<const NodeId> subset) const noexcept {
+  if (!has_knapsack()) return 0.0;
+  double total = 0.0;
+  for (const NodeId v : subset) total += costs[static_cast<std::size_t>(v)];
+  return total;
+}
+
+bool ConstraintSet::feasible_subset(std::span<const NodeId> subset) const {
+  if (has_blocked()) {
+    for (const NodeId v : subset) {
+      if (std::binary_search(blocked.begin(), blocked.end(), v)) return false;
+    }
+  }
+  if (has_knapsack()) {
+    // Accumulate in ascending-id order so the verdict is independent of the
+    // subset's element order; fits_cost adds the shared slack.
+    std::vector<NodeId> sorted(subset.begin(), subset.end());
+    std::sort(sorted.begin(), sorted.end());
+    double spent = 0.0;
+    for (const NodeId v : sorted) {
+      if (!fits_cost(spent, costs[static_cast<std::size_t>(v)])) return false;
+      spent += costs[static_cast<std::size_t>(v)];
+    }
+  }
+  if (has_matroid()) {
+    std::vector<std::size_t> counts(group_caps.size(), 0);
+    for (const NodeId v : subset) {
+      const auto g = groups[static_cast<std::size_t>(v)];
+      if (++counts[g] > group_caps[g]) return false;
+    }
+  }
+  return true;
+}
+
+std::uint64_t ConstraintSet::fingerprint() const noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  h = fingerprint_mix(h, cost_budget);
+  h = fingerprint_mix(h, static_cast<std::uint64_t>(costs.size()));
+  for (const double c : costs) h = fingerprint_mix(h, c);
+  h = fingerprint_mix(h, static_cast<std::uint64_t>(groups.size()));
+  for (const auto g : groups) h = fingerprint_mix(h, static_cast<std::uint64_t>(g));
+  h = fingerprint_mix(h, static_cast<std::uint64_t>(group_caps.size()));
+  for (const auto cap : group_caps) h = fingerprint_mix(h, static_cast<std::uint64_t>(cap));
+  h = fingerprint_mix(h, static_cast<std::uint64_t>(blocked.size()));
+  for (const NodeId v : blocked) h = fingerprint_mix(h, static_cast<std::uint64_t>(v));
+  return h;
+}
+
+ConstraintTracker::ConstraintTracker(const ConstraintSet& constraints)
+    : constraints_(&constraints) {
+  if (constraints.has_matroid()) {
+    group_counts_.assign(constraints.group_caps.size(), 0);
+  }
+  if (constraints.has_blocked()) {
+    const auto max_id = static_cast<std::size_t>(
+        *std::max_element(constraints.blocked.begin(), constraints.blocked.end()));
+    blocked_.assign(max_id + 1, 0);
+    for (const NodeId v : constraints.blocked) {
+      blocked_[static_cast<std::size_t>(v)] = 1;
+    }
+  }
+}
+
+void ConstraintTracker::seed(std::span<const NodeId> selected) {
+  for (const NodeId v : selected) accept(v);
+}
+
+}  // namespace subsel::core

@@ -73,6 +73,13 @@ std::uint64_t run_fingerprint(std::size_t n, std::size_t v0, std::size_t k_open,
   }
   mix(name_hash);
   mix(kernel.config_fingerprint());
+  // Constrained runs select under different budgets, so their checkpoints
+  // must never cross-resume with unconstrained ones (or with other
+  // constraint configurations). Unconstrained runs mix NOTHING here — their
+  // fingerprints, and hence existing checkpoints, are unchanged.
+  if (config.constraints != nullptr && !config.constraints->empty()) {
+    mix(config.constraints->fingerprint());
+  }
   return h;
 }
 
@@ -299,7 +306,8 @@ DistributedGreedyResult distributed_greedy(const GroundSet& ground_set, std::siz
         GreedyResult local = solve_partition(
             ground_set, partitions[p], per_partition_target, kernel, initial,
             *arena, config.partition_solver, config.stochastic_epsilon,
-            hash_combine(config.seed, 0x9e37ULL * round + p));
+            hash_combine(config.seed, 0x9e37ULL * round + p), nullptr, nullptr,
+            GainEngine::kAuto, config.constraints);
         atomic_fetch_max(peak_bytes, local.materialized_bytes);
         atomic_fetch_max(peak_state_bytes, local.kernel_state_bytes);
         partition_results[p] = std::move(local.selected);
@@ -335,12 +343,30 @@ DistributedGreedyResult distributed_greedy(const GroundSet& ground_set, std::siz
       }
     }
 
-    // Rounding can leave up to m_r extra points; subsample uniformly
-    // (Alg. 6). Seeded independently of the per-round streams.
-    if (survivors.size() > k_open) {
-      Rng rng(hash_combine(config.seed, config.num_rounds + 1));
-      rng.shuffle(std::span<NodeId>(survivors));
-      survivors.resize(k_open);
+    const bool constrained =
+        config.constraints != nullptr && !config.constraints->empty();
+    if (!constrained) {
+      // Rounding can leave up to m_r extra points; subsample uniformly
+      // (Alg. 6). Seeded independently of the per-round streams.
+      if (survivors.size() > k_open) {
+        Rng rng(hash_combine(config.seed, config.num_rounds + 1));
+        rng.shuffle(std::span<NodeId>(survivors));
+        survivors.resize(k_open);
+      }
+    } else {
+      // Per-partition trackers only see their own accepts, so the surviving
+      // union can over-commit a budget or group cap globally. One constrained
+      // greedy pass over the union (conditioned on any pre-selected points,
+      // which also seed its tracker) enforces every budget exactly; this
+      // replaces the uniform rounding subsample and may return fewer than
+      // k_open points when no feasible candidate remains.
+      SubproblemArenaPool::Lease arena(arena_pool);
+      GreedyResult final_solve = solve_partition(
+          ground_set, survivors, k_open, kernel, initial, *arena,
+          PartitionSolver::kPriorityQueue, config.stochastic_epsilon,
+          hash_combine(config.seed, config.num_rounds + 1), nullptr, nullptr,
+          GainEngine::kAuto, config.constraints);
+      survivors = std::move(final_solve.selected);
     }
   } else {
     survivors.clear();

@@ -105,6 +105,16 @@ struct DistributedGreedyConfig {
   /// Worst-case partitioning ablation (Section 6.4): if set, round 1 places
   /// exactly these points into one partition and splits the rest randomly.
   std::optional<std::vector<NodeId>> forced_first_partition;
+  /// Composable selection constraints (knapsack / partition matroid /
+  /// blocked), global-id space, validated; non-owning, must outlive the run.
+  /// Partition solves enforce them locally every round, and the final step
+  /// replaces the uniform rounding subsample with a constrained greedy solve
+  /// over the surviving union so the RETURNED selection is globally feasible
+  /// (and may therefore hold fewer than k points). The constraint fingerprint
+  /// joins the checkpoint run identity only when set, so unconstrained runs
+  /// keep their pre-constraint checkpoints. nullptr (default) is bit-identical
+  /// to the unconstrained path.
+  const ConstraintSet* constraints = nullptr;
 };
 
 struct RoundStats {

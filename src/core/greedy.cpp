@@ -160,7 +160,8 @@ GreedyResult greedy_on_subproblem(const Subproblem& subproblem, std::size_t k,
 }
 
 GreedyResult greedy_on_subproblem(const Subproblem& subproblem, std::size_t k,
-                                  ObjectiveParams params, SubproblemArena& arena) {
+                                  ObjectiveParams params, SubproblemArena& arena,
+                                  ConstraintTracker* tracker) {
   const std::size_t n = subproblem.size();
   k = std::min(k, n);
   GreedyResult result;
@@ -170,10 +171,17 @@ GreedyResult greedy_on_subproblem(const Subproblem& subproblem, std::size_t k,
   heap.assign(subproblem.priorities);
   const double pair_scale = params.pair_scale();
   double priority_sum = 0.0;
-  while (result.selected.size() < k) {
+  // Constrained pops that the tracker rejects are dropped for good (monotone
+  // infeasibility), which can drain the heap before k accepts — hence the
+  // empty() guard, unreachable when tracker == nullptr.
+  while (result.selected.size() < k && !heap.empty()) {
     const auto v1 = heap.pop_max();
+    if (tracker != nullptr && !tracker->feasible(subproblem.global_ids[v1])) {
+      continue;
+    }
     priority_sum += heap.priority(v1);
     result.selected.push_back(subproblem.global_ids[v1]);
+    if (tracker != nullptr) tracker->accept(subproblem.global_ids[v1]);
     const auto begin = static_cast<std::size_t>(subproblem.offsets[v1]);
     const auto end = static_cast<std::size_t>(subproblem.offsets[v1 + 1]);
     // Fused per-edge decrease straight off the CSR slice (popped neighbors
@@ -186,7 +194,8 @@ GreedyResult greedy_on_subproblem(const Subproblem& subproblem, std::size_t k,
 
 GreedyResult lazy_greedy_on_subproblem(const Subproblem& subproblem, std::size_t k,
                                        SubproblemScorer& scorer,
-                                       SubproblemArena& arena) {
+                                       SubproblemArena& arena,
+                                       ConstraintTracker* tracker) {
   const std::size_t n = subproblem.size();
   k = std::min(k, n);
   GreedyResult result;
@@ -199,11 +208,16 @@ GreedyResult lazy_greedy_on_subproblem(const Subproblem& subproblem, std::size_t
   std::vector<std::uint32_t> version(n, 0);
   while (result.selected.size() < k && !heap.empty()) {
     const auto v1 = heap.peek();
+    if (tracker != nullptr && !tracker->feasible(subproblem.global_ids[v1])) {
+      heap.pop_max();  // monotone infeasibility: dropped for good
+      continue;
+    }
     const auto selection_size = static_cast<std::uint32_t>(result.selected.size());
     if (version[v1] == selection_size) {
       heap.pop_max();
       result.objective += heap.priority(v1);
       result.selected.push_back(subproblem.global_ids[v1]);
+      if (tracker != nullptr) tracker->accept(subproblem.global_ids[v1]);
       scorer.select(v1);
       continue;
     }
@@ -217,7 +231,8 @@ GreedyResult lazy_greedy_on_subproblem(const Subproblem& subproblem, std::size_t
 
 GreedyResult stochastic_greedy_on_subproblem(const Subproblem& subproblem,
                                              std::size_t k, SubproblemScorer& scorer,
-                                             double epsilon, std::uint64_t seed) {
+                                             double epsilon, std::uint64_t seed,
+                                             ConstraintTracker* tracker) {
   const std::size_t n = subproblem.size();
   k = std::min(k, n);
   GreedyResult result;
@@ -238,6 +253,14 @@ GreedyResult stochastic_greedy_on_subproblem(const Subproblem& subproblem,
                                             std::log(1.0 / epsilon))));
   Rng rng(seed);
   while (result.selected.size() < k) {
+    if (tracker != nullptr) {
+      // Sampled steps must never pick an infeasible best-of-sample, so the
+      // live set is compacted to feasible candidates before each draw.
+      std::erase_if(live, [&](std::uint32_t v) {
+        return !tracker->feasible(subproblem.global_ids[v]);
+      });
+      if (live.empty()) break;
+    }
     const std::size_t live_count = live.size();
     const std::size_t draw = std::min(sample_size, live_count);
     for (std::size_t i = 0; i < draw; ++i) {
@@ -258,6 +281,7 @@ GreedyResult stochastic_greedy_on_subproblem(const Subproblem& subproblem,
     const std::uint32_t v1 = live[best_slot];
     result.objective += best_gain;
     result.selected.push_back(subproblem.global_ids[v1]);
+    if (tracker != nullptr) tracker->accept(subproblem.global_ids[v1]);
     scorer.select(v1);
     live[best_slot] = live.back();
     live.pop_back();
@@ -268,7 +292,8 @@ GreedyResult stochastic_greedy_on_subproblem(const Subproblem& subproblem,
 GreedyResult incremental_greedy_on_subproblem(const Subproblem& subproblem,
                                               std::size_t k,
                                               KernelIncrementalState& state,
-                                              SubproblemArena& arena) {
+                                              SubproblemArena& arena,
+                                              ConstraintTracker* tracker) {
   const std::size_t n = subproblem.size();
   k = std::min(k, n);
   GreedyResult result;
@@ -290,11 +315,16 @@ GreedyResult incremental_greedy_on_subproblem(const Subproblem& subproblem,
   std::size_t batch_limit = 1;
   while (result.selected.size() < k && !heap.empty()) {
     const auto top = heap.peek();
+    if (tracker != nullptr && !tracker->feasible(subproblem.global_ids[top])) {
+      heap.pop_max();  // monotone infeasibility: dropped for good
+      continue;
+    }
     const auto selection_size = static_cast<std::uint32_t>(result.selected.size());
     if (version[top] == selection_size) {
       heap.pop_max();
       result.objective += heap.priority(top);
       result.selected.push_back(subproblem.global_ids[top]);
+      if (tracker != nullptr) tracker->accept(subproblem.global_ids[top]);
       state.select(top);
       batch_limit = 1;
       continue;
@@ -331,7 +361,8 @@ GreedyResult stochastic_greedy_on_subproblem(const Subproblem& subproblem,
                                              std::size_t k,
                                              KernelIncrementalState& state,
                                              double epsilon, std::uint64_t seed,
-                                             SubproblemArena& arena) {
+                                             SubproblemArena& arena,
+                                             ConstraintTracker* tracker) {
   const std::size_t n = subproblem.size();
   k = std::min(k, n);
   GreedyResult result;
@@ -352,6 +383,14 @@ GreedyResult stochastic_greedy_on_subproblem(const Subproblem& subproblem,
   std::vector<double>& gains = arena.gain_scratch();
   Rng rng(seed);
   while (result.selected.size() < k) {
+    if (tracker != nullptr) {
+      // Sampled steps must never pick an infeasible best-of-sample, so the
+      // live set is compacted to feasible candidates before each draw.
+      std::erase_if(live, [&](std::uint32_t v) {
+        return !tracker->feasible(subproblem.global_ids[v]);
+      });
+      if (live.empty()) break;
+    }
     const std::size_t live_count = live.size();
     const std::size_t draw = std::min(sample_size, live_count);
     for (std::size_t i = 0; i < draw; ++i) {
@@ -371,6 +410,7 @@ GreedyResult stochastic_greedy_on_subproblem(const Subproblem& subproblem,
     const std::uint32_t v1 = live[best_slot];
     result.objective += gains[best_slot];
     result.selected.push_back(subproblem.global_ids[v1]);
+    if (tracker != nullptr) tracker->accept(subproblem.global_ids[v1]);
     state.select(v1);
     live[best_slot] = live.back();
     live.pop_back();
@@ -385,7 +425,8 @@ GreedyResult solve_partition(const GroundSet& ground_set,
                              PartitionSolver partition_solver,
                              double stochastic_epsilon, std::uint64_t seed,
                              std::size_t* materialized_bytes,
-                             std::size_t* state_bytes, GainEngine gain_engine) {
+                             std::size_t* state_bytes, GainEngine gain_engine,
+                             const ConstraintSet* constraints) {
   const auto finish = [&](GreedyResult result, std::size_t sub_bytes,
                           std::size_t kernel_bytes) {
     result.materialized_bytes = sub_bytes;
@@ -395,15 +436,26 @@ GreedyResult solve_partition(const GroundSet& ground_set,
     return result;
   };
 
+  // Constrained solves track budgets over the whole run: already-selected
+  // points (bounding survivors, earlier rounds) count via the state seed.
+  std::optional<ConstraintTracker> tracker;
+  ConstraintTracker* tracker_ptr = nullptr;
+  if (constraints != nullptr && !constraints->empty()) {
+    tracker.emplace(*constraints);
+    if (state != nullptr) tracker->seed(state->selected_ids());
+    tracker_ptr = &*tracker;
+  }
+
   if (const ObjectiveParams* params = kernel.pairwise_params()) {
     // Closed-form path — the exact pre-kernel machine code.
     const Subproblem& sub =
         materialize_subproblem(ground_set, members, *params, state, arena);
-    return finish(partition_solver == PartitionSolver::kStochastic
-                      ? stochastic_greedy_on_subproblem(sub, k, *params,
-                                                        stochastic_epsilon, seed)
-                      : greedy_on_subproblem(sub, k, *params, arena),
-                  sub.byte_size(), 0);
+    return finish(
+        partition_solver == PartitionSolver::kStochastic
+            ? stochastic_greedy_on_subproblem(sub, k, *params, stochastic_epsilon,
+                                              seed, tracker_ptr)
+            : greedy_on_subproblem(sub, k, *params, arena, tracker_ptr),
+        sub.byte_size(), 0);
   }
   Subproblem& sub = materialize_subproblem_topology(ground_set, members, arena);
   if (gain_engine != GainEngine::kScorerReference) {
@@ -421,10 +473,11 @@ GreedyResult solve_partition(const GroundSet& ground_set,
       const bool sampled = partition_solver == PartitionSolver::kStochastic;
       incremental->reset(sub, state, /*init_priorities=*/!sampled);
       return finish(
-          sampled
-              ? stochastic_greedy_on_subproblem(sub, k, *incremental,
-                                                stochastic_epsilon, seed, arena)
-              : incremental_greedy_on_subproblem(sub, k, *incremental, arena),
+          sampled ? stochastic_greedy_on_subproblem(sub, k, *incremental,
+                                                    stochastic_epsilon, seed,
+                                                    arena, tracker_ptr)
+                  : incremental_greedy_on_subproblem(sub, k, *incremental, arena,
+                                                     tracker_ptr),
           sub.byte_size(), incremental->state_bytes());
     }
   }
@@ -432,8 +485,9 @@ GreedyResult solve_partition(const GroundSet& ground_set,
   scorer->reset(sub, state);
   return finish(partition_solver == PartitionSolver::kStochastic
                     ? stochastic_greedy_on_subproblem(sub, k, *scorer,
-                                                      stochastic_epsilon, seed)
-                    : lazy_greedy_on_subproblem(sub, k, *scorer, arena),
+                                                      stochastic_epsilon, seed,
+                                                      tracker_ptr)
+                    : lazy_greedy_on_subproblem(sub, k, *scorer, arena, tracker_ptr),
                 sub.byte_size(), 0);
 }
 
@@ -490,7 +544,8 @@ GreedyResult greedy_on_subproblem(const Subproblem& subproblem, std::size_t k,
 
 GreedyResult stochastic_greedy_on_subproblem(const Subproblem& subproblem,
                                              std::size_t k, ObjectiveParams params,
-                                             double epsilon, std::uint64_t seed) {
+                                             double epsilon, std::uint64_t seed,
+                                             ConstraintTracker* tracker) {
   const std::size_t n = subproblem.size();
   k = std::min(k, n);
   GreedyResult result;
@@ -519,6 +574,19 @@ GreedyResult stochastic_greedy_on_subproblem(const Subproblem& subproblem,
   double priority_sum = 0.0;
 
   while (result.selected.size() < k) {
+    if (tracker != nullptr) {
+      // Compact the live set to feasible candidates before drawing, keeping
+      // slot_of consistent for the edge-update loop below.
+      std::erase_if(live, [&](std::uint32_t v) {
+        const bool drop = !tracker->feasible(subproblem.global_ids[v]);
+        if (drop) slot_of[v] = static_cast<std::uint32_t>(-1);
+        return drop;
+      });
+      for (std::size_t i = 0; i < live.size(); ++i) {
+        slot_of[live[i]] = static_cast<std::uint32_t>(i);
+      }
+      if (live.empty()) break;
+    }
     const std::size_t live_count = live.size();
     const std::size_t draw = std::min(sample_size, live_count);
     // Partial Fisher-Yates over the live array; slots [0, draw) become the
@@ -543,6 +611,7 @@ GreedyResult stochastic_greedy_on_subproblem(const Subproblem& subproblem,
     const std::uint32_t v1 = live[best_slot];
     priority_sum += priorities[v1];
     result.selected.push_back(subproblem.global_ids[v1]);
+    if (tracker != nullptr) tracker->accept(subproblem.global_ids[v1]);
 
     // Remove v1 from the live set (swap-pop, positions maintained).
     live[best_slot] = live.back();

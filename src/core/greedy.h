@@ -18,6 +18,7 @@
 #include <span>
 #include <vector>
 
+#include "core/constraints.h"
 #include "core/objective.h"
 #include "core/objective_kernel.h"
 #include "core/selection_state.h"
@@ -90,8 +91,17 @@ GreedyResult greedy_on_subproblem(const Subproblem& subproblem, std::size_t k,
 /// decrease_many restore pass. Bit-identical selections and objectives to the
 /// arena-free overload. `subproblem` may be (and typically is) the arena's
 /// own subproblem.
+///
+/// All subproblem drivers take an optional ConstraintTracker (global-id
+/// space). When given, a popped candidate that the tracker rejects is dropped
+/// permanently — valid because every ConstraintSet family is monotone
+/// infeasible under selection growth — and the solve may legitimately return
+/// fewer than k points once no feasible candidate remains. With
+/// tracker == nullptr every driver is bit-identical to its pre-constraint
+/// behavior.
 GreedyResult greedy_on_subproblem(const Subproblem& subproblem, std::size_t k,
-                                  ObjectiveParams params, SubproblemArena& arena);
+                                  ObjectiveParams params, SubproblemArena& arena,
+                                  ConstraintTracker* tracker = nullptr);
 
 /// Stochastic greedy (Mirzasoleiman et al. 2015) on a subproblem: each step
 /// examines a uniform sample of ceil(n/k * ln(1/eps)) live candidates
@@ -101,7 +111,8 @@ GreedyResult greedy_on_subproblem(const Subproblem& subproblem, std::size_t k,
 /// can run inside a partition (Section 3, "Related optimizations").
 GreedyResult stochastic_greedy_on_subproblem(const Subproblem& subproblem,
                                              std::size_t k, ObjectiveParams params,
-                                             double epsilon, std::uint64_t seed);
+                                             double epsilon, std::uint64_t seed,
+                                             ConstraintTracker* tracker = nullptr);
 
 /// Topology-only arena materialization for the kernel fallback path: global
 /// ids + member-restricted CSR, with `priorities` sized but left for the
@@ -120,7 +131,8 @@ Subproblem& materialize_subproblem_topology(const GroundSet& ground_set,
 /// toward smaller local ids, like every other solver in this repo.
 GreedyResult lazy_greedy_on_subproblem(const Subproblem& subproblem, std::size_t k,
                                        SubproblemScorer& scorer,
-                                       SubproblemArena& arena);
+                                       SubproblemArena& arena,
+                                       ConstraintTracker* tracker = nullptr);
 
 /// Stochastic greedy over kernel-supplied gains: each step scans a uniform
 /// sample of ceil(n/k·ln(1/eps)) live candidates, evaluating each through the
@@ -128,7 +140,8 @@ GreedyResult lazy_greedy_on_subproblem(const Subproblem& subproblem, std::size_t
 /// so kernels differ only in scoring.
 GreedyResult stochastic_greedy_on_subproblem(const Subproblem& subproblem,
                                              std::size_t k, SubproblemScorer& scorer,
-                                             double epsilon, std::uint64_t seed);
+                                             double epsilon, std::uint64_t seed,
+                                             ConstraintTracker* tracker = nullptr);
 
 /// Batched lazy greedy over flat incremental kernel state — the hot-path
 /// replacement of the scorer driver. Stale heap tops are popped in runs of up
@@ -143,7 +156,8 @@ GreedyResult stochastic_greedy_on_subproblem(const Subproblem& subproblem,
 GreedyResult incremental_greedy_on_subproblem(const Subproblem& subproblem,
                                               std::size_t k,
                                               KernelIncrementalState& state,
-                                              SubproblemArena& arena);
+                                              SubproblemArena& arena,
+                                              ConstraintTracker* tracker = nullptr);
 
 /// Candidates the batched lazy driver re-evaluates per gains_batch call.
 inline constexpr std::size_t kGainRefreshBatch = 32;
@@ -156,7 +170,8 @@ GreedyResult stochastic_greedy_on_subproblem(const Subproblem& subproblem,
                                              std::size_t k,
                                              KernelIncrementalState& state,
                                              double epsilon, std::uint64_t seed,
-                                             SubproblemArena& arena);
+                                             SubproblemArena& arena,
+                                             ConstraintTracker* tracker = nullptr);
 
 /// Which gain machinery solve_partition runs for kernels without closed-form
 /// priority updates. kAuto prefers the kernel's flat incremental state
@@ -184,6 +199,13 @@ enum class GainEngine : std::uint8_t {
 /// the subproblem's byte size and the flat kernel-state byte size (the
 /// round-stats memory numbers; both are also set on the returned
 /// GreedyResult).
+///
+/// `constraints` (global-id space, validated) activates constrained
+/// acceptance in whichever driver runs: a fresh ConstraintTracker is seeded
+/// from `state`'s already-selected points (they count against budgets and
+/// caps) and candidates it rejects are skipped permanently, so the result may
+/// hold fewer than k points. nullptr (the default) is bit-identical to the
+/// unconstrained code paths.
 GreedyResult solve_partition(const GroundSet& ground_set,
                              std::span<const NodeId> members, std::size_t k,
                              const ObjectiveKernel& kernel,
@@ -192,7 +214,8 @@ GreedyResult solve_partition(const GroundSet& ground_set,
                              double stochastic_epsilon, std::uint64_t seed,
                              std::size_t* materialized_bytes = nullptr,
                              std::size_t* state_bytes = nullptr,
-                             GainEngine gain_engine = GainEngine::kAuto);
+                             GainEngine gain_engine = GainEngine::kAuto,
+                             const ConstraintSet* constraints = nullptr);
 
 /// Algorithm 2 on a full materialized dataset (fast path, no id translation).
 GreedyResult centralized_greedy(const graph::SimilarityGraph& graph,

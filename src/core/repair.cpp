@@ -1,0 +1,105 @@
+#include "core/repair.h"
+
+#include <algorithm>
+#include <optional>
+#include <queue>
+
+#include "graph/overlay_ground_set.h"
+
+namespace subsel::core {
+namespace {
+
+struct Candidate {
+  double gain = 0.0;
+  NodeId id = 0;
+  std::size_t version = 0;  // |additions| when gain was computed
+
+  /// Max-heap order: higher gain first, smaller id on ties — the same
+  /// tie-break every solver in this repo uses.
+  friend bool operator<(const Candidate& a, const Candidate& b) {
+    if (a.gain != b.gain) return a.gain < b.gain;
+    return a.id > b.id;
+  }
+};
+
+}  // namespace
+
+RepairResult repair_selection(const ObjectiveKernel& kernel,
+                              std::span<const NodeId> previous, std::size_t k,
+                              const RepairConfig& config) {
+  const GroundSet& ground_set = kernel.ground_set();
+  const std::size_t n = ground_set.num_points();
+  k = std::min(k, n);
+  const auto* overlay = dynamic_cast<const graph::OverlayGroundSet*>(&ground_set);
+
+  std::optional<ConstraintTracker> tracker;
+  if (config.constraints != nullptr && !config.constraints->empty()) {
+    tracker.emplace(*config.constraints);
+  }
+  const auto selectable = [&](NodeId v) {
+    if (v < 0 || static_cast<std::size_t>(v) >= n) return false;
+    if (overlay != nullptr && !overlay->is_live(v)) return false;
+    return !tracker || tracker->feasible(v);
+  };
+
+  RepairResult result;
+  std::vector<std::uint8_t> in_subset(n, 0);
+
+  // Phase 1 — keep what still stands, ascending so the surviving prefix is
+  // deterministic regardless of the previous selection's pick order.
+  std::vector<NodeId> sorted(previous.begin(), previous.end());
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  for (const NodeId v : sorted) {
+    if (result.selected.size() < k && selectable(v)) {
+      result.selected.push_back(v);
+      in_subset[static_cast<std::size_t>(v)] = 1;
+      if (tracker) tracker->accept(v);
+      ++result.kept;
+    } else {
+      ++result.dropped;
+    }
+  }
+
+  // Phase 2 — lazy-greedy top-up conditioned on the kept set. The heap holds
+  // possibly-stale gains; a top is re-evaluated through the exact oracle
+  // before acceptance (stale values only ever overestimate, submodularity).
+  if (result.selected.size() < k) {
+    std::priority_queue<Candidate> heap;
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto v = static_cast<NodeId>(i);
+      if (in_subset[i] != 0 || !selectable(v)) continue;
+      ++result.gain_evaluations;
+      heap.push(Candidate{kernel.marginal_gain(in_subset, v), v, 0});
+    }
+    while (result.selected.size() < k && !heap.empty()) {
+      if (config.deadline.expired()) {
+        result.degraded = true;
+        result.degraded_reason =
+            "deadline expired during repair top-up; returning the selection"
+            " repaired so far";
+        break;
+      }
+      const Candidate top = heap.top();
+      heap.pop();
+      if (tracker && !tracker->feasible(top.id)) continue;  // dropped for good
+      if (top.version != result.added) {
+        ++result.gain_evaluations;
+        heap.push(Candidate{kernel.marginal_gain(in_subset, top.id), top.id,
+                            result.added});
+        continue;
+      }
+      in_subset[static_cast<std::size_t>(top.id)] = 1;
+      result.selected.push_back(top.id);
+      if (tracker) tracker->accept(top.id);
+      ++result.added;
+    }
+  }
+
+  std::sort(result.selected.begin(), result.selected.end());
+  result.objective =
+      kernel.evaluate(std::span<const NodeId>(result.selected), nullptr);
+  return result;
+}
+
+}  // namespace subsel::core

@@ -1,0 +1,66 @@
+// Incremental repair of an existing selection after ground-set mutations or
+// constraint changes — the dynamic-maintenance counterpart of solving from
+// scratch.
+//
+// repair_selection() patches a prior selection in two phases:
+//   1. KEEP: walk the previous ids ascending, dropping any that are no
+//      longer selectable — deleted overlay points (detected automatically
+//      when the kernel's ground set is an OverlayGroundSet), blocked ids,
+//      budget/cap violators against the constraint tracker, and overflow
+//      past k. Survivors are committed and seed the tracker.
+//   2. TOP-UP: lazy greedy over the remaining live feasible candidates,
+//      conditioned on the kept set through the kernel's exact marginal-gain
+//      oracle, until the selection is back to k points (or no feasible
+//      candidate remains — constrained repairs may legally end short).
+//
+// Because phase 2 is plain conditioned greedy, the repaired selection
+// carries the classic (1−1/e)-style quality of greedy-from-scratch on the
+// surviving instance; the conformance suite checks the repaired objective
+// against a from-scratch solve within that bound. An unmutated, unconstrained
+// repair of a greedy selection is a fixpoint (drops nothing, adds nothing).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/run_control.h"
+#include "core/constraints.h"
+#include "core/objective_kernel.h"
+
+namespace subsel::core {
+
+struct RepairConfig {
+  /// Constraints the repaired selection must satisfy (global ids, validated;
+  /// non-owning). The registry also folds overlay deletions into
+  /// ConstraintSet::blocked, but repair detects those on its own even
+  /// without constraints.
+  const ConstraintSet* constraints = nullptr;
+  /// Wall-clock budget. Expiry stops the top-up early and returns the valid
+  /// (merely smaller) selection repaired so far, flagged degraded.
+  Deadline deadline;
+};
+
+struct RepairResult {
+  /// The repaired selection, ascending, feasible, size <= k.
+  std::vector<NodeId> selected;
+  /// f(selected) via the kernel's exact evaluate.
+  double objective = 0.0;
+  std::size_t kept = 0;     // previous ids that survived
+  std::size_t dropped = 0;  // previous ids removed (dead/blocked/infeasible/overflow)
+  std::size_t added = 0;    // fresh ids greedily topped up
+  /// Exact marginal-gain evaluations spent in the top-up (the repair-vs-
+  /// re-solve work metric the bench reports).
+  std::size_t gain_evaluations = 0;
+  bool degraded = false;
+  std::string degraded_reason;
+};
+
+/// Repairs `previous` (any order, duplicates tolerated) into a feasible
+/// selection of up to k points under `kernel`'s objective. See file comment.
+RepairResult repair_selection(const ObjectiveKernel& kernel,
+                              std::span<const NodeId> previous, std::size_t k,
+                              const RepairConfig& config = {});
+
+}  // namespace subsel::core

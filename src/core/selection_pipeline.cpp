@@ -25,6 +25,15 @@ SelectionPipelineResult select_subset(const GroundSet& ground_set, std::size_t k
           "\" has none); disable bounding to run this kernel");
     }
   }
+  if (config.use_bounding && config.greedy.constraints != nullptr &&
+      !config.greedy.constraints->empty()) {
+    // The bounding pre-pass commits points without consulting budgets or
+    // caps, so a constrained pipeline must run greedy-only. The API layer
+    // rejects this combination up-front with the same guidance.
+    throw std::invalid_argument(
+        "select_subset: the bounding pre-pass is unconstrained; disable"
+        " bounding (--bounding=none) to run with selection constraints");
+  }
   config.bounding.objective = config.objective;
   config.greedy.objective = config.objective;
   config.greedy.kernel = config.kernel;

@@ -1,6 +1,8 @@
 #include "data/dataset_io.h"
 
 #include <algorithm>
+#include <cerrno>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <stdexcept>
@@ -99,6 +101,46 @@ std::vector<graph::NodeId> load_subset(const std::string& path) {
   while (in >> value) ids.push_back(static_cast<graph::NodeId>(value));
   if (in.bad()) throw std::runtime_error("load_subset: read failed: " + path);
   return ids;
+}
+
+std::vector<double> load_value_file(const std::string& path, const char* what) {
+  std::ifstream file(path);
+  if (!file) {
+    throw std::invalid_argument(std::string("cannot open ") + what + " file " +
+                                path);
+  }
+  std::vector<double> values;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(file, line)) {
+    ++line_no;
+    errno = 0;
+    char* end = nullptr;
+    const double parsed = std::strtod(line.c_str(), &end);
+    if (end == line.c_str() || *end != '\0' || errno == ERANGE) {
+      throw std::invalid_argument(std::string(what) + " file " + path +
+                                  " line " + std::to_string(line_no) +
+                                  " is not a number: \"" + line + "\"");
+    }
+    values.push_back(parsed);
+  }
+  return values;
+}
+
+std::vector<std::uint32_t> load_group_file(const std::string& path) {
+  const std::vector<double> raw = load_value_file(path, "group");
+  std::vector<std::uint32_t> groups;
+  groups.reserve(raw.size());
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    if (raw[i] < 0.0 ||
+        raw[i] != static_cast<double>(static_cast<std::uint32_t>(raw[i]))) {
+      throw std::invalid_argument("group file " + path + " line " +
+                                  std::to_string(i + 1) +
+                                  " is not a non-negative integer group id");
+    }
+    groups.push_back(static_cast<std::uint32_t>(raw[i]));
+  }
+  return groups;
 }
 
 }  // namespace subsel::data

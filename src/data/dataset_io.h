@@ -42,4 +42,14 @@ DatasetScalars load_dataset_scalars(const std::string& path);
 void save_subset(const std::vector<graph::NodeId>& ids, const std::string& path);
 std::vector<graph::NodeId> load_subset(const std::string& path);
 
+/// One-value-per-line numeric sidecar file (per-element costs, group ids):
+/// line i is element i. Blank or non-numeric lines are rejected with
+/// std::invalid_argument carrying the line number — a silent skip would
+/// shift every later element. `what` names the file kind in error messages.
+std::vector<double> load_value_file(const std::string& path, const char* what);
+
+/// load_value_file specialized to partition-matroid group ids: every line
+/// must be a non-negative integer.
+std::vector<std::uint32_t> load_group_file(const std::string& path);
+
 }  // namespace subsel::data

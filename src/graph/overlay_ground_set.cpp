@@ -1,0 +1,181 @@
+#include "graph/overlay_ground_set.h"
+
+#include <algorithm>
+#include <cmath>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+
+#include "common/failpoint.h"
+
+namespace subsel::graph {
+
+bool OverlayGroundSet::live_locked(NodeId v) const noexcept {
+  const auto i = static_cast<std::size_t>(v);
+  if (v < 0 || i >= base_n_ + inserted_.size()) return false;
+  return i >= deleted_.size() || deleted_[i] == 0;
+}
+
+NodeId OverlayGroundSet::insert(double utility, std::span<const Edge> edges) {
+  SUBSEL_FAILPOINT("overlay.mutate");
+  std::unique_lock lock(mutex_);
+  if (!std::isfinite(utility)) {
+    throw std::invalid_argument("overlay insert: utility must be finite");
+  }
+  const NodeId id = static_cast<NodeId>(base_n_ + inserted_.size());
+
+  // Validate fully before committing anything (strong guarantee).
+  InsertedPoint point;
+  point.utility = utility;
+  point.edges.assign(edges.begin(), edges.end());
+  std::sort(point.edges.begin(), point.edges.end(),
+            [](const Edge& a, const Edge& b) { return a.neighbor < b.neighbor; });
+  NodeId previous = -1;
+  for (const Edge& e : point.edges) {
+    if (e.neighbor == id || e.neighbor == previous || !live_locked(e.neighbor)) {
+      throw std::invalid_argument(
+          "overlay insert: edge neighbor " + std::to_string(e.neighbor) +
+          " is not a distinct live point");
+    }
+    if (e.weight < 0.0f || !std::isfinite(e.weight)) {
+      throw std::invalid_argument("overlay insert: edge weights must be finite and >= 0");
+    }
+    previous = e.neighbor;
+  }
+
+  // Commit: the forward list, then the symmetric reverse edges. Reverse
+  // lists stay sorted because the new id is larger than every existing one.
+  for (const Edge& e : point.edges) {
+    std::vector<Edge>& reverse =
+        e.neighbor >= static_cast<NodeId>(base_n_)
+            ? inserted_[static_cast<std::size_t>(e.neighbor) - base_n_].edges
+            : extra_[e.neighbor];
+    reverse.push_back(Edge{id, e.weight});
+  }
+  inserted_.push_back(std::move(point));
+  ++version_;
+  return id;
+}
+
+void OverlayGroundSet::erase(NodeId v) {
+  SUBSEL_FAILPOINT("overlay.mutate");
+  std::unique_lock lock(mutex_);
+  if (!live_locked(v)) {
+    throw std::invalid_argument("overlay erase: id " + std::to_string(v) +
+                                " is not a live point");
+  }
+  const auto i = static_cast<std::size_t>(v);
+  if (deleted_.size() <= i) deleted_.resize(base_n_ + inserted_.size(), 0);
+  deleted_[i] = 1;
+  ++version_;
+}
+
+bool OverlayGroundSet::is_live(NodeId v) const {
+  std::shared_lock lock(mutex_);
+  return live_locked(v);
+}
+
+std::size_t OverlayGroundSet::num_live() const {
+  std::shared_lock lock(mutex_);
+  std::size_t dead = 0;
+  for (const auto d : deleted_) dead += d;
+  return base_n_ + inserted_.size() - dead;
+}
+
+std::vector<NodeId> OverlayGroundSet::deleted_ids() const {
+  std::shared_lock lock(mutex_);
+  std::vector<NodeId> out;
+  for (std::size_t i = 0; i < deleted_.size(); ++i) {
+    if (deleted_[i] != 0) out.push_back(static_cast<NodeId>(i));
+  }
+  return out;
+}
+
+std::vector<NodeId> OverlayGroundSet::live_ids() const {
+  std::shared_lock lock(mutex_);
+  std::vector<NodeId> out;
+  const std::size_t n = base_n_ + inserted_.size();
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i >= deleted_.size() || deleted_[i] == 0) {
+      out.push_back(static_cast<NodeId>(i));
+    }
+  }
+  return out;
+}
+
+std::uint64_t OverlayGroundSet::version() const {
+  std::shared_lock lock(mutex_);
+  return version_;
+}
+
+std::size_t OverlayGroundSet::num_points() const {
+  std::shared_lock lock(mutex_);
+  return base_n_ + inserted_.size();
+}
+
+double OverlayGroundSet::utility(NodeId v) const {
+  std::shared_lock lock(mutex_);
+  if (!live_locked(v)) return 0.0;
+  const auto i = static_cast<std::size_t>(v);
+  return i < base_n_ ? base_.utility(v) : inserted_[i - base_n_].utility;
+}
+
+void OverlayGroundSet::neighbors_locked(NodeId v, std::vector<Edge>& out) const {
+  out.clear();
+  if (!live_locked(v)) return;
+  const auto i = static_cast<std::size_t>(v);
+  if (i < base_n_) {
+    base_.neighbors(v, out);
+  } else {
+    const std::vector<Edge>& own = inserted_[i - base_n_].edges;
+    out.assign(own.begin(), own.end());
+  }
+  if (const auto it = extra_.find(v); it != extra_.end()) {
+    // Base list and extra list are each sorted and every extra id exceeds
+    // every base id, so appending keeps the by-id order materialize() and
+    // the CSR format expect.
+    out.insert(out.end(), it->second.begin(), it->second.end());
+  }
+  std::erase_if(out, [&](const Edge& e) { return !live_locked(e.neighbor); });
+}
+
+void OverlayGroundSet::neighbors(NodeId v, std::vector<Edge>& out) const {
+  std::shared_lock lock(mutex_);
+  neighbors_locked(v, out);
+}
+
+void OverlayGroundSet::prefetch(std::span<const NodeId> nodes,
+                                ThreadPool* pool) const {
+  // Only base ids have backing storage to page in; inserted points are
+  // resident by construction. Purely a hint, so no lock is needed for the
+  // filter itself (base_n_ is immutable).
+  std::vector<NodeId> base_nodes;
+  base_nodes.reserve(nodes.size());
+  for (const NodeId v : nodes) {
+    if (v >= 0 && static_cast<std::size_t>(v) < base_n_) base_nodes.push_back(v);
+  }
+  if (!base_nodes.empty()) {
+    base_.prefetch(std::span<const NodeId>(base_nodes), pool);
+  }
+}
+
+OverlayGroundSet::Materialized OverlayGroundSet::materialize() const {
+  std::shared_lock lock(mutex_);
+  const std::size_t n = base_n_ + inserted_.size();
+  std::vector<NeighborList> lists(n);
+  Materialized result;
+  result.utilities.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto v = static_cast<NodeId>(i);
+    neighbors_locked(v, lists[i].edges);
+    result.utilities[i] = live_locked(v)
+                              ? (i < base_n_ ? base_.utility(v)
+                                             : inserted_[i - base_n_].utility)
+                              : 0.0;
+  }
+  result.graph = SimilarityGraph::from_lists(lists);
+  return result;
+}
+
+}  // namespace subsel::graph

@@ -1,0 +1,108 @@
+// Mutable view over an immutable GroundSet: in-memory insert/delete delta
+// blocks layered over any base implementation (a resident CSR ground set, the
+// sharded DiskGroundSet, the virtual PerturbedDataset — anything).
+//
+// Ids are STABLE: the base keeps ids [0, base_n), inserted points get
+// base_n, base_n+1, ... in insertion order, and deletion never renumbers —
+// a deleted id stays allocated (utility 0, empty neighborhood, filtered out
+// of every live node's neighbor list) so selections, checkpoints, and repair
+// bookkeeping written before a mutation still name the same points after it.
+// Deleted ids are surfaced through deleted_ids(); the API layer folds them
+// into ConstraintSet::blocked so every solver skips them, and
+// core::repair_selection() drops them from an existing selection.
+//
+// Concurrency: reads (the whole GroundSet interface) take a shared lock and
+// copy out under it; mutations take the exclusive lock. Readers therefore
+// see each *call* atomically — a solver running concurrently with mutations
+// observes some interleaving of consistent neighborhoods, which is exactly
+// the contract the mutate-while-solve TSan stress exercises. The symmetric-
+// edge invariant of GroundSet is maintained under every mutation.
+//
+// Fault injection: insert() and erase() pass the "overlay.mutate" failpoint
+// BEFORE touching any state, and validate their arguments before committing,
+// so a fired failpoint or a rejected argument leaves the overlay exactly as
+// it was (strong exception guarantee).
+#pragma once
+
+#include <cstdint>
+#include <shared_mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/ground_set.h"
+#include "graph/similarity_graph.h"
+
+namespace subsel::graph {
+
+class OverlayGroundSet final : public GroundSet {
+ public:
+  /// `base` must outlive the overlay and is never mutated through it.
+  explicit OverlayGroundSet(const GroundSet& base)
+      : base_(base), base_n_(base.num_points()) {}
+
+  /// Adds a new point with the given utility and symmetric similarity edges
+  /// (each {neighbor, weight} neighbor must be a live id < the new id; the
+  /// reverse edges are added automatically). Returns the new point's id,
+  /// base_num_points + #prior inserts. Throws std::invalid_argument on a
+  /// dead/out-of-range/duplicate neighbor, a negative weight, or a non-finite
+  /// utility — without mutating anything.
+  NodeId insert(double utility, std::span<const Edge> edges);
+
+  /// Marks `v` deleted: utility becomes 0, its neighborhood empties, and it
+  /// disappears from every live node's neighbor list. Throws
+  /// std::invalid_argument when v is out of range or already deleted.
+  void erase(NodeId v);
+
+  /// False for deleted and never-allocated ids.
+  bool is_live(NodeId v) const;
+  /// Live point count (num_points() minus deletions).
+  std::size_t num_live() const;
+  /// All deleted ids, ascending — the blocked-set feed for ConstraintSet.
+  std::vector<NodeId> deleted_ids() const;
+  /// All live ids, ascending.
+  std::vector<NodeId> live_ids() const;
+  /// Bumped by every successful insert/erase; lets callers detect staleness.
+  std::uint64_t version() const;
+
+  // GroundSet interface. num_points() counts every allocated id, including
+  // deleted ones (id space, not live count).
+  std::size_t num_points() const override;
+  double utility(NodeId v) const override;
+  void neighbors(NodeId v, std::vector<Edge>& out) const override;
+  void prefetch(std::span<const NodeId> nodes, ThreadPool* pool) const override;
+
+  /// Snapshot the overlay into a plain CSR graph + utility vector (deleted
+  /// ids keep their slots with utility 0 and no edges). The differential
+  /// suites solve on this materialization and on the overlay itself and
+  /// require identical selections.
+  struct Materialized {
+    SimilarityGraph graph;
+    std::vector<double> utilities;
+  };
+  Materialized materialize() const;
+
+ private:
+  struct InsertedPoint {
+    double utility = 0.0;
+    std::vector<Edge> edges;  // sorted by neighbor id
+  };
+
+  bool live_locked(NodeId v) const noexcept;
+  void neighbors_locked(NodeId v, std::vector<Edge>& out) const;
+
+  const GroundSet& base_;
+  const std::size_t base_n_;
+
+  mutable std::shared_mutex mutex_;
+  std::vector<InsertedPoint> inserted_;
+  /// Deletion bitmap over [0, base_n_ + inserted_.size()); absent = live.
+  std::vector<std::uint8_t> deleted_;
+  /// Reverse adjacency of insert edges that land on OLDER ids (base points or
+  /// earlier inserts): extra_[v] holds v's edges into newer inserted points,
+  /// sorted by neighbor id.
+  std::unordered_map<NodeId, std::vector<Edge>> extra_;
+  std::uint64_t version_ = 0;
+};
+
+}  // namespace subsel::graph

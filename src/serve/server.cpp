@@ -35,6 +35,25 @@ SelectionServer::SelectionServer(const ServerConfig& config)
           resident.dataset->graph, resident.dataset->utilities);
       resident.ground_set = resident.memory.get();
     }
+    const std::size_t num_points = resident.ground_set->num_points();
+    if (!spec.cost_file.empty()) {
+      resident.costs = data::load_value_file(spec.cost_file, "cost");
+      if (resident.costs.size() != num_points) {
+        throw std::invalid_argument(
+            "ServerConfig: cost file " + spec.cost_file + " has " +
+            std::to_string(resident.costs.size()) + " entries for dataset \"" +
+            spec.name + "\" of " + std::to_string(num_points) + " points");
+      }
+    }
+    if (!spec.group_file.empty()) {
+      resident.groups = data::load_group_file(spec.group_file);
+      if (resident.groups.size() != num_points) {
+        throw std::invalid_argument(
+            "ServerConfig: group file " + spec.group_file + " has " +
+            std::to_string(resident.groups.size()) + " entries for dataset \"" +
+            spec.name + "\" of " + std::to_string(num_points) + " points");
+      }
+    }
     datasets_.emplace(spec.name, std::move(resident));
   }
 
@@ -286,6 +305,37 @@ ServeResponse SelectionServer::serve_select(api::SolverContext& context,
   selection.distributed.num_rounds = request.rounds;
   selection.distributed.stochastic_epsilon = request.epsilon;
   selection.streaming.epsilon = request.epsilon;
+  if (request.cost_budget > 0.0 || request.group_cap > 0) {
+    // Constrained request: the budgets come from the wire, the per-element
+    // cost/group vectors from the dataset's resident sidecars. A budget
+    // against a dataset served without the matching sidecar is a typed
+    // request error — never a silently unconstrained solve.
+    const ResidentDataset& resident = datasets_.at(request.dataset);
+    if (request.cost_budget > 0.0) {
+      if (resident.costs.empty()) {
+        response.status = ServeResponse::Status::kError;
+        response.reason = "invalid_request";
+        response.detail = "request sets cost_budget but dataset \"" +
+                          request.dataset +
+                          "\" is resident without a cost sidecar (--cost-file)";
+        return response;
+      }
+      selection.constraints.costs = resident.costs;
+      selection.constraints.cost_budget = request.cost_budget;
+    }
+    if (request.group_cap > 0) {
+      if (resident.groups.empty()) {
+        response.status = ServeResponse::Status::kError;
+        response.reason = "invalid_request";
+        response.detail =
+            "request sets group_cap but dataset \"" + request.dataset +
+            "\" is resident without a group sidecar (--group-file)";
+        return response;
+      }
+      selection.constraints.groups = resident.groups;
+      selection.constraints.group_cap = request.group_cap;
+    }
+  }
   if (request.bounding == "none") {
     selection.bounding.enabled = false;
   } else if (request.bounding == "exact") {

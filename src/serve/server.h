@@ -108,6 +108,11 @@ class SelectionServer {
     std::unique_ptr<graph::InMemoryGroundSet> memory;
     std::unique_ptr<graph::DiskGroundSet> disk;
     const graph::GroundSet* ground_set = nullptr;
+    /// Resident constraint sidecars (empty when the spec named no file):
+    /// per-element knapsack costs and partition-matroid group ids that
+    /// constrained requests ("cost_budget" / "group_cap") select against.
+    std::vector<double> costs;
+    std::vector<std::uint32_t> groups;
   };
 
   void dispatch_loop(std::size_t slot);

@@ -25,6 +25,13 @@ struct DatasetSpec {
   bool disk = false;
   /// Block-cache geometry for the disk path.
   graph::DiskGroundSetConfig cache;
+  /// Optional one-value-per-line sidecar files loaded resident alongside the
+  /// dataset: per-element knapsack costs and partition-matroid group ids.
+  /// Requests against this dataset may then carry "cost_budget" /
+  /// "group_cap"; without the sidecar such requests error with
+  /// "invalid_request".
+  std::string cost_file;
+  std::string group_file;
 };
 
 struct ServerConfig {

@@ -116,7 +116,7 @@ ServeRequest parse_select(const Fields& fields) {
                              "k", "fraction", "solver", "objective", "alpha",
                              "saturation", "self_similarity", "utility_weighted",
                              "seed", "machines", "rounds", "epsilon", "bounding",
-                             "return_selection"});
+                             "cost_budget", "group_cap", "return_selection"});
 
   const auto dataset = fields.get_string("dataset");
   if (!dataset.has_value() || dataset->empty()) {
@@ -177,6 +177,11 @@ ServeRequest parse_select(const Fields& fields) {
   request.machines = fields.get_size("machines").value_or(request.machines);
   request.rounds = fields.get_size("rounds").value_or(request.rounds);
   request.epsilon = fields.get_number("epsilon").value_or(request.epsilon);
+  request.cost_budget = fields.get_number("cost_budget").value_or(0.0);
+  if (request.cost_budget < 0.0 || !std::isfinite(request.cost_budget)) {
+    fields.reject(Code::kBadField, "cost_budget must be a finite number >= 0");
+  }
+  request.group_cap = fields.get_size("group_cap").value_or(0);
   request.return_selection =
       fields.get_bool("return_selection").value_or(true);
 
@@ -188,6 +193,15 @@ ServeRequest parse_select(const Fields& fields) {
                         *bounding + "\"");
     }
     request.bounding = *bounding;
+  }
+  // Constrained requests default to bounding "none": the bounding pre-pass
+  // is unconstrained and incompatible with selection budgets, so a client
+  // opting into cost_budget/group_cap shouldn't also have to disable the
+  // server-side default. An explicit "bounding" value is honored and, if it
+  // conflicts, rejected downstream with the typed incompatibility reason.
+  if ((request.cost_budget > 0.0 || request.group_cap > 0) &&
+      !fields.get_string("bounding").has_value()) {
+    request.bounding = "none";
   }
   return request;
 }
@@ -267,6 +281,8 @@ std::string ServeRequest::to_json() const {
   json.key("rounds").value(rounds);
   json.key("epsilon").value(epsilon);
   json.key("bounding").value(bounding);
+  if (cost_budget > 0.0) json.key("cost_budget").value(cost_budget);
+  if (group_cap != 0) json.key("group_cap").value(group_cap);
   json.key("return_selection").value(return_selection);
   json.end_object();
   return json.str();

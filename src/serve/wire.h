@@ -112,6 +112,13 @@ struct ServeRequest {
   double epsilon = 0.1;
   /// "none" | "exact" | "uniform" | "weighted" (the CLI --bounding values).
   std::string bounding = "uniform";
+  /// Knapsack budget over the dataset's resident per-element cost vector
+  /// (0 = unconstrained). Requires the dataset to be served with a cost
+  /// sidecar file; otherwise the request errors with "invalid_request".
+  double cost_budget = 0.0;
+  /// Uniform partition-matroid cap over the dataset's resident group vector
+  /// (0 = unconstrained). Same sidecar requirement as cost_budget.
+  std::size_t group_cap = 0;
   /// Echo the selected ids in the response (a client sweeping for latency
   /// can turn the id payload off).
   bool return_selection = true;

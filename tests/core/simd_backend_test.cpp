@@ -11,10 +11,13 @@
 
 #include <cstdlib>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "../testing/constraint_oracle.h"
+#include "../testing/property.h"
 #include "../testing/test_instances.h"
 #include "common/rng.h"
 #include "common/simd.h"
@@ -288,6 +291,140 @@ TEST(SimdStateParity, GainsIdenticalUnderForcedScalarState) {
       scalar->select(pick);
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Randomized parity: the PR-9 suite above pins adversarial shapes by hand;
+// this one drives the pairwise kernel through the property harness so every
+// run sweeps fresh graphs, member subsets, and budgets — with seeds printed
+// and auto-shrunk on failure. Gains, picks, and objectives must match the
+// forced-scalar engine bit-for-bit, constrained or not.
+// ---------------------------------------------------------------------------
+
+TEST(SimdSolveParity, RandomizedPairwiseScalarVsNativeBitIdentity) {
+  subsel::testing::check_property(
+      "pairwise scalar-vs-native bit identity", 120,
+      [](std::uint64_t seed, double scale) -> std::optional<std::string> {
+        const std::size_t n = subsel::testing::scaled(140, scale, 12);
+        Rng rng(seed ^ 0x51fd);
+        const std::size_t degree = 1 + rng.uniform_index(7);
+        const Instance instance = random_instance(n, degree, seed);
+        const auto ground_set = instance.ground_set();
+        const PairwiseKernel kernel(
+            ground_set, ObjectiveParams::from_alpha(0.5 + 0.4 * rng.uniform()));
+
+        // Random member subset (never empty) and budget.
+        std::vector<NodeId> members;
+        for (std::size_t i = 0; i < n; ++i) {
+          if (rng.uniform() < 0.7) members.push_back(static_cast<NodeId>(i));
+        }
+        if (members.empty()) members.push_back(0);
+        const std::size_t k = 1 + rng.uniform_index(members.size());
+
+        for (const auto solver :
+             {PartitionSolver::kPriorityQueue, PartitionSolver::kStochastic}) {
+          SubproblemArena native_arena;
+          const GreedyResult native = solve_partition(
+              ground_set, members, k, kernel, nullptr, native_arena, solver,
+              0.2, seed, nullptr, nullptr, GainEngine::kAuto);
+          SubproblemArena scalar_arena;
+          const GreedyResult scalar = solve_partition(
+              ground_set, members, k, kernel, nullptr, scalar_arena, solver,
+              0.2, seed, nullptr, nullptr, GainEngine::kIncrementalScalar);
+          if (native.selected != scalar.selected) {
+            return "selections diverged (solver "
+                   + std::to_string(static_cast<int>(solver)) + ")";
+          }
+          if (native.objective != scalar.objective) {
+            return "objectives diverged by " +
+                   std::to_string(native.objective - scalar.objective);
+          }
+        }
+        return std::nullopt;
+      });
+}
+
+TEST(SimdSolveParity, RandomizedConstrainedSolvesStayBitIdentical) {
+  // The constraint seam must not disturb backend parity: the tracker only
+  // filters acceptances, so native and forced-scalar runs still walk the
+  // same gain sequence and must pick the same feasible elements.
+  subsel::testing::check_property(
+      "constrained scalar-vs-native bit identity", 100,
+      [](std::uint64_t seed, double scale) -> std::optional<std::string> {
+        const std::size_t n = subsel::testing::scaled(60, scale, 10);
+        const Instance instance = random_instance(n, 4, seed);
+        const auto ground_set = instance.ground_set();
+        const PairwiseKernel kernel(ground_set,
+                                    ObjectiveParams::from_alpha(0.9));
+        Rng rng(seed ^ 0x51dc);
+        const ConstraintSet constraints =
+            subsel::testing::random_constraints(n, rng);
+        std::vector<NodeId> members(n);
+        for (std::size_t i = 0; i < n; ++i) members[i] = static_cast<NodeId>(i);
+        const std::size_t k = 2 + rng.uniform_index(n / 2);
+
+        SubproblemArena native_arena;
+        const GreedyResult native = solve_partition(
+            ground_set, members, k, kernel, nullptr, native_arena,
+            PartitionSolver::kPriorityQueue, 0.1, seed, nullptr, nullptr,
+            GainEngine::kAuto, &constraints);
+        SubproblemArena scalar_arena;
+        const GreedyResult scalar = solve_partition(
+            ground_set, members, k, kernel, nullptr, scalar_arena,
+            PartitionSolver::kPriorityQueue, 0.1, seed, nullptr, nullptr,
+            GainEngine::kIncrementalScalar, &constraints);
+        if (native.selected != scalar.selected) return "selections diverged";
+        if (native.objective != scalar.objective) return "objectives diverged";
+        return std::nullopt;
+      });
+}
+
+TEST(SimdKernelPrimitives, RandomizedLengthsMatchScalarBitForBit) {
+  const ksimd::KernelSimdOps& scalar = ksimd::ops_for(simd::Backend::kScalar);
+  const ksimd::KernelSimdOps& active = ksimd::ops_for(simd::detected_backend());
+  subsel::testing::check_property(
+      "kernel primitive bit identity at random lengths", 150,
+      [&](std::uint64_t seed, double scale) -> std::optional<std::string> {
+        Rng rng(seed);
+        const std::size_t state_size =
+            subsel::testing::scaled(96, scale, 8);
+        std::vector<double> state(state_size);
+        for (double& v : state) v = rng.uniform() * 2.0 - 0.5;
+        const std::size_t count = rng.uniform_index(2 * state_size);
+        std::vector<std::uint32_t> nbr(count);
+        std::vector<double> pw(count);
+        for (std::size_t e = 0; e < count; ++e) {
+          nbr[e] = static_cast<std::uint32_t>(rng.uniform_index(state_size));
+          pw[e] = rng.uniform();
+        }
+        const double self_term = rng.uniform();
+
+        const double cover_native =
+            active.cover_gain(nbr.data(), pw.data(), count, state.data(),
+                              self_term);
+        const double cover_scalar =
+            scalar.cover_gain(nbr.data(), pw.data(), count, state.data(),
+                              self_term);
+        if (cover_native != cover_scalar) {
+          return "cover_gain diverged at count " + std::to_string(count);
+        }
+        const double resid_native =
+            active.resid_gain(nbr.data(), pw.data(), count, state.data(),
+                              self_term);
+        const double resid_scalar =
+            scalar.resid_gain(nbr.data(), pw.data(), count, state.data(),
+                              self_term);
+        if (resid_native != resid_scalar) {
+          return "resid_gain diverged at count " + std::to_string(count);
+        }
+        std::vector<double> out_scalar(count), out_active(count);
+        scalar.gather(state.data(), nbr.data(), count, out_scalar.data());
+        active.gather(state.data(), nbr.data(), count, out_active.data());
+        if (out_active != out_scalar) {
+          return "gather diverged at count " + std::to_string(count);
+        }
+        return std::nullopt;
+      });
 }
 
 TEST(SimdBackendReporting, CapsEchoTheActiveBackend) {

@@ -1,0 +1,95 @@
+# Golden constrained-selection end-to-end check, run by ctest (see
+# CMakeLists.txt): executes the subsel CLI against the committed toy600
+# fixture with BOTH constraint families active — the committed cost sidecar
+# under a binding knapsack budget (12.5 covers ~24 of the 60 requested
+# points) and the committed group sidecar under a uniform partition-matroid
+# cap — once in-memory and once out-of-core, and byte-compares both
+# selections against the committed expectation. Catches silent drift in the
+# sidecar parsers, the constraint threading through the CLI/solver stack,
+# and the tracker's acceptance ordering in one shot.
+#
+# Required -D variables: SUBSEL_CLI, GOLDEN_DIR, WORK_DIR.
+
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+set(constraint_flags
+    "--cost-file=${GOLDEN_DIR}/toy600.costs" --cost-budget=12.5
+    "--group-file=${GOLDEN_DIR}/toy600.groups" --group-cap=5)
+
+foreach(mode memory disk)
+  set(mode_flags "")
+  if(mode STREQUAL disk)
+    set(mode_flags --disk --cache-blocks=8 --block-edges=256 --disk-shards=4
+                   --prefetch-depth=2)
+  endif()
+  execute_process(
+    COMMAND "${SUBSEL_CLI}" select
+            "--data=${GOLDEN_DIR}/toy600" --k=60 --solver=distributed-greedy
+            --machines=6 --rounds=4 --seed=23
+            ${constraint_flags} ${mode_flags}
+            "--out=${WORK_DIR}/got_${mode}.ids"
+            "--report=${WORK_DIR}/got_${mode}.json"
+    RESULT_VARIABLE exit_code
+    OUTPUT_VARIABLE stdout
+    ERROR_VARIABLE stderr)
+  if(NOT exit_code EQUAL 0)
+    message(FATAL_ERROR "constrained select (${mode}) failed (${exit_code}):\n${stdout}\n${stderr}")
+  endif()
+
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+            "${WORK_DIR}/got_${mode}.ids"
+            "${GOLDEN_DIR}/expected_constrained_subset.ids"
+    RESULT_VARIABLE diff_code)
+  if(NOT diff_code EQUAL 0)
+    file(READ "${WORK_DIR}/got_${mode}.ids" got)
+    message(FATAL_ERROR "constrained ${mode} selection drifted from the"
+                        " committed golden subset"
+                        " (tests/golden/expected_constrained_subset.ids).\nGot:\n${got}")
+  endif()
+
+  # The report must carry a truthful constraint summary.
+  file(READ "${WORK_DIR}/got_${mode}.json" report)
+  foreach(needle "subsel.selection_report.v1" "\"constraints\""
+                 "\"cost_budget\":12.5" "\"num_groups\":8" "\"feasible\":true")
+    string(FIND "${report}" "${needle}" at)
+    if(at EQUAL -1)
+      message(FATAL_ERROR "${mode} report is missing ${needle}:\n${report}")
+    endif()
+  endforeach()
+endforeach()
+
+# A budget flag without its sidecar must be rejected up-front, exit != 0.
+execute_process(
+  COMMAND "${SUBSEL_CLI}" select "--data=${GOLDEN_DIR}/toy600" --k=60
+          --cost-budget=12.5 "--out=${WORK_DIR}/reject.ids"
+  RESULT_VARIABLE reject_code
+  OUTPUT_VARIABLE reject_out
+  ERROR_VARIABLE reject_err)
+if(reject_code EQUAL 0)
+  message(FATAL_ERROR "select accepted --cost-budget without --cost-file")
+endif()
+string(FIND "${reject_err}" "cost" at)
+if(at EQUAL -1)
+  message(FATAL_ERROR "budget-without-sidecar failure lacks a clear message: ${reject_err}")
+endif()
+
+# A malformed sidecar must fail loudly naming the offending line.
+file(WRITE "${WORK_DIR}/bad.costs" "0.5\nnot-a-number\n0.25\n")
+execute_process(
+  COMMAND "${SUBSEL_CLI}" select "--data=${GOLDEN_DIR}/toy600" --k=60
+          "--cost-file=${WORK_DIR}/bad.costs" --cost-budget=1.0
+          "--out=${WORK_DIR}/bad.ids"
+  RESULT_VARIABLE bad_code
+  OUTPUT_VARIABLE bad_out
+  ERROR_VARIABLE bad_err)
+if(bad_code EQUAL 0)
+  message(FATAL_ERROR "select accepted a malformed cost sidecar")
+endif()
+string(FIND "${bad_err}" "line 2" at)
+if(at EQUAL -1)
+  message(FATAL_ERROR "malformed-sidecar failure does not name the line: ${bad_err}")
+endif()
+
+message(STATUS "golden constrained fixture: in-memory and out-of-core"
+               " selections identical, sidecar errors rejected loudly")

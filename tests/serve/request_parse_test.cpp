@@ -171,6 +171,56 @@ TEST(RequestParse, BadFieldValuesReject) {
             Code::kBadField);
 }
 
+TEST(RequestParse, ConstraintFieldsParseAndRoundTrip) {
+  const auto request = parse_request(
+      R"({"type":"select","id":"c1","dataset":"toy","k":20,)"
+      R"("cost_budget":12.5,"group_cap":3})",
+      ParseLimits{});
+  EXPECT_DOUBLE_EQ(request.cost_budget, 12.5);
+  EXPECT_EQ(request.group_cap, 3u);
+  // Constrained requests default bounding off (the pre-pass is
+  // unconstrained and would be rejected downstream) — but only when the
+  // field is absent, so an explicit conflicting value still gets its typed
+  // downstream reject.
+  EXPECT_EQ(request.bounding, "none");
+
+  const auto round_tripped = parse_request(request.to_json(), ParseLimits{});
+  EXPECT_DOUBLE_EQ(round_tripped.cost_budget, 12.5);
+  EXPECT_EQ(round_tripped.group_cap, 3u);
+  EXPECT_EQ(round_tripped.bounding, "none");
+
+  // Explicit bounding survives alongside constraints.
+  const auto explicit_bounding = parse_request(
+      R"({"type":"select","id":"c2","dataset":"toy","k":20,)"
+      R"("cost_budget":1.0,"bounding":"exact"})",
+      ParseLimits{});
+  EXPECT_EQ(explicit_bounding.bounding, "exact");
+
+  // Unconstrained requests do not serialize the constraint fields.
+  ServeRequest plain;
+  plain.id = "p1";
+  plain.dataset = "toy";
+  plain.k = 5;
+  const std::string json = plain.to_json();
+  EXPECT_EQ(json.find("cost_budget"), std::string::npos);
+  EXPECT_EQ(json.find("group_cap"), std::string::npos);
+}
+
+TEST(RequestParse, BadConstraintFieldValuesReject) {
+  EXPECT_EQ(reject_code(R"({"type":"select","id":"r1","dataset":"toy",)"
+                        R"("k":5,"cost_budget":-1.0})"),
+            Code::kBadField);
+  EXPECT_EQ(reject_code(R"({"type":"select","id":"r1","dataset":"toy",)"
+                        R"("k":5,"cost_budget":"cheap"})"),
+            Code::kBadField);
+  EXPECT_EQ(reject_code(R"({"type":"select","id":"r1","dataset":"toy",)"
+                        R"("k":5,"group_cap":-2})"),
+            Code::kBadField);
+  EXPECT_EQ(reject_code(R"({"type":"select","id":"r1","dataset":"toy",)"
+                        R"("k":5,"group_cap":1.5})"),
+            Code::kBadField);
+}
+
 TEST(RequestParse, OversizedRequestRejectsBeforeParsing) {
   ParseLimits limits;
   limits.max_request_bytes = 128;

@@ -1,0 +1,125 @@
+// Brute-force conformance oracle for constrained selection: enumerate every
+// subset of size <= k, keep the ones feasible under a core::ConstraintSet,
+// and maximize an arbitrary set function over them. Deliberately shares the
+// production feasibility predicates (ConstraintSet::feasible_subset, which
+// itself goes through fits_cost) so float-sum ordering can never make the
+// oracle and a solver disagree about whether a particular subset fits —
+// the oracle's only independent machinery is the exhaustive enumeration.
+//
+// Exponential: use for n <= ~16 only.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <random>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/constraints.h"
+
+namespace subsel::testing {
+
+struct OracleResult {
+  /// Best feasible subset found (ascending ids); empty when even the empty
+  /// set is the best (or only) feasible choice.
+  std::vector<core::NodeId> best;
+  double objective = 0.0;
+  /// Number of feasible subsets of size in [1, k] — 0 means every non-empty
+  /// selection is infeasible and solvers must return empty.
+  std::size_t feasible_count = 0;
+};
+
+/// Exhaustive constrained maximizer. `evaluate` is any set function over
+/// ascending id spans (typically a PairwiseObjective or kernel evaluate).
+template <typename Evaluate>
+OracleResult constrained_brute_force(std::size_t n, std::size_t k,
+                                     const core::ConstraintSet& constraints,
+                                     Evaluate&& evaluate) {
+  OracleResult result;
+  result.objective = 0.0;  // the empty set is always feasible, f({}) == 0
+  std::vector<core::NodeId> subset;
+  const std::uint64_t limit = std::uint64_t{1} << n;
+  for (std::uint64_t mask = 1; mask < limit; ++mask) {
+    if (static_cast<std::size_t>(__builtin_popcountll(mask)) > k) continue;
+    subset.clear();
+    for (std::size_t v = 0; v < n; ++v) {
+      if ((mask >> v) & 1u) subset.push_back(static_cast<core::NodeId>(v));
+    }
+    if (!constraints.feasible_subset(subset)) continue;
+    ++result.feasible_count;
+    const double value = evaluate(std::span<const core::NodeId>(subset));
+    if (value > result.objective) {
+      result.objective = value;
+      result.best = subset;
+    }
+  }
+  return result;
+}
+
+/// Human-readable feasibility audit of a solver's selection: empty string
+/// when `selected` satisfies every active family plus |S| <= k and holds no
+/// duplicates; otherwise a message naming the violated invariant. This is
+/// the check every conformance property runs on every solver output.
+inline std::string feasibility_violation(std::span<const core::NodeId> selected,
+                                         const core::ConstraintSet& constraints,
+                                         std::size_t k) {
+  if (selected.size() > k) {
+    return "selection has " + std::to_string(selected.size()) +
+           " elements, cardinality budget is " + std::to_string(k);
+  }
+  for (std::size_t i = 1; i < selected.size(); ++i) {
+    if (selected[i] == selected[i - 1]) {
+      return "duplicate id " + std::to_string(selected[i]);
+    }
+  }
+  if (!constraints.feasible_subset(selected)) {
+    return "selection violates the constraint set (cost " +
+           std::to_string(constraints.cost_of(selected)) + " vs budget " +
+           std::to_string(constraints.cost_budget) + ", or a group cap, or a"
+           " blocked id)";
+  }
+  return "";
+}
+
+/// Random constraint generator for the property suites: draws some
+/// combination of knapsack / partition matroid / blocked families, biased so
+/// the budgets usually bind but rarely exclude everything (the budget always
+/// covers the cheapest element and blocking never covers the whole ground
+/// set). Already validated against `n`.
+inline core::ConstraintSet random_constraints(std::size_t n, Rng& rng) {
+  core::ConstraintSet constraints;
+  const std::uint64_t families = 1 + rng.uniform_index(7);  // non-empty mix
+  if (families & 1u) {  // knapsack
+    constraints.costs.resize(n);
+    for (double& c : constraints.costs) c = rng.uniform(0.1, 1.0);
+    // Budget between the cheapest element and ~half the total, so some but
+    // not everything fits.
+    double total = 0.0, cheapest = std::numeric_limits<double>::infinity();
+    for (const double c : constraints.costs) {
+      total += c;
+      cheapest = std::min(cheapest, c);
+    }
+    constraints.cost_budget = cheapest + rng.uniform(0.0, 0.5 * total);
+  }
+  if (families & 2u) {  // partition matroid
+    const std::size_t num_groups = 1 + rng.uniform_index(std::max<std::size_t>(1, n / 2));
+    constraints.groups.resize(n);
+    for (auto& g : constraints.groups) {
+      g = static_cast<std::uint32_t>(rng.uniform_index(num_groups));
+    }
+    constraints.group_caps.assign(num_groups, 0);
+    for (auto& cap : constraints.group_caps) cap = 1 + rng.uniform_index(3);
+  }
+  if (families & 4u) {  // blocked ids (never all of them)
+    const std::size_t count = rng.uniform_index(std::max<std::size_t>(2, n / 3));
+    for (std::size_t i = 0; i < count; ++i) {
+      constraints.blocked.push_back(static_cast<core::NodeId>(rng.uniform_index(n)));
+    }
+  }
+  constraints.validate(n);
+  return constraints;
+}
+
+}  // namespace subsel::testing

@@ -9,6 +9,8 @@
 //                     [--rounds=8] [--no-adaptive] [--disk]
 //                     [--bounding=none|exact|uniform|weighted] [--sample=0.3]
 //                     [--saturation=1.0] [--self-sim=1.0] [--unweighted]
+//                     [--cost-file=F --cost-budget=B]
+//                     [--group-file=F --group-cap=N]
 //                     [--report=FILE] --out=subset.ids
 //   subsel score      --data=data/cifar --subset=subset.ids --alpha=0.9
 //                     [--objective=NAME] [--distributed]
@@ -17,6 +19,7 @@
 //                     [--disk-shards=N] [--queue-capacity=N]
 //                     [--max-concurrent=N] [--threads=N]
 //                     [--default-deadline-ms=N] [--max-request-bytes=N]
+//                     [--cost-file=F] [--group-file=F]
 //
 // `serve` runs the long-lived selection daemon: every --data dataset is
 // loaded once and stays resident (in memory, or behind the out-of-core
@@ -184,6 +187,8 @@ int usage() {
                "             [--deadline-ms=N] [--checkpoint-file=F]"
                " [--checkpoint-every=N]\n"
                "             [--resume-from=F] [--failpoints=SPEC]\n"
+               "             [--cost-file=F --cost-budget=B]"
+               " [--group-file=F --group-cap=N]\n"
                "             --out=FILE\n"
                "  score      --data=PREFIX --subset=FILE [--objective=NAME]"
                " [--alpha=F]\n"
@@ -195,7 +200,8 @@ int usage() {
                "             [--queue-capacity=N] [--max-concurrent=N]"
                " [--threads=N]\n"
                "             [--default-deadline-ms=N]"
-               " [--max-request-bytes=N]\n");
+               " [--max-request-bytes=N]\n"
+               "             [--cost-file=F] [--group-file=F]\n");
   return 1;
 }
 
@@ -258,6 +264,7 @@ int cmd_solvers() {
     if (!info.caps.needs_full_graph) flags += " no-full-graph";
     if (info.caps.cancellable) flags += " cancellable";
     if (info.caps.checkpointable) flags += " checkpointable";
+    if (info.caps.constrained) flags += " constrained";
     if (flags.empty()) flags = " centralized";
     std::printf("%-20s guarantee: %-28s memory: %s\n", info.name.c_str(),
                 info.guarantee.c_str(), info.memory_regime.c_str());
@@ -382,6 +389,24 @@ int cmd_select(const CliArgs& args) {
   request.bounding.prefetch_depth = request.distributed.prefetch_depth;
   request.streaming.epsilon = args.get_double("epsilon", 0.1);
 
+  // Selection constraints: one-value-per-line sidecar files (line i =
+  // element i). Consistency (sizes, budget present, caps cover groups) is
+  // validated by the registry before dispatch.
+  if (const auto cost_file = args.get("cost-file"); cost_file.has_value()) {
+    request.constraints.costs = data::load_value_file(*cost_file, "cost");
+  }
+  request.constraints.cost_budget = args.get_double("cost-budget", 0.0);
+  if (const auto group_file = args.get("group-file"); group_file.has_value()) {
+    request.constraints.groups = data::load_group_file(*group_file);
+  }
+  request.constraints.group_cap = args.get_size("group-cap", 0);
+  // Constraints compose with every solver except the bounding pre-pass and
+  // the dataflow substrate; default bounding off on constrained runs unless
+  // the user pinned it, so `--solver=pipeline --cost-budget=...` just works.
+  if (request.constraints.any() && !args.get("bounding").has_value()) {
+    request.bounding.enabled = false;
+  }
+
   const std::string bounding = args.get("bounding").value_or("uniform");
   if (bounding == "none") {
     request.bounding.enabled = false;
@@ -408,6 +433,21 @@ int cmd_select(const CliArgs& args) {
               format_duration(report.total_seconds).c_str(), out.c_str());
   std::printf("objective %s: f(S) = %.6f\n", report.objective_name.c_str(),
               report.objective);
+  if (report.constraints.has_value()) {
+    const auto& summary = *report.constraints;
+    std::printf("constraints: feasible=%s", summary.feasible ? "yes" : "NO");
+    if (summary.cost_budget > 0.0) {
+      std::printf(", cost %.4f / budget %.4f", summary.selected_cost,
+                  summary.cost_budget);
+    }
+    if (summary.num_groups > 0) {
+      std::printf(", %zu capped groups", summary.num_groups);
+    }
+    if (summary.num_blocked > 0) {
+      std::printf(", %zu blocked ids", summary.num_blocked);
+    }
+    std::printf("\n");
+  }
   if (report.bounding.has_value()) {
     std::printf("bounding: included %zu, excluded %zu (%zu grow / %zu shrink"
                 " rounds)\n",
@@ -545,6 +585,11 @@ int cmd_serve(const CliArgs& args) {
     spec.cache.max_cached_blocks = args.get_size("cache-blocks", 64);
     spec.cache.block_edges = args.get_size("block-edges", spec.cache.block_edges);
     spec.cache.num_shards = args.get_size("disk-shards", spec.cache.num_shards);
+    // Constraint sidecars apply to every served dataset (the common case is
+    // one dataset per daemon); requests opt in per-request via cost_budget /
+    // group_cap.
+    spec.cost_file = args.get("cost-file").value_or("");
+    spec.group_file = args.get("group-file").value_or("");
     config.datasets.push_back(std::move(spec));
   }
 
